@@ -1,0 +1,24 @@
+"""Ablation benchmarks: the contribution of each Loom mechanism (DESIGN.md)."""
+
+import pytest
+
+from repro.experiments import ablation
+
+
+def test_bench_ablation(benchmark, artefacts):
+    result = benchmark.pedantic(ablation.run, rounds=1, iterations=1)
+    artefacts["ablation"] = ablation.format_table(result)
+    # Dynamic precision reduction buys a measurable chunk of conv speedup.
+    assert result.contribution("dynamic_precision") > 1.1
+    # Cascading speeds up the sub-2K-output FC layers (the 1000-way
+    # classifiers), which shows up as a >10% FC-level geomean gain.
+    assert result.contribution("cascading") > 1.1
+    # Bit-interleaved storage cuts traffic by roughly the precision ratio.
+    assert result.contribution("storage_traffic_ratio") > 1.2
+    # The window-major tiling recovers utilisation at the 512 configuration.
+    assert result.contribution("tiling_at_512") > 1.1
+
+
+def test_bench_ablation_single_network(benchmark):
+    result = benchmark(ablation.run, ("alexnet",))
+    assert result.dynamic_precision[0] > result.dynamic_precision[1]

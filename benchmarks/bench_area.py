@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for Section 4.4 (area overhead)."""
+
+import pytest
+
+from repro.experiments import area
+
+
+def test_bench_area(benchmark, artefacts):
+    result = benchmark(area.run)
+    artefacts["area"] = area.format_table(result)
+    assert result.area_ratio["loom-1b"] == pytest.approx(1.34, abs=0.08)
+    assert result.area_ratio["loom-2b"] == pytest.approx(1.25, abs=0.08)
+    assert result.area_ratio["loom-4b"] == pytest.approx(1.16, abs=0.10)
+    # The performance gain exceeds the area overhead for every variant.
+    for design in ("loom-1b", "loom-2b", "loom-4b"):
+        assert result.speedup[design] > result.area_ratio[design]

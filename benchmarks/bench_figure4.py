@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for Figure 4 (all-layer perf & efficiency)."""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, artefacts):
+    result = benchmark.pedantic(figure4.run, rounds=1, iterations=1)
+    artefacts["figure4"] = figure4.format_figure(result)
+    geo_perf = result.performance["geomean"]
+    geo_eff = result.efficiency["geomean"]
+    # Paper: LM1b > 3x faster and > 2.5x more energy efficient on average.
+    assert geo_perf["loom-1b"] == pytest.approx(3.19, rel=0.15)
+    assert geo_eff["loom-1b"] == pytest.approx(2.59, rel=0.15)
+    # LM1b beats Stripes and DStripes in performance on every network.
+    for network, row in result.performance.items():
+        assert row["loom-1b"] > row["stripes"]
+        assert row["loom-1b"] > row["dstripes"]

@@ -1,0 +1,32 @@
+"""Benchmark / regeneration harness for Figure 5 (scaling with LPDDR4 off-chip)."""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5_full_sweep(benchmark, artefacts):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    artefacts["figure5"] = figure5.format_figure(result)
+    # Shape assertions mirroring the paper's discussion of the figure.
+    perfs_all = result.series("loom_rel_perf_all")
+    assert all(a > b for a, b in zip(perfs_all, perfs_all[1:])), \
+        "Loom's relative advantage must shrink as the configuration grows"
+    p256 = result.point(256)
+    p512 = result.point(512)
+    # "At 256 LM and DStripes perform nearly identically and at 512 the
+    # latter performs better" (convolutional layers).
+    assert p256.loom_rel_perf_conv == pytest.approx(p256.dstripes_rel_perf_conv,
+                                                    rel=0.25)
+    assert p512.loom_rel_perf_conv <= p512.dstripes_rel_perf_conv * 1.05
+    # Loom's weight memory scales 0.5 MB ... 8 MB across the sweep.
+    assert [p.loom_weight_memory_mb for p in result.points] == \
+        [0.5, 1.0, 2.0, 4.0, 8.0]
+    # Real-time rates even at the smallest configuration (paper: 47/53 fps).
+    assert result.point(32).loom_fps_conv > 30
+
+
+def test_bench_figure5_single_point(benchmark):
+    """Micro-benchmark: one configuration point of the sweep."""
+    result = benchmark(figure5.run, (128,))
+    assert result.point(128).loom_rel_perf_all > 1.5

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the simulator itself (not a paper artefact).
+
+These track the cost of the building blocks the table/figure harnesses are
+made of, so regressions in the models show up independently of the
+experiment-level numbers: per-network accelerator simulation, the functional
+bit-serial engine, the event-driven tile simulator and the dynamic-precision
+measurement.
+"""
+
+import numpy as np
+
+from repro.accelerators import DPNN
+from repro.core import Loom
+from repro.core.scheduler import LoomGeometry, schedule_conv_layer
+from repro.core.serial_engine import bit_serial_fc
+from repro.core.tile import LoomTileSimulator
+from repro.experiments.common import build_profiled_network
+from repro.quant.dynamic import DynamicPrecisionModel
+from repro.sim import run_network
+from repro.workloads.synthetic import SyntheticTensorGenerator
+
+
+def test_bench_run_network_dpnn(benchmark):
+    network = build_profiled_network("googlenet", "100%")
+    dpnn = DPNN()
+    result = benchmark(run_network, dpnn, network)
+    assert len(result.layers) == 58
+
+
+def test_bench_run_network_loom(benchmark):
+    network = build_profiled_network("googlenet", "100%")
+    loom = Loom()
+    result = benchmark(run_network, loom, network)
+    assert result.total_cycles() > 0
+
+
+def test_bench_functional_bit_serial_fc(benchmark):
+    rng = np.random.default_rng(0)
+    acts = rng.integers(0, 2 ** 8, size=256)
+    weights = rng.integers(-2 ** 7, 2 ** 7, size=(32, 256))
+    result = benchmark(bit_serial_fc, acts, weights, 8, 8)
+    assert np.array_equal(result.outputs, weights @ acts)
+
+
+def test_bench_tile_simulator_conv(benchmark):
+    from repro.nn.layers import Conv2D, TensorShape
+    from repro.nn.network import LayerWithPrecision
+    from repro.quant.precision import LayerPrecision
+    layer = Conv2D(name="conv", out_channels=32, kernel=3, padding=1)
+    in_shape = TensorShape(16, 8, 8)
+    lw = LayerWithPrecision(layer=layer, input_shape=in_shape,
+                            output_shape=layer.output_shape(in_shape),
+                            precision=LayerPrecision(4, 5))
+    schedule = schedule_conv_layer(lw, LoomGeometry(equivalent_macs=16))
+    simulator = LoomTileSimulator()
+    result = benchmark(simulator.run_conv, schedule)
+    assert result.cycles == schedule.total_cycles
+
+
+def test_bench_dynamic_precision_measurement(benchmark):
+    generator = SyntheticTensorGenerator(seed=0)
+    codes = generator.activations(65536, precision_bits=9)
+    model = DynamicPrecisionModel()
+    measured = benchmark(model.measured_activation_bits, codes, 9)
+    assert 1.0 <= measured <= 9.0

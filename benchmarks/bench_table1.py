@@ -1,0 +1,53 @@
+"""Benchmark / regeneration harness for Table 1 (precision profiles).
+
+Two benchmarks:
+
+* ``test_bench_table1_published`` formats the published per-layer precision
+  profiles (the data every other experiment consumes).
+* ``test_bench_table1_profile_search`` runs the Judd-style profile search end
+  to end on a reduced-size network with synthetic weights and profiling
+  images, demonstrating the methodology that produced Table 1.
+"""
+
+from repro.experiments import table1
+from repro.experiments.table1 import derive_profile_for_network
+from repro.nn.layers import Conv2D, FullyConnected, Pool2D, ReLU, TensorShape
+from repro.nn.network import Network
+
+
+def _profiling_network() -> Network:
+    """A reduced AlexNet-like network small enough to profile in seconds."""
+    net = Network("mini-alexnet", TensorShape(3, 32, 32))
+    net.add(Conv2D(name="conv1", out_channels=16, kernel=5, stride=2))
+    net.add(ReLU(name="relu1"))
+    net.add(Pool2D(name="pool1", kernel=2, stride=2))
+    net.add(Conv2D(name="conv2", out_channels=32, kernel=3, padding=1))
+    net.add(ReLU(name="relu2"))
+    net.add(Pool2D(name="pool2", kernel=2, stride=2))
+    net.add(Conv2D(name="conv3", out_channels=32, kernel=3, padding=1))
+    net.add(ReLU(name="relu3"))
+    net.add(FullyConnected(name="fc1", out_features=64))
+    net.add(ReLU(name="fc1_relu"))
+    net.add(FullyConnected(name="fc2", out_features=10))
+    return net
+
+
+def test_bench_table1_published(benchmark, artefacts):
+    rows = benchmark(table1.run)
+    assert len(rows) == 12
+    artefacts["table1"] = table1.format_table(rows)
+
+
+def test_bench_table1_profile_search(benchmark, artefacts):
+    network = _profiling_network()
+    profile = benchmark(derive_profile_for_network, network, 1.0, 3, 0)
+    assert profile.num_conv_layers == 3
+    assert profile.num_fc_layers == 2
+    lines = ["== Table 1 (methodology demo): profile search on mini-alexnet =="]
+    lines.append("conv activations: "
+                 + "-".join(str(b) for b in profile.conv_activation_bits()))
+    lines.append("conv weights    : "
+                 + "-".join(str(b) for b in profile.conv_weight_bits()))
+    lines.append("fc weights      : "
+                 + "-".join(str(b) for b in profile.fc_weight_bits()))
+    artefacts["table1_search"] = "\n".join(lines)

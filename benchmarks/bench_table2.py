@@ -1,0 +1,31 @@
+"""Benchmark / regeneration harness for Table 2.
+
+Regenerates the per-network, per-layer-kind speedup and energy-efficiency
+grid for Stripes and the three Loom variants versus DPNN, under both accuracy
+profiles, and checks the headline geometric means land near the paper's.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.sim import geomean
+
+
+def test_bench_table2_full(benchmark, artefacts):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    artefacts["table2"] = table2.format_table(result)
+    # Paper geometric means (100% profile): conv 3.25x / 2.63x for Loom-1b.
+    perf, eff = result.geomeans("100%", "conv")["loom-1b"]
+    assert perf == pytest.approx(3.25, rel=0.15)
+    assert eff == pytest.approx(2.63, rel=0.15)
+    # FC geomeans: 1.74x / 1.41x.
+    fc_perf, fc_eff = result.geomeans("100%", "fc")["loom-1b"]
+    assert fc_perf == pytest.approx(1.74, rel=0.10)
+    assert fc_eff == pytest.approx(1.41, rel=0.10)
+
+
+def test_bench_table2_conv_single_network(benchmark):
+    """Per-network micro-benchmark: how long one network's comparison takes."""
+    result = benchmark(table2.run, ("100%",), ("alexnet",))
+    cells = result.cells["100%"]["conv"]["alexnet"]
+    assert cells["loom-1b"][0] > cells["stripes"][0] > 1.0

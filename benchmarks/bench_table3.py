@@ -1,0 +1,25 @@
+"""Benchmark / regeneration harness for Table 3 (per-group weight precisions)."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, artefacts):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1,
+                                kwargs={"include_synthetic": True, "seed": 0})
+    artefacts["table3"] = table3.format_table(result)
+    for network, paper_values in result.paper.items():
+        measured = result.measured[network]
+        assert len(measured) == len(paper_values)
+        # The mechanism must find per-group precisions below the per-layer
+        # profile for every layer (that is the entire point of Table 3).
+        profile = max(paper_values)
+        assert all(1.0 <= m <= 16.0 for m in measured)
+        assert sum(measured) / len(measured) < 12.0
+
+
+def test_bench_table3_single_network(benchmark):
+    measured = benchmark(table3.measure_synthetic_effective_precisions,
+                         "vgg19", "100%", 4096, 0)
+    assert len(measured) == 16

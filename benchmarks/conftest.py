@@ -1,0 +1,36 @@
+"""Benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure of
+the paper and reports how long each harness takes.  The regenerated artefacts
+themselves are printed at the end of the run (captured per benchmark in the
+``artefacts`` fixture) so a benchmark run doubles as a reproduction run.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+_ARTEFACTS = {}
+
+
+@pytest.fixture
+def artefacts():
+    """Dict the benchmarks drop their formatted tables/figures into."""
+    return _ARTEFACTS
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every regenerated table/figure after the benchmark timings."""
+    if not _ARTEFACTS:
+        return
+    terminalreporter.write_sep("=", "regenerated paper artefacts")
+    for name in sorted(_ARTEFACTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_ARTEFACTS[name])

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(some offline environments lack the ``wheel`` package that PEP 517 editable
+installs require; ``python setup.py develop`` or this path hook both work).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Embedded vision pipeline: a bandwidth-constrained SoC running several CNNs.
+
+Loom targets area- and bandwidth-constrained System-on-Chip designs -- think
+computational photography or always-on vision on a phone -- where off-chip
+memory connections are the scarce resource.  This example models such a
+deployment:
+
+* a single LPDDR4-4267 channel shared by the accelerator,
+* a 1-2 MB on-chip activation memory (Loom's bit-interleaved storage lets it
+  use half of what the bit-parallel design needs),
+* a pipeline of three networks typical of a camera stack: a fast
+  classification pass (AlexNet), a detection backbone (GoogLeNet) and a
+  high-quality segmentation-style backbone (VGG-19).
+
+For each accelerator the example reports frames per second, energy per frame
+and off-chip traffic per frame -- the three quantities an SoC architect would
+trade off.
+
+Run with::
+
+    python examples/mobile_vision_pipeline.py
+"""
+
+from repro import DPNN, DStripes, Loom, AcceleratorConfig
+from repro.experiments.common import build_profiled_network
+from repro.memory.dram import LPDDR4_4267
+from repro.sim import run_network
+
+PIPELINE = ("alexnet", "googlenet", "vgg19")
+
+
+def main() -> None:
+    config = AcceleratorConfig(equivalent_macs=128, dram=LPDDR4_4267)
+    designs = {
+        "DPNN": DPNN(config),
+        "DStripes": DStripes(config),
+        "Loom-1b": Loom(config, bits_per_cycle=1),
+        "Loom-2b": Loom(config, bits_per_cycle=2),
+    }
+    networks = [build_profiled_network(name, "100%") for name in PIPELINE]
+
+    print("Embedded vision pipeline on a single LPDDR4-4267 channel "
+          f"({LPDDR4_4267.peak_bandwidth_gb_per_s:.1f} GB/s peak)")
+    print(f"pipeline stages: {', '.join(PIPELINE)}")
+    print()
+    print(f"{'design':<10s}{'pipeline fps':>13s}{'mJ / frame':>12s}"
+          f"{'off-chip MB / frame':>21s}{'on-chip memory':>16s}")
+    for name, accel in designs.items():
+        total_time_s = 0.0
+        total_energy_pj = 0.0
+        total_offchip_bits = 0.0
+        for network in networks:
+            result = run_network(accel, network)
+            total_time_s += result.execution_time_s()
+            total_energy_pj += result.total_energy_pj()
+            for layer, lw in zip(result.layers, network.compute_layers()):
+                weight_bits, act_bits = accel.storage_precisions(lw)
+                traffic = accel.hierarchy.layer_traffic(
+                    weight_count=lw.weight_count,
+                    input_activations=lw.input_activations,
+                    output_activations=lw.output_activations,
+                    weight_bits=weight_bits,
+                    activation_bits=act_bits,
+                    is_fc=lw.is_fc,
+                )
+                total_offchip_bits += traffic.offchip_bits
+        fps = 1.0 / total_time_s
+        energy_mj = total_energy_pj * 1e-9
+        offchip_mb = total_offchip_bits / 8.0 / 1e6
+        onchip = (accel.hierarchy.activation_memory.capacity_mb
+                  + accel.hierarchy.weight_memory.capacity_mb)
+        print(f"{name:<10s}{fps:>13.1f}{energy_mj:>12.2f}"
+              f"{offchip_mb:>21.1f}{onchip:>14.1f}MB")
+
+    print()
+    print("Loom sustains the highest pipeline frame rate at the same memory "
+          "bandwidth because it")
+    print("moves and computes only the bits each layer's precision actually "
+          "needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Accuracy / performance trade-off and the dynamic-precision machinery.
+
+Loom lets a deployment trade accuracy for speed *on the fly*: feeding it a
+more aggressive precision profile (the 99% column of Table 1 instead of the
+100% one) immediately shortens every layer, and at runtime the hardware trims
+the activation precision further per group of 256 values.
+
+This example walks through all three levels on a small custom CNN so every
+step runs in seconds:
+
+1. derive a per-layer precision profile with the Judd-style profiler
+   (synthetic weights + synthetic profiling images, top-1 agreement target),
+2. check, with the functional bit-serial engine, that computing a layer at
+   the profiled precision is exactly equivalent to integer arithmetic,
+3. measure per-group dynamic activation precisions on the captured
+   activations and compare the measured speedup with the analytical model
+   the experiment harness uses,
+4. show the end effect on the paper's networks: 100% vs 99% profiles.
+
+Run with::
+
+    python examples/precision_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import DPNN, Loom, build_network, get_paper_profile, run_network
+from repro.core.dynamic_precision import (
+    DynamicPrecisionModel,
+    measure_network_dynamic_precisions,
+)
+from repro.core.serial_engine import bit_serial_fc
+from repro.experiments.table1 import derive_profile_for_network
+from repro.nn import Network
+from repro.nn.layers import Conv2D, FullyConnected, Pool2D, ReLU, TensorShape
+from repro.sim.results import compare
+from repro.workloads.datasets import synthetic_image
+
+
+def build_tiny_cnn() -> Network:
+    """A small CNN (think embedded keyword/gesture model) used for the demo."""
+    net = Network("tinycnn", TensorShape(3, 32, 32))
+    net.add(Conv2D(name="conv1", out_channels=32, kernel=3, padding=1))
+    net.add(ReLU(name="relu1"))
+    net.add(Pool2D(name="pool1", kernel=2, stride=2))
+    net.add(Conv2D(name="conv2", out_channels=64, kernel=3, padding=1))
+    net.add(ReLU(name="relu2"))
+    net.add(Pool2D(name="pool2", kernel=2, stride=2))
+    net.add(FullyConnected(name="fc1", out_features=10))
+    return net
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Profile-derived precisions on the tiny CNN.
+    tiny = build_tiny_cnn()
+    profile = derive_profile_for_network(tiny, target_score=1.0, batch=3, seed=7)
+    print("Profiled per-layer precisions (tiny CNN, 100% top-1 agreement):")
+    for layer, precision in zip(
+            [lw.name for lw in tiny.compute_layers()],
+            profile.conv_layers + profile.fc_layers):
+        print(f"  {layer:<8s} activations {precision.activation_bits:>2d}b  "
+              f"weights {precision.weight_bits:>2d}b")
+    tiny.attach_profile(profile)
+    print()
+
+    # 2. Bit-serial arithmetic is exact: run one FC layer both ways.
+    acts = rng.integers(0, 2 ** 6, size=64)
+    weights = rng.integers(-2 ** 5, 2 ** 5, size=(10, 64))
+    serial = bit_serial_fc(acts, weights, act_bits=6, weight_bits=6)
+    reference = weights @ acts
+    assert np.array_equal(serial.outputs, reference)
+    print("Functional check: bit-serial FC == integer FC for all 10 outputs.")
+    print()
+
+    # 3. Dynamic precision: measured vs analytical.
+    image = synthetic_image(tiny.input_shape, seed=3)
+    measured = measure_network_dynamic_precisions(tiny, image, rng=rng)
+    analytical = DynamicPrecisionModel()
+    print(f"{'layer':<8s}{'profile Pa':>11s}{'measured Pa':>13s}"
+          f"{'analytical Pa':>15s}")
+    for lw in tiny.compute_layers():
+        profile_bits = lw.precision.activation_bits
+        print(f"{lw.name:<8s}{profile_bits:>11d}"
+              f"{measured[lw.name]:>13.2f}"
+              f"{analytical.effective_activation_bits(profile_bits):>15.2f}")
+    print()
+
+    # 4. The trade-off on the paper's networks.
+    print("AlexNet / VGG-M: accepting a 1% relative top-1 accuracy loss")
+    print(f"{'network':<10s}{'profile':<9s}{'Loom speedup':>13s}"
+          f"{'energy eff':>12s}")
+    for name in ("alexnet", "vggm"):
+        for accuracy in ("100%", "99%"):
+            network = build_network(name)
+            network.attach_profile(get_paper_profile(name, accuracy))
+            baseline = run_network(DPNN(), network)
+            result = run_network(Loom(), network)
+            comp = compare(result, baseline)
+            print(f"{name:<10s}{accuracy:<9s}{comp.speedup:>13.2f}"
+                  f"{comp.energy_efficiency:>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

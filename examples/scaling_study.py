@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how far does Loom's advantage scale?
+
+An SoC architect choosing an accelerator size wants to know where the
+precision-exploiting design stops paying for itself.  This example sweeps the
+equivalent peak compute bandwidth (the Figure 5 axis) and, for each size,
+compares Loom-1b against DPNN and DStripes on performance, performance per
+area and energy efficiency -- including the effect of the single LPDDR4
+channel on the fully-connected layers.
+
+It also demonstrates the alternative tiling knob the paper leaves as future
+work ("32 filters over 64 windows"): at large configurations, spreading the
+grid over more windows and fewer filters recovers some of the utilisation the
+rigid organisation loses.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from repro import DPNN, DStripes, Loom, AcceleratorConfig
+from repro.experiments.common import build_profiled_network
+from repro.memory.dram import LPDDR4_4267
+from repro.quant import paper_networks
+from repro.sim import geomean, run_network
+from repro.sim.results import compare
+
+CONFIGS = (32, 64, 128, 256, 512)
+
+
+def geomean_speedup(design, baseline, networks, kind=None):
+    ratios = []
+    for network in networks:
+        ratios.append(
+            compare(run_network(design, network),
+                    run_network(baseline, network), kind=kind).speedup
+        )
+    return geomean(ratios)
+
+
+def main() -> None:
+    networks = [build_profiled_network(name, "100%") for name in paper_networks()]
+
+    print("Scaling study (all layers, LPDDR4-4267 off-chip, geomean over the "
+          "six networks)")
+    print(f"{'config':>7s}{'Loom perf':>11s}{'DStripes perf':>15s}"
+          f"{'Loom perf/area':>16s}{'Loom alt-tiling perf':>22s}")
+    for macs in CONFIGS:
+        config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267)
+        dpnn = DPNN(config)
+        loom = Loom(config, bits_per_cycle=1)
+        dstripes = DStripes(config)
+        # The future-work tiling: trade filter rows for window columns.
+        fanout = 4 if macs >= 256 else 1
+        loom_alt = Loom(config, bits_per_cycle=1, window_fanout=fanout)
+
+        loom_perf = geomean_speedup(loom, dpnn, networks)
+        ds_perf = geomean_speedup(dstripes, dpnn, networks)
+        alt_perf = geomean_speedup(loom_alt, dpnn, networks)
+        perf_per_area = loom_perf / (loom.total_area_mm2() / dpnn.total_area_mm2())
+        print(f"{macs:>7d}{loom_perf:>11.2f}{ds_perf:>15.2f}"
+              f"{perf_per_area:>16.2f}{alt_perf:>22.2f}")
+
+    print()
+    print("Loom's advantage over DPNN shrinks as the configuration grows "
+          "(under-utilisation of the")
+    print("wider filter grid) until DStripes catches up around the 256-512 "
+          "configurations; the")
+    print("window-major tiling recovers part of that loss, which is why the "
+          "paper flags it as future work.")
+
+
+if __name__ == "__main__":
+    main()

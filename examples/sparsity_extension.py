@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Future-work extension: what would weight sparsity add on top of precision?
+
+The paper closes with "future work may consider extending LM to further
+exploit weight sparsity".  This example quantifies the headroom of that
+extension on synthetic magnitude-pruned weights:
+
+1. generate per-layer weight tensors for AlexNet at the Table 1 precisions,
+2. magnitude-prune them at several pruning rates,
+3. measure per-16-weight-group sparsity (groups that are entirely zero could
+   skip their `Pa x Pw` serial steps on a sparsity-aware Loom),
+4. combine the per-layer skip bounds with Loom's per-layer execution times to
+   get an upper bound on the extra network-level speedup.
+
+Run with::
+
+    python examples/sparsity_extension.py
+"""
+
+import numpy as np
+
+from repro import Loom, build_network, get_paper_profile, run_network
+from repro.core.sparsity import analyze_weight_sparsity, sparse_speedup_bound
+from repro.workloads.synthetic import SyntheticTensorGenerator
+
+
+def prune(codes: np.ndarray, rate: float) -> np.ndarray:
+    """Zero the smallest-magnitude fraction ``rate`` of the weights."""
+    threshold = np.quantile(np.abs(codes), rate)
+    return np.where(np.abs(codes) < threshold, 0, codes)
+
+
+def main() -> None:
+    network = build_network("alexnet")
+    network.attach_profile(get_paper_profile("alexnet", "100%"))
+    loom = Loom(bits_per_cycle=1)
+    loom_result = run_network(loom, network)
+    layer_cycles = {lr.layer_name: lr.cycles for lr in loom_result.layers}
+
+    generator = SyntheticTensorGenerator(seed=0)
+    layers = network.compute_layers()
+
+    print("Weight-sparsity headroom on top of Loom's precision gains (AlexNet,")
+    print("synthetic magnitude-pruned weights, 16-weight skip groups)\n")
+    print(f"{'pruning rate':>13s}{'weight sparsity':>17s}{'group sparsity':>16s}"
+          f"{'extra speedup bound':>21s}")
+    for rate in (0.0, 0.5, 0.7, 0.9):
+        per_layer = {}
+        weight_sparsities = []
+        for lw in layers:
+            codes = generator.weights(min(lw.weight_count, 65536),
+                                      lw.precision.weight_bits)
+            pruned = prune(codes, rate) if rate > 0 else codes
+            stats = analyze_weight_sparsity(pruned, lw.name)
+            per_layer[lw.name] = stats
+            weight_sparsities.append(stats.weight_sparsity)
+        bound = sparse_speedup_bound(per_layer, layer_cycles)
+        avg_weight_sparsity = float(np.mean(weight_sparsities))
+        avg_group_sparsity = float(np.mean(
+            [s.group_sparsity for s in per_layer.values()]))
+        print(f"{rate:>13.0%}{avg_weight_sparsity:>17.2%}"
+              f"{avg_group_sparsity:>16.2%}{bound:>21.2f}")
+
+    print()
+    print("Scattered zeros alone do not help a group-skipping design -- whole")
+    print("16-weight groups must be empty -- which is exactly why the paper "
+          "leaves")
+    print("finer-grained sparsity support to future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Loom reproduction: a bit-serial, precision-exploiting CNN accelerator model.
+
+This package reproduces "Loom: Exploiting Weight and Activation Precisions to
+Accelerate Convolutional Neural Networks" (Sharify et al., DAC 2018) as a
+pure-Python library:
+
+* :mod:`repro.core` -- the Loom accelerator (SIP grid, schedules, LM1b/2b/4b).
+* :mod:`repro.accelerators` -- the DPNN, Stripes and DStripes baselines.
+* :mod:`repro.nn` -- the layer IR, reference inference and network zoo.
+* :mod:`repro.quant` -- fixed point, bit-serial ops and precision profiles.
+* :mod:`repro.memory` -- SRAM/eDRAM/LPDDR4 models and bit-interleaved layouts.
+* :mod:`repro.energy` -- 65 nm technology, area and power models.
+* :mod:`repro.sim` -- results, metrics and the network runner.
+* :mod:`repro.workloads` -- synthetic tensor generators.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+
+Quick start::
+
+    from repro import Loom, DPNN, build_network, get_paper_profile, run_network
+
+    net = build_network("alexnet")
+    net.attach_profile(get_paper_profile("alexnet", "100%"))
+    loom, dpnn = Loom(), DPNN()
+    speedup = (run_network(dpnn, net).total_cycles()
+               / run_network(loom, net).total_cycles())
+"""
+
+from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
+from repro.core import Loom, LoomGeometry, DynamicPrecisionModel
+from repro.nn import Network, build_network, available_networks
+from repro.quant import get_paper_profile, paper_networks, NetworkPrecisionProfile
+from repro.sim import run_network, AcceleratorRunner, compare, geomean
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DPNN",
+    "Stripes",
+    "DStripes",
+    "AcceleratorConfig",
+    "Loom",
+    "LoomGeometry",
+    "DynamicPrecisionModel",
+    "Network",
+    "build_network",
+    "available_networks",
+    "get_paper_profile",
+    "paper_networks",
+    "NetworkPrecisionProfile",
+    "run_network",
+    "AcceleratorRunner",
+    "compare",
+    "geomean",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline accelerator models: DPNN (bit-parallel), Stripes and DStripes.
+
+All accelerators -- the baselines here and Loom in :mod:`repro.core` -- share
+the interface defined in :mod:`repro.accelerators.base`: a configuration
+(equivalent peak MACs, memory sizing, optional off-chip channel) and a
+``simulate_layer`` method that turns one resolved network layer into a
+:class:`repro.sim.results.LayerResult` (cycles, traffic, energy).
+"""
+
+from repro.accelerators.base import (
+    Accelerator,
+    AcceleratorConfig,
+    ceil_div,
+    LANES_PER_UNIT,
+)
+from repro.accelerators.dpnn import DPNN
+from repro.accelerators.stripes import Stripes
+from repro.accelerators.dstripes import DStripes
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorConfig",
+    "ceil_div",
+    "LANES_PER_UNIT",
+    "DPNN",
+    "Stripes",
+    "DStripes",
+]

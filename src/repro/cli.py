@@ -1,0 +1,125 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    loom-repro table1
+    loom-repro table2
+    loom-repro figure4
+    loom-repro area
+    loom-repro figure5 [--configs 32 64 128]
+    loom-repro table3
+    loom-repro table4
+    loom-repro all
+    loom-repro summary --network alexnet
+
+``loom-repro all`` regenerates every artefact (this is what EXPERIMENTS.md is
+built from); ``summary`` prints a per-layer breakdown for one network on DPNN
+and Loom, which is handy when exploring the model interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accelerators import DPNN
+from repro.core import Loom
+from repro.experiments import (
+    ablation,
+    area,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import build_profiled_network
+from repro.quant import paper_networks
+from repro.sim import run_network
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loom-repro",
+        description="Regenerate the tables and figures of the Loom paper "
+                    "(Sharify et al., DAC 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="precision profiles (Table 1)")
+    sub.add_parser("table2", help="per-kind speedup/efficiency (Table 2)")
+    sub.add_parser("figure4", help="all-layer speedup/efficiency (Figure 4)")
+    sub.add_parser("area", help="area overhead (Section 4.4)")
+    fig5 = sub.add_parser("figure5", help="scaling study (Figure 5)")
+    fig5.add_argument("--configs", type=int, nargs="+",
+                      default=list(figure5.CONFIG_SWEEP),
+                      help="equivalent-MAC configurations to sweep")
+    sub.add_parser("table3", help="per-group weight precisions (Table 3)")
+    sub.add_parser("table4", help="per-group weight precision speedups (Table 4)")
+    sub.add_parser("ablation", help="contribution of each Loom mechanism")
+    sub.add_parser("all", help="regenerate every table and figure")
+    summary = sub.add_parser("summary", help="per-layer breakdown for one network")
+    summary.add_argument("--network", default="alexnet",
+                         choices=paper_networks(), help="network to summarise")
+    summary.add_argument("--accuracy", default="100%", choices=["100%", "99%"],
+                         help="precision profile to use")
+    return parser
+
+
+def _summary(network_name: str, accuracy: str) -> str:
+    network = build_profiled_network(network_name, accuracy)
+    dpnn, loom = DPNN(), Loom()
+    base = run_network(dpnn, network)
+    fast = run_network(loom, network)
+    lines = [f"== {network_name} ({accuracy} profile): DPNN vs Loom-1b =="]
+    lines.append(f"{'layer':<24s} {'kind':<5s} {'DPNN cycles':>14s} "
+                 f"{'Loom cycles':>14s} {'speedup':>9s}")
+    for base_layer, loom_layer in zip(base.layers, fast.layers):
+        speedup = base_layer.cycles / loom_layer.cycles
+        lines.append(
+            f"{base_layer.layer_name:<24s} {base_layer.layer_kind:<5s} "
+            f"{base_layer.cycles:>14,.0f} {loom_layer.cycles:>14,.0f} "
+            f"{speedup:>9.2f}"
+        )
+    lines.append(
+        f"{'TOTAL':<24s} {'':<5s} {base.total_cycles():>14,.0f} "
+        f"{fast.total_cycles():>14,.0f} "
+        f"{base.total_cycles() / fast.total_cycles():>9.2f}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``loom-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+    outputs: List[str] = []
+    if command in ("table1", "all"):
+        outputs.append(table1.format_table())
+    if command in ("table2", "all"):
+        outputs.append(table2.format_table())
+    if command in ("figure4", "all"):
+        outputs.append(figure4.format_figure())
+    if command in ("area", "all"):
+        outputs.append(area.format_table())
+    if command in ("figure5", "all"):
+        configs = tuple(getattr(args, "configs", figure5.CONFIG_SWEEP))
+        outputs.append(figure5.format_figure(figure5.run(configs=configs)))
+    if command in ("table3", "all"):
+        outputs.append(table3.format_table())
+    if command in ("table4", "all"):
+        outputs.append(table4.format_table())
+    if command == "ablation":
+        outputs.append(ablation.format_table())
+    if command == "summary":
+        outputs.append(_summary(args.network, args.accuracy))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

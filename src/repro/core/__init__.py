@@ -1,0 +1,62 @@
+"""Loom: the paper's bit-serial, precision-exploiting accelerator.
+
+* :mod:`repro.core.sip` -- a functional model of the Serial Inner-Product
+  unit of Figure 3 (weight registers, AND gates, adder tree, the AC1/AC2
+  shift-accumulators, two's-complement negation, cascading and max support).
+* :mod:`repro.core.serial_engine` -- runs whole (small) layers through the
+  bit-serial arithmetic and checks them against plain integer arithmetic;
+  the functional ground truth for the datapath.
+* :mod:`repro.core.scheduler` -- the tilings Loom uses for convolutional and
+  fully-connected layers (window/term/filter chunking, column staggering,
+  SIP cascading) expressed as schedules with exact cycle counts.
+* :mod:`repro.core.tile` -- an event-driven cycle-level simulator of the SIP
+  grid that executes those schedules; used to cross-check the analytical
+  cycle counts.
+* :mod:`repro.core.dynamic_precision` -- runtime per-group precision
+  reduction (re-exported from :mod:`repro.quant.dynamic`).
+* :mod:`repro.core.loom` -- the :class:`Loom` accelerator model (LM1b / LM2b
+  / LM4b) implementing the :class:`repro.accelerators.base.Accelerator`
+  interface used by all experiments.
+"""
+
+from repro.core.sip import SIP
+from repro.core.serial_engine import (
+    bit_serial_fc,
+    bit_serial_conv2d,
+    SerialLayerOutput,
+)
+from repro.core.scheduler import (
+    LoomGeometry,
+    ConvSchedule,
+    FCSchedule,
+    schedule_conv_layer,
+    schedule_fc_layer,
+    choose_cascade_slices,
+)
+from repro.core.tile import LoomTileSimulator
+from repro.core.dynamic_precision import DynamicPrecisionModel
+from repro.core.loom import Loom
+from repro.core.sparsity import (
+    LayerSparsity,
+    analyze_weight_sparsity,
+    sparse_speedup_bound,
+)
+
+__all__ = [
+    "SIP",
+    "bit_serial_fc",
+    "bit_serial_conv2d",
+    "SerialLayerOutput",
+    "LoomGeometry",
+    "ConvSchedule",
+    "FCSchedule",
+    "schedule_conv_layer",
+    "schedule_fc_layer",
+    "choose_cascade_slices",
+    "LoomTileSimulator",
+    "DynamicPrecisionModel",
+    "Loom",
+    "LayerSparsity",
+    "analyze_weight_sparsity",
+    "sparse_speedup_bound",
+]

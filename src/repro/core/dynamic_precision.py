@@ -1,0 +1,62 @@
+"""Runtime per-group precision reduction used by Loom (and DStripes).
+
+The mechanism itself lives in :mod:`repro.quant.dynamic` (it is a property of
+the data and of the group size, not of any one accelerator); this module
+re-exports it under the core package for API clarity and provides a helper
+that measures per-layer effective precisions across a whole network using the
+reference model's captured activations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.inference import ReferenceModel, choose_format
+from repro.nn.network import Network
+from repro.quant.dynamic import DynamicPrecisionModel
+from repro.quant.fixedpoint import quantize
+
+__all__ = ["DynamicPrecisionModel", "measure_network_dynamic_precisions"]
+
+
+def measure_network_dynamic_precisions(
+    network: Network,
+    x: np.ndarray,
+    model: Optional[DynamicPrecisionModel] = None,
+    bits_per_cycle: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Measure effective dynamic activation precisions for every compute layer.
+
+    Runs the reference model on input ``x`` with the network's attached
+    precision profile, captures the quantised activations entering each
+    compute layer, and returns the average per-group serial cost (in bits) of
+    each layer under dynamic precision reduction.
+
+    This is the "measured" counterpart of the analytical constant the
+    experiment harness uses; the precision-tradeoff example compares the two.
+    """
+    model = model or DynamicPrecisionModel()
+    layers = network.compute_layers()
+    precisions: Mapping[str, Tuple[int, int]] = {
+        lw.name: (lw.precision.activation_bits, lw.precision.weight_bits)
+        for lw in layers
+    }
+    reference = ReferenceModel(network, rng=rng)
+    captured: Dict[str, np.ndarray] = {}
+    reference.forward(x, precisions=precisions, capture=captured)
+    results: Dict[str, float] = {}
+    for lw in layers:
+        values = captured.get(lw.name)
+        if values is None:
+            continue
+        profile_bits = lw.precision.activation_bits
+        signed = bool(np.any(values < 0))
+        fmt = choose_format(values, profile_bits, signed=signed)
+        codes = np.abs(quantize(values, fmt))
+        results[lw.name] = model.measured_activation_bits(
+            codes, profile_bits, bits_per_cycle=bits_per_cycle
+        )
+    return results

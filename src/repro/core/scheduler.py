@@ -1,0 +1,326 @@
+"""Loom's layer schedules: how CVLs and FCLs map onto the SIP grid.
+
+The performance of Loom is entirely determined by how a layer's work is tiled
+onto the SIP grid and how many serial steps each tile takes.  This module
+computes those schedules:
+
+* :class:`LoomGeometry` describes a Loom configuration: how many filter rows
+  and window columns the grid has and how many activation bits each SIP
+  consumes per cycle (1, 2 or 4 for LM1b / LM2b / LM4b).
+* :func:`schedule_conv_layer` tiles a convolutional layer: windows are
+  spread over the window columns, filters over the filter rows, and the
+  16-term inner-product chunks are streamed bit-serially over
+  ``ceil(Pa / b) x Pw`` steps per chunk.
+* :func:`schedule_fc_layer` tiles a fully-connected layer: one output per
+  SIP, column-staggered weight loading, and SIP cascading when the layer has
+  fewer outputs than the grid has SIPs.
+
+Both the analytical :class:`repro.core.loom.Loom` model and the event-driven
+:class:`repro.core.tile.LoomTileSimulator` consume these schedules, so tests
+can check that the two agree cycle for cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accelerators.base import LANES_PER_UNIT, ceil_div
+from repro.nn.layers import Conv2D, FullyConnected
+from repro.nn.network import LayerWithPrecision
+
+__all__ = [
+    "LoomGeometry",
+    "ConvSchedule",
+    "FCSchedule",
+    "schedule_conv_layer",
+    "schedule_fc_layer",
+    "choose_cascade_slices",
+]
+
+
+@dataclass(frozen=True)
+class LoomGeometry:
+    """Shape of a Loom configuration's SIP grid.
+
+    Parameters
+    ----------
+    equivalent_macs:
+        The matched bit-parallel peak (128 for the paper's main config).
+    bits_per_cycle:
+        Activation bits each SIP processes per cycle (1, 2 or 4).
+    window_fanout:
+        The "alternative tiling" knob: by default (1) the grid has
+        ``equivalent_macs`` filter rows and ``16 / bits_per_cycle`` window
+        columns, the organisation the paper evaluates.  A fan-out of ``f``
+        trades filter rows for window columns (``equivalent_macs / f`` rows,
+        ``f x 16 / bits_per_cycle`` columns), the "32 filters over 64 windows"
+        variant mentioned as future work.
+    """
+
+    equivalent_macs: int = 128
+    bits_per_cycle: int = 1
+    window_fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if self.equivalent_macs < LANES_PER_UNIT or \
+                self.equivalent_macs % LANES_PER_UNIT:
+            raise ValueError(
+                f"equivalent_macs must be a positive multiple of {LANES_PER_UNIT}, "
+                f"got {self.equivalent_macs}"
+            )
+        if self.bits_per_cycle not in (1, 2, 4, 8, 16):
+            raise ValueError(
+                f"bits_per_cycle must divide 16, got {self.bits_per_cycle}"
+            )
+        if self.window_fanout < 1 or self.equivalent_macs % self.window_fanout:
+            raise ValueError(
+                f"window_fanout must divide equivalent_macs, got "
+                f"{self.window_fanout}"
+            )
+
+    @property
+    def filter_rows(self) -> int:
+        """Filters processed concurrently (SIP rows)."""
+        return self.equivalent_macs // self.window_fanout
+
+    @property
+    def window_columns(self) -> int:
+        """Windows processed concurrently (SIP columns)."""
+        return (LANES_PER_UNIT // self.bits_per_cycle) * self.window_fanout
+
+    @property
+    def num_sips(self) -> int:
+        return self.filter_rows * self.window_columns
+
+    @property
+    def lanes(self) -> int:
+        """Weight/activation lanes per SIP (terms per step)."""
+        return LANES_PER_UNIT
+
+    @property
+    def weight_bus_bits(self) -> int:
+        """Weight bits delivered per cycle (one bit plane for one column)."""
+        return self.filter_rows * LANES_PER_UNIT
+
+    @property
+    def activation_bus_bits(self) -> int:
+        """Activation bits delivered per cycle across all columns."""
+        return self.window_columns * LANES_PER_UNIT * self.bits_per_cycle
+
+    def steps_for_activation_bits(self, activation_bits: float) -> float:
+        """Serial steps needed to stream ``activation_bits`` activation bits.
+
+        Accepts fractional (average, dynamically reduced) precisions; integer
+        precisions give the exact ``ceil(Pa / b)``.
+        """
+        if activation_bits <= 0:
+            raise ValueError(
+                f"activation_bits must be > 0, got {activation_bits}"
+            )
+        if float(activation_bits).is_integer():
+            return float(ceil_div(int(activation_bits), self.bits_per_cycle))
+        return activation_bits / self.bits_per_cycle
+
+
+@dataclass(frozen=True)
+class ConvSchedule:
+    """Tiling of one convolutional layer onto the SIP grid."""
+
+    geometry: LoomGeometry
+    windows: int
+    terms: int
+    filters: int
+    window_chunks: int
+    term_chunks: int
+    filter_chunks: int
+    activation_serial_steps: float
+    weight_serial_bits: float
+    weight_load_cycles: int
+    filter_replication: int = 1
+
+    @property
+    def passes(self) -> int:
+        """Number of grid passes (each processes one 16-term chunk)."""
+        return self.window_chunks * self.term_chunks * self.filter_chunks
+
+    @property
+    def cycles_per_pass(self) -> float:
+        """Serial cycles per pass: activation steps for each weight bit plane."""
+        return self.activation_serial_steps * self.weight_serial_bits
+
+    @property
+    def total_cycles(self) -> float:
+        """Total layer cycles, including the (pipelined) weight-load fill."""
+        return self.passes * self.cycles_per_pass + self.weight_load_cycles
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of SIP rows/columns doing useful work, averaged over passes."""
+        rows_used = min(self.geometry.filter_rows,
+                        self.filters * self.filter_replication)
+        row_use = rows_used / self.geometry.filter_rows / self.filter_chunks
+        effective_columns = self.geometry.window_columns * self.filter_replication
+        col_use = self.windows / (self.window_chunks * effective_columns)
+        return min(1.0, row_use) * min(1.0, col_use)
+
+
+@dataclass(frozen=True)
+class FCSchedule:
+    """Tiling of one fully-connected layer onto the SIP grid."""
+
+    geometry: LoomGeometry
+    outputs: int
+    terms: int
+    cascade_slices: int
+    output_chunks: int
+    term_chunks: int
+    activation_serial_steps: float
+    weight_serial_bits: float
+    stagger_cycles: int
+    reduction_cycles: int
+
+    @property
+    def cycles_per_chunk(self) -> float:
+        """Cycles to process one 16-term chunk of one output slice."""
+        return self.activation_serial_steps * self.weight_serial_bits
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.output_chunks * self.term_chunks * self.cycles_per_chunk
+                + self.stagger_cycles + self.reduction_cycles)
+
+    @property
+    def concurrent_outputs(self) -> int:
+        """Outputs in flight simultaneously (after cascading)."""
+        return max(1, self.geometry.num_sips // self.cascade_slices)
+
+    @property
+    def occupancy(self) -> float:
+        per_pass_outputs = min(self.outputs, self.concurrent_outputs)
+        return (per_pass_outputs * self.cascade_slices) / self.geometry.num_sips
+
+
+def choose_cascade_slices(outputs: int, geometry: LoomGeometry) -> int:
+    """Pick the number of cascade slices for an FCL with ``outputs`` outputs.
+
+    Cascading splits each output's inner product along the bit/term dimension
+    over several SIPs of the same row, so a layer with fewer outputs than
+    SIPs can still keep the grid busy.  Slices are bounded by the number of
+    SIPs in a row (the window columns).
+    """
+    if outputs < 1:
+        raise ValueError(f"outputs must be >= 1, got {outputs}")
+    if outputs >= geometry.num_sips:
+        return 1
+    slices = geometry.num_sips // outputs
+    return max(1, min(geometry.window_columns, slices))
+
+
+def schedule_conv_layer(
+    layer: LayerWithPrecision,
+    geometry: LoomGeometry,
+    activation_serial_bits: Optional[float] = None,
+    weight_serial_bits: Optional[float] = None,
+    replicate_filters: bool = False,
+) -> ConvSchedule:
+    """Build the schedule for a convolutional layer.
+
+    ``activation_serial_bits`` / ``weight_serial_bits`` default to the
+    layer's profile precisions; the Loom model passes dynamically-reduced
+    activation precisions and (for the Table 4 experiment) per-group
+    effective weight precisions instead.
+
+    ``replicate_filters`` enables the mapping the paper relies on to keep all
+    SIPs busy ("an output activation must be assigned to each SIP"): when a
+    layer has fewer filters than the grid has rows, the filters are
+    replicated across the idle rows and each copy processes a different set
+    of windows, turning row under-utilisation into extra window parallelism.
+    Disabling it models a rigid one-filter-per-row assignment (used by the
+    tiling ablation benchmark).
+    """
+    if not layer.is_conv:
+        raise ValueError(f"layer {layer.name!r} is not convolutional")
+    conv: Conv2D = layer.layer  # type: ignore[assignment]
+    windows = conv.num_windows(layer.input_shape)
+    terms = conv.window_size(layer.input_shape)
+    filters = conv.out_channels
+    act_bits = (layer.precision.activation_bits
+                if activation_serial_bits is None else activation_serial_bits)
+    weight_bits = (layer.precision.weight_bits
+                   if weight_serial_bits is None else weight_serial_bits)
+    if weight_bits <= 0:
+        raise ValueError(f"weight precision must be > 0, got {weight_bits}")
+    steps = geometry.steps_for_activation_bits(act_bits)
+    term_chunks = ceil_div(terms, geometry.lanes)
+    filter_chunks = ceil_div(filters, geometry.filter_rows)
+    replication = 1
+    if replicate_filters and filters < geometry.filter_rows:
+        # Idle rows take copies of the filters, each copy working on its own
+        # set of windows; never replicate beyond what the window count can use.
+        replication = max(1, geometry.filter_rows // filters)
+        max_useful = max(1, ceil_div(windows, geometry.window_columns))
+        replication = min(replication, max_useful)
+    window_chunks = ceil_div(windows, geometry.window_columns * replication)
+    # Weight bit planes are loaded in parallel for all rows in one cycle; the
+    # loads are pipelined with compute, leaving only the initial fill exposed.
+    weight_load_cycles = 1
+    return ConvSchedule(
+        geometry=geometry,
+        windows=windows,
+        terms=terms,
+        filters=filters,
+        window_chunks=window_chunks,
+        term_chunks=term_chunks,
+        filter_chunks=filter_chunks,
+        activation_serial_steps=steps,
+        weight_serial_bits=float(weight_bits),
+        weight_load_cycles=weight_load_cycles,
+        filter_replication=replication,
+    )
+
+
+def schedule_fc_layer(
+    layer: LayerWithPrecision,
+    geometry: LoomGeometry,
+    weight_serial_bits: Optional[float] = None,
+    use_cascading: bool = True,
+) -> FCSchedule:
+    """Build the schedule for a fully-connected layer.
+
+    Fully-connected performance depends only on the weight precision: each
+    weight bit plane is reused across the 16 activation bits, and the
+    column-staggered weight loading keeps the single weight bus fully busy,
+    so shorter activations cannot shorten the layer (they do reduce traffic).
+    """
+    if not layer.is_fc:
+        raise ValueError(f"layer {layer.name!r} is not fully connected")
+    fc: FullyConnected = layer.layer  # type: ignore[assignment]
+    outputs = fc.out_features
+    terms = layer.input_shape.size
+    weight_bits = (layer.precision.weight_bits
+                   if weight_serial_bits is None else weight_serial_bits)
+    if weight_bits <= 0:
+        raise ValueError(f"weight precision must be > 0, got {weight_bits}")
+    slices = choose_cascade_slices(outputs, geometry) if use_cascading else 1
+    concurrent = max(1, geometry.num_sips // slices)
+    output_chunks = ceil_div(outputs, concurrent)
+    terms_per_slice = ceil_div(terms, slices)
+    term_chunks = ceil_div(terms_per_slice, geometry.lanes)
+    # Activations always stream all 16 bits (b per cycle).
+    activation_steps = geometry.steps_for_activation_bits(LANES_PER_UNIT)
+    stagger = geometry.window_columns - 1
+    reduction = (slices - 1) if slices > 1 else 0
+    return FCSchedule(
+        geometry=geometry,
+        outputs=outputs,
+        terms=terms,
+        cascade_slices=slices,
+        output_chunks=output_chunks,
+        term_chunks=term_chunks,
+        activation_serial_steps=activation_steps,
+        weight_serial_bits=float(weight_bits),
+        stagger_cycles=stagger,
+        reduction_cycles=reduction,
+    )

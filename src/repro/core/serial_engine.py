@@ -1,0 +1,171 @@
+"""Functional bit-serial execution of whole layers.
+
+These routines run (small) convolutional and fully-connected layers through
+Loom's bit-serial arithmetic -- the same decomposition the SIP array performs
+-- and return both the outputs and the number of serial steps consumed.  They
+are the functional ground truth that ties the performance model to actual
+arithmetic: tests check that the outputs equal ordinary integer convolution /
+matrix-vector products, and that the step counts equal what the scheduler
+predicts for a single-SIP-per-output mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, TensorShape
+from repro.quant.bitops import bit_serial_dot
+
+__all__ = ["SerialLayerOutput", "bit_serial_fc", "bit_serial_conv2d"]
+
+
+@dataclass(frozen=True)
+class SerialLayerOutput:
+    """Result of a functional bit-serial layer execution.
+
+    Attributes
+    ----------
+    outputs:
+        Integer output activation codes (pre-activation-function).
+    serial_steps:
+        Total number of 1-bit x 1-bit step *phases* executed per output
+        (``act_bits x weight_bits`` for every 16-term chunk), summed over the
+        layer.  This is a functional count used to validate the analytical
+        cycle model, not a cycle count of the parallel array.
+    """
+
+    outputs: np.ndarray
+    serial_steps: int
+
+
+def bit_serial_fc(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    act_bits: int,
+    weight_bits: int,
+    act_signed: bool = False,
+    lanes: int = 16,
+) -> SerialLayerOutput:
+    """Fully-connected layer computed bit-serially.
+
+    Parameters
+    ----------
+    activations:
+        Integer input codes, shape ``(in_features,)``.
+    weights:
+        Integer weight codes, shape ``(out_features, in_features)``.
+    act_bits / weight_bits:
+        Precisions used for the serial decomposition.
+    lanes:
+        Terms processed per SIP step (16 in the hardware); inputs are padded
+        to a multiple of this.
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    if activations.ndim != 1 or weights.ndim != 2:
+        raise ValueError("activations must be 1-D and weights 2-D")
+    out_features, in_features = weights.shape
+    if activations.shape[0] != in_features:
+        raise ValueError(
+            f"weights expect {in_features} inputs, got {activations.shape[0]}"
+        )
+    pad = (-in_features) % lanes
+    if pad:
+        activations = np.concatenate([activations, np.zeros(pad, dtype=np.int64)])
+        weights = np.concatenate(
+            [weights, np.zeros((out_features, pad), dtype=np.int64)], axis=1
+        )
+    chunks = activations.shape[0] // lanes
+    outputs = np.zeros(out_features, dtype=np.int64)
+    steps = 0
+    for o in range(out_features):
+        total = 0
+        for c in range(chunks):
+            a_chunk = activations[c * lanes:(c + 1) * lanes]
+            w_chunk = weights[o, c * lanes:(c + 1) * lanes]
+            value, cycles = bit_serial_dot(
+                a_chunk, w_chunk, act_bits, weight_bits,
+                act_signed=act_signed, weight_signed=True,
+            )
+            total += value
+            steps += cycles
+        outputs[o] = total
+    return SerialLayerOutput(outputs=outputs, serial_steps=steps)
+
+
+def bit_serial_conv2d(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    layer: Conv2D,
+    act_bits: int,
+    weight_bits: int,
+    act_signed: bool = False,
+    lanes: int = 16,
+) -> SerialLayerOutput:
+    """Convolutional layer computed bit-serially.
+
+    Parameters
+    ----------
+    activations:
+        Integer input codes, shape ``(channels, height, width)``.
+    weights:
+        Integer weight codes, shape
+        ``(out_channels, in_channels_per_group, k, k)``.
+    layer:
+        The convolution geometry (kernel, stride, padding, groups).
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    if activations.ndim != 3 or weights.ndim != 4:
+        raise ValueError("activations must be 3-D and weights 4-D")
+    channels, height, width = activations.shape
+    in_shape = TensorShape(channels, height, width)
+    out_shape = layer.output_shape(in_shape)
+    groups = layer.groups
+    in_per_group = channels // groups
+    out_per_group = layer.out_channels // groups
+
+    padded = activations
+    if layer.padding:
+        padded = np.pad(
+            activations,
+            ((0, 0), (layer.padding, layer.padding), (layer.padding, layer.padding)),
+        )
+    outputs = np.zeros((out_shape.channels, out_shape.height, out_shape.width),
+                       dtype=np.int64)
+    steps = 0
+    for oc in range(layer.out_channels):
+        g = oc // out_per_group
+        w_flat = weights[oc].reshape(-1)
+        for oy in range(out_shape.height):
+            for ox in range(out_shape.width):
+                window = padded[
+                    g * in_per_group:(g + 1) * in_per_group,
+                    oy * layer.stride:oy * layer.stride + layer.kernel,
+                    ox * layer.stride:ox * layer.stride + layer.kernel,
+                ].reshape(-1)
+                pad = (-window.shape[0]) % lanes
+                if pad:
+                    window = np.concatenate(
+                        [window, np.zeros(pad, dtype=np.int64)]
+                    )
+                    w_padded = np.concatenate(
+                        [w_flat, np.zeros(pad, dtype=np.int64)]
+                    )
+                else:
+                    w_padded = w_flat
+                total = 0
+                for c in range(window.shape[0] // lanes):
+                    a_chunk = window[c * lanes:(c + 1) * lanes]
+                    w_chunk = w_padded[c * lanes:(c + 1) * lanes]
+                    value, cycles = bit_serial_dot(
+                        a_chunk, w_chunk, act_bits, weight_bits,
+                        act_signed=act_signed, weight_signed=True,
+                    )
+                    total += value
+                    steps += cycles
+                outputs[oc, oy, ox] = total
+    return SerialLayerOutput(outputs=outputs, serial_steps=steps)

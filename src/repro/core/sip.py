@@ -1,0 +1,192 @@
+"""Functional model of Loom's Serial Inner-Product unit (Figure 3).
+
+A SIP holds 16 one-bit weight registers (WRs).  Every cycle it receives 16
+activation bits, ANDs them with the WR contents, reduces the 16 partial
+products through a one-bit adder tree, and shift-accumulates the result:
+
+* **AC1** accumulates over the activation bits of the current weight bit
+  plane (one shift per activation bit).
+* **AC2 / OR** accumulates the finished AC1 value, shifted by the weight bit
+  position, once per weight bit plane.
+
+Two's-complement operands are handled with the negation block: the partial
+sum produced while the *sign* plane (of either operand) is in flight is
+subtracted instead of added.  The unit also supports cascading (an upstream
+SIP's output can be summed into this SIP's OR, used to slice fully-connected
+layers with few outputs across a row) and a ``max`` compare for max-pooling
+layers.
+
+This class is intentionally a *functional* model: it is stepped cycle by
+cycle by the tests and by :mod:`repro.core.serial_engine`, and its results
+are checked against ordinary integer arithmetic.  Performance modelling lives
+in :mod:`repro.core.scheduler` / :mod:`repro.core.tile`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SIP"]
+
+
+class SIP:
+    """One Serial Inner-Product unit.
+
+    Parameters
+    ----------
+    lanes:
+        Number of weight/activation lanes (16 in the paper).
+    """
+
+    def __init__(self, lanes: int = 16) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self._weight_regs = np.zeros(lanes, dtype=np.int64)
+        self._weight_bit_index = 0
+        self._weight_is_sign = False
+        self._ac1 = 0
+        self._act_bit_index = 0
+        self._output_register = 0
+        self._max_register: Optional[int] = None
+        self.cycles = 0
+
+    # -- weight handling ----------------------------------------------------------
+
+    def load_weights(self, weight_bits: Sequence[int], bit_index: int,
+                     is_sign_plane: bool = False) -> None:
+        """Load one bit plane of the 16 weights into the WRs.
+
+        ``bit_index`` is the plane's significance (0 = LSB); ``is_sign_plane``
+        marks the two's-complement sign plane whose contribution must be
+        subtracted (the SIP's negation block).
+        """
+        bits = np.asarray(weight_bits, dtype=np.int64)
+        if bits.shape != (self.lanes,):
+            raise ValueError(
+                f"expected {self.lanes} weight bits, got shape {bits.shape}"
+            )
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("weight bits must be 0 or 1")
+        if bit_index < 0:
+            raise ValueError(f"bit_index must be >= 0, got {bit_index}")
+        self._weight_regs = bits.copy()
+        self._weight_bit_index = bit_index
+        self._weight_is_sign = is_sign_plane
+        self._ac1 = 0
+        self._act_bit_index = 0
+
+    # -- per-cycle datapath ---------------------------------------------------------
+
+    def step(self, activation_bits: Sequence[int], bit_index: int,
+             is_sign_plane: bool = False) -> int:
+        """Process one activation bit plane against the currently loaded weights.
+
+        Returns the adder-tree output of this cycle (before shifting), mainly
+        for observability in tests.
+        """
+        bits = np.asarray(activation_bits, dtype=np.int64)
+        if bits.shape != (self.lanes,):
+            raise ValueError(
+                f"expected {self.lanes} activation bits, got shape {bits.shape}"
+            )
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("activation bits must be 0 or 1")
+        if bit_index < 0:
+            raise ValueError(f"bit_index must be >= 0, got {bit_index}")
+        partial = int(np.sum(bits & self._weight_regs))
+        contribution = partial << bit_index
+        if is_sign_plane:
+            contribution = -contribution
+        self._ac1 += contribution
+        self._act_bit_index = bit_index
+        self.cycles += 1
+        return partial
+
+    def commit_weight_plane(self) -> None:
+        """Fold AC1 into the output register (AC2), shifted by the weight bit.
+
+        Called once all activation bit planes for the current weight plane
+        have been stepped (every ``Pa`` cycles in the paper's description).
+        """
+        value = self._ac1 << self._weight_bit_index
+        if self._weight_is_sign:
+            value = -value
+        self._output_register += value
+        self._ac1 = 0
+
+    # -- auxiliary functions ----------------------------------------------------------
+
+    def cascade_in(self, partial_output: int) -> None:
+        """Add an upstream SIP's partial output (SIP cascading)."""
+        self._output_register += int(partial_output)
+
+    def max_update(self, value: Optional[int] = None) -> int:
+        """Max-pooling support: track the maximum of offered values.
+
+        With no argument the current output register is offered; returns the
+        running maximum.
+        """
+        candidate = self._output_register if value is None else int(value)
+        if self._max_register is None or candidate > self._max_register:
+            self._max_register = candidate
+        return self._max_register
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def output(self) -> int:
+        """The accumulated inner product (the OR register)."""
+        return self._output_register
+
+    @property
+    def max_output(self) -> Optional[int]:
+        return self._max_register
+
+    def reset(self) -> None:
+        """Clear all state (new output activation)."""
+        self._weight_regs[:] = 0
+        self._weight_bit_index = 0
+        self._weight_is_sign = False
+        self._ac1 = 0
+        self._act_bit_index = 0
+        self._output_register = 0
+        self._max_register = None
+
+    # -- convenience: full inner product ------------------------------------------------
+
+    def run_inner_product(self, activations: Sequence[int], weights: Sequence[int],
+                          act_bits: int, weight_bits: int,
+                          act_signed: bool = False,
+                          weight_signed: bool = True) -> int:
+        """Run a complete bit-serial inner product through this SIP.
+
+        Streams every weight bit plane, and for each one every activation bit
+        plane, exactly as the hardware schedule does, and returns the final OR
+        value.  Mainly used by tests to check the SIP against ``np.dot``.
+        """
+        from repro.quant.bitops import bit_decompose
+
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.shape != (self.lanes,) or weights.shape != (self.lanes,):
+            raise ValueError(
+                f"activations and weights must have shape ({self.lanes},)"
+            )
+        a_planes = bit_decompose(activations, act_bits, signed=act_signed)
+        w_planes = bit_decompose(weights, weight_bits, signed=weight_signed)
+        self.reset()
+        for wi in range(weight_bits):
+            self.load_weights(
+                w_planes[wi], bit_index=wi,
+                is_sign_plane=weight_signed and wi == weight_bits - 1,
+            )
+            for ai in range(act_bits):
+                self.step(
+                    a_planes[ai], bit_index=ai,
+                    is_sign_plane=act_signed and ai == act_bits - 1,
+                )
+            self.commit_weight_plane()
+        return self.output

@@ -1,0 +1,118 @@
+"""Weight-sparsity analysis (the paper's "future work" extension).
+
+The conclusion of the paper notes that "future work may consider extending LM
+to further exploit weight sparsity".  This module provides the analysis side
+of that extension: given weight tensors (real or synthetic), it measures
+
+* the fraction of exactly-zero weights per layer and per 16-weight group,
+* how many 16-weight groups are entirely zero (those groups' weight bit
+  planes never need to be loaded, so a sparsity-aware Loom could skip their
+  ``Pa x Pw`` serial steps outright), and
+* an upper bound on the additional speedup a group-skipping Loom would get on
+  top of the precision-based gains (analogous to how Table 4 estimates the
+  per-group precision gains).
+
+The estimate is intentionally an upper bound -- it assumes perfect skipping
+with no load-imbalance across the SIP grid -- and is reported as such by the
+sparsity example/benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.quant.groups import WEIGHT_GROUP_SIZE
+
+__all__ = ["LayerSparsity", "analyze_weight_sparsity", "sparse_speedup_bound"]
+
+
+@dataclass(frozen=True)
+class LayerSparsity:
+    """Sparsity statistics of one layer's weights."""
+
+    layer_name: str
+    total_weights: int
+    zero_weights: int
+    total_groups: int
+    zero_groups: int
+    group_size: int
+
+    @property
+    def weight_sparsity(self) -> float:
+        """Fraction of individual weights that are exactly zero."""
+        if self.total_weights == 0:
+            return 0.0
+        return self.zero_weights / self.total_weights
+
+    @property
+    def group_sparsity(self) -> float:
+        """Fraction of weight groups that are entirely zero (skippable)."""
+        if self.total_groups == 0:
+            return 0.0
+        return self.zero_groups / self.total_groups
+
+    @property
+    def skip_speedup_bound(self) -> float:
+        """Upper bound on the speedup from skipping all-zero groups."""
+        remaining = 1.0 - self.group_sparsity
+        if remaining <= 0.0:
+            return float("inf")
+        return 1.0 / remaining
+
+
+def analyze_weight_sparsity(
+    weight_codes: np.ndarray,
+    layer_name: str = "layer",
+    group_size: int = WEIGHT_GROUP_SIZE,
+) -> LayerSparsity:
+    """Measure weight and group sparsity of one layer's integer weight codes.
+
+    Groups are contiguous runs of ``group_size`` weights in processing order
+    (one SIP row lane's worth), padded with zeros -- padding groups created
+    purely by the padding are not counted as skippable.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    codes = np.asarray(weight_codes).ravel()
+    total = int(codes.size)
+    zero_weights = int(np.count_nonzero(codes == 0))
+    if total == 0:
+        return LayerSparsity(layer_name, 0, 0, 0, 0, group_size)
+    pad = (-total) % group_size
+    padded = np.concatenate([codes, np.ones(pad, dtype=codes.dtype)]) if pad \
+        else codes
+    groups = padded.reshape(-1, group_size)
+    zero_groups = int(np.sum(~groups.any(axis=1)))
+    return LayerSparsity(
+        layer_name=layer_name,
+        total_weights=total,
+        zero_weights=zero_weights,
+        total_groups=groups.shape[0],
+        zero_groups=zero_groups,
+        group_size=group_size,
+    )
+
+
+def sparse_speedup_bound(per_layer: Dict[str, LayerSparsity],
+                         layer_cycles: Dict[str, float]) -> float:
+    """Network-level upper bound on the group-skipping speedup.
+
+    ``layer_cycles`` gives each layer's (precision-exploiting) execution time;
+    the bound assumes each layer's time shrinks by its group-sparsity factor.
+    """
+    if not per_layer:
+        raise ValueError("per_layer must not be empty")
+    missing = set(per_layer) - set(layer_cycles)
+    if missing:
+        raise ValueError(f"layer_cycles missing entries for {sorted(missing)}")
+    total = sum(layer_cycles[name] for name in per_layer)
+    reduced = sum(
+        layer_cycles[name] * (1.0 - stats.group_sparsity)
+        for name, stats in per_layer.items()
+    )
+    if reduced <= 0.0:
+        return float("inf")
+    return total / reduced

@@ -1,0 +1,152 @@
+"""Event-driven cycle-level simulation of the Loom SIP grid.
+
+Where :mod:`repro.core.scheduler` computes closed-form cycle counts, this
+module actually *executes* a schedule on the
+:class:`repro.sim.engine.CycleEngine`: weight bit-plane loads contend for the
+single weight bus, columns progress independently, and the layer finishes
+when the last SIP column commits its last weight plane.  Tests assert the
+event-driven counts match the analytical model on the tilings used by the
+experiments, which is the cross-check the paper's custom simulator provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.scheduler import ConvSchedule, FCSchedule
+from repro.sim.engine import CycleEngine
+
+__all__ = ["LoomTileSimulator", "TileSimResult"]
+
+
+@dataclass(frozen=True)
+class TileSimResult:
+    """Outcome of one event-driven layer simulation."""
+
+    cycles: int
+    weight_plane_loads: int
+    compute_steps: int
+    events: int
+
+
+class LoomTileSimulator:
+    """Executes Loom schedules event by event.
+
+    The simulator models the two structural hazards that shape Loom's timing:
+
+    * the weight bus can deliver one bit plane (for one column, or for all
+      rows of the grid in CVL mode) per cycle, and
+    * a column cannot start multiplying a weight plane before that plane has
+      been loaded into its weight registers.
+    """
+
+    def __init__(self) -> None:
+        self._engine = CycleEngine()
+
+    # -- convolutional layers -----------------------------------------------------
+
+    def run_conv(self, schedule: ConvSchedule) -> TileSimResult:
+        """Execute a convolutional schedule.
+
+        In CVL mode every column processes a different window but shares the
+        same weights, so a single bus transfer loads one weight bit plane for
+        the whole grid.  Within a pass the grid spends ``steps`` cycles per
+        weight plane; the next plane's load is pipelined with the current
+        plane's compute, so only the very first load is exposed.
+        """
+        steps = schedule.activation_serial_steps
+        weight_bits = schedule.weight_serial_bits
+        if not float(steps).is_integer() or not float(weight_bits).is_integer():
+            raise ValueError(
+                "the event-driven simulator requires integer precisions; "
+                "use the analytical model for fractional (dynamic) precisions"
+            )
+        steps = int(steps)
+        weight_bits = int(weight_bits)
+        engine = CycleEngine()
+        state = {"loads": 0, "compute_steps": 0}
+
+        total_planes = schedule.passes * weight_bits
+
+        def load_plane(plane_index: int) -> None:
+            state["loads"] += 1
+            # Compute for this plane occupies the next `steps` cycles.
+            for s in range(steps):
+                engine.schedule(1 + s, lambda: state.__setitem__(
+                    "compute_steps", state["compute_steps"] + 1))
+            if plane_index + 1 < total_planes:
+                # The next plane's (single-cycle) load is pipelined under the
+                # current plane's compute.
+                engine.schedule(steps, lambda i=plane_index + 1: load_plane(i))
+
+        # The very first load is exposed (cycle 0 -> compute starts at cycle 1),
+        # which is the weight_load_cycles fill the analytical model charges.
+        engine.schedule(0, lambda: load_plane(0))
+        cycles = engine.run() + schedule.weight_load_cycles
+        return TileSimResult(
+            cycles=cycles,
+            weight_plane_loads=state["loads"],
+            compute_steps=state["compute_steps"],
+            events=engine.events_processed,
+        )
+
+    # -- fully-connected layers ----------------------------------------------------
+
+    def run_fc(self, schedule: FCSchedule) -> TileSimResult:
+        """Execute a fully-connected schedule.
+
+        Each column owns a different set of outputs (or slices of outputs when
+        cascading) and needs the weight bus for one cycle per weight plane per
+        term chunk.  The bus grants one load per cycle, so the columns start
+        staggered by one cycle and stay staggered; the layer ends when the
+        last column finishes its last chunk, plus the cascade-reduction
+        cycles when outputs were sliced across SIPs.
+        """
+        steps = schedule.activation_serial_steps
+        weight_bits = schedule.weight_serial_bits
+        if not float(steps).is_integer() or not float(weight_bits).is_integer():
+            raise ValueError(
+                "the event-driven simulator requires integer precisions; "
+                "use the analytical model for fractional (dynamic) precisions"
+            )
+        steps = int(steps)
+        weight_bits = int(weight_bits)
+        columns = schedule.geometry.window_columns
+        planes_per_column = (schedule.output_chunks * schedule.term_chunks
+                             * weight_bits)
+        engine = CycleEngine()
+        state = {"loads": 0, "compute_steps": 0, "bus_busy_until": -1,
+                 "finish": 0}
+
+        def request_load(column: int, plane: int) -> None:
+            # Arbitrate the weight bus: one load per cycle, FIFO order.
+            grant = max(engine.now, state["bus_busy_until"] + 1)
+            state["bus_busy_until"] = grant
+            engine.schedule_at(grant, lambda c=column, p=plane: do_load(c, p))
+
+        def do_load(column: int, plane: int) -> None:
+            state["loads"] += 1
+            for s in range(steps):
+                engine.schedule(1 + s, lambda: state.__setitem__(
+                    "compute_steps", state["compute_steps"] + 1))
+            finish_cycle = engine.now + steps
+            if plane + 1 < planes_per_column:
+                # Next plane's load can be requested so that it is ready when
+                # this plane's compute drains.
+                engine.schedule(steps, lambda c=column, p=plane + 1:
+                                request_load(c, p))
+            else:
+                state["finish"] = max(state["finish"], finish_cycle)
+
+        for column in range(columns):
+            engine.schedule_at(column, lambda c=column: request_load(c, 0))
+        engine.run()
+        cycles = state["finish"] + schedule.reduction_cycles
+        return TileSimResult(
+            cycles=cycles,
+            weight_plane_loads=state["loads"],
+            compute_steps=state["compute_steps"],
+            events=engine.events_processed,
+        )

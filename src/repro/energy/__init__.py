@@ -1,0 +1,31 @@
+"""Technology, area and energy models.
+
+The paper reports *relative* area and energy numbers obtained from 65 nm
+layouts (Synopsys DC + Cadence Innovus) with CACTI/Destiny for the memories.
+We reproduce that flow with analytical models:
+
+* :mod:`repro.energy.tech` -- the 65 nm technology parameter set: per-component
+  energies and areas (multipliers, adders, registers, SIP sub-blocks), with
+  coefficients calibrated so that the *relative* datapath power and area of
+  the studied designs land where the paper's layouts put them (see
+  EXPERIMENTS.md for the calibration check).
+* :mod:`repro.energy.area` -- composes component areas into per-design area
+  (DPNN, Stripes, Loom 1/2/4-bit) plus the memory area from
+  :mod:`repro.memory`.
+* :mod:`repro.energy.power` -- activity-factor-based dynamic energy per cycle
+  for each datapath, combined with the traffic-based memory energy to give
+  per-layer and per-network energy.
+"""
+
+from repro.energy.tech import TechnologyParameters, TSMC_65NM
+from repro.energy.area import AreaModel, DatapathArea
+from repro.energy.power import PowerModel, DatapathPower
+
+__all__ = [
+    "TechnologyParameters",
+    "TSMC_65NM",
+    "AreaModel",
+    "DatapathArea",
+    "PowerModel",
+    "DatapathPower",
+]

@@ -1,0 +1,116 @@
+"""Area model for the studied designs.
+
+Composes per-component areas (:mod:`repro.energy.tech`) into datapath (core)
+areas for DPNN, Stripes and the Loom variants, and adds the on-chip memory
+area from :mod:`repro.memory` for full-chip comparisons (used by the Figure 5
+scaling study).  Section 4.4's relative core areas (LM1b 1.34x, LM2b 1.25x,
+LM4b 1.16x over DPNN) are the calibration targets; EXPERIMENTS.md records what
+this model produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.energy.tech import TechnologyParameters, TSMC_65NM
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["DatapathArea", "AreaModel"]
+
+#: Lanes per inner-product unit in the baseline (N in the paper).
+LANES_PER_IP = 16
+
+
+@dataclass(frozen=True)
+class DatapathArea:
+    """Core (datapath) area of each design, in mm^2."""
+
+    tech: TechnologyParameters = TSMC_65NM
+
+    # -- unit-level areas (um^2) ---------------------------------------------------
+
+    def dpnn_ip_unit_um2(self) -> float:
+        t = self.tech
+        multipliers = LANES_PER_IP * t.mult16_area_um2
+        adder_tree = (LANES_PER_IP - 1) * t.add32_area_um2
+        accumulator = t.add32_area_um2
+        registers = LANES_PER_IP * t.reg16_area_um2
+        return multipliers + adder_tree + accumulator + registers
+
+    def loom_sip_um2(self, bits_per_cycle: int = 1) -> float:
+        if bits_per_cycle < 1:
+            raise ValueError(f"bits_per_cycle must be >= 1, got {bits_per_cycle}")
+        t = self.tech
+        products = LANES_PER_IP * bits_per_cycle
+        and_gates = products * t.and_gate_area_um2
+        adder_tree = products * t.serial_tree_area_um2_per_input
+        accumulator = t.accumulator_area_um2
+        weight_regs = LANES_PER_IP * t.bit_register_area_um2
+        return and_gates + adder_tree + accumulator + weight_regs
+
+    def stripes_unit_um2(self) -> float:
+        t = self.tech
+        gating = LANES_PER_IP * LANES_PER_IP * t.and_gate_area_um2
+        adder_tree = (LANES_PER_IP - 1) * t.add32_area_um2 * 0.6
+        accumulator = t.add32_area_um2
+        return gating + adder_tree + accumulator + t.stripes_unit_overhead_area_um2
+
+    # -- design-level core areas (mm^2) ---------------------------------------------
+
+    def _check_scale(self, equivalent_macs: int) -> None:
+        if equivalent_macs < LANES_PER_IP or equivalent_macs % LANES_PER_IP:
+            raise ValueError(
+                f"equivalent_macs must be a positive multiple of {LANES_PER_IP}, "
+                f"got {equivalent_macs}"
+            )
+
+    def dpnn_core_mm2(self, equivalent_macs: int = 128) -> float:
+        self._check_scale(equivalent_macs)
+        units = equivalent_macs // LANES_PER_IP
+        return units * self.dpnn_ip_unit_um2() / 1e6
+
+    def loom_core_mm2(self, equivalent_macs: int = 128, bits_per_cycle: int = 1,
+                      dynamic_precision: bool = True) -> float:
+        self._check_scale(equivalent_macs)
+        if LANES_PER_IP % bits_per_cycle:
+            raise ValueError(
+                f"bits_per_cycle must divide {LANES_PER_IP}, got {bits_per_cycle}"
+            )
+        columns = LANES_PER_IP // bits_per_cycle
+        sips = equivalent_macs * columns
+        area_um2 = sips * self.loom_sip_um2(bits_per_cycle)
+        if dynamic_precision:
+            area_um2 += LANES_PER_IP * self.tech.precision_detect_area_um2
+        return area_um2 / 1e6
+
+    def stripes_core_mm2(self, equivalent_macs: int = 128,
+                         dynamic_precision: bool = False) -> float:
+        self._check_scale(equivalent_macs)
+        area_um2 = equivalent_macs * self.stripes_unit_um2()
+        if dynamic_precision:
+            area_um2 += LANES_PER_IP * self.tech.precision_detect_area_um2
+        return area_um2 / 1e6
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Full design area: datapath core plus on-chip memories."""
+
+    datapath: DatapathArea = DatapathArea()
+
+    def total_mm2(self, core_mm2: float,
+                  hierarchy: Optional[MemoryHierarchy] = None) -> float:
+        """Core area plus memory area for a configuration."""
+        if core_mm2 < 0:
+            raise ValueError(f"core_mm2 must be >= 0, got {core_mm2}")
+        if hierarchy is None:
+            return core_mm2
+        return core_mm2 + hierarchy.total_onchip_area_mm2
+
+    def relative_core_area(self, design_core_mm2: float,
+                           baseline_core_mm2: float) -> float:
+        """The Section 4.4 metric: design core area over DPNN core area."""
+        if baseline_core_mm2 <= 0:
+            raise ValueError("baseline_core_mm2 must be > 0")
+        return design_core_mm2 / baseline_core_mm2

@@ -1,0 +1,145 @@
+"""Datapath power model with data-driven activity factors.
+
+The paper's power results come from gate-level activity of the laid-out
+designs.  We reproduce the structure of that measurement: every design's
+datapath dynamic energy per cycle is composed from per-component energies
+(:mod:`repro.energy.tech`) times the number of active components, scaled by a
+global activity factor; memory energy is accounted separately from traffic by
+:class:`repro.memory.hierarchy.MemoryHierarchy`.
+
+Design compositions
+-------------------
+
+* **DPNN** with an equivalent peak of ``E`` 16b MACs/cycle has ``E / 16``
+  inner-product units, each with 16 multipliers, a 15-node 32-bit adder tree
+  and an accumulator.
+* **Loom-b** (b activation bits per cycle) has ``E x 16 / b`` SIPs; each SIP
+  has ``16 x b`` AND gates and adder-tree inputs, one AC1/AC2 accumulator pair
+  and 16 single-bit weight registers.  The total AND/adder-tree energy is
+  therefore independent of ``b`` (the same number of 1-bit products per
+  cycle), while the accumulator/register energy shrinks with fewer SIPs --
+  which is exactly why LM2b/LM4b are more energy efficient.
+* **Stripes** has ``E`` serial inner-product units (16 window lanes per
+  filter), each gating 16 full-width weights with one activation bit and
+  reducing them through a 16-input adder tree.
+* **DStripes** and Loom's dynamic-precision mode add the per-group precision
+  detection logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.tech import TechnologyParameters, TSMC_65NM
+
+__all__ = ["DatapathPower", "PowerModel"]
+
+#: Lanes per inner-product unit in the baseline (N in the paper).
+LANES_PER_IP = 16
+
+
+@dataclass(frozen=True)
+class DatapathPower:
+    """Per-cycle dynamic energy of each design's datapath."""
+
+    tech: TechnologyParameters = TSMC_65NM
+
+    # -- unit-level energies -----------------------------------------------------
+
+    def dpnn_ip_unit_pj(self) -> float:
+        """One DPNN inner-product unit (16 mults + adder tree + accumulator)."""
+        t = self.tech
+        multipliers = LANES_PER_IP * t.mult16_energy_pj
+        adder_tree = (LANES_PER_IP - 1) * t.add32_energy_pj
+        accumulator = t.add32_energy_pj
+        registers = LANES_PER_IP * t.reg16_energy_pj
+        return multipliers + adder_tree + accumulator + registers
+
+    def loom_sip_pj(self, bits_per_cycle: int = 1) -> float:
+        """One Loom SIP processing ``bits_per_cycle`` activation bits per cycle."""
+        if bits_per_cycle < 1:
+            raise ValueError(f"bits_per_cycle must be >= 1, got {bits_per_cycle}")
+        t = self.tech
+        products = LANES_PER_IP * bits_per_cycle
+        and_gates = products * t.and_gate_energy_pj
+        adder_tree = products * t.serial_tree_energy_pj_per_input
+        accumulator = t.accumulator_energy_pj
+        weight_regs = LANES_PER_IP * t.bit_register_energy_pj
+        return and_gates + adder_tree + accumulator + weight_regs
+
+    def stripes_unit_pj(self) -> float:
+        """One Stripes serial IP (16 full-width weights gated by 1 activation bit)."""
+        t = self.tech
+        # 16 weight lanes x 16 bits of gating.
+        gating = LANES_PER_IP * LANES_PER_IP * t.and_gate_energy_pj
+        # 16-input adder tree over ~20-bit partial sums (narrower than 32b).
+        adder_tree = (LANES_PER_IP - 1) * t.add32_energy_pj * 0.6
+        accumulator = t.add32_energy_pj
+        return gating + adder_tree + accumulator + t.stripes_unit_overhead_pj
+
+    # -- design-level energies -----------------------------------------------------
+
+    def _check_scale(self, equivalent_macs: int) -> None:
+        if equivalent_macs < LANES_PER_IP or equivalent_macs % LANES_PER_IP:
+            raise ValueError(
+                f"equivalent_macs must be a positive multiple of {LANES_PER_IP}, "
+                f"got {equivalent_macs}"
+            )
+
+    def dpnn_pj_per_cycle(self, equivalent_macs: int = 128) -> float:
+        """DPNN datapath energy per cycle at the given peak-MAC scale."""
+        self._check_scale(equivalent_macs)
+        units = equivalent_macs // LANES_PER_IP
+        return units * self.dpnn_ip_unit_pj() * self.tech.activity_factor
+
+    def loom_pj_per_cycle(self, equivalent_macs: int = 128,
+                          bits_per_cycle: int = 1,
+                          dynamic_precision: bool = True) -> float:
+        """Loom datapath energy per cycle (LM-``bits_per_cycle``b)."""
+        self._check_scale(equivalent_macs)
+        if LANES_PER_IP % bits_per_cycle:
+            raise ValueError(
+                f"bits_per_cycle must divide {LANES_PER_IP}, got {bits_per_cycle}"
+            )
+        columns = LANES_PER_IP // bits_per_cycle
+        sips = equivalent_macs * columns
+        energy = sips * self.loom_sip_pj(bits_per_cycle)
+        if dynamic_precision:
+            # One detector per group of 16 concurrently-arriving activations.
+            detectors = LANES_PER_IP
+            energy += detectors * self.tech.precision_detect_energy_pj
+        return energy * self.tech.activity_factor
+
+    def stripes_pj_per_cycle(self, equivalent_macs: int = 128,
+                             dynamic_precision: bool = False) -> float:
+        """Stripes (or DStripes when ``dynamic_precision``) energy per cycle."""
+        self._check_scale(equivalent_macs)
+        units = equivalent_macs
+        energy = units * self.stripes_unit_pj()
+        if dynamic_precision:
+            detectors = LANES_PER_IP
+            energy += detectors * self.tech.precision_detect_energy_pj
+        return energy * self.tech.activity_factor
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Combines datapath and memory energy into per-layer totals."""
+
+    datapath: DatapathPower = DatapathPower()
+
+    def layer_energy_pj(self, cycles: float, datapath_pj_per_cycle: float,
+                        memory_energy_pj: float) -> float:
+        """Total energy of a layer.
+
+        ``cycles`` is the layer's execution time; the datapath burns its
+        per-cycle energy for every cycle it is occupied (idle bubbles in
+        bandwidth-bound layers clock-gate, so only compute cycles are charged
+        by callers that distinguish the two), and memory energy is the
+        traffic-based term computed by the memory hierarchy.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        if datapath_pj_per_cycle < 0 or memory_energy_pj < 0:
+            raise ValueError("energy terms must be >= 0")
+        return cycles * datapath_pj_per_cycle + memory_energy_pj

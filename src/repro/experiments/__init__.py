@@ -1,0 +1,51 @@
+"""Experiment harnesses: one module per table / figure of the paper.
+
+Each module exposes a ``run()`` function returning a structured result and a
+``format_table()`` / ``format_figure()`` helper that prints the same rows or
+series the paper reports, so the benchmarks and the CLI can regenerate every
+artefact of the evaluation section:
+
+* :mod:`repro.experiments.table1` -- per-layer precision profiles.
+* :mod:`repro.experiments.table2` -- speedup / energy efficiency of Stripes
+  and Loom 1/2/4-bit vs DPNN, FCLs and CVLs, 100% and 99% profiles.
+* :mod:`repro.experiments.figure4` -- per-network performance and efficiency
+  of Loom variants, Stripes and DStripes vs DPNN (all layers, 100% profile).
+* :mod:`repro.experiments.area` -- Section 4.4 relative core areas.
+* :mod:`repro.experiments.figure5` -- scaling study (32..512 MAC equivalents)
+  with an LPDDR4-4267 off-chip channel.
+* :mod:`repro.experiments.table3` -- per-group effective weight precisions.
+* :mod:`repro.experiments.table4` -- all-layer speedup / efficiency with
+  per-group weight precisions.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation,
+    area,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    build_profiled_network,
+    default_designs,
+    format_ratio_table,
+)
+
+__all__ = [
+    "ablation",
+    "area",
+    "figure4",
+    "figure5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "ExperimentResult",
+    "build_profiled_network",
+    "default_designs",
+    "format_ratio_table",
+]

@@ -1,0 +1,127 @@
+"""Ablation study: how much each of Loom's mechanisms contributes.
+
+The paper's design combines several mechanisms; DESIGN.md calls out four of
+them for ablation.  For each one this harness measures the all-layer (or the
+relevant layer-kind) geometric-mean speedup over DPNN with the mechanism on
+and off, across the six networks:
+
+* **dynamic activation precision reduction** (Section 3.2, "Dynamic Precision
+  Reduction") -- the Stripes vs DStripes gap applied to Loom;
+* **SIP cascading** (Section 3.2, "Processing Layers with Few Outputs") --
+  matters for the fully-connected layers with fewer than 2K outputs;
+* **bit-interleaved storage** (Section 3.2, "Reducing Memory Footprint and
+  Bandwidth") -- does not change compute cycles, so it is measured as the
+  off-chip traffic ratio instead;
+* **tiling organisation** (Section 3.2 / future work) -- the rigid
+  128-filter x 16-window grid versus the window-major alternative, evaluated
+  at a large configuration where under-utilisation bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.accelerators import DPNN, AcceleratorConfig
+from repro.core import Loom
+from repro.experiments.common import build_profiled_network
+from repro.quant import paper_networks
+from repro.quant.dynamic import DynamicPrecisionModel
+from repro.sim import geomean, run_network
+from repro.sim.results import compare
+
+__all__ = ["AblationResult", "run", "format_table"]
+
+
+@dataclass
+class AblationResult:
+    """Geomean metric with each mechanism enabled vs disabled."""
+
+    dynamic_precision: Tuple[float, float] = (0.0, 0.0)
+    cascading: Tuple[float, float] = (0.0, 0.0)
+    storage_traffic_ratio: Tuple[float, float] = (0.0, 0.0)
+    tiling_at_512: Tuple[float, float] = (0.0, 0.0)
+
+    def contribution(self, name: str) -> float:
+        """Ratio of the enabled metric to the disabled metric."""
+        enabled, disabled = getattr(self, name)
+        if disabled == 0:
+            return float("inf")
+        return enabled / disabled
+
+
+def _geomean_speedup(design, baseline, networks, kind=None) -> float:
+    ratios = []
+    for network in networks:
+        base = run_network(baseline, network)
+        ratios.append(compare(run_network(design, network), base, kind=kind).speedup)
+    return geomean(ratios)
+
+
+def run(networks: Optional[Tuple[str, ...]] = None,
+        accuracy: str = "100%") -> AblationResult:
+    """Run all four ablations."""
+    names = networks or tuple(paper_networks())
+    nets = [build_profiled_network(name, accuracy) for name in names]
+    fc_nets = [n for n in nets if n.fc_layers()]
+    config = AcceleratorConfig()
+    dpnn = DPNN(config)
+    result = AblationResult()
+
+    # 1. Dynamic activation precision reduction (convolutional layers).
+    with_dynamic = Loom(config)
+    without_dynamic = Loom(config,
+                           dynamic_precision=DynamicPrecisionModel(enabled=False))
+    result.dynamic_precision = (
+        _geomean_speedup(with_dynamic, dpnn, nets, kind="conv"),
+        _geomean_speedup(without_dynamic, dpnn, nets, kind="conv"),
+    )
+
+    # 2. SIP cascading (fully-connected layers).
+    with_cascade = Loom(config, use_cascading=True)
+    without_cascade = Loom(config, use_cascading=False)
+    result.cascading = (
+        _geomean_speedup(with_cascade, dpnn, fc_nets, kind="fc"),
+        _geomean_speedup(without_cascade, dpnn, fc_nets, kind="fc"),
+    )
+
+    # 3. Bit-interleaved storage: traffic ratio vs DPNN (lower is better, so
+    # report DPNN traffic / Loom traffic -- "enabled" uses the precisions,
+    # "disabled" is the 16-bit layout, i.e. exactly DPNN's traffic).
+    loom = Loom(config)
+    traffic_gains = []
+    for network in nets:
+        loom_bits = run_network(loom, network).total_traffic_bits()
+        dpnn_bits = run_network(dpnn, network).total_traffic_bits()
+        traffic_gains.append(dpnn_bits / loom_bits)
+    result.storage_traffic_ratio = (geomean(traffic_gains), 1.0)
+
+    # 4. Tiling organisation at the 512-MAC configuration.
+    big_config = AcceleratorConfig(equivalent_macs=512)
+    big_dpnn = DPNN(big_config)
+    rigid = Loom(big_config)
+    window_major = Loom(big_config, window_fanout=4)
+    result.tiling_at_512 = (
+        _geomean_speedup(window_major, big_dpnn, nets, kind="conv"),
+        _geomean_speedup(rigid, big_dpnn, nets, kind="conv"),
+    )
+    return result
+
+
+def format_table(result: Optional[AblationResult] = None) -> str:
+    """Render the ablation study."""
+    result = result if result is not None else run()
+    rows = [
+        ("dynamic activation precision (conv speedup)", "dynamic_precision"),
+        ("SIP cascading (FC speedup)", "cascading"),
+        ("bit-interleaved storage (traffic reduction)", "storage_traffic_ratio"),
+        ("window-major tiling at 512 MACs (conv speedup)", "tiling_at_512"),
+    ]
+    lines = ["== Ablation: contribution of each Loom mechanism =="]
+    lines.append(f"{'mechanism':<48s} {'enabled':>9s} {'disabled':>9s} "
+                 f"{'gain':>7s}")
+    for label, attribute in rows:
+        enabled, disabled = getattr(result, attribute)
+        lines.append(f"{label:<48s} {enabled:>9.2f} {disabled:>9.2f} "
+                     f"{result.contribution(attribute):>7.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Section 4.4: area overhead of the Loom variants relative to DPNN.
+
+The paper reports post-layout core areas of 1.34x (LM1b), 1.25x (LM2b) and
+1.16x (LM4b) relative to DPNN at the 128-MAC-equivalent configuration, and
+argues that Loom's performance-per-area therefore beats the baseline's.  This
+harness computes the same ratios from the area model, plus the
+performance-vs-area figure of merit the section discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.accelerators import DPNN, AcceleratorConfig
+from repro.core import Loom
+from repro.experiments.common import build_profiled_network
+from repro.quant import paper_networks
+from repro.sim import geomean, run_network
+from repro.sim.results import compare
+
+__all__ = ["run", "format_table", "PAPER_AREA_RATIOS"]
+
+#: Paper-reported relative core areas (Section 4.4).
+PAPER_AREA_RATIOS: Dict[str, float] = {
+    "loom-1b": 1.34,
+    "loom-2b": 1.25,
+    "loom-4b": 1.16,
+}
+
+#: Paper-reported all-layer speedups quoted alongside the areas.
+PAPER_AREA_SPEEDUPS: Dict[str, float] = {
+    "loom-1b": 3.19,
+    "loom-2b": 3.05,
+    "loom-4b": 2.74,
+}
+
+
+@dataclass
+class AreaResult:
+    """Relative core area, speedup and performance/area for each Loom variant."""
+
+    area_ratio: Dict[str, float] = field(default_factory=dict)
+    speedup: Dict[str, float] = field(default_factory=dict)
+
+    def performance_per_area(self, design: str) -> float:
+        return self.speedup[design] / self.area_ratio[design]
+
+
+def run(config: Optional[AcceleratorConfig] = None,
+        accuracy: str = "100%") -> AreaResult:
+    """Compute area ratios and the matching all-layer geomean speedups."""
+    config = config or AcceleratorConfig()
+    dpnn = DPNN(config)
+    designs = {
+        "loom-1b": Loom(config, bits_per_cycle=1),
+        "loom-2b": Loom(config, bits_per_cycle=2),
+        "loom-4b": Loom(config, bits_per_cycle=4),
+    }
+    result = AreaResult()
+    base_area = dpnn.core_area_mm2()
+    networks = [build_profiled_network(name, accuracy) for name in paper_networks()]
+    baseline_results = {net.name: run_network(dpnn, net) for net in networks}
+    for label, design in designs.items():
+        result.area_ratio[label] = design.core_area_mm2() / base_area
+        speedups = []
+        for net in networks:
+            design_result = run_network(design, net)
+            speedups.append(
+                compare(design_result, baseline_results[net.name]).speedup
+            )
+        result.speedup[label] = geomean(speedups)
+    return result
+
+
+def format_table(result: Optional[AreaResult] = None) -> str:
+    """Render the Section 4.4 comparison (measured vs. paper)."""
+    result = result if result is not None else run()
+    lines = ["== Section 4.4: area overhead vs DPNN (128-MAC configuration) =="]
+    lines.append(f"{'design':<10s} {'area ratio':>12s} {'paper':>8s} "
+                 f"{'speedup':>9s} {'paper':>8s} {'perf/area':>10s}")
+    for design in ("loom-1b", "loom-2b", "loom-4b"):
+        lines.append(
+            f"{design:<10s} {result.area_ratio[design]:>12.2f} "
+            f"{PAPER_AREA_RATIOS[design]:>8.2f} "
+            f"{result.speedup[design]:>9.2f} "
+            f"{PAPER_AREA_SPEEDUPS[design]:>8.2f} "
+            f"{result.performance_per_area(design):>10.2f}"
+        )
+    return "\n".join(lines)

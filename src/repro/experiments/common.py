@@ -1,0 +1,86 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
+from repro.core import Loom
+from repro.nn import Network, build_network
+from repro.quant import get_paper_profile
+
+__all__ = [
+    "ExperimentResult",
+    "build_profiled_network",
+    "default_designs",
+    "format_ratio_table",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Generic experiment result: a label, column names and rows of values.
+
+    ``rows`` maps a row label (usually a network name) to a mapping from
+    column name to value; ``reference`` optionally carries the paper's values
+    for the same cells so EXPERIMENTS.md can show paper-vs-measured.
+    """
+
+    name: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    reference: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, label: str, values: Mapping[str, float]) -> None:
+        self.rows[label] = dict(values)
+
+    def cell(self, row: str, column: str) -> float:
+        return self.rows[row][column]
+
+
+def build_profiled_network(name: str, accuracy: str = "100%",
+                           with_effective_weights: bool = False) -> Network:
+    """Build a zoo network with the matching paper precision profile attached."""
+    network = build_network(name)
+    profile = get_paper_profile(
+        name, accuracy, with_effective_weights=with_effective_weights
+    )
+    network.attach_profile(profile)
+    return network
+
+
+def default_designs(config: Optional[AcceleratorConfig] = None,
+                    include_stripes: bool = True,
+                    include_dstripes: bool = False) -> Dict[str, object]:
+    """The designs most experiments compare: DPNN baseline, Loom 1/2/4-bit."""
+    designs: Dict[str, object] = {"dpnn": DPNN(config)}
+    if include_stripes:
+        designs["stripes"] = Stripes(config)
+    if include_dstripes:
+        designs["dstripes"] = DStripes(config)
+    designs["loom-1b"] = Loom(config, bits_per_cycle=1)
+    designs["loom-2b"] = Loom(config, bits_per_cycle=2)
+    designs["loom-4b"] = Loom(config, bits_per_cycle=4)
+    return designs
+
+
+def format_ratio_table(result: ExperimentResult, width: int = 9,
+                       precision: int = 2) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = ["network".ljust(12)] + [c.rjust(width) for c in result.columns]
+    lines = [f"== {result.name} =="]
+    if result.notes:
+        lines.append(result.notes)
+    lines.append(" ".join(header))
+    for label, values in result.rows.items():
+        cells = [label.ljust(12)]
+        for column in result.columns:
+            value = values.get(column)
+            if value is None:
+                cells.append("n/a".rjust(width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(width))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

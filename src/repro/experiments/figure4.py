@@ -1,0 +1,96 @@
+"""Figure 4: per-network performance and energy efficiency, all layers, 100% profile.
+
+Figure 4a plots, for every network, the execution-time speedup of Loom 1/2/4-bit,
+Stripes and DStripes relative to DPNN over *all* layers with the 100% accuracy
+profiles; Figure 4b plots the corresponding energy efficiency.  The paper's
+headline observations, which this harness reproduces, are:
+
+* LM1b outperforms DPNN by more than 3x on average and is more than 2.5x more
+  energy efficient;
+* the multi-bit variants trade a little performance for better energy
+  efficiency (up to ~2.9x on average);
+* LM1b consistently outperforms Stripes and DStripes in performance and
+  Stripes in energy efficiency, and beats DStripes in efficiency everywhere
+  except GoogLeNet where the two are within a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    build_profiled_network,
+    default_designs,
+)
+from repro.quant import paper_networks
+from repro.sim import AcceleratorRunner, geomean
+
+__all__ = ["run", "format_figure", "FIGURE4_DESIGNS"]
+
+#: Designs plotted in Figure 4, in legend order.
+FIGURE4_DESIGNS = ("stripes", "dstripes", "loom-1b", "loom-2b", "loom-4b")
+
+
+@dataclass
+class Figure4Result:
+    """Measured Figure 4 series.
+
+    ``performance[network][design]`` and ``efficiency[network][design]`` hold
+    the ratios vs. DPNN; the special row ``"geomean"`` aggregates networks.
+    """
+
+    performance: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    efficiency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run(networks: Optional[Tuple[str, ...]] = None,
+        accuracy: str = "100%") -> Figure4Result:
+    """Run the Figure 4 experiment (all layers combined)."""
+    networks = networks or tuple(paper_networks())
+    runner = AcceleratorRunner(
+        designs=default_designs(include_dstripes=True), baseline="dpnn"
+    )
+    nets = [build_profiled_network(name, accuracy) for name in networks]
+    raw = runner.run(nets)
+    comparisons = runner.compare_all(raw, kind=None)
+    result = Figure4Result()
+    for network in networks:
+        perf_row: Dict[str, float] = {}
+        eff_row: Dict[str, float] = {}
+        for design in FIGURE4_DESIGNS:
+            comp = comparisons[network][design]
+            perf_row[design] = comp.speedup
+            eff_row[design] = comp.energy_efficiency
+        result.performance[network] = perf_row
+        result.efficiency[network] = eff_row
+    result.performance["geomean"] = {
+        design: geomean([result.performance[n][design] for n in networks])
+        for design in FIGURE4_DESIGNS
+    }
+    result.efficiency["geomean"] = {
+        design: geomean([result.efficiency[n][design] for n in networks])
+        for design in FIGURE4_DESIGNS
+    }
+    return result
+
+
+def _format_panel(title: str, series: Dict[str, Dict[str, float]]) -> List[str]:
+    lines = [f"-- {title} --"]
+    header = f"{'network':<12s}" + "".join(f"{d:>10s}" for d in FIGURE4_DESIGNS)
+    lines.append(header)
+    for network, row in series.items():
+        cells = "".join(f"{row[d]:>10.2f}" for d in FIGURE4_DESIGNS)
+        lines.append(f"{network:<12s}{cells}")
+    return lines
+
+
+def format_figure(result: Optional[Figure4Result] = None) -> str:
+    """Render both Figure 4 panels as text series (one bar group per row)."""
+    result = result if result is not None else run()
+    lines = ["== Figure 4: relative performance and energy efficiency vs DPNN "
+             "(all layers, 100% profile) =="]
+    lines += _format_panel("Figure 4a: performance", result.performance)
+    lines += _format_panel("Figure 4b: energy efficiency", result.efficiency)
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Figure 5: scaling with equivalent peak compute bandwidth (LPDDR4 off-chip).
+
+The paper's scaling study sweeps configurations whose peak compute bandwidth
+matches a bit-parallel accelerator of 32, 64, 128, 256 and 512 16b x 16b MACs
+per cycle, with a single LPDDR4-4267 off-chip channel attached and activation
+memories sized as in Section 4.5 (2 MB for DPNN, 1 MB for Loom).  For each
+point it reports:
+
+* relative performance of Loom-1b and DStripes over DPNN, for convolutional
+  layers only and for all layers (the four plotted series);
+* absolute Loom frames per second (conv-only and all-layer annotations);
+* Loom's weight-memory capacity, its total-area ratio and its energy
+  efficiency relative to DPNN.
+
+The qualitative behaviours to look for (and which the tests assert) are that
+Loom's advantage shrinks as the configuration grows (more filter lanes ->
+more under-utilisation) while DStripes' stays flat, with the crossover around
+the 256-512 configurations, and that fps still scales up with size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.accelerators import DPNN, DStripes, AcceleratorConfig
+from repro.core import Loom
+from repro.experiments.common import build_profiled_network
+from repro.memory.dram import LPDDR4_4267
+from repro.quant import paper_networks
+from repro.sim import geomean, run_network
+from repro.sim.results import compare
+
+__all__ = ["run", "format_figure", "CONFIG_SWEEP", "PAPER_FIGURE5"]
+
+#: The x-axis of Figure 5: equivalent DPNN peak MACs per cycle.
+CONFIG_SWEEP = (32, 64, 128, 256, 512)
+
+#: Paper-reported annotations (used for paper-vs-measured reporting).
+PAPER_FIGURE5: Dict[str, Dict[int, float]] = {
+    "loom_fps_all": {32: 47, 64: 92, 128: 169, 256: 205, 512: 240},
+    "loom_fps_conv": {32: 53, 64: 102, 128: 190, 256: 234, 512: 278},
+    "weight_memory_mb": {32: 0.5, 64: 1.0, 128: 2.0, 256: 4.0, 512: 8.0},
+    "energy_efficiency": {32: 2.6, 64: 1.88, 128: 1.27, 256: 0.7, 512: 0.33},
+    "area_ratio": {32: 0.94, 64: 1.23, 128: 1.72, 256: 2.46, 512: 3.84},
+}
+
+
+@dataclass
+class Figure5Point:
+    """Measurements for one configuration size."""
+
+    equivalent_macs: int
+    loom_rel_perf_all: float
+    loom_rel_perf_conv: float
+    dstripes_rel_perf_all: float
+    dstripes_rel_perf_conv: float
+    loom_fps_all: float
+    loom_fps_conv: float
+    loom_weight_memory_mb: float
+    loom_area_ratio: float
+    loom_energy_efficiency: float
+
+
+@dataclass
+class Figure5Result:
+    points: List[Figure5Point] = field(default_factory=list)
+
+    def series(self, attribute: str) -> List[float]:
+        return [getattr(p, attribute) for p in self.points]
+
+    def point(self, equivalent_macs: int) -> Figure5Point:
+        for p in self.points:
+            if p.equivalent_macs == equivalent_macs:
+                return p
+        raise KeyError(f"no point for {equivalent_macs} MACs")
+
+
+def run(configs: Tuple[int, ...] = CONFIG_SWEEP,
+        networks: Optional[Tuple[str, ...]] = None,
+        accuracy: str = "100%") -> Figure5Result:
+    """Run the scaling sweep."""
+    networks = networks or tuple(paper_networks())
+    nets = [build_profiled_network(name, accuracy) for name in networks]
+    result = Figure5Result()
+    for macs in configs:
+        # Off-chip transfer energy is excluded from the efficiency numbers,
+        # matching the paper's accounting for this figure.
+        config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267,
+                                   charge_offchip_energy=False)
+        dpnn = DPNN(config)
+        loom = Loom(config, bits_per_cycle=1)
+        dstripes = DStripes(config)
+        loom_perf_all, loom_perf_conv = [], []
+        ds_perf_all, ds_perf_conv = [], []
+        loom_eff_all = []
+        loom_fps_all, loom_fps_conv = [], []
+        for net in nets:
+            base = run_network(dpnn, net)
+            loom_result = run_network(loom, net)
+            ds_result = run_network(dstripes, net)
+            loom_perf_all.append(compare(loom_result, base).speedup)
+            loom_perf_conv.append(compare(loom_result, base, kind="conv").speedup)
+            ds_perf_all.append(compare(ds_result, base).speedup)
+            ds_perf_conv.append(compare(ds_result, base, kind="conv").speedup)
+            loom_eff_all.append(compare(loom_result, base).energy_efficiency)
+            loom_fps_all.append(loom_result.frames_per_second())
+            loom_fps_conv.append(loom_result.frames_per_second(kind="conv"))
+        wm_mb = loom.hierarchy.weight_memory.capacity_mb
+        area_ratio = loom.total_area_mm2() / dpnn.total_area_mm2()
+        result.points.append(
+            Figure5Point(
+                equivalent_macs=macs,
+                loom_rel_perf_all=geomean(loom_perf_all),
+                loom_rel_perf_conv=geomean(loom_perf_conv),
+                dstripes_rel_perf_all=geomean(ds_perf_all),
+                dstripes_rel_perf_conv=geomean(ds_perf_conv),
+                loom_fps_all=geomean(loom_fps_all),
+                loom_fps_conv=geomean(loom_fps_conv),
+                loom_weight_memory_mb=wm_mb,
+                loom_area_ratio=area_ratio,
+                loom_energy_efficiency=geomean(loom_eff_all),
+            )
+        )
+    return result
+
+
+def format_figure(result: Optional[Figure5Result] = None) -> str:
+    """Render the Figure 5 series (one configuration per column)."""
+    result = result if result is not None else run()
+    configs = [p.equivalent_macs for p in result.points]
+    lines = ["== Figure 5: scaling vs equivalent DPNN peak compute bandwidth "
+             "(LPDDR4-4267 off-chip) =="]
+    header = f"{'series':<26s}" + "".join(f"{c:>10d}" for c in configs)
+    lines.append(header)
+    rows = [
+        ("Loom rel perf (all)", "loom_rel_perf_all", None),
+        ("Loom rel perf (conv)", "loom_rel_perf_conv", None),
+        ("DStripes rel perf (all)", "dstripes_rel_perf_all", None),
+        ("DStripes rel perf (conv)", "dstripes_rel_perf_conv", None),
+        ("Loom fps (all)", "loom_fps_all", "loom_fps_all"),
+        ("Loom fps (conv)", "loom_fps_conv", "loom_fps_conv"),
+        ("Loom WM capacity (MB)", "loom_weight_memory_mb", "weight_memory_mb"),
+        ("Loom area ratio", "loom_area_ratio", "area_ratio"),
+        ("Loom energy efficiency", "loom_energy_efficiency", "energy_efficiency"),
+    ]
+    for label, attribute, paper_key in rows:
+        values = result.series(attribute)
+        lines.append(f"{label:<26s}" + "".join(f"{v:>10.2f}" for v in values))
+        if paper_key is not None:
+            paper_vals = [PAPER_FIGURE5[paper_key][c] for c in configs]
+            lines.append(f"{'  (paper)':<26s}"
+                         + "".join(f"{v:>10.2f}" for v in paper_vals))
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Table 1: per-layer activation and weight precision profiles.
+
+The paper's Table 1 reports, for each network, the profile-derived per-layer
+activation precisions and the network weight precision for the convolutional
+layers, and the per-layer weight precisions for the fully-connected layers,
+under the 100% and 99% relative top-1 accuracy constraints.
+
+Those profiles are shipped verbatim in :mod:`repro.quant.precision` (they are
+inputs to every other experiment); this harness (a) regenerates the table from
+that data and (b) optionally re-derives a profile with our own
+:class:`repro.quant.profiler.PrecisionProfiler` on a synthetic-weight network
+to demonstrate the methodology end to end (``derive=True``; used by the
+benchmark on a reduced-size network because a full profile search over the
+zoo networks is slow in pure Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Network, ReferenceModel
+from repro.nn.layers import TensorShape
+from repro.quant import (
+    NetworkPrecisionProfile,
+    get_paper_profile,
+    paper_networks,
+)
+from repro.quant.profiler import PrecisionProfiler, fidelity_evaluator
+from repro.workloads.datasets import synthetic_image_batch
+
+__all__ = ["Table1Row", "run", "format_table", "derive_profile_for_network"]
+
+
+@dataclass
+class Table1Row:
+    """One network's row of Table 1."""
+
+    network: str
+    accuracy: str
+    conv_activation_bits: List[int]
+    conv_weight_bits: int
+    fc_weight_bits: List[int]
+
+    def conv_activation_string(self) -> str:
+        return "-".join(str(b) for b in self.conv_activation_bits)
+
+    def fc_weight_string(self) -> str:
+        if not self.fc_weight_bits:
+            return "N/A"
+        return "-".join(str(b) for b in self.fc_weight_bits)
+
+
+def run(accuracies: Tuple[str, ...] = ("100%", "99%")) -> List[Table1Row]:
+    """Regenerate Table 1 from the shipped profiles."""
+    rows: List[Table1Row] = []
+    for accuracy in accuracies:
+        for name in paper_networks():
+            profile = get_paper_profile(name, accuracy)
+            rows.append(
+                Table1Row(
+                    network=name,
+                    accuracy=accuracy,
+                    conv_activation_bits=profile.conv_activation_bits(),
+                    conv_weight_bits=max(profile.conv_weight_bits()),
+                    fc_weight_bits=profile.fc_weight_bits(),
+                )
+            )
+    return rows
+
+
+def format_table(rows: Optional[List[Table1Row]] = None) -> str:
+    """Render the Table 1 rows the way the paper prints them."""
+    rows = rows if rows is not None else run()
+    lines = ["== Table 1: activation and weight precision profiles =="]
+    lines.append(f"{'network':<12s} {'accuracy':<9s} "
+                 f"{'CVL activations / per layer':<44s} {'CVL W':>6s} "
+                 f"{'FCL W / per layer':>18s}")
+    for row in rows:
+        lines.append(
+            f"{row.network:<12s} {row.accuracy:<9s} "
+            f"{row.conv_activation_string():<44s} {row.conv_weight_bits:>6d} "
+            f"{row.fc_weight_string():>18s}"
+        )
+    return "\n".join(lines)
+
+
+def derive_profile_for_network(
+    network: Network,
+    target_score: float = 1.0,
+    batch: int = 4,
+    seed: int = 0,
+) -> NetworkPrecisionProfile:
+    """Re-derive a precision profile with the Judd-style search.
+
+    Uses synthetic weights and synthetic profiling images; the score is top-1
+    agreement between the quantised and full-precision forward passes, the
+    same criterion the paper's methodology uses (with ImageNet accuracy).
+    """
+    rng = np.random.default_rng(seed)
+    model = ReferenceModel(network, rng=rng)
+    images = synthetic_image_batch(network.input_shape, batch, seed=seed)
+    reference_logits = np.stack(
+        [np.ravel(model.forward(img)) for img in images], axis=0
+    )
+    layers = network.compute_layers()
+    layer_names = [lw.name for lw in layers]
+    conv_flags = [lw.is_conv for lw in layers]
+
+    def forward(assignment) -> np.ndarray:
+        return np.stack(
+            [np.ravel(model.forward(img, precisions=assignment)) for img in images],
+            axis=0,
+        )
+
+    evaluator = fidelity_evaluator(forward, reference_logits)
+    profiler = PrecisionProfiler(evaluator=evaluator, target_score=target_score)
+    return profiler.profile_network(
+        network.name, layer_names, conv_flags,
+        accuracy_label=f"{target_score:.0%}",
+    )

@@ -1,0 +1,169 @@
+"""Table 2: speedup and energy efficiency vs. DPNN, FCLs and CVLs separately.
+
+For each network, the paper reports relative execution time (Perf) and energy
+efficiency (Eff) of Stripes and of Loom 1/2/4-bit against the DPNN baseline,
+separately for fully-connected and convolutional layers and for the 100% and
+99% accuracy precision profiles, plus geometric means.
+
+This harness runs all designs at the 128-MAC-equivalent configuration with
+unconstrained off-chip bandwidth (the paper's main evaluation mode) and
+returns the same grid of numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    build_profiled_network,
+    default_designs,
+)
+from repro.quant import paper_networks
+from repro.sim import AcceleratorRunner, geomean
+
+__all__ = ["run", "format_table", "PAPER_TABLE2", "DESIGN_LABELS"]
+
+#: Design labels in the paper's column order.
+DESIGN_LABELS = ("stripes", "loom-1b", "loom-2b", "loom-4b")
+
+#: The paper's Table 2 values, ``{accuracy: {kind: {network: {design: (perf, eff)}}}}``.
+#: Used for paper-vs-measured reporting; n/a cells are omitted.
+PAPER_TABLE2: Dict[str, Dict[str, Dict[str, Dict[str, Tuple[float, float]]]]] = {
+    "100%": {
+        "fc": {
+            "alexnet": {"stripes": (1.00, 0.88), "loom-1b": (1.65, 1.34),
+                        "loom-2b": (1.66, 1.56), "loom-4b": (1.66, 1.74)},
+            "googlenet": {"stripes": (0.99, 0.87), "loom-1b": (2.25, 1.82),
+                          "loom-2b": (2.27, 2.14), "loom-4b": (2.28, 2.39)},
+            "vggs": {"stripes": (1.00, 0.88), "loom-1b": (1.63, 1.32),
+                     "loom-2b": (1.63, 1.54), "loom-4b": (1.63, 1.71)},
+            "vggm": {"stripes": (1.00, 0.88), "loom-1b": (1.63, 1.32),
+                     "loom-2b": (1.64, 1.54), "loom-4b": (1.64, 1.72)},
+            "vgg19": {"stripes": (1.00, 0.88), "loom-1b": (1.62, 1.31),
+                      "loom-2b": (1.63, 1.53), "loom-4b": (1.63, 1.71)},
+        },
+        "conv": {
+            "nin": {"stripes": (1.76, 1.54), "loom-1b": (2.97, 2.40),
+                    "loom-2b": (2.92, 2.75), "loom-4b": (2.91, 3.05)},
+            "alexnet": {"stripes": (2.34, 2.04), "loom-1b": (4.25, 3.43),
+                        "loom-2b": (4.20, 3.96), "loom-4b": (3.66, 3.84)},
+            "googlenet": {"stripes": (1.76, 1.50), "loom-1b": (2.63, 2.12),
+                          "loom-2b": (2.49, 2.34), "loom-4b": (2.12, 2.22)},
+            "vggs": {"stripes": (1.89, 1.65), "loom-1b": (3.98, 3.21),
+                     "loom-2b": (3.78, 3.56), "loom-4b": (3.02, 3.17)},
+            "vggm": {"stripes": (2.12, 1.86), "loom-1b": (4.12, 3.33),
+                     "loom-2b": (3.69, 3.47), "loom-4b": (3.34, 3.50)},
+            "vgg19": {"stripes": (1.34, 1.17), "loom-1b": (2.17, 1.76),
+                      "loom-2b": (2.09, 1.97), "loom-4b": (2.03, 2.13)},
+        },
+    },
+    "99%": {
+        "fc": {
+            "alexnet": {"stripes": (1.00, 0.88), "loom-1b": (1.85, 1.49),
+                        "loom-2b": (1.85, 1.74), "loom-4b": (1.85, 1.94)},
+            "googlenet": {"stripes": (0.99, 0.87), "loom-1b": (2.25, 1.82),
+                          "loom-2b": (2.27, 2.14), "loom-4b": (2.28, 2.39)},
+            "vggs": {"stripes": (1.00, 0.88), "loom-1b": (1.78, 1.44),
+                     "loom-2b": (1.78, 1.68), "loom-4b": (1.79, 1.87)},
+            "vggm": {"stripes": (1.00, 0.88), "loom-1b": (1.79, 1.45),
+                     "loom-2b": (1.80, 1.69), "loom-4b": (1.80, 1.89)},
+            "vgg19": {"stripes": (1.00, 0.88), "loom-1b": (1.63, 1.32),
+                      "loom-2b": (1.63, 1.54), "loom-4b": (1.63, 1.71)},
+        },
+        "conv": {
+            "nin": {"stripes": (2.31, 2.02), "loom-1b": (4.21, 3.40),
+                    "loom-2b": (4.09, 3.85), "loom-4b": (3.78, 3.96)},
+            "alexnet": {"stripes": (2.57, 2.25), "loom-1b": (4.62, 3.73),
+                        "loom-2b": (4.49, 4.23), "loom-4b": (4.36, 4.57)},
+            "googlenet": {"stripes": (1.80, 1.58), "loom-1b": (2.91, 2.35),
+                          "loom-2b": (2.74, 2.58), "loom-4b": (2.30, 2.42)},
+            "vggs": {"stripes": (1.89, 1.65), "loom-1b": (3.98, 3.21),
+                     "loom-2b": (3.78, 3.56), "loom-4b": (3.15, 3.30)},
+            "vggm": {"stripes": (2.12, 1.86), "loom-1b": (4.49, 3.63),
+                     "loom-2b": (4.03, 3.79), "loom-4b": (3.64, 3.82)},
+            "vgg19": {"stripes": (1.45, 1.27), "loom-1b": (2.28, 1.84),
+                      "loom-2b": (2.21, 2.08), "loom-4b": (2.07, 2.17)},
+        },
+    },
+}
+
+
+@dataclass
+class Table2Result:
+    """Measured Table 2: ``cells[accuracy][kind][network][design] = (perf, eff)``."""
+
+    cells: Dict[str, Dict[str, Dict[str, Dict[str, Tuple[float, float]]]]] = \
+        field(default_factory=dict)
+
+    def geomeans(self, accuracy: str, kind: str) -> Dict[str, Tuple[float, float]]:
+        """Geometric means across networks for each design."""
+        per_design: Dict[str, List[Tuple[float, float]]] = {}
+        for network, designs in self.cells[accuracy][kind].items():
+            for design, (perf, eff) in designs.items():
+                per_design.setdefault(design, []).append((perf, eff))
+        return {
+            design: (geomean([p for p, _ in vals]), geomean([e for _, e in vals]))
+            for design, vals in per_design.items()
+        }
+
+
+def run(accuracies: Tuple[str, ...] = ("100%", "99%"),
+        networks: Optional[Tuple[str, ...]] = None) -> Table2Result:
+    """Run the Table 2 experiment."""
+    networks = networks or tuple(paper_networks())
+    result = Table2Result()
+    for accuracy in accuracies:
+        result.cells[accuracy] = {"fc": {}, "conv": {}}
+        runner = AcceleratorRunner(designs=default_designs(), baseline="dpnn")
+        nets = [build_profiled_network(name, accuracy) for name in networks]
+        raw = runner.run(nets)
+        for kind in ("fc", "conv"):
+            comparisons = runner.compare_all(raw, kind=kind)
+            for network_name, per_design in comparisons.items():
+                base_cycles = raw[network_name]["dpnn"].total_cycles(kind)
+                if base_cycles == 0:
+                    continue  # e.g. NiN has no FC layers
+                cells = {
+                    design: (comp.speedup, comp.energy_efficiency)
+                    for design, comp in per_design.items()
+                    if design in DESIGN_LABELS
+                }
+                result.cells[accuracy][kind][network_name] = cells
+    return result
+
+
+def format_table(result: Optional[Table2Result] = None) -> str:
+    """Render the measured Table 2 alongside the paper's numbers."""
+    result = result if result is not None else run()
+    lines = ["== Table 2: relative speedup / energy efficiency vs DPNN =="]
+    for accuracy in result.cells:
+        for kind in ("fc", "conv"):
+            title = "FULLY-CONNECTED" if kind == "fc" else "CONVOLUTIONAL"
+            lines.append(f"-- {title} LAYERS, {accuracy} top-1 accuracy --")
+            header = f"{'network':<12s}"
+            for design in DESIGN_LABELS:
+                header += f" {design + ' perf':>14s} {design + ' eff':>14s}"
+            lines.append(header)
+            for network, designs in result.cells[accuracy][kind].items():
+                row = f"{network:<12s}"
+                paper = PAPER_TABLE2.get(accuracy, {}).get(kind, {}).get(network, {})
+                for design in DESIGN_LABELS:
+                    perf, eff = designs.get(design, (float("nan"), float("nan")))
+                    ref = paper.get(design)
+                    perf_txt = f"{perf:.2f}"
+                    eff_txt = f"{eff:.2f}"
+                    if ref:
+                        perf_txt += f"({ref[0]:.2f})"
+                        eff_txt += f"({ref[1]:.2f})"
+                    row += f" {perf_txt:>14s} {eff_txt:>14s}"
+                lines.append(row)
+            means = result.geomeans(accuracy, kind)
+            row = f"{'geomean':<12s}"
+            for design in DESIGN_LABELS:
+                perf, eff = means.get(design, (float("nan"), float("nan")))
+                row += f" {perf:>14.2f} {eff:>14.2f}"
+            lines.append(row)
+    lines.append("(values in parentheses are the paper's)")
+    return "\n".join(lines)

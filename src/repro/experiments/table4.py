@@ -1,0 +1,107 @@
+"""Table 4: all-layer speedup / efficiency with per-group weight precisions.
+
+Section 4.6 estimates what Loom gains when it exploits the per-group
+*effective* weight precisions of Table 3 instead of the per-layer
+profile-derived precisions: 4.38x / 4.20x / 3.76x speedup and 3.54x / 3.95x /
+3.94x energy efficiency over DPNN for the 1/2/4-bit variants (geometric mean,
+all layers combined).
+
+This harness attaches the Table 3 effective precisions to the convolutional
+layers (the paper leaves FCL weights at their per-layer profile precisions)
+and runs the Loom variants in ``use_effective_weight_precision`` mode, which
+is the "performance scales linearly with weight precision" assumption the
+paper makes for these estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.accelerators import DPNN, AcceleratorConfig
+from repro.core import Loom
+from repro.experiments.common import build_profiled_network
+from repro.quant import paper_networks
+from repro.sim import geomean, run_network
+from repro.sim.results import compare
+
+__all__ = ["run", "format_table", "PAPER_TABLE4"]
+
+#: Paper Table 4 values: {network: {design: (perf, eff)}} for all layers, 100%.
+PAPER_TABLE4: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "nin": {"loom-1b": (3.38, 2.73), "loom-2b": (3.32, 3.13), "loom-4b": (3.31, 3.48)},
+    "alexnet": {"loom-1b": (5.66, 4.57), "loom-2b": (5.61, 4.57),
+                "loom-4b": (4.95, 5.19)},
+    "googlenet": {"loom-1b": (3.19, 2.57), "loom-2b": (3.02, 2.84),
+                  "loom-4b": (2.80, 2.93)},
+    "vggs": {"loom-1b": (5.72, 4.62), "loom-2b": (5.46, 5.13),
+             "loom-4b": (4.42, 4.63)},
+    "vggm": {"loom-1b": (6.03, 4.87), "loom-2b": (5.46, 5.14),
+             "loom-4b": (4.60, 4.83)},
+    "vgg19": {"loom-1b": (3.38, 2.73), "loom-2b": (3.28, 3.09),
+              "loom-4b": (3.01, 3.15)},
+    "geomean": {"loom-1b": (4.38, 3.54), "loom-2b": (4.20, 3.95),
+                "loom-4b": (3.76, 3.94)},
+}
+
+DESIGNS = ("loom-1b", "loom-2b", "loom-4b")
+
+
+@dataclass
+class Table4Result:
+    """Measured Table 4: ``cells[network][design] = (perf, eff)``."""
+
+    cells: Dict[str, Dict[str, Tuple[float, float]]] = field(default_factory=dict)
+
+
+def run(config: Optional[AcceleratorConfig] = None,
+        networks: Optional[Tuple[str, ...]] = None,
+        accuracy: str = "100%") -> Table4Result:
+    """Run the Table 4 experiment (all layers, per-group weight precisions)."""
+    config = config or AcceleratorConfig()
+    networks = networks or tuple(paper_networks())
+    dpnn = DPNN(config)
+    looms = {
+        "loom-1b": Loom(config, bits_per_cycle=1, use_effective_weight_precision=True),
+        "loom-2b": Loom(config, bits_per_cycle=2, use_effective_weight_precision=True),
+        "loom-4b": Loom(config, bits_per_cycle=4, use_effective_weight_precision=True),
+    }
+    result = Table4Result()
+    for name in networks:
+        net = build_profiled_network(name, accuracy, with_effective_weights=True)
+        baseline = run_network(dpnn, net)
+        row: Dict[str, Tuple[float, float]] = {}
+        for label, loom in looms.items():
+            comp = compare(run_network(loom, net), baseline)
+            row[label] = (comp.speedup, comp.energy_efficiency)
+        result.cells[name] = row
+    result.cells["geomean"] = {
+        label: (
+            geomean([result.cells[n][label][0] for n in networks]),
+            geomean([result.cells[n][label][1] for n in networks]),
+        )
+        for label in DESIGNS
+    }
+    return result
+
+
+def format_table(result: Optional[Table4Result] = None) -> str:
+    """Render the measured Table 4 next to the paper's values."""
+    result = result if result is not None else run()
+    lines = ["== Table 4: all layers, per-group weight precisions "
+             "(measured(paper)) =="]
+    header = f"{'network':<12s}"
+    for design in DESIGNS:
+        header += f" {design + ' perf':>18s} {design + ' eff':>18s}"
+    lines.append(header)
+    for network, row in result.cells.items():
+        line = f"{network:<12s}"
+        paper_row = PAPER_TABLE4.get(network, {})
+        for design in DESIGNS:
+            perf, eff = row[design]
+            ref = paper_row.get(design)
+            perf_txt = f"{perf:.2f}" + (f"({ref[0]:.2f})" if ref else "")
+            eff_txt = f"{eff:.2f}" + (f"({ref[1]:.2f})" if ref else "")
+            line += f" {perf_txt:>18s} {eff_txt:>18s}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Memory-system substrate: on-chip buffers, eDRAM, off-chip DRAM and layouts.
+
+The paper's memory system consists of:
+
+* small SRAM input/output activation buffers (ABin / ABout) modelled after
+  CACTI -- :mod:`repro.memory.sram`;
+* multi-megabyte eDRAM activation and weight memories (AM / WM) modelled
+  after Destiny -- :mod:`repro.memory.edram`;
+* an optional single-channel LPDDR4-4267 off-chip memory used by the Figure 5
+  scaling study -- :mod:`repro.memory.dram`;
+* the bit-interleaved storage layout (and output transposer) that lets Loom
+  store and move only as many bits as the per-layer precision requires --
+  :mod:`repro.memory.layout`;
+* a hierarchy model that combines the above into per-layer traffic and
+  memory-bound execution-time estimates -- :mod:`repro.memory.hierarchy`.
+"""
+
+from repro.memory.sram import SRAMBuffer
+from repro.memory.edram import EDRAMMemory
+from repro.memory.dram import DRAMChannel, LPDDR4_4267
+from repro.memory.layout import (
+    BitInterleavedLayout,
+    BitParallelLayout,
+    Transposer,
+    footprint_bits,
+)
+from repro.memory.hierarchy import MemoryHierarchy, LayerTraffic
+
+__all__ = [
+    "SRAMBuffer",
+    "EDRAMMemory",
+    "DRAMChannel",
+    "LPDDR4_4267",
+    "BitInterleavedLayout",
+    "BitParallelLayout",
+    "Transposer",
+    "footprint_bits",
+    "MemoryHierarchy",
+    "LayerTraffic",
+]

@@ -1,0 +1,201 @@
+"""Memory hierarchy model: per-layer traffic and memory-bound time.
+
+This ties the individual memory models together the way the paper's systems
+are organised:
+
+* Weights live off-chip and stream through the on-chip weight memory (WM).
+  Convolutional layers reuse each weight across many windows so their
+  execution is compute bound; fully-connected layers use each weight exactly
+  once, so their execution time is bounded by how fast the weights can be
+  brought in (the off-chip channel when one is modelled).
+* Activations live in the on-chip activation memory (AM) whenever the layer's
+  input + output footprint fits; otherwise they spill off-chip (the VGG-19
+  case the paper calls out).  Loom stores activations bit-interleaved so its
+  footprint is precision-scaled, which is why it needs a 1 MB AM where DPNN
+  needs 2 MB.
+* The ABin/ABout SRAM buffers and the transposer sit between AM and the
+  datapath; their traffic equals the activation traffic.
+
+The hierarchy produces a :class:`LayerTraffic` record per layer; the
+accelerator models combine it with their compute-cycle counts (execution time
+is the max of compute and memory time) and hand both to the energy model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.memory.dram import DRAMChannel
+from repro.memory.edram import EDRAMMemory
+from repro.memory.layout import BitInterleavedLayout, BitParallelLayout, Transposer
+from repro.memory.sram import SRAMBuffer
+
+__all__ = ["LayerTraffic", "MemoryHierarchy"]
+
+Layout = Union[BitParallelLayout, BitInterleavedLayout]
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Bits moved for one layer, split by destination."""
+
+    weight_bits: float
+    activation_in_bits: float
+    activation_out_bits: float
+    offchip_bits: float
+    activations_fit_on_chip: bool
+    weights_fit_on_chip: bool = True
+
+    @property
+    def total_onchip_bits(self) -> float:
+        return self.weight_bits + self.activation_in_bits + self.activation_out_bits
+
+    @property
+    def total_bits(self) -> float:
+        return self.total_onchip_bits
+
+
+@dataclass
+class MemoryHierarchy:
+    """The on-/off-chip memory system of one accelerator configuration.
+
+    Parameters
+    ----------
+    activation_memory / weight_memory:
+        The eDRAM macros.
+    abin / about:
+        The SRAM staging buffers.
+    activation_layout / weight_layout:
+        Storage layouts; Loom uses :class:`BitInterleavedLayout` for both,
+        DPNN uses :class:`BitParallelLayout`.
+    dram:
+        Optional off-chip channel.  ``None`` reproduces the paper's first
+        evaluation mode ("weights can be read from off-chip memory without any
+        bandwidth constraint"); Figure 5 attaches an LPDDR4-4267 channel.
+    transposer:
+        Output transposer (only meaningful for bit-interleaved designs).
+    clock_ghz:
+        Accelerator clock used to convert off-chip bandwidth into cycles.
+    """
+
+    activation_memory: EDRAMMemory
+    weight_memory: EDRAMMemory
+    abin: SRAMBuffer
+    about: SRAMBuffer
+    activation_layout: Layout = field(default_factory=BitParallelLayout)
+    weight_layout: Layout = field(default_factory=BitParallelLayout)
+    dram: Optional[DRAMChannel] = None
+    transposer: Optional[Transposer] = None
+    clock_ghz: float = 1.0
+    #: Whether off-chip transfer energy is included in memory_energy_pj.  The
+    #: paper's reported energy numbers exclude off-chip traffic energy (it
+    #: notes separately that Loom moves ~0.61x the off-chip bits).
+    charge_offchip_energy: bool = True
+
+    # -- traffic -----------------------------------------------------------------
+
+    def layer_traffic(
+        self,
+        weight_count: int,
+        input_activations: int,
+        output_activations: int,
+        weight_bits: int,
+        activation_bits: int,
+        is_fc: bool,
+    ) -> LayerTraffic:
+        """Compute the traffic of one layer.
+
+        ``weight_bits`` / ``activation_bits`` are the storage precisions; the
+        bit-parallel layout ignores them and always moves 16 bits per value.
+        """
+        w_bits = self.weight_layout.traffic_bits(weight_count, weight_bits)
+        a_in_bits = self.activation_layout.traffic_bits(
+            input_activations, activation_bits
+        )
+        a_out_bits = self.activation_layout.traffic_bits(
+            output_activations, activation_bits
+        )
+        act_footprint = a_in_bits + a_out_bits
+        activations_fit = self.activation_memory.fits(act_footprint)
+        weights_fit = self.weight_memory.fits(w_bits) and not is_fc
+
+        # Weights always cross the off-chip interface once per frame (they are
+        # too large to persist on chip across frames); activations only when
+        # the layer does not fit in AM.
+        offchip = w_bits
+        if not activations_fit:
+            offchip += act_footprint
+        return LayerTraffic(
+            weight_bits=w_bits,
+            activation_in_bits=a_in_bits,
+            activation_out_bits=a_out_bits,
+            offchip_bits=offchip,
+            activations_fit_on_chip=activations_fit,
+            weights_fit_on_chip=weights_fit,
+        )
+
+    # -- timing ------------------------------------------------------------------
+
+    def memory_cycles(self, traffic: LayerTraffic) -> float:
+        """Cycles the off-chip channel needs for this layer (0 if unconstrained)."""
+        if self.dram is None:
+            return 0.0
+        return self.dram.transfer_cycles(traffic.offchip_bits, self.clock_ghz)
+
+    # -- energy ------------------------------------------------------------------
+
+    def memory_energy_pj(self, traffic: LayerTraffic,
+                         output_activations: int = 0) -> float:
+        """Energy of all memory movement for this layer.
+
+        Includes eDRAM accesses for weights and activations, SRAM buffer
+        traffic, the transposer (bit-interleaved designs only) and off-chip
+        transfers when a DRAM channel is attached.
+        """
+        energy = 0.0
+        # Weight memory: convolutional weights are resident in WM and reused
+        # across windows, so they are charged one eDRAM access per bit.
+        # Fully-connected weights stream straight from the off-chip interface
+        # through a small staging buffer (the paper's main results explicitly
+        # exclude off-chip transfer energy); they are charged buffer energy
+        # only.
+        if traffic.weights_fit_on_chip:
+            energy += self.weight_memory.access_energy_pj(traffic.weight_bits)
+        else:
+            energy += self.abin.read_energy_pj(traffic.weight_bits) * 0.15
+        # Activation memory: inputs read, outputs written (when they fit; when
+        # they spill, the traffic still crosses AM on its way to the pins).
+        energy += self.activation_memory.access_energy_pj(
+            traffic.activation_in_bits + traffic.activation_out_bits
+        )
+        # SRAM staging buffers.
+        energy += self.abin.read_energy_pj(traffic.activation_in_bits)
+        energy += self.about.write_energy_pj(traffic.activation_out_bits)
+        # Transposer.
+        if self.transposer is not None and output_activations > 0:
+            energy += self.transposer.energy_pj(output_activations)
+        # Off-chip.
+        if self.dram is not None and self.charge_offchip_energy:
+            energy += self.dram.transfer_energy_pj(traffic.offchip_bits)
+        return energy
+
+    # -- configuration helpers -----------------------------------------------------
+
+    @property
+    def total_onchip_area_mm2(self) -> float:
+        """Area of the on-chip memories (eDRAM + SRAM buffers)."""
+        return (self.activation_memory.area_mm2 + self.weight_memory.area_mm2
+                + self.abin.area_mm2 + self.about.area_mm2)
+
+    def describe(self) -> str:
+        parts = [
+            f"AM {self.activation_memory.capacity_mb:.2f} MB",
+            f"WM {self.weight_memory.capacity_mb:.2f} MB",
+            f"ABin {self.abin.capacity_bytes // 1024} KB",
+            f"ABout {self.about.capacity_bytes // 1024} KB",
+        ]
+        if self.dram is not None:
+            parts.append(self.dram.name)
+        return ", ".join(parts)

@@ -1,0 +1,82 @@
+"""CNN layer IR, shape inference, reference inference and network zoo.
+
+Loom's evaluation is driven entirely by layer *geometry* (how many windows,
+filters, inner-product terms each layer has) and by per-layer precisions.
+This package provides:
+
+* :mod:`repro.nn.layers` -- dataclasses for the layer types the studied
+  networks use (convolution, fully connected, pooling, ReLU, LRN, concat,
+  softmax) with full shape inference and work accounting (MACs, weight and
+  activation counts).
+* :mod:`repro.nn.network` -- an ordered network container with precision
+  profile attachment and per-group layer bookkeeping.
+* :mod:`repro.nn.inference` -- a NumPy reference forward pass (float and
+  quantised) used to verify the functional Loom model and to drive the
+  precision profiler.
+* :mod:`repro.nn.zoo` -- the six networks the paper evaluates (NiN, AlexNet,
+  GoogLeNet, VGG-S, VGG-M, VGG-19) with geometries from their original
+  publications.
+"""
+
+from repro.nn.layers import (
+    Layer,
+    Conv2D,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    LRN,
+    Concat,
+    Softmax,
+    TensorShape,
+)
+from repro.nn.network import Network, LayerWithPrecision
+from repro.nn.inference import ReferenceModel, run_reference, run_quantized
+from repro.nn.zoo import (
+    build_network,
+    alexnet,
+    nin,
+    googlenet,
+    vggs,
+    vggm,
+    vgg19,
+    available_networks,
+)
+from repro.nn.serialization import (
+    network_to_dict,
+    network_from_dict,
+    save_network,
+    load_network,
+    profile_to_dict,
+    profile_from_dict,
+)
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "FullyConnected",
+    "Pool2D",
+    "ReLU",
+    "LRN",
+    "Concat",
+    "Softmax",
+    "TensorShape",
+    "Network",
+    "LayerWithPrecision",
+    "ReferenceModel",
+    "run_reference",
+    "run_quantized",
+    "build_network",
+    "alexnet",
+    "nin",
+    "googlenet",
+    "vggs",
+    "vggm",
+    "vgg19",
+    "available_networks",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "profile_to_dict",
+    "profile_from_dict",
+]

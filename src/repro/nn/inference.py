@@ -1,0 +1,324 @@
+"""Reference NumPy inference for networks built from the layer IR.
+
+This module provides the functional ground truth used throughout the
+repository:
+
+* :class:`ReferenceModel` holds a network together with (synthetic or
+  user-supplied) weights and runs float or quantised forward passes.
+* :func:`run_reference` / :func:`run_quantized` are small conveniences over
+  it.
+
+The quantised path mirrors what the hardware sees: weights and the activations
+entering every compute layer are converted to fixed point at the per-layer
+precisions (with a per-tensor scale chosen so the values fit), and the rest of
+the arithmetic is exact.  The precision profiler scores candidate profiles by
+comparing the arg-max of the quantised output against the float output, which
+is the paper's top-1 agreement criterion with a synthetic input distribution
+standing in for ImageNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    LRN,
+    Pool2D,
+    ReLU,
+    Softmax,
+    TensorShape,
+)
+from repro.nn.network import Network
+from repro.quant.fixedpoint import FixedPointFormat, quantize_tensor
+
+__all__ = ["ReferenceModel", "run_reference", "run_quantized", "choose_format"]
+
+
+def choose_format(data: np.ndarray, bits: int, signed: bool) -> FixedPointFormat:
+    """Pick a per-tensor fixed-point format with ``bits`` total bits.
+
+    The number of fractional bits is chosen so the largest magnitude in
+    ``data`` is representable without clipping, i.e. the format spends as many
+    bits as possible on the fraction, which is how per-layer profile-derived
+    formats are constructed in practice.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    # A signed format needs a sign bit plus at least one magnitude bit.
+    bits = max(bits, 2) if signed else max(bits, 1)
+    max_abs = float(np.max(np.abs(data))) if data.size else 0.0
+    sign_bits = 1 if signed else 0
+    if max_abs <= 0.0:
+        int_bits = 0
+    else:
+        int_bits = max(0, int(np.ceil(np.log2(max_abs + 1e-12))) + 1)
+    frac_bits = max(0, bits - sign_bits - int_bits)
+    return FixedPointFormat(total_bits=bits, frac_bits=frac_bits, signed=signed)
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``x`` of shape (C, H, W) into columns (C*k*k, out_h*out_w)."""
+    channels, height, width = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    cols = np.empty((channels * kernel * kernel, out_h * out_w), dtype=x.dtype)
+    idx = 0
+    for c in range(channels):
+        for ky in range(kernel):
+            for kx in range(kernel):
+                patch = x[c, ky:ky + stride * out_h:stride,
+                          kx:kx + stride * out_w:stride]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def _conv2d(x: np.ndarray, weights: np.ndarray, bias: Optional[np.ndarray],
+            layer: Conv2D) -> np.ndarray:
+    """Reference grouped 2-D convolution.
+
+    ``x`` has shape (C, H, W); ``weights`` has shape
+    (out_channels, in_channels_per_group, k, k).
+    """
+    channels, height, width = x.shape
+    groups = layer.groups
+    in_per_group = channels // groups
+    out_per_group = layer.out_channels // groups
+    out_h = (height + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    out_w = (width + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    out = np.empty((layer.out_channels, out_h, out_w), dtype=np.float64)
+    for g in range(groups):
+        x_g = x[g * in_per_group:(g + 1) * in_per_group]
+        w_g = weights[g * out_per_group:(g + 1) * out_per_group]
+        cols = _im2col(x_g, layer.kernel, layer.stride, layer.padding)
+        w_mat = w_g.reshape(out_per_group, -1)
+        res = w_mat @ cols
+        out[g * out_per_group:(g + 1) * out_per_group] = res.reshape(
+            out_per_group, out_h, out_w
+        )
+    if bias is not None:
+        out += bias.reshape(-1, 1, 1)
+    return out
+
+
+def _pool2d(x: np.ndarray, layer: Pool2D) -> np.ndarray:
+    channels, height, width = x.shape
+    if layer.global_pool:
+        if layer.mode == "max":
+            return x.max(axis=(1, 2), keepdims=True)
+        return x.mean(axis=(1, 2), keepdims=True)
+    if layer.padding:
+        pad_val = -np.inf if layer.mode == "max" else 0.0
+        x = np.pad(
+            x,
+            ((0, 0), (layer.padding, layer.padding), (layer.padding, layer.padding)),
+            constant_values=pad_val,
+        )
+    out_h = (height + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    out_w = (width + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    out = np.empty((channels, out_h, out_w), dtype=np.float64)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, i * layer.stride:i * layer.stride + layer.kernel,
+                       j * layer.stride:j * layer.stride + layer.kernel]
+            if layer.mode == "max":
+                out[:, i, j] = window.max(axis=(1, 2))
+            else:
+                out[:, i, j] = window.mean(axis=(1, 2))
+    return out
+
+
+def _lrn(x: np.ndarray, layer: LRN) -> np.ndarray:
+    channels = x.shape[0]
+    half = layer.local_size // 2
+    squared = x ** 2
+    out = np.empty_like(x)
+    for c in range(channels):
+        lo, hi = max(0, c - half), min(channels, c + half + 1)
+        denom = layer.k + (layer.alpha / layer.local_size) * squared[lo:hi].sum(axis=0)
+        out[c] = x[c] / (denom ** layer.beta)
+    return out
+
+
+@dataclass
+class _LayerWeights:
+    """Weights and bias for one compute layer."""
+
+    weights: np.ndarray
+    bias: Optional[np.ndarray]
+
+
+class ReferenceModel:
+    """A network plus concrete weights, runnable in float or fixed point.
+
+    Parameters
+    ----------
+    network:
+        The network to execute.
+    weights:
+        Optional mapping from compute-layer name to ``(weights, bias)``.
+        Missing layers receive synthetic Gaussian weights drawn from ``rng``.
+    rng:
+        Random generator used for synthetic weights.
+    weight_scale:
+        Standard deviation of synthetic weights (small, like trained CNN
+        weights, so realistic precisions emerge from the profiler).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Optional[Mapping[str, Tuple[np.ndarray, Optional[np.ndarray]]]] = None,
+        rng: Optional[np.random.Generator] = None,
+        weight_scale: float = 0.05,
+    ) -> None:
+        self.network = network
+        self._rng = rng or np.random.default_rng(0)
+        self._weight_scale = weight_scale
+        self._weights: Dict[str, _LayerWeights] = {}
+        provided = dict(weights or {})
+        shapes = network.resolve_shapes()
+        for node_layer in network.layers:
+            if not node_layer.is_compute:
+                continue
+            in_shape, _ = shapes[node_layer.name]
+            if node_layer.name in provided:
+                w, b = provided[node_layer.name]
+                self._weights[node_layer.name] = _LayerWeights(
+                    weights=np.asarray(w, dtype=np.float64),
+                    bias=None if b is None else np.asarray(b, dtype=np.float64),
+                )
+            else:
+                self._weights[node_layer.name] = self._synthesize(node_layer, in_shape)
+
+    def _synthesize(self, layer: Layer, in_shape: TensorShape) -> _LayerWeights:
+        if isinstance(layer, Conv2D):
+            in_per_group = in_shape.channels // layer.groups
+            shape = (layer.out_channels, in_per_group, layer.kernel, layer.kernel)
+        elif isinstance(layer, FullyConnected):
+            shape = (layer.out_features, in_shape.size)
+        else:  # pragma: no cover - compute layers are only conv/fc
+            raise TypeError(f"cannot synthesise weights for {type(layer).__name__}")
+        w = self._rng.normal(0.0, self._weight_scale, size=shape)
+        b = self._rng.normal(0.0, self._weight_scale, size=shape[0]) if layer.bias \
+            else None
+        return _LayerWeights(weights=w, bias=b)
+
+    # -- accessors ---------------------------------------------------------------
+
+    def layer_weights(self, name: str) -> np.ndarray:
+        return self._weights[name].weights
+
+    def layer_bias(self, name: str) -> Optional[np.ndarray]:
+        return self._weights[name].bias
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(
+        self,
+        x: np.ndarray,
+        precisions: Optional[Mapping[str, Tuple[int, int]]] = None,
+        capture: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Run the network on a single input.
+
+        Parameters
+        ----------
+        x:
+            Input tensor with shape matching the network input shape.
+        precisions:
+            Optional ``{layer_name: (activation_bits, weight_bits)}``; when
+            given, the input activations and weights of each listed compute
+            layer are quantised before use.  Layers not listed run in float.
+        capture:
+            Optional dict that will receive each compute layer's *input*
+            activation tensor (after quantisation if any); used to drive the
+            functional accelerator models and the dynamic-precision analysis.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        expected = self.network.input_shape
+        expected_shape = ((expected.channels, expected.height, expected.width)
+                          if expected.is_spatial else (expected.channels,))
+        if x.shape != expected_shape:
+            raise ValueError(
+                f"input shape {x.shape} does not match network input "
+                f"{expected_shape}"
+            )
+        outputs: Dict[str, np.ndarray] = {"__input__": x}
+        last_name = "__input__"
+        for layer in self.network.layers:
+            sources = self.network.inputs_of(layer.name)
+            if isinstance(layer, Concat):
+                value = np.concatenate([outputs[s] for s in sources], axis=0)
+            else:
+                value = outputs[sources[0]]
+            value = self._run_layer(layer, value, precisions, capture)
+            outputs[layer.name] = value
+            last_name = layer.name
+        return outputs[last_name]
+
+    def _run_layer(
+        self,
+        layer: Layer,
+        value: np.ndarray,
+        precisions: Optional[Mapping[str, Tuple[int, int]]],
+        capture: Optional[Dict[str, np.ndarray]],
+    ) -> np.ndarray:
+        if isinstance(layer, (Conv2D, FullyConnected)):
+            stored = self._weights[layer.name]
+            w, b = stored.weights, stored.bias
+            if isinstance(layer, FullyConnected):
+                value = value.reshape(-1)
+            if precisions and layer.name in precisions:
+                act_bits, weight_bits = precisions[layer.name]
+                act_signed = bool(np.any(value < 0))
+                a_fmt = choose_format(value, act_bits, signed=act_signed)
+                w_fmt = choose_format(w, weight_bits, signed=True)
+                value = quantize_tensor(value, a_fmt)
+                w = quantize_tensor(w, w_fmt)
+            if capture is not None:
+                capture[layer.name] = value.copy()
+            if isinstance(layer, Conv2D):
+                return _conv2d(value, w, b, layer)
+            out = w @ value
+            if b is not None:
+                out = out + b
+            return out
+        if isinstance(layer, ReLU):
+            return np.maximum(value, 0.0)
+        if isinstance(layer, Pool2D):
+            return _pool2d(value, layer)
+        if isinstance(layer, LRN):
+            return _lrn(value, layer)
+        if isinstance(layer, Concat):
+            return value  # concatenation already happened in forward()
+        if isinstance(layer, Softmax):
+            flat = value.reshape(-1)
+            shifted = flat - flat.max()
+            exp = np.exp(shifted)
+            return (exp / exp.sum()).reshape(value.shape)
+        raise TypeError(f"unsupported layer type {type(layer).__name__}")
+
+
+def run_reference(network: Network, x: np.ndarray,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Run a float forward pass with synthetic weights."""
+    return ReferenceModel(network, rng=rng).forward(x)
+
+
+def run_quantized(
+    network: Network,
+    x: np.ndarray,
+    precisions: Mapping[str, Tuple[int, int]],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Run a quantised forward pass with synthetic weights."""
+    return ReferenceModel(network, rng=rng).forward(x, precisions=precisions)

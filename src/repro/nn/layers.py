@@ -1,0 +1,308 @@
+"""Layer intermediate representation with shape inference and work accounting.
+
+Every accelerator model in this repository consumes layers through the small
+interface defined here: a layer knows its input and output shapes, how many
+multiply-accumulate operations it performs, how many weights it stores and how
+many activations it reads and writes.  Those quantities, together with the
+per-layer precisions, completely determine Loom's and the baselines'
+execution time, traffic and energy.
+
+Shapes follow the ``(channels, height, width)`` convention for spatial tensors
+and ``(features,)`` for flat tensors; the batch dimension is implicit (the
+paper evaluates single-image inference).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "TensorShape",
+    "Layer",
+    "Conv2D",
+    "FullyConnected",
+    "Pool2D",
+    "ReLU",
+    "LRN",
+    "Concat",
+    "Softmax",
+]
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of an activation tensor (batch dimension implicit).
+
+    ``height``/``width`` are ``None`` for flat (fully-connected) tensors.
+    """
+
+    channels: int
+    height: Optional[int] = None
+    width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if (self.height is None) != (self.width is None):
+            raise ValueError("height and width must both be set or both be None")
+        if self.height is not None and (self.height < 1 or self.width < 1):
+            raise ValueError(
+                f"spatial dims must be >= 1, got {self.height}x{self.width}"
+            )
+
+    @property
+    def is_spatial(self) -> bool:
+        return self.height is not None
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        if self.is_spatial:
+            return self.channels * self.height * self.width
+        return self.channels
+
+    def flatten(self) -> "TensorShape":
+        """Shape of the tensor after flattening to a vector."""
+        return TensorShape(channels=self.size)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_spatial:
+            return f"{self.channels}x{self.height}x{self.width}"
+        return f"{self.channels}"
+
+
+@dataclass
+class Layer:
+    """Base class for all layers.
+
+    Attributes
+    ----------
+    name:
+        Unique layer name within a network.
+    precision_group:
+        Index of the precision-profile entry this layer belongs to.  The paper
+        reports GoogLeNet precisions per inception module (11 entries for 57
+        convolutions); the group index maps each layer onto its entry.  When
+        ``None`` the layer gets its own group in network order.
+    """
+
+    name: str
+    precision_group: Optional[int] = None
+
+    # -- shape interface --------------------------------------------------------
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Infer the output shape from the input shape."""
+        raise NotImplementedError
+
+    # -- work accounting ---------------------------------------------------------
+
+    def macs(self, input_shape: TensorShape) -> int:
+        """Multiply-accumulate operations performed for one inference."""
+        return 0
+
+    def weight_count(self) -> int:
+        """Number of weight parameters stored for this layer."""
+        return 0
+
+    @property
+    def is_conv(self) -> bool:
+        return False
+
+    @property
+    def is_fc(self) -> bool:
+        return False
+
+    @property
+    def is_compute(self) -> bool:
+        """True for layers that run on the inner-product datapath (CVL/FCL)."""
+        return self.is_conv or self.is_fc
+
+
+def _conv_out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Standard convolution/pooling output dimension formula."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"kernel {kernel} / stride {stride} / padding {padding} does not fit "
+            f"input dimension {size}"
+        )
+    return out
+
+
+@dataclass
+class Conv2D(Layer):
+    """2-D convolution layer (a CVL in the paper's terminology)."""
+
+    out_channels: int = 1
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_channels < 1:
+            raise ValueError(f"out_channels must be >= 1, got {self.out_channels}")
+        if self.kernel < 1 or self.stride < 1:
+            raise ValueError("kernel and stride must be >= 1")
+        if self.padding < 0:
+            raise ValueError("padding must be >= 0")
+        if self.groups < 1:
+            raise ValueError("groups must be >= 1")
+        if self.out_channels % self.groups:
+            raise ValueError(
+                f"out_channels {self.out_channels} not divisible by groups "
+                f"{self.groups}"
+            )
+
+    @property
+    def is_conv(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if not input_shape.is_spatial:
+            raise ValueError(f"Conv2D {self.name} needs a spatial input")
+        if input_shape.channels % self.groups:
+            raise ValueError(
+                f"Conv2D {self.name}: input channels {input_shape.channels} not "
+                f"divisible by groups {self.groups}"
+            )
+        out_h = _conv_out_dim(input_shape.height, self.kernel, self.stride,
+                              self.padding)
+        out_w = _conv_out_dim(input_shape.width, self.kernel, self.stride,
+                              self.padding)
+        return TensorShape(self.out_channels, out_h, out_w)
+
+    def window_size(self, input_shape: TensorShape) -> int:
+        """Inner-product length per output activation (terms per window)."""
+        in_per_group = input_shape.channels // self.groups
+        return in_per_group * self.kernel * self.kernel
+
+    def num_windows(self, input_shape: TensorShape) -> int:
+        """Number of spatial window positions."""
+        out = self.output_shape(input_shape)
+        return out.height * out.width
+
+    def macs(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        return self.window_size(input_shape) * out.size
+
+    def weight_count_for(self, input_shape: TensorShape) -> int:
+        return self.window_size(input_shape) * self.out_channels
+
+    def weight_count(self) -> int:  # pragma: no cover - needs input shape
+        raise ValueError(
+            "Conv2D.weight_count requires the input shape; use weight_count_for()"
+        )
+
+
+@dataclass
+class FullyConnected(Layer):
+    """Fully-connected (inner product) layer (an FCL)."""
+
+    out_features: int = 1
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_features < 1:
+            raise ValueError(f"out_features must be >= 1, got {self.out_features}")
+
+    @property
+    def is_fc(self) -> bool:
+        return True
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(channels=self.out_features)
+
+    def in_features(self, input_shape: TensorShape) -> int:
+        return input_shape.size
+
+    def macs(self, input_shape: TensorShape) -> int:
+        return input_shape.size * self.out_features
+
+    def weight_count_for(self, input_shape: TensorShape) -> int:
+        return input_shape.size * self.out_features
+
+    def weight_count(self) -> int:  # pragma: no cover - needs input shape
+        raise ValueError(
+            "FullyConnected.weight_count requires the input shape; "
+            "use weight_count_for()"
+        )
+
+
+@dataclass
+class Pool2D(Layer):
+    """Max or average pooling; executed by the SIP max units / pooling units."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    mode: str = "max"
+    global_pool: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise ValueError(f"mode must be 'max' or 'avg', got {self.mode!r}")
+        if not self.global_pool and (self.kernel < 1 or self.stride < 1):
+            raise ValueError("kernel and stride must be >= 1")
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if not input_shape.is_spatial:
+            raise ValueError(f"Pool2D {self.name} needs a spatial input")
+        if self.global_pool:
+            return TensorShape(input_shape.channels, 1, 1)
+        out_h = _conv_out_dim(input_shape.height, self.kernel, self.stride,
+                              self.padding)
+        out_w = _conv_out_dim(input_shape.width, self.kernel, self.stride,
+                              self.padding)
+        return TensorShape(input_shape.channels, out_h, out_w)
+
+
+@dataclass
+class ReLU(Layer):
+    """Rectified linear activation; executed by the activation functional unit."""
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+
+@dataclass
+class LRN(Layer):
+    """Local response normalisation (AlexNet-era networks)."""
+
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 1.0
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+
+@dataclass
+class Concat(Layer):
+    """Channel-wise concatenation marker (used to model inception outputs).
+
+    The network container in this repository is a linear chain; inception
+    modules are expressed as a sequence of convolutions whose channel counts
+    already account for the branch structure, and ``Concat`` simply reshapes
+    the running channel count to the module's concatenated output.
+    """
+
+    out_channels: int = 1
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if not input_shape.is_spatial:
+            raise ValueError(f"Concat {self.name} needs a spatial input")
+        return TensorShape(self.out_channels, input_shape.height, input_shape.width)
+
+
+@dataclass
+class Softmax(Layer):
+    """Classifier softmax; negligible work, kept for completeness."""
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape

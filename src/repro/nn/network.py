@@ -1,0 +1,342 @@
+"""Network container: a DAG of layers with shape resolution and precision binding.
+
+Networks are built by appending layers; each layer consumes either the
+previous layer's output (the common case) or explicitly named earlier layers
+(used for GoogLeNet's inception branches, where several convolutions read the
+same module input and a :class:`~repro.nn.layers.Concat` merges the branches).
+
+Once built, :meth:`Network.compute_layers` yields the resolved convolutional
+and fully-connected layers -- each with its input/output shape, MAC count,
+weight count and (optionally) its bound per-layer precision -- which is the
+exact information the accelerator models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.nn.layers import Concat, Conv2D, FullyConnected, Layer, TensorShape
+from repro.quant.precision import (
+    BASELINE_PRECISION,
+    LayerPrecision,
+    NetworkPrecisionProfile,
+)
+
+__all__ = ["Network", "LayerWithPrecision"]
+
+
+@dataclass
+class _Node:
+    """Internal record: a layer plus the names of the layers feeding it."""
+
+    layer: Layer
+    inputs: Tuple[str, ...]
+
+
+@dataclass
+class LayerWithPrecision:
+    """A resolved compute layer, ready for an accelerator model.
+
+    Attributes
+    ----------
+    layer:
+        The underlying :class:`Conv2D` or :class:`FullyConnected` layer.
+    input_shape / output_shape:
+        Resolved activation shapes.
+    precision:
+        The per-layer precision bound from a profile; defaults to the 16-bit
+        baseline when no profile is attached.
+    """
+
+    layer: Layer
+    input_shape: TensorShape
+    output_shape: TensorShape
+    precision: LayerPrecision = field(
+        default_factory=lambda: LayerPrecision(
+            activation_bits=BASELINE_PRECISION, weight_bits=BASELINE_PRECISION
+        )
+    )
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def is_conv(self) -> bool:
+        return self.layer.is_conv
+
+    @property
+    def is_fc(self) -> bool:
+        return self.layer.is_fc
+
+    @property
+    def macs(self) -> int:
+        return self.layer.macs(self.input_shape)
+
+    @property
+    def weight_count(self) -> int:
+        if isinstance(self.layer, (Conv2D, FullyConnected)):
+            return self.layer.weight_count_for(self.input_shape)
+        return 0
+
+    @property
+    def input_activations(self) -> int:
+        return self.input_shape.size
+
+    @property
+    def output_activations(self) -> int:
+        return self.output_shape.size
+
+
+class Network:
+    """An ordered DAG of layers.
+
+    Parameters
+    ----------
+    name:
+        Network name (e.g. ``"alexnet"``).
+    input_shape:
+        Shape of the network input (e.g. ``TensorShape(3, 227, 227)``).
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self._nodes: List[_Node] = []
+        self._by_name: Dict[str, _Node] = {}
+        self._profile: Optional[NetworkPrecisionProfile] = None
+
+    # -- construction ------------------------------------------------------------
+
+    def add(self, layer: Layer, inputs: Optional[Sequence[str]] = None) -> Layer:
+        """Append a layer.
+
+        ``inputs`` names the producing layers; ``None`` means "the previously
+        added layer" (or the network input for the first layer).  Only
+        :class:`Concat` may have more than one input.
+        """
+        if layer.name in self._by_name:
+            raise ValueError(f"duplicate layer name {layer.name!r} in {self.name}")
+        if inputs is None:
+            inputs = (self._nodes[-1].layer.name,) if self._nodes else ("__input__",)
+        else:
+            inputs = tuple(inputs)
+            if not inputs:
+                raise ValueError(f"layer {layer.name!r}: inputs may not be empty")
+        for src in inputs:
+            if src != "__input__" and src not in self._by_name:
+                raise ValueError(
+                    f"layer {layer.name!r} references unknown input {src!r}"
+                )
+        if len(inputs) > 1 and not isinstance(layer, Concat):
+            raise ValueError(
+                f"layer {layer.name!r}: only Concat layers accept multiple inputs"
+            )
+        node = _Node(layer=layer, inputs=inputs)
+        self._nodes.append(node)
+        self._by_name[layer.name] = node
+        return layer
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def layers(self) -> List[Layer]:
+        return [node.layer for node in self._nodes]
+
+    def layer(self, name: str) -> Layer:
+        try:
+            return self._by_name[name].layer
+        except KeyError:
+            raise KeyError(f"no layer named {name!r} in network {self.name}") from None
+
+    def inputs_of(self, name: str) -> Tuple[str, ...]:
+        return self._by_name[name].inputs
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # -- shape resolution ---------------------------------------------------------
+
+    def resolve_shapes(self) -> Dict[str, Tuple[TensorShape, TensorShape]]:
+        """Return ``{layer_name: (input_shape, output_shape)}`` for every layer.
+
+        For :class:`Concat` layers the recorded input shape has the summed
+        channel count of all sources (which is also validated against the
+        layer's declared ``out_channels``).
+        """
+        shapes: Dict[str, TensorShape] = {"__input__": self.input_shape}
+        resolved: Dict[str, Tuple[TensorShape, TensorShape]] = {}
+        for node in self._nodes:
+            source_shapes = [shapes[src] for src in node.inputs]
+            if isinstance(node.layer, Concat):
+                if any(not s.is_spatial for s in source_shapes):
+                    raise ValueError(
+                        f"Concat {node.layer.name} requires spatial inputs"
+                    )
+                heights = {s.height for s in source_shapes}
+                widths = {s.width for s in source_shapes}
+                if len(heights) != 1 or len(widths) != 1:
+                    raise ValueError(
+                        f"Concat {node.layer.name}: mismatched spatial dims "
+                        f"{source_shapes}"
+                    )
+                total_channels = sum(s.channels for s in source_shapes)
+                if total_channels != node.layer.out_channels:
+                    raise ValueError(
+                        f"Concat {node.layer.name}: declared out_channels "
+                        f"{node.layer.out_channels} but inputs sum to "
+                        f"{total_channels}"
+                    )
+                in_shape = TensorShape(
+                    total_channels, source_shapes[0].height, source_shapes[0].width
+                )
+            else:
+                in_shape = source_shapes[0]
+            out_shape = node.layer.output_shape(in_shape)
+            shapes[node.layer.name] = out_shape
+            resolved[node.layer.name] = (in_shape, out_shape)
+        return resolved
+
+    def output_shape(self) -> TensorShape:
+        """Shape of the final layer's output."""
+        if not self._nodes:
+            return self.input_shape
+        return self.resolve_shapes()[self._nodes[-1].layer.name][1]
+
+    # -- precision binding --------------------------------------------------------
+
+    def attach_profile(self, profile: NetworkPrecisionProfile) -> None:
+        """Bind a precision profile to this network.
+
+        Convolutional layers are mapped to profile entries through their
+        ``precision_group`` attribute (layers without a group get consecutive
+        groups in network order); fully-connected layers are mapped in network
+        order.  The profile must provide exactly as many CVL entries as there
+        are distinct convolution groups and as many FCL entries as there are
+        fully-connected layers.
+        """
+        conv_groups = self._conv_group_indices()
+        num_groups = len(set(conv_groups.values())) if conv_groups else 0
+        if profile.num_conv_layers != num_groups:
+            raise ValueError(
+                f"profile for {profile.network!r} has {profile.num_conv_layers} CVL "
+                f"entries but network {self.name!r} has {num_groups} conv groups"
+            )
+        num_fc = sum(1 for node in self._nodes if node.layer.is_fc)
+        if profile.num_fc_layers != num_fc:
+            raise ValueError(
+                f"profile for {profile.network!r} has {profile.num_fc_layers} FCL "
+                f"entries but network {self.name!r} has {num_fc} FC layers"
+            )
+        self._profile = profile
+
+    @property
+    def profile(self) -> Optional[NetworkPrecisionProfile]:
+        return self._profile
+
+    def _conv_group_indices(self) -> Dict[str, int]:
+        """Map each conv layer name to its precision-group index."""
+        groups: Dict[str, int] = {}
+        next_auto = 0
+        seen_explicit = set()
+        for node in self._nodes:
+            if not node.layer.is_conv:
+                continue
+            if node.layer.precision_group is not None:
+                groups[node.layer.name] = node.layer.precision_group
+                seen_explicit.add(node.layer.precision_group)
+            else:
+                groups[node.layer.name] = None  # fill below
+        # Auto-number the un-grouped convolutions after the explicit ones,
+        # keeping network order.  Networks either group everything explicitly
+        # (GoogLeNet) or nothing (the rest), so the two schemes do not mix in
+        # practice; when they do, auto groups continue after the largest
+        # explicit index.
+        next_auto = (max(seen_explicit) + 1) if seen_explicit else 0
+        for node in self._nodes:
+            if node.layer.is_conv and groups[node.layer.name] is None:
+                groups[node.layer.name] = next_auto
+                next_auto += 1
+        return groups
+
+    def num_conv_groups(self) -> int:
+        groups = self._conv_group_indices()
+        return len(set(groups.values())) if groups else 0
+
+    # -- compute-layer extraction -------------------------------------------------
+
+    def compute_layers(self) -> List[LayerWithPrecision]:
+        """Resolved CVLs and FCLs in network order, with bound precisions."""
+        shapes = self.resolve_shapes()
+        conv_groups = self._conv_group_indices()
+        # Sort distinct group indices to map them onto profile entries.
+        group_order = sorted(set(conv_groups.values()))
+        group_to_entry = {g: i for i, g in enumerate(group_order)}
+        result: List[LayerWithPrecision] = []
+        fc_index = 0
+        baseline = LayerPrecision(
+            activation_bits=BASELINE_PRECISION, weight_bits=BASELINE_PRECISION
+        )
+        for node in self._nodes:
+            layer = node.layer
+            if not layer.is_compute:
+                continue
+            in_shape, out_shape = shapes[layer.name]
+            precision = baseline
+            if self._profile is not None:
+                if layer.is_conv:
+                    entry = group_to_entry[conv_groups[layer.name]]
+                    precision = self._profile.conv_layers[entry]
+                else:
+                    precision = self._profile.fc_layers[fc_index]
+            if layer.is_fc:
+                fc_index += 1
+            result.append(
+                LayerWithPrecision(
+                    layer=layer,
+                    input_shape=in_shape,
+                    output_shape=out_shape,
+                    precision=precision,
+                )
+            )
+        return result
+
+    def conv_layers(self) -> List[LayerWithPrecision]:
+        return [lw for lw in self.compute_layers() if lw.is_conv]
+
+    def fc_layers(self) -> List[LayerWithPrecision]:
+        return [lw for lw in self.compute_layers() if lw.is_fc]
+
+    # -- aggregate statistics -----------------------------------------------------
+
+    def total_macs(self) -> int:
+        return sum(lw.macs for lw in self.compute_layers())
+
+    def total_weights(self) -> int:
+        return sum(lw.weight_count for lw in self.compute_layers())
+
+    def max_layer_activations(self) -> int:
+        """Largest single-layer activation footprint (input + output), in values."""
+        return max(
+            (lw.input_activations + lw.output_activations
+             for lw in self.compute_layers()),
+            default=0,
+        )
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the network."""
+        shapes = self.resolve_shapes()
+        lines = [f"Network {self.name} (input {self.input_shape})"]
+        for node in self._nodes:
+            in_shape, out_shape = shapes[node.layer.name]
+            kind = type(node.layer).__name__
+            lines.append(f"  {node.layer.name:<16s} {kind:<15s} "
+                         f"{str(in_shape):>14s} -> {str(out_shape):<14s}")
+        lines.append(
+            f"  total MACs: {self.total_macs():,}  weights: {self.total_weights():,}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""JSON serialisation of networks and precision profiles.
+
+Lets users define workloads outside the built-in zoo (or snapshot profiler
+output) and feed them back into the accelerator models: a network (layers,
+wiring, precision groups) and a precision profile round-trip through plain
+JSON-compatible dictionaries or files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    LRN,
+    Pool2D,
+    ReLU,
+    Softmax,
+    TensorShape,
+)
+from repro.nn.network import Network
+from repro.quant.precision import LayerPrecision, NetworkPrecisionProfile
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "profile_to_dict",
+    "profile_from_dict",
+]
+
+_LAYER_TYPES = {
+    "Conv2D": Conv2D,
+    "FullyConnected": FullyConnected,
+    "Pool2D": Pool2D,
+    "ReLU": ReLU,
+    "LRN": LRN,
+    "Concat": Concat,
+    "Softmax": Softmax,
+}
+
+_LAYER_FIELDS = {
+    "Conv2D": ("out_channels", "kernel", "stride", "padding", "groups", "bias"),
+    "FullyConnected": ("out_features", "bias"),
+    "Pool2D": ("kernel", "stride", "padding", "mode", "global_pool"),
+    "ReLU": (),
+    "LRN": ("local_size", "alpha", "beta", "k"),
+    "Concat": ("out_channels",),
+    "Softmax": (),
+}
+
+
+def _shape_to_list(shape: TensorShape) -> List[int]:
+    if shape.is_spatial:
+        return [shape.channels, shape.height, shape.width]
+    return [shape.channels]
+
+
+def _shape_from_list(values: List[int]) -> TensorShape:
+    if len(values) == 3:
+        return TensorShape(values[0], values[1], values[2])
+    if len(values) == 1:
+        return TensorShape(values[0])
+    raise ValueError(f"shape must have 1 or 3 entries, got {values}")
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialise a network (layers, wiring, precision groups) to a dict."""
+    layers = []
+    for layer in network.layers:
+        kind = type(layer).__name__
+        if kind not in _LAYER_TYPES:
+            raise TypeError(f"cannot serialise layer type {kind}")
+        entry: Dict[str, Any] = {
+            "type": kind,
+            "name": layer.name,
+            "inputs": list(network.inputs_of(layer.name)),
+        }
+        if layer.precision_group is not None:
+            entry["precision_group"] = layer.precision_group
+        for field in _LAYER_FIELDS[kind]:
+            entry[field] = getattr(layer, field)
+        layers.append(entry)
+    return {
+        "name": network.name,
+        "input_shape": _shape_to_list(network.input_shape),
+        "layers": layers,
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Reconstruct a network from :func:`network_to_dict` output."""
+    try:
+        name = data["name"]
+        input_shape = _shape_from_list(data["input_shape"])
+        layer_entries = data["layers"]
+    except KeyError as exc:
+        raise ValueError(f"network dict is missing key {exc}") from None
+    network = Network(name, input_shape)
+    for entry in layer_entries:
+        kind = entry.get("type")
+        if kind not in _LAYER_TYPES:
+            raise ValueError(f"unknown layer type {kind!r}")
+        cls = _LAYER_TYPES[kind]
+        kwargs = {field: entry[field] for field in _LAYER_FIELDS[kind]
+                  if field in entry}
+        layer = cls(name=entry["name"],
+                    precision_group=entry.get("precision_group"), **kwargs)
+        network.add(layer, inputs=entry.get("inputs"))
+    return network
+
+
+def save_network(network: Network, path: Union[str, Path]) -> None:
+    """Write a network definition to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Read a network definition from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def profile_to_dict(profile: NetworkPrecisionProfile) -> Dict[str, Any]:
+    """Serialise a precision profile to a dict."""
+
+    def encode(layers: List[LayerPrecision]) -> List[Dict[str, Any]]:
+        encoded = []
+        for lp in layers:
+            entry: Dict[str, Any] = {
+                "activation_bits": lp.activation_bits,
+                "weight_bits": lp.weight_bits,
+            }
+            if lp.effective_weight_bits is not None:
+                entry["effective_weight_bits"] = lp.effective_weight_bits
+            encoded.append(entry)
+        return encoded
+
+    return {
+        "network": profile.network,
+        "accuracy_target": profile.accuracy_target,
+        "conv_layers": encode(profile.conv_layers),
+        "fc_layers": encode(profile.fc_layers),
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> NetworkPrecisionProfile:
+    """Reconstruct a precision profile from :func:`profile_to_dict` output."""
+
+    def decode(entries: List[Dict[str, Any]]) -> List[LayerPrecision]:
+        return [
+            LayerPrecision(
+                activation_bits=entry["activation_bits"],
+                weight_bits=entry["weight_bits"],
+                effective_weight_bits=entry.get("effective_weight_bits"),
+            )
+            for entry in entries
+        ]
+
+    try:
+        return NetworkPrecisionProfile(
+            network=data["network"],
+            accuracy_target=data["accuracy_target"],
+            conv_layers=decode(data["conv_layers"]),
+            fc_layers=decode(data["fc_layers"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"profile dict is missing key {exc}") from None

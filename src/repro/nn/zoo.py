@@ -1,0 +1,249 @@
+"""Definitions of the six networks the paper evaluates.
+
+The geometries come from each network's original publication (AlexNet,
+Network-in-Network, GoogLeNet, VGG-S/M from Chatfield et al., VGG-19).  Only
+the geometry matters for Loom's evaluation; weights are synthesised by
+:class:`repro.nn.inference.ReferenceModel` when a runnable model is needed.
+
+GoogLeNet is expressed with its full inception branch structure (57
+convolutions); each inception module is assigned one *precision group* so the
+network lines up with the paper's 11-entry GoogLeNet precision profile
+(conv1, conv2, and the nine inception modules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    LRN,
+    Pool2D,
+    ReLU,
+    Softmax,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+__all__ = [
+    "alexnet",
+    "nin",
+    "googlenet",
+    "vggs",
+    "vggm",
+    "vgg19",
+    "available_networks",
+    "build_network",
+]
+
+
+def _conv_relu(net: Network, name: str, out_channels: int, kernel: int,
+               stride: int = 1, padding: int = 0, groups: int = 1,
+               precision_group: int = None, inputs=None) -> str:
+    """Add a convolution followed by a ReLU; return the ReLU's name."""
+    net.add(
+        Conv2D(
+            name=name,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            precision_group=precision_group,
+        ),
+        inputs=inputs,
+    )
+    relu_name = f"{name}_relu"
+    net.add(ReLU(name=relu_name))
+    return relu_name
+
+
+def alexnet() -> Network:
+    """AlexNet (Krizhevsky et al., 2012): 5 CVLs, 3 FCLs, 227x227 input."""
+    net = Network("alexnet", TensorShape(3, 227, 227))
+    _conv_relu(net, "conv1", 96, kernel=11, stride=4)
+    net.add(LRN(name="norm1"))
+    net.add(Pool2D(name="pool1", kernel=3, stride=2))
+    _conv_relu(net, "conv2", 256, kernel=5, padding=2, groups=2)
+    net.add(LRN(name="norm2"))
+    net.add(Pool2D(name="pool2", kernel=3, stride=2))
+    _conv_relu(net, "conv3", 384, kernel=3, padding=1)
+    _conv_relu(net, "conv4", 384, kernel=3, padding=1, groups=2)
+    _conv_relu(net, "conv5", 256, kernel=3, padding=1, groups=2)
+    net.add(Pool2D(name="pool5", kernel=3, stride=2))
+    net.add(FullyConnected(name="fc6", out_features=4096))
+    net.add(ReLU(name="fc6_relu"))
+    net.add(FullyConnected(name="fc7", out_features=4096))
+    net.add(ReLU(name="fc7_relu"))
+    net.add(FullyConnected(name="fc8", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def nin() -> Network:
+    """Network-in-Network (Lin et al., 2013): 12 CVLs, no FCLs."""
+    net = Network("nin", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 96, kernel=11, stride=4)
+    _conv_relu(net, "cccp1", 96, kernel=1)
+    _conv_relu(net, "cccp2", 96, kernel=1)
+    net.add(Pool2D(name="pool1", kernel=3, stride=2))
+    _conv_relu(net, "conv2", 256, kernel=5, padding=2)
+    _conv_relu(net, "cccp3", 256, kernel=1)
+    _conv_relu(net, "cccp4", 256, kernel=1)
+    net.add(Pool2D(name="pool2", kernel=3, stride=2))
+    _conv_relu(net, "conv3", 384, kernel=3, padding=1)
+    _conv_relu(net, "cccp5", 384, kernel=1)
+    _conv_relu(net, "cccp6", 384, kernel=1)
+    net.add(Pool2D(name="pool3", kernel=3, stride=2))
+    _conv_relu(net, "conv4", 1024, kernel=3, padding=1)
+    _conv_relu(net, "cccp7", 1024, kernel=1)
+    _conv_relu(net, "cccp8", 1000, kernel=1)
+    net.add(Pool2D(name="pool4", mode="avg", global_pool=True))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def _inception(net: Network, name: str, source: str, group: int,
+               c1: int, c3r: int, c3: int, c5r: int, c5: int, pproj: int) -> str:
+    """Add one GoogLeNet inception module; return the output Concat's name."""
+    b1 = _conv_relu(net, f"{name}_1x1", c1, kernel=1, precision_group=group,
+                    inputs=[source])
+    r3 = _conv_relu(net, f"{name}_3x3_reduce", c3r, kernel=1,
+                    precision_group=group, inputs=[source])
+    b3 = _conv_relu(net, f"{name}_3x3", c3, kernel=3, padding=1,
+                    precision_group=group, inputs=[r3])
+    r5 = _conv_relu(net, f"{name}_5x5_reduce", c5r, kernel=1,
+                    precision_group=group, inputs=[source])
+    b5 = _conv_relu(net, f"{name}_5x5", c5, kernel=5, padding=2,
+                    precision_group=group, inputs=[r5])
+    net.add(Pool2D(name=f"{name}_pool", kernel=3, stride=1, padding=1),
+            inputs=[source])
+    bp = _conv_relu(net, f"{name}_pool_proj", pproj, kernel=1,
+                    precision_group=group, inputs=[f"{name}_pool"])
+    out_name = f"{name}_output"
+    net.add(Concat(name=out_name, out_channels=c1 + c3 + c5 + pproj),
+            inputs=[b1, b3, b5, bp])
+    return out_name
+
+
+def googlenet() -> Network:
+    """GoogLeNet (Szegedy et al., 2015): 57 CVLs in 11 precision groups, 1 FCL."""
+    net = Network("googlenet", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 64, kernel=7, stride=2, padding=3, precision_group=0)
+    net.add(Pool2D(name="pool1", kernel=3, stride=2, padding=1))
+    net.add(LRN(name="norm1"))
+    _conv_relu(net, "conv2_reduce", 64, kernel=1, precision_group=1)
+    _conv_relu(net, "conv2", 192, kernel=3, padding=1, precision_group=1)
+    net.add(LRN(name="norm2"))
+    net.add(Pool2D(name="pool2", kernel=3, stride=2, padding=1))
+    src = "pool2"
+    src = _inception(net, "inception_3a", src, 2, 64, 96, 128, 16, 32, 32)
+    src = _inception(net, "inception_3b", src, 3, 128, 128, 192, 32, 96, 64)
+    net.add(Pool2D(name="pool3", kernel=3, stride=2, padding=1), inputs=[src])
+    src = "pool3"
+    src = _inception(net, "inception_4a", src, 4, 192, 96, 208, 16, 48, 64)
+    src = _inception(net, "inception_4b", src, 5, 160, 112, 224, 24, 64, 64)
+    src = _inception(net, "inception_4c", src, 6, 128, 128, 256, 24, 64, 64)
+    src = _inception(net, "inception_4d", src, 7, 112, 144, 288, 32, 64, 64)
+    src = _inception(net, "inception_4e", src, 8, 256, 160, 320, 32, 128, 128)
+    net.add(Pool2D(name="pool4", kernel=3, stride=2, padding=1), inputs=[src])
+    src = "pool4"
+    src = _inception(net, "inception_5a", src, 9, 256, 160, 320, 32, 128, 128)
+    src = _inception(net, "inception_5b", src, 10, 384, 192, 384, 48, 128, 128)
+    net.add(Pool2D(name="pool5", mode="avg", global_pool=True), inputs=[src])
+    net.add(FullyConnected(name="loss3_classifier", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def vggm() -> Network:
+    """VGG-M / CNN-M (Chatfield et al., 2014): 5 CVLs, 3 FCLs."""
+    net = Network("vggm", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 96, kernel=7, stride=2)
+    net.add(LRN(name="norm1"))
+    net.add(Pool2D(name="pool1", kernel=3, stride=2))
+    _conv_relu(net, "conv2", 256, kernel=5, stride=2, padding=1)
+    net.add(LRN(name="norm2"))
+    net.add(Pool2D(name="pool2", kernel=3, stride=2))
+    _conv_relu(net, "conv3", 512, kernel=3, padding=1)
+    _conv_relu(net, "conv4", 512, kernel=3, padding=1)
+    _conv_relu(net, "conv5", 512, kernel=3, padding=1)
+    net.add(Pool2D(name="pool5", kernel=3, stride=2, padding=1))
+    net.add(FullyConnected(name="fc6", out_features=4096))
+    net.add(ReLU(name="fc6_relu"))
+    net.add(FullyConnected(name="fc7", out_features=4096))
+    net.add(ReLU(name="fc7_relu"))
+    net.add(FullyConnected(name="fc8", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def vggs() -> Network:
+    """VGG-S / CNN-S (Chatfield et al., 2014): 5 CVLs, 3 FCLs."""
+    net = Network("vggs", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 96, kernel=7, stride=2)
+    net.add(LRN(name="norm1"))
+    net.add(Pool2D(name="pool1", kernel=3, stride=3))
+    _conv_relu(net, "conv2", 256, kernel=5)
+    net.add(Pool2D(name="pool2", kernel=2, stride=2))
+    _conv_relu(net, "conv3", 512, kernel=3, padding=1)
+    _conv_relu(net, "conv4", 512, kernel=3, padding=1)
+    _conv_relu(net, "conv5", 512, kernel=3, padding=1)
+    net.add(Pool2D(name="pool5", kernel=3, stride=3))
+    net.add(FullyConnected(name="fc6", out_features=4096))
+    net.add(ReLU(name="fc6_relu"))
+    net.add(FullyConnected(name="fc7", out_features=4096))
+    net.add(ReLU(name="fc7_relu"))
+    net.add(FullyConnected(name="fc8", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def vgg19() -> Network:
+    """VGG-19 (Simonyan & Zisserman, 2014): 16 CVLs, 3 FCLs."""
+    net = Network("vgg19", TensorShape(3, 224, 224))
+    stages = [
+        ("1", 64, 2),
+        ("2", 128, 2),
+        ("3", 256, 4),
+        ("4", 512, 4),
+        ("5", 512, 4),
+    ]
+    for stage, channels, repeats in stages:
+        for i in range(1, repeats + 1):
+            _conv_relu(net, f"conv{stage}_{i}", channels, kernel=3, padding=1)
+        net.add(Pool2D(name=f"pool{stage}", kernel=2, stride=2))
+    net.add(FullyConnected(name="fc6", out_features=4096))
+    net.add(ReLU(name="fc6_relu"))
+    net.add(FullyConnected(name="fc7", out_features=4096))
+    net.add(ReLU(name="fc7_relu"))
+    net.add(FullyConnected(name="fc8", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "alexnet": alexnet,
+    "nin": nin,
+    "googlenet": googlenet,
+    "vggs": vggs,
+    "vggm": vggm,
+    "vgg19": vgg19,
+}
+
+
+def available_networks() -> List[str]:
+    """Names of the networks in the zoo, in the paper's reporting order."""
+    return ["nin", "alexnet", "googlenet", "vggs", "vggm", "vgg19"]
+
+
+def build_network(name: str) -> Network:
+    """Build a zoo network by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown network {name!r}; available: {available_networks()}"
+        )
+    return _BUILDERS[key]()

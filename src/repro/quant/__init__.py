@@ -1,0 +1,79 @@
+"""Fixed-point and precision substrate.
+
+This package provides everything Loom needs to reason about reduced numerical
+precision:
+
+* :mod:`repro.quant.fixedpoint` -- conversion between real-valued tensors and
+  fixed-point integers, the representation DPNN and Loom operate on.
+* :mod:`repro.quant.bitops` -- bit-serial decomposition and bit-interleaved
+  packing utilities used by the functional Loom model and the memory layout
+  model.
+* :mod:`repro.quant.precision` -- per-layer precision profiles, including the
+  paper's Table 1 (profile-derived) and Table 3 (per-group effective) profiles.
+* :mod:`repro.quant.profiler` -- the Judd-style profile-derived precision
+  search that selects the smallest per-layer precisions meeting an accuracy
+  constraint.
+* :mod:`repro.quant.groups` -- per-group (dynamic) precision reduction for
+  activations and weights following Lascorz et al.
+"""
+
+from repro.quant.fixedpoint import (
+    FixedPointFormat,
+    quantize,
+    dequantize,
+    quantize_tensor,
+    required_precision,
+    saturate,
+)
+from repro.quant.bitops import (
+    bit_decompose,
+    bit_compose,
+    bit_serial_dot,
+    pack_bit_interleaved,
+    unpack_bit_interleaved,
+    count_significant_bits,
+)
+from repro.quant.precision import (
+    LayerPrecision,
+    NetworkPrecisionProfile,
+    PAPER_PROFILES_100,
+    PAPER_PROFILES_99,
+    PAPER_EFFECTIVE_WEIGHT_PRECISIONS,
+    get_paper_profile,
+    paper_networks,
+)
+from repro.quant.profiler import PrecisionProfiler, ProfiledPrecision
+from repro.quant.groups import (
+    group_activation_precisions,
+    group_weight_precisions,
+    effective_precision,
+    GroupPrecisionStats,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+    "quantize_tensor",
+    "required_precision",
+    "saturate",
+    "bit_decompose",
+    "bit_compose",
+    "bit_serial_dot",
+    "pack_bit_interleaved",
+    "unpack_bit_interleaved",
+    "count_significant_bits",
+    "LayerPrecision",
+    "NetworkPrecisionProfile",
+    "PAPER_PROFILES_100",
+    "PAPER_PROFILES_99",
+    "PAPER_EFFECTIVE_WEIGHT_PRECISIONS",
+    "get_paper_profile",
+    "paper_networks",
+    "PrecisionProfiler",
+    "ProfiledPrecision",
+    "group_activation_precisions",
+    "group_weight_precisions",
+    "effective_precision",
+    "GroupPrecisionStats",
+]

@@ -1,0 +1,215 @@
+"""Bit-serial decomposition and bit-interleaved packing.
+
+Loom processes activations and weights one bit (or two/four bits) at a time.
+This module implements the bit-level plumbing that the functional Loom model
+and the memory-layout model rely on:
+
+* :func:`bit_decompose` / :func:`bit_compose` -- split integer codes into bit
+  planes and reassemble them.  Signed values use a two's-complement
+  decomposition where the most significant plane carries negative weight,
+  exactly what the SIP negation block implements.
+* :func:`bit_serial_dot` -- a reference bit-serial inner product that mirrors
+  the SIP datapath (AND gates, adder tree, AC1 shift-accumulate over
+  activation bits, AC2 shift-accumulate over weight bits).  It is used to
+  verify the cycle-level SIP model against plain integer arithmetic.
+* :func:`pack_bit_interleaved` / :func:`unpack_bit_interleaved` -- the
+  bit-interleaved memory layout of Section 3.2 ("given 2K 13b weights ...
+  pack first their bit 0 onto continuous rows, then their bit 1, ...").
+* :func:`count_significant_bits` -- per-element precision requirement, the
+  primitive behind dynamic precision reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "bit_decompose",
+    "bit_compose",
+    "bit_serial_dot",
+    "pack_bit_interleaved",
+    "unpack_bit_interleaved",
+    "count_significant_bits",
+]
+
+
+def _as_int_array(values: np.ndarray) -> np.ndarray:
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"expected integer codes, got dtype {arr.dtype}")
+    return arr.astype(np.int64)
+
+
+def bit_decompose(codes: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:
+    """Decompose integer codes into ``bits`` bit planes.
+
+    The result has shape ``(bits,) + codes.shape`` where plane ``i`` holds bit
+    ``i`` (LSB first).  For signed inputs the values are first mapped to their
+    ``bits``-wide two's-complement encoding, so plane ``bits - 1`` is the sign
+    plane.
+
+    Raises
+    ------
+    ValueError
+        If any code does not fit in ``bits`` bits.
+    """
+    codes = _as_int_array(codes)
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if codes.size and (codes.min() < lo or codes.max() > hi):
+        raise ValueError(
+            f"codes out of range for {bits}-bit {'signed' if signed else 'unsigned'} "
+            f"decomposition: [{codes.min()}, {codes.max()}] not within [{lo}, {hi}]"
+        )
+    encoded = np.where(codes < 0, codes + (1 << bits), codes).astype(np.uint64)
+    planes = np.empty((bits,) + codes.shape, dtype=np.int64)
+    for i in range(bits):
+        planes[i] = (encoded >> np.uint64(i)) & np.uint64(1)
+    return planes
+
+
+def bit_compose(planes: np.ndarray, signed: bool = True) -> np.ndarray:
+    """Reassemble integer codes from bit planes produced by :func:`bit_decompose`."""
+    planes = np.asarray(planes, dtype=np.int64)
+    if planes.ndim < 1:
+        raise ValueError("planes must have at least one dimension (the bit axis)")
+    bits = planes.shape[0]
+    weights = np.array([1 << i for i in range(bits)], dtype=np.int64)
+    if signed and bits > 0:
+        weights[-1] = -(1 << (bits - 1))
+    shape = (bits,) + (1,) * (planes.ndim - 1)
+    return np.sum(planes * weights.reshape(shape), axis=0)
+
+
+def bit_serial_dot(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    act_bits: int,
+    weight_bits: int,
+    act_signed: bool = False,
+    weight_signed: bool = True,
+) -> Tuple[int, int]:
+    """Reference bit-serial inner product mirroring the SIP datapath.
+
+    The computation follows the Loom schedule for a single SIP: the same
+    weight bit plane is held in the weight registers for ``act_bits`` cycles
+    while successive activation bit planes stream through; the adder tree
+    output is shift-accumulated over activation bits (AC1) and then the AC1
+    result is shift-accumulated over weight bits into the output register
+    (AC2).  Sign planes contribute negatively, which is what the SIP negation
+    block implements for the weight MSB.
+
+    Parameters
+    ----------
+    activations, weights:
+        One-dimensional integer code arrays of equal length.
+    act_bits, weight_bits:
+        Precisions used for the serial decomposition.
+    act_signed, weight_signed:
+        Signedness of each operand.
+
+    Returns
+    -------
+    (result, cycles):
+        ``result`` is the integer inner product and ``cycles`` the number of
+        bit-serial cycles consumed (``act_bits * weight_bits``).
+    """
+    activations = _as_int_array(activations)
+    weights = _as_int_array(weights)
+    if activations.shape != weights.shape or activations.ndim != 1:
+        raise ValueError(
+            f"activations and weights must be 1-D arrays of equal length, "
+            f"got shapes {activations.shape} and {weights.shape}"
+        )
+    a_planes = bit_decompose(activations, act_bits, signed=act_signed)
+    w_planes = bit_decompose(weights, weight_bits, signed=weight_signed)
+
+    total = 0
+    cycles = 0
+    for wi in range(weight_bits):
+        w_plane = w_planes[wi]
+        w_sign = -1 if (weight_signed and wi == weight_bits - 1) else 1
+        ac1 = 0
+        for ai in range(act_bits):
+            a_plane = a_planes[ai]
+            a_sign = -1 if (act_signed and ai == act_bits - 1) else 1
+            # 16 AND gates + adder tree in the SIP; here vectorised.
+            partial = int(np.sum(a_plane & w_plane))
+            ac1 += a_sign * partial * (1 << ai)
+            cycles += 1
+        total += w_sign * ac1 * (1 << wi)
+    return total, cycles
+
+
+def pack_bit_interleaved(codes: np.ndarray, bits: int, row_width: int,
+                         signed: bool = True) -> np.ndarray:
+    """Pack integer codes into the bit-interleaved row layout used by Loom.
+
+    The paper stores a group of values "bit 0 onto continuous rows, then bit 1,
+    and so on": for ``n`` values and a memory row of ``row_width`` bits, bit
+    plane 0 of all values occupies the first ``ceil(n / row_width)`` rows, bit
+    plane 1 the next, etc.  Only ``bits`` planes are stored, which is where the
+    footprint reduction of ``(16 - P) / 16`` comes from.
+
+    Returns
+    -------
+    np.ndarray
+        Array of shape ``(bits * rows_per_plane, row_width)`` with 0/1 entries.
+        Padding positions are zero.
+    """
+    codes = _as_int_array(codes).ravel()
+    if row_width < 1:
+        raise ValueError(f"row_width must be >= 1, got {row_width}")
+    planes = bit_decompose(codes, bits, signed=signed)
+    n = codes.size
+    rows_per_plane = max(1, -(-n // row_width))
+    padded = np.zeros((bits, rows_per_plane * row_width), dtype=np.int64)
+    padded[:, :n] = planes
+    return padded.reshape(bits * rows_per_plane, row_width)
+
+
+def unpack_bit_interleaved(rows: np.ndarray, bits: int, count: int,
+                           signed: bool = True) -> np.ndarray:
+    """Inverse of :func:`pack_bit_interleaved` (the transposer's job on reads)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+    total_rows, row_width = rows.shape
+    if bits < 1 or total_rows % bits:
+        raise ValueError(
+            f"row count {total_rows} is not a multiple of bits={bits}"
+        )
+    rows_per_plane = total_rows // bits
+    planes = rows.reshape(bits, rows_per_plane * row_width)[:, :count]
+    return bit_compose(planes, signed=signed)
+
+
+def count_significant_bits(codes: np.ndarray, signed: bool = False) -> np.ndarray:
+    """Per-element number of significant bits.
+
+    For unsigned codes this is the index of the leading one plus one (zero
+    values need 1 bit).  For signed codes the magnitude plus a sign bit is
+    counted.  This is the primitive used by the per-group dynamic precision
+    logic (an OR tree across the group followed by a leading-one detector).
+    """
+    codes = _as_int_array(codes)
+    flat = codes.ravel()
+    out = np.empty(flat.shape, dtype=np.int64)
+    for i, v in enumerate(flat):
+        v = int(v)
+        if signed:
+            if v >= 0:
+                out[i] = max(1, v.bit_length() + 1)
+            else:
+                out[i] = max(1, (-v - 1).bit_length() + 1)
+        else:
+            if v < 0:
+                raise ValueError("negative code in unsigned count_significant_bits")
+            out[i] = max(1, v.bit_length())
+    return out.reshape(codes.shape)

@@ -1,0 +1,183 @@
+"""Fixed-point numeric formats and tensor quantisation.
+
+DPNN (the bit-parallel baseline) and Loom both operate on fixed-point values.
+The baseline hardware uses 16-bit fixed point for activations and weights; Loom
+exploits the fact that most layers need far fewer bits.  This module provides
+the conversion between real-valued tensors (as produced by a trained network)
+and the integer fixed-point representation that the accelerator models consume,
+plus helpers to determine the minimum precision required to represent a tensor
+without clipping.
+
+A fixed-point format is described by a total bit width and the number of
+fractional bits, i.e. the classic Q-format ``Q(integer_bits.fraction_bits)``.
+Signed values use two's complement, matching the SIP negation block described
+in Section 3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+    "quantize_tensor",
+    "required_precision",
+    "saturate",
+]
+
+#: Baseline hardware word width used by DPNN for both weights and activations.
+BASELINE_PRECISION = 16
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed or unsigned fixed-point numeric format.
+
+    Attributes
+    ----------
+    total_bits:
+        Total number of bits in the representation (sign bit included for
+        signed formats).
+    frac_bits:
+        Number of fractional bits.  The represented value of the integer code
+        ``q`` is ``q * 2**-frac_bits``.
+    signed:
+        Whether the format is two's-complement signed.  Weights are signed;
+        post-ReLU activations are unsigned (the paper notes activation
+        precisions of up to 13 bits which fit in the 16-bit unsigned lanes).
+    """
+
+    total_bits: int
+    frac_bits: int = 0
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise ValueError(f"total_bits must be >= 1, got {self.total_bits}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.signed and self.total_bits < 2:
+            raise ValueError("signed formats need at least 2 bits")
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def int_bits(self) -> int:
+        """Number of integer (non-fractional, non-sign) bits."""
+        sign = 1 if self.signed else 0
+        return self.total_bits - self.frac_bits - sign
+
+    @property
+    def min_code(self) -> int:
+        """Smallest representable integer code."""
+        if self.signed:
+            return -(1 << (self.total_bits - 1))
+        return 0
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_code * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    def with_total_bits(self, total_bits: int) -> "FixedPointFormat":
+        """Return a copy of this format with a different total width."""
+        return FixedPointFormat(total_bits=total_bits, frac_bits=self.frac_bits,
+                                signed=self.signed)
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``s16.8`` or ``u8.0``."""
+        prefix = "s" if self.signed else "u"
+        return f"{prefix}{self.total_bits}.{self.frac_bits}"
+
+
+def saturate(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Clamp integer codes to the representable range of ``fmt``."""
+    return np.clip(codes, fmt.min_code, fmt.max_code)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantise real values to integer codes in ``fmt``.
+
+    Rounding is round-to-nearest (ties away from zero, matching ``np.round``
+    up to the banker's-rounding caveat which is irrelevant at the precisions
+    studied), followed by saturation to the representable range.
+
+    Parameters
+    ----------
+    values:
+        Array of real values.
+    fmt:
+        Target fixed-point format.
+
+    Returns
+    -------
+    np.ndarray of int64 integer codes.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.round(values / fmt.scale).astype(np.int64)
+    return saturate(codes, fmt)
+
+
+def dequantize(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Convert integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) * fmt.scale
+
+
+def quantize_tensor(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantise then dequantise, i.e. the real values the hardware would see."""
+    return dequantize(quantize(values, fmt), fmt)
+
+
+def required_precision(codes: np.ndarray, signed: bool = True) -> int:
+    """Minimum number of bits needed to represent every integer code.
+
+    For unsigned data this is the position of the most significant one plus
+    one; for signed two's-complement data one extra sign bit is required.  An
+    all-zero tensor still needs one bit (the hardware cannot use a zero-cycle
+    precision; the paper's dynamic precision reduction likewise bottoms out at
+    1 bit).
+
+    Parameters
+    ----------
+    codes:
+        Integer codes (any integer dtype).
+    signed:
+        Whether the codes are two's-complement signed.
+
+    Returns
+    -------
+    int
+        Number of bits, at least 1.
+    """
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return 1
+    if signed:
+        # For negative v, two's complement needs ceil(log2(|v|)) + 1 bits
+        # (e.g. -8 fits in 4 bits); for positive v it needs floor(log2(v)) + 2.
+        max_pos = int(codes.max(initial=0))
+        min_neg = int(codes.min(initial=0))
+        bits_pos = int(max_pos).bit_length() + 1 if max_pos > 0 else 1
+        bits_neg = int(-min_neg - 1).bit_length() + 1 if min_neg < 0 else 1
+        return max(1, bits_pos, bits_neg)
+    max_val = int(np.abs(codes).max())
+    return max(1, int(max_val).bit_length())

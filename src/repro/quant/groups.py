@@ -1,0 +1,177 @@
+"""Per-group dynamic precision reduction.
+
+Loom refines the profile-derived precisions at a much finer granularity:
+
+* **Activations** (Lascorz et al., "Dynamic Stripes"): the hardware inspects
+  the group of 256 activations it is about to process concurrently, ORs their
+  bit planes together and uses a leading-one detector to find the smallest
+  precision that still represents every value in the group.  Execution time of
+  the group then scales with that reduced precision.
+
+* **Weights** (Section 4.6, Delmas et al., "DPRed"): the same idea applied to
+  groups of 16 weights; detected statically and shipped as metadata, or at
+  runtime.  Table 3 reports the resulting *average effective weight precision*
+  per layer, and Table 4 the speedups it enables.
+
+This module implements both group reductions on integer-code tensors and the
+aggregation into average effective precisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.bitops import count_significant_bits
+
+__all__ = [
+    "GroupPrecisionStats",
+    "group_activation_precisions",
+    "group_weight_precisions",
+    "effective_precision",
+]
+
+#: Number of activations Loom processes concurrently (16 lanes x 16 windows).
+ACTIVATION_GROUP_SIZE = 256
+
+#: Weight group size used by the per-group weight precision scheme (one SIP row lane).
+WEIGHT_GROUP_SIZE = 16
+
+
+@dataclass(frozen=True)
+class GroupPrecisionStats:
+    """Summary of a per-group precision reduction over one tensor.
+
+    Attributes
+    ----------
+    group_size:
+        Number of values per group.
+    num_groups:
+        Number of groups the tensor was split into.
+    precisions:
+        Per-group precision in bits (numpy int array of length ``num_groups``).
+    baseline_bits:
+        The profile-derived (or baseline) precision the groups started from.
+    """
+
+    group_size: int
+    num_groups: int
+    precisions: np.ndarray
+    baseline_bits: int
+
+    @property
+    def average_bits(self) -> float:
+        """Average effective precision across groups (what Table 3 reports)."""
+        if self.num_groups == 0:
+            return float(self.baseline_bits)
+        return float(np.mean(self.precisions))
+
+    @property
+    def max_bits(self) -> int:
+        if self.num_groups == 0:
+            return self.baseline_bits
+        return int(np.max(self.precisions))
+
+    @property
+    def min_bits(self) -> int:
+        if self.num_groups == 0:
+            return self.baseline_bits
+        return int(np.min(self.precisions))
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of bits saved relative to the baseline precision."""
+        if self.baseline_bits == 0:
+            return 0.0
+        return 1.0 - self.average_bits / self.baseline_bits
+
+
+def _group_precisions(
+    codes: np.ndarray,
+    group_size: int,
+    baseline_bits: int,
+    signed: bool,
+    pad_value: int = 0,
+) -> GroupPrecisionStats:
+    """Split ``codes`` into contiguous groups and compute each group's precision."""
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if baseline_bits < 1:
+        raise ValueError(f"baseline_bits must be >= 1, got {baseline_bits}")
+    flat = np.asarray(codes).ravel()
+    if flat.size == 0:
+        return GroupPrecisionStats(
+            group_size=group_size,
+            num_groups=0,
+            precisions=np.zeros(0, dtype=np.int64),
+            baseline_bits=baseline_bits,
+        )
+    pad = (-flat.size) % group_size
+    if pad:
+        flat = np.concatenate([flat, np.full(pad, pad_value, dtype=flat.dtype)])
+    groups = flat.reshape(-1, group_size)
+    per_value = count_significant_bits(groups, signed=signed)
+    per_group = per_value.max(axis=1)
+    # The hardware can never exceed the precision the data was stored at.
+    per_group = np.minimum(per_group, baseline_bits)
+    return GroupPrecisionStats(
+        group_size=group_size,
+        num_groups=groups.shape[0],
+        precisions=per_group.astype(np.int64),
+        baseline_bits=baseline_bits,
+    )
+
+
+def group_activation_precisions(
+    activation_codes: np.ndarray,
+    baseline_bits: int,
+    group_size: int = ACTIVATION_GROUP_SIZE,
+    signed: bool = False,
+) -> GroupPrecisionStats:
+    """Dynamic per-group activation precisions (Dynamic Stripes / DStripes).
+
+    Parameters
+    ----------
+    activation_codes:
+        Integer activation codes in processing order.  Post-ReLU activations
+        are unsigned.
+    baseline_bits:
+        The profile-derived per-layer precision the group precisions are
+        clamped to (the hardware never transmits more bits than the profile).
+    group_size:
+        Number of concurrently-processed activations per group (256 in the
+        paper's configuration).
+    """
+    return _group_precisions(activation_codes, group_size, baseline_bits, signed)
+
+
+def group_weight_precisions(
+    weight_codes: np.ndarray,
+    baseline_bits: int,
+    group_size: int = WEIGHT_GROUP_SIZE,
+    signed: bool = True,
+) -> GroupPrecisionStats:
+    """Per-group (16-weight) effective weight precisions (Section 4.6 / Table 3)."""
+    return _group_precisions(weight_codes, group_size, baseline_bits, signed)
+
+
+def effective_precision(
+    stats: GroupPrecisionStats,
+    bits_per_cycle: int = 1,
+) -> float:
+    """Average number of serial steps a group costs, for a ``bits_per_cycle`` design.
+
+    LM2b and LM4b process 2 and 4 bits per cycle, so a group of precision ``p``
+    costs ``ceil(p / bits_per_cycle)`` steps; this returns the average cost in
+    *equivalent bits* (steps x bits_per_cycle), which is what the performance
+    model divides by.
+    """
+    if bits_per_cycle < 1:
+        raise ValueError(f"bits_per_cycle must be >= 1, got {bits_per_cycle}")
+    if stats.num_groups == 0:
+        steps = -(-stats.baseline_bits // bits_per_cycle)
+        return float(steps * bits_per_cycle)
+    steps = np.ceil(stats.precisions / bits_per_cycle)
+    return float(np.mean(steps) * bits_per_cycle)

@@ -1,0 +1,248 @@
+"""Profile-derived per-layer precision selection.
+
+The precisions in Table 1 come from the methodology of Judd et al. ("Reduced
+precision strategies for bounded memory in deep neural nets"): starting from
+the 16-bit baseline, each layer's activation (and weight) precision is lowered
+as far as possible while the network's top-1 accuracy on a profiling set stays
+above a target (100% or 99% of the full-precision accuracy).
+
+We do not have ImageNet or the pretrained models, so the profiler here is
+written against an abstract *evaluation function*: any callable that maps a
+per-layer precision assignment to a score in ``[0, 1]``.  Two evaluation
+functions are provided out of the box:
+
+* :func:`fidelity_evaluator` -- runs the reference NumPy forward pass of a
+  (synthetic-weight) network at the candidate precisions and scores how often
+  the arg-max of the quantised output matches the full-precision output, i.e.
+  a top-1 agreement rate.  This is the same measurement the paper uses, with a
+  synthetic data distribution standing in for ImageNet (see DESIGN.md).
+* Any user-supplied callable, for experimentation.
+
+The search itself is the standard per-layer descent: precisions are lowered
+one layer at a time (most-benefit-first) and a candidate is kept whenever the
+score stays above the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quant.fixedpoint import BASELINE_PRECISION
+from repro.quant.precision import LayerPrecision, NetworkPrecisionProfile
+
+__all__ = ["ProfiledPrecision", "PrecisionProfiler", "fidelity_evaluator"]
+
+#: Signature of an evaluation function: maps {layer_name: (act_bits, weight_bits)}
+#: to a score in [0, 1].
+Evaluator = Callable[[Mapping[str, Tuple[int, int]]], float]
+
+
+@dataclass
+class ProfiledPrecision:
+    """Result of a precision search for one layer."""
+
+    layer_name: str
+    activation_bits: int
+    weight_bits: int
+    is_conv: bool
+
+    def as_layer_precision(self) -> LayerPrecision:
+        return LayerPrecision(
+            activation_bits=self.activation_bits, weight_bits=self.weight_bits
+        )
+
+
+@dataclass
+class PrecisionProfiler:
+    """Greedy per-layer precision search.
+
+    Parameters
+    ----------
+    evaluator:
+        Callable scoring a precision assignment; higher is better, 1.0 means
+        "identical to full precision".
+    target_score:
+        Minimum acceptable score (1.0 for the 100% profile, 0.99 for the 99%
+        profile).
+    min_bits / max_bits:
+        Search bounds; the paper's hardware supports 1..16 bits.
+    search_weights:
+        Whether weight precisions are searched too (the paper searches weight
+        precisions network-wide for CVLs and per-layer for FCLs; here we
+        search per layer and callers may post-process to a network-wide
+        maximum, which :meth:`profile_network` does for CVLs).
+    """
+
+    evaluator: Evaluator
+    target_score: float = 1.0
+    min_bits: int = 1
+    max_bits: int = BASELINE_PRECISION
+    search_weights: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_score <= 1.0:
+            raise ValueError(
+                f"target_score must be in (0, 1], got {self.target_score}"
+            )
+        if not 1 <= self.min_bits <= self.max_bits <= BASELINE_PRECISION:
+            raise ValueError(
+                f"invalid bit bounds [{self.min_bits}, {self.max_bits}]"
+            )
+
+    # -- single-dimension search ------------------------------------------------
+
+    def _lowest_acceptable(
+        self,
+        assignment: Dict[str, Tuple[int, int]],
+        layer: str,
+        dimension: int,
+    ) -> int:
+        """Binary-search the smallest precision for ``layer``'s ``dimension``.
+
+        ``dimension`` is 0 for activations, 1 for weights.  Monotonicity of
+        score in precision is assumed (as in the original methodology); the
+        returned precision is the smallest one whose score meets the target
+        with every other layer held at its current assignment.
+        """
+        current = list(assignment[layer])
+        lo, hi = self.min_bits, current[dimension]
+        best = current[dimension]
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            trial = dict(assignment)
+            candidate = list(current)
+            candidate[dimension] = mid
+            trial[layer] = (candidate[0], candidate[1])
+            score = self.evaluator(trial)
+            if score >= self.target_score:
+                best = mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return best
+
+    # -- public API --------------------------------------------------------------
+
+    def profile_layers(
+        self,
+        layer_names: Sequence[str],
+        conv_flags: Sequence[bool],
+    ) -> List[ProfiledPrecision]:
+        """Search per-layer precisions for the given layers.
+
+        Parameters
+        ----------
+        layer_names:
+            Names of the layers, in network order.
+        conv_flags:
+            For each layer, True if it is convolutional (both activation and
+            weight precision matter for Loom), False if fully connected (only
+            weight precision matters for performance, but activations are
+            still profiled because they determine memory traffic).
+        """
+        if len(layer_names) != len(conv_flags):
+            raise ValueError("layer_names and conv_flags must have equal length")
+        assignment: Dict[str, Tuple[int, int]] = {
+            name: (self.max_bits, self.max_bits) for name in layer_names
+        }
+        results: List[ProfiledPrecision] = []
+        # Activations first (the original methodology profiles activations and
+        # weights separately), then weights, each layer independently with all
+        # other layers at their already-chosen precisions.
+        for name in layer_names:
+            act_bits = self._lowest_acceptable(assignment, name, dimension=0)
+            assignment[name] = (act_bits, assignment[name][1])
+        if self.search_weights:
+            for name in layer_names:
+                w_bits = self._lowest_acceptable(assignment, name, dimension=1)
+                assignment[name] = (assignment[name][0], w_bits)
+        for name, is_conv in zip(layer_names, conv_flags):
+            act_bits, w_bits = assignment[name]
+            results.append(
+                ProfiledPrecision(
+                    layer_name=name,
+                    activation_bits=act_bits,
+                    weight_bits=w_bits,
+                    is_conv=is_conv,
+                )
+            )
+        return results
+
+    def profile_network(
+        self,
+        network_name: str,
+        layer_names: Sequence[str],
+        conv_flags: Sequence[bool],
+        accuracy_label: Optional[str] = None,
+        uniform_conv_weight: bool = True,
+    ) -> NetworkPrecisionProfile:
+        """Produce a :class:`NetworkPrecisionProfile` in the paper's format.
+
+        When ``uniform_conv_weight`` is True the convolutional weight
+        precision is collapsed to the network-wide maximum, matching the
+        paper's choice of "a common across all CVLs weight precision".
+        """
+        per_layer = self.profile_layers(layer_names, conv_flags)
+        conv = [p for p in per_layer if p.is_conv]
+        fc = [p for p in per_layer if not p.is_conv]
+        conv_weight = max((p.weight_bits for p in conv), default=self.max_bits)
+        conv_precisions = [
+            LayerPrecision(
+                activation_bits=p.activation_bits,
+                weight_bits=conv_weight if uniform_conv_weight else p.weight_bits,
+            )
+            for p in conv
+        ]
+        fc_precisions = [
+            LayerPrecision(
+                activation_bits=BASELINE_PRECISION, weight_bits=p.weight_bits
+            )
+            for p in fc
+        ]
+        label = accuracy_label or f"{self.target_score:.0%}"
+        return NetworkPrecisionProfile(
+            network=network_name,
+            accuracy_target=label,
+            conv_layers=conv_precisions,
+            fc_layers=fc_precisions,
+        )
+
+
+def fidelity_evaluator(
+    forward: Callable[[Mapping[str, Tuple[int, int]]], np.ndarray],
+    reference_output: np.ndarray,
+) -> Evaluator:
+    """Build an evaluator that scores top-1 agreement with a reference output.
+
+    Parameters
+    ----------
+    forward:
+        Callable that runs the network forward pass at the candidate per-layer
+        precisions and returns the output logits with shape
+        ``(batch, classes)``.
+    reference_output:
+        Full-precision logits with the same shape; the score is the fraction
+        of samples whose arg-max class matches.
+    """
+    reference_output = np.asarray(reference_output)
+    if reference_output.ndim != 2:
+        raise ValueError(
+            f"reference_output must be 2-D (batch, classes), got shape "
+            f"{reference_output.shape}"
+        )
+    reference_top1 = np.argmax(reference_output, axis=1)
+
+    def evaluate(assignment: Mapping[str, Tuple[int, int]]) -> float:
+        logits = np.asarray(forward(assignment))
+        if logits.shape != reference_output.shape:
+            raise ValueError(
+                f"forward() returned shape {logits.shape}, expected "
+                f"{reference_output.shape}"
+            )
+        top1 = np.argmax(logits, axis=1)
+        return float(np.mean(top1 == reference_top1))
+
+    return evaluate

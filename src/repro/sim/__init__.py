@@ -1,0 +1,52 @@
+"""Simulation infrastructure: results, metrics, the cycle engine and the runner.
+
+* :mod:`repro.sim.results` -- dataclasses describing what one accelerator did
+  for one layer / one network (cycles, traffic, energy) and helpers to compare
+  two accelerators (speedup, energy efficiency).
+* :mod:`repro.sim.metrics` -- geometric means and other aggregation helpers
+  used by the paper's tables.
+* :mod:`repro.sim.engine` -- a small cycle-level engine used by the
+  tile-level simulators.
+* :mod:`repro.sim.runner` -- walks a network (with a bound precision profile)
+  through any accelerator model and aggregates the per-layer results.
+"""
+
+from repro.sim.results import (
+    LayerResult,
+    NetworkResult,
+    ComparisonResult,
+    compare,
+    combine_layer_results,
+)
+from repro.sim.metrics import geomean, speedup, efficiency_ratio, harmonic_mean
+from repro.sim.engine import CycleEngine, Event
+from repro.sim.runner import AcceleratorRunner, run_network, LayerSelection
+from repro.sim.report import (
+    layer_breakdown,
+    comparison_table,
+    bottleneck_summary,
+    to_csv,
+    BottleneckSummary,
+)
+
+__all__ = [
+    "LayerResult",
+    "NetworkResult",
+    "ComparisonResult",
+    "compare",
+    "combine_layer_results",
+    "geomean",
+    "speedup",
+    "efficiency_ratio",
+    "harmonic_mean",
+    "CycleEngine",
+    "Event",
+    "AcceleratorRunner",
+    "run_network",
+    "LayerSelection",
+    "layer_breakdown",
+    "comparison_table",
+    "bottleneck_summary",
+    "to_csv",
+    "BottleneckSummary",
+]

@@ -1,0 +1,109 @@
+"""A small discrete-event cycle engine.
+
+The tile-level simulators (the SIP grid, the baseline inner-product units and
+the memory channels) are written as callbacks scheduled on this engine.  It is
+intentionally minimal: an ordered event queue keyed by cycle number, with
+deterministic FIFO ordering of events scheduled for the same cycle, which is
+all the bit-serial pipelines need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "CycleEngine"]
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled to run at a given cycle."""
+
+    cycle: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class CycleEngine:
+    """Deterministic cycle-driven event loop.
+
+    Events scheduled for the same cycle run in the order they were scheduled.
+    The engine tracks the current cycle and the last cycle at which any event
+    ran, which the simulators report as the layer's execution time.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._current_cycle = 0
+        self._last_active_cycle = 0
+        self._events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from the current cycle."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        event = Event(
+            cycle=self._current_cycle + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``callback`` for an absolute cycle (>= the current cycle)."""
+        if cycle < self._current_cycle:
+            raise ValueError(
+                f"cannot schedule in the past: cycle {cycle} < current "
+                f"{self._current_cycle}"
+            )
+        return self.schedule(cycle - self._current_cycle, callback, label)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_cycles`` is reached).
+
+        Returns the cycle of the last processed event, i.e. the simulated
+        execution time.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if max_cycles is not None and event.cycle > max_cycles:
+                # Put it back so a later run() can continue.
+                heapq.heappush(self._queue, event)
+                self._current_cycle = max_cycles
+                return self._last_active_cycle
+            self._current_cycle = event.cycle
+            self._last_active_cycle = event.cycle
+            self._events_processed += 1
+            event.callback()
+        return self._last_active_cycle
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The current cycle."""
+        return self._current_cycle
+
+    @property
+    def last_active_cycle(self) -> int:
+        return self._last_active_cycle
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,42 @@
+"""Aggregation helpers used by the paper's tables (geometric means etc.)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geomean", "harmonic_mean", "speedup", "efficiency_ratio"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper aggregates per-network ratios this way."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, appropriate for averaging rates (e.g. fps)."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"harmonic_mean requires positive values, got {values}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def speedup(baseline_cycles: float, design_cycles: float) -> float:
+    """Relative performance: baseline time over design time."""
+    if design_cycles <= 0:
+        raise ValueError(f"design_cycles must be > 0, got {design_cycles}")
+    return baseline_cycles / design_cycles
+
+
+def efficiency_ratio(baseline_energy: float, design_energy: float) -> float:
+    """Relative energy efficiency: baseline energy over design energy."""
+    if design_energy <= 0:
+        raise ValueError(f"design_energy must be > 0, got {design_energy}")
+    return baseline_energy / design_energy

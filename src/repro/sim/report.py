@@ -1,0 +1,144 @@
+"""Reporting utilities: per-layer breakdowns, comparison tables and CSV export.
+
+The experiment harnesses print exactly the rows the paper reports; this module
+provides the more detailed views an architect exploring the model wants:
+per-layer cycle/energy/traffic breakdowns, side-by-side design comparisons,
+bottleneck classification (compute- vs memory-bound) and CSV export for
+spreadsheet post-processing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.results import LayerResult, NetworkResult, compare
+
+__all__ = [
+    "layer_breakdown",
+    "comparison_table",
+    "bottleneck_summary",
+    "to_csv",
+    "BottleneckSummary",
+]
+
+
+def layer_breakdown(result: NetworkResult, top: Optional[int] = None) -> str:
+    """Per-layer table of cycles, energy and traffic for one simulation.
+
+    Parameters
+    ----------
+    result:
+        A network simulation result.
+    top:
+        When given, only the ``top`` layers by cycle count are shown (plus a
+        TOTAL row over all layers).
+    """
+    layers: List[LayerResult] = list(result.layers)
+    shown = sorted(layers, key=lambda lr: lr.cycles, reverse=True)
+    if top is not None:
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        shown = shown[:top]
+    total_cycles = result.total_cycles()
+    lines = [f"{result.accelerator} on {result.network}"]
+    lines.append(f"{'layer':<24s}{'kind':<6s}{'cycles':>14s}{'% time':>8s}"
+                 f"{'energy (nJ)':>13s}{'traffic (Kb)':>14s}{'util':>6s}")
+    for lr in shown:
+        share = 100.0 * lr.cycles / total_cycles if total_cycles else 0.0
+        lines.append(
+            f"{lr.layer_name:<24s}{lr.layer_kind:<6s}{lr.cycles:>14,.0f}"
+            f"{share:>7.1f}%{lr.energy_pj / 1e3:>13.1f}"
+            f"{lr.total_traffic_bits / 1e3:>14.1f}{lr.utilization:>6.2f}"
+        )
+    lines.append(
+        f"{'TOTAL':<24s}{'':<6s}{total_cycles:>14,.0f}{'100.0%':>8s}"
+        f"{result.total_energy_pj() / 1e3:>13.1f}"
+        f"{result.total_traffic_bits() / 1e3:>14.1f}"
+        f"{result.average_utilization():>6.2f}"
+    )
+    return "\n".join(lines)
+
+
+def comparison_table(baseline: NetworkResult,
+                     designs: Dict[str, NetworkResult],
+                     kinds: Sequence[Optional[str]] = ("conv", "fc", None)) -> str:
+    """Side-by-side speedup / efficiency table of several designs vs a baseline."""
+    if not designs:
+        raise ValueError("designs must not be empty")
+    kind_label = {None: "all", "conv": "conv", "fc": "fc"}
+    lines = [f"relative to {baseline.accelerator} on {baseline.network}"]
+    header = f"{'design':<12s}"
+    for kind in kinds:
+        header += f"{kind_label[kind] + ' perf':>12s}{kind_label[kind] + ' eff':>12s}"
+    lines.append(header)
+    for label, result in designs.items():
+        row = f"{label:<12s}"
+        for kind in kinds:
+            if baseline.total_cycles(kind) == 0:
+                row += f"{'n/a':>12s}{'n/a':>12s}"
+                continue
+            comp = compare(result, baseline, kind=kind)
+            row += f"{comp.speedup:>12.2f}{comp.energy_efficiency:>12.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BottleneckSummary:
+    """How a network's time splits between compute- and memory-bound layers."""
+
+    compute_bound_layers: int
+    memory_bound_layers: int
+    compute_bound_cycles: float
+    memory_bound_cycles: float
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        total = self.compute_bound_cycles + self.memory_bound_cycles
+        if total == 0:
+            return 0.0
+        return self.memory_bound_cycles / total
+
+
+def bottleneck_summary(result: NetworkResult) -> BottleneckSummary:
+    """Classify every layer as compute- or memory-bound and aggregate."""
+    compute_layers = memory_layers = 0
+    compute_cycles = memory_cycles = 0.0
+    for lr in result.layers:
+        if lr.memory_cycles > lr.compute_cycles:
+            memory_layers += 1
+            memory_cycles += lr.cycles
+        else:
+            compute_layers += 1
+            compute_cycles += lr.cycles
+    return BottleneckSummary(
+        compute_bound_layers=compute_layers,
+        memory_bound_layers=memory_layers,
+        compute_bound_cycles=compute_cycles,
+        memory_bound_cycles=memory_cycles,
+    )
+
+
+def to_csv(results: Iterable[NetworkResult]) -> str:
+    """Export per-layer results of one or more simulations as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "network", "accelerator", "layer", "kind", "cycles", "compute_cycles",
+        "memory_cycles", "energy_pj", "weight_bits_read", "activation_bits_read",
+        "activation_bits_written", "macs", "utilization",
+    ])
+    for result in results:
+        for lr in result.layers:
+            writer.writerow([
+                result.network, result.accelerator, lr.layer_name, lr.layer_kind,
+                f"{lr.cycles:.0f}", f"{lr.compute_cycles:.0f}",
+                f"{lr.memory_cycles:.0f}", f"{lr.energy_pj:.1f}",
+                f"{lr.weight_bits_read:.0f}", f"{lr.activation_bits_read:.0f}",
+                f"{lr.activation_bits_written:.0f}", lr.macs,
+                f"{lr.utilization:.4f}",
+            ])
+    return buffer.getvalue()

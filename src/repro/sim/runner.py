@@ -1,0 +1,106 @@
+"""Run networks through accelerator models and aggregate the results.
+
+The runner is the glue every experiment uses: it takes a network (with a
+bound precision profile), walks its compute layers through an accelerator's
+``simulate_layer`` and collects the per-layer results into a
+:class:`repro.sim.results.NetworkResult`.  :class:`AcceleratorRunner` batches
+this over several designs and networks and produces the relative
+(speedup / energy-efficiency) numbers the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.nn.network import Network
+from repro.sim.results import ComparisonResult, NetworkResult, compare
+
+__all__ = ["LayerSelection", "run_network", "AcceleratorRunner"]
+
+
+class LayerSelection:
+    """Layer-kind selectors used throughout the experiments."""
+
+    CONV = "conv"
+    FC = "fc"
+    ALL = None
+
+
+def run_network(accelerator, network: Network,
+                clock_ghz: Optional[float] = None) -> NetworkResult:
+    """Simulate every compute layer of ``network`` on ``accelerator``.
+
+    The network must have shapes that resolve; attach a precision profile
+    first if the accelerator exploits precision (Loom/Stripes fall back to the
+    16-bit baseline precisions otherwise, which simply yields no benefit).
+    """
+    result = NetworkResult(
+        network=network.name,
+        accelerator=accelerator.name,
+        clock_ghz=clock_ghz if clock_ghz is not None else accelerator.config.clock_ghz,
+    )
+    for layer in network.compute_layers():
+        result.add(accelerator.simulate_layer(layer))
+    return result
+
+
+@dataclass
+class AcceleratorRunner:
+    """Batch runner: several designs over several networks.
+
+    Attributes
+    ----------
+    designs:
+        Mapping from a label (e.g. ``"loom-1b"``) to an accelerator instance.
+    baseline:
+        Label of the design the others are compared against (``"dpnn"`` in
+        every experiment).
+    """
+
+    designs: Dict[str, object] = field(default_factory=dict)
+    baseline: str = "dpnn"
+
+    def add_design(self, label: str, accelerator) -> None:
+        if label in self.designs:
+            raise ValueError(f"duplicate design label {label!r}")
+        self.designs[label] = accelerator
+
+    def run(self, networks: Iterable[Network]) -> Dict[str, Dict[str, NetworkResult]]:
+        """Run all designs over all networks.
+
+        Returns ``{network_name: {design_label: NetworkResult}}``.
+        """
+        results: Dict[str, Dict[str, NetworkResult]] = {}
+        for network in networks:
+            per_design: Dict[str, NetworkResult] = {}
+            for label, accelerator in self.designs.items():
+                per_design[label] = run_network(accelerator, network)
+            results[network.name] = per_design
+        return results
+
+    def compare_all(
+        self,
+        results: Mapping[str, Mapping[str, NetworkResult]],
+        kind: Optional[str] = None,
+    ) -> Dict[str, Dict[str, ComparisonResult]]:
+        """Compare every design against the baseline for every network.
+
+        Returns ``{network_name: {design_label: ComparisonResult}}``; the
+        baseline itself is omitted (its ratio is 1.0 by construction).
+        """
+        if not self.designs:
+            raise ValueError("no designs registered")
+        if self.baseline not in self.designs:
+            raise ValueError(
+                f"baseline {self.baseline!r} is not a registered design"
+            )
+        comparisons: Dict[str, Dict[str, ComparisonResult]] = {}
+        for network_name, per_design in results.items():
+            base = per_design[self.baseline]
+            comparisons[network_name] = {
+                label: compare(result, base, kind=kind)
+                for label, result in per_design.items()
+                if label != self.baseline
+            }
+        return comparisons

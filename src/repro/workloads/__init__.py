@@ -1,0 +1,29 @@
+"""Synthetic workload generation.
+
+The paper profiles precisions and activity factors on ImageNet images run
+through pretrained Caffe models.  Neither is available offline, so this
+package generates synthetic stand-ins whose *statistics* exercise the same
+code paths (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.workloads.synthetic` -- per-layer activation and weight code
+  generators with CNN-like value distributions (sparse, heavy-tailed,
+  post-ReLU non-negative activations), used by the dynamic-precision
+  machinery and the functional model.
+* :mod:`repro.workloads.datasets` -- synthetic input images and tiny
+  classification datasets used by the examples and the profiler tests.
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticTensorGenerator,
+    synthetic_activation_codes,
+    synthetic_weight_codes,
+)
+from repro.workloads.datasets import synthetic_image, synthetic_image_batch
+
+__all__ = [
+    "SyntheticTensorGenerator",
+    "synthetic_activation_codes",
+    "synthetic_weight_codes",
+    "synthetic_image",
+    "synthetic_image_batch",
+]

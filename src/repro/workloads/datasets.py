@@ -1,0 +1,71 @@
+"""Synthetic input images and tiny classification datasets.
+
+Stand-ins for the ImageNet profiling images: natural-image-like tensors
+(smooth low-frequency content plus texture noise, centred the way Caffe
+preprocessing centres its inputs) used by the examples and by the precision
+profiler tests.  Loom's results do not depend on image *content* -- only on
+the value distributions the images induce -- so these synthetic inputs
+exercise the full pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import TensorShape
+
+__all__ = ["synthetic_image", "synthetic_image_batch"]
+
+
+def synthetic_image(shape: TensorShape, seed: int = 0,
+                    smooth_scale: float = 40.0,
+                    noise_scale: float = 12.0) -> np.ndarray:
+    """Generate one natural-image-like input tensor.
+
+    The image is a sum of a smooth low-frequency field (object-scale
+    structure) and per-pixel noise (texture), zero-centred like
+    mean-subtracted ImageNet inputs.
+
+    Parameters
+    ----------
+    shape:
+        Spatial tensor shape, e.g. ``TensorShape(3, 224, 224)``.
+    seed:
+        Random seed.
+    smooth_scale / noise_scale:
+        Amplitudes of the low-frequency and per-pixel components.
+    """
+    if not shape.is_spatial:
+        raise ValueError("synthetic_image requires a spatial TensorShape")
+    rng = np.random.default_rng(seed)
+    channels, height, width = shape.channels, shape.height, shape.width
+    # Low-frequency field: upsample a coarse random grid with bilinear-ish
+    # interpolation (outer product of smooth 1-D profiles).
+    coarse = rng.normal(0.0, 1.0, size=(channels, 8, 8))
+    ys = np.linspace(0, 7, height)
+    xs = np.linspace(0, 7, width)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, 7)
+    x1 = np.minimum(x0 + 1, 7)
+    wy = (ys - y0)[None, :, None]
+    wx = (xs - x0)[None, None, :]
+    smooth = (
+        coarse[:, y0][:, :, x0] * (1 - wy) * (1 - wx)
+        + coarse[:, y1][:, :, x0] * wy * (1 - wx)
+        + coarse[:, y0][:, :, x1] * (1 - wy) * wx
+        + coarse[:, y1][:, :, x1] * wy * wx
+    )
+    noise = rng.normal(0.0, 1.0, size=(channels, height, width))
+    return smooth * smooth_scale + noise * noise_scale
+
+
+def synthetic_image_batch(shape: TensorShape, batch: int,
+                          seed: int = 0) -> np.ndarray:
+    """A batch of synthetic images with shape ``(batch, C, H, W)``."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    images = [synthetic_image(shape, seed=seed + i) for i in range(batch)]
+    return np.stack(images, axis=0)

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite.
+
+Networks and network-level simulation results are expensive enough (GoogLeNet
+has 57 convolutions) that they are built once per session and shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
+from repro.core import Loom
+from repro.nn import Network, build_network
+from repro.nn.layers import Conv2D, FullyConnected, Pool2D, ReLU, TensorShape
+from repro.quant import get_paper_profile
+from repro.sim import run_network
+
+
+@pytest.fixture(scope="session")
+def alexnet_100() -> Network:
+    """AlexNet with the 100% accuracy profile attached."""
+    network = build_network("alexnet")
+    network.attach_profile(get_paper_profile("alexnet", "100%"))
+    return network
+
+
+@pytest.fixture(scope="session")
+def googlenet_100() -> Network:
+    network = build_network("googlenet")
+    network.attach_profile(get_paper_profile("googlenet", "100%"))
+    return network
+
+
+@pytest.fixture(scope="session")
+def vgg19_100() -> Network:
+    network = build_network("vgg19")
+    network.attach_profile(get_paper_profile("vgg19", "100%"))
+    return network
+
+
+@pytest.fixture
+def tiny_network() -> Network:
+    """A small CNN that runs through the reference model in milliseconds."""
+    net = Network("tiny", TensorShape(3, 16, 16))
+    net.add(Conv2D(name="conv1", out_channels=8, kernel=3, padding=1))
+    net.add(ReLU(name="relu1"))
+    net.add(Pool2D(name="pool1", kernel=2, stride=2))
+    net.add(Conv2D(name="conv2", out_channels=16, kernel=3, padding=1))
+    net.add(ReLU(name="relu2"))
+    net.add(Pool2D(name="pool2", kernel=2, stride=2))
+    net.add(FullyConnected(name="fc1", out_features=10))
+    return net
+
+
+@pytest.fixture(scope="session")
+def dpnn_default() -> DPNN:
+    return DPNN()
+
+
+@pytest.fixture(scope="session")
+def loom_1b() -> Loom:
+    return Loom(bits_per_cycle=1)
+
+
+@pytest.fixture(scope="session")
+def loom_2b() -> Loom:
+    return Loom(bits_per_cycle=2)
+
+
+@pytest.fixture(scope="session")
+def loom_4b() -> Loom:
+    return Loom(bits_per_cycle=4)
+
+
+@pytest.fixture(scope="session")
+def stripes_default() -> Stripes:
+    return Stripes()
+
+
+@pytest.fixture(scope="session")
+def dstripes_default() -> DStripes:
+    return DStripes()
+
+
+@pytest.fixture(scope="session")
+def alexnet_results(alexnet_100, dpnn_default, loom_1b, loom_2b, loom_4b,
+                    stripes_default, dstripes_default):
+    """Simulation results of every design on AlexNet (100% profile)."""
+    return {
+        "dpnn": run_network(dpnn_default, alexnet_100),
+        "loom-1b": run_network(loom_1b, alexnet_100),
+        "loom-2b": run_network(loom_2b, alexnet_100),
+        "loom-4b": run_network(loom_4b, alexnet_100),
+        "stripes": run_network(stripes_default, alexnet_100),
+        "dstripes": run_network(dstripes_default, alexnet_100),
+    }
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,43 @@
+"""Tests for the ablation experiment harness (repro.experiments.ablation)."""
+
+import pytest
+
+from repro.experiments import ablation
+
+
+@pytest.fixture(scope="module")
+def ablation_result():
+    # A two-network subset keeps the harness fast while covering both a
+    # conv-heavy (alexnet) and an FC-underutilised (googlenet) case.
+    return ablation.run(networks=("alexnet", "googlenet"))
+
+
+class TestAblation:
+    def test_dynamic_precision_helps_convs(self, ablation_result):
+        enabled, disabled = ablation_result.dynamic_precision
+        assert enabled > disabled > 1.0
+        assert ablation_result.contribution("dynamic_precision") > 1.1
+
+    def test_cascading_helps_fc(self, ablation_result):
+        enabled, disabled = ablation_result.cascading
+        assert enabled > disabled
+
+    def test_storage_reduces_traffic(self, ablation_result):
+        gain, reference = ablation_result.storage_traffic_ratio
+        assert reference == 1.0
+        assert gain > 1.2
+
+    def test_window_major_tiling_helps_at_512(self, ablation_result):
+        enabled, disabled = ablation_result.tiling_at_512
+        assert enabled > disabled
+
+    def test_format_table_lists_all_mechanisms(self, ablation_result):
+        text = ablation.format_table(ablation_result)
+        assert "dynamic activation precision" in text
+        assert "SIP cascading" in text
+        assert "bit-interleaved storage" in text
+        assert "window-major tiling" in text
+
+    def test_contribution_handles_zero_denominator(self):
+        result = ablation.AblationResult(dynamic_precision=(2.0, 0.0))
+        assert result.contribution("dynamic_precision") == float("inf")

@@ -1,0 +1,185 @@
+"""Tests for the baseline accelerators: DPNN, Stripes and DStripes."""
+
+import pytest
+
+from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig, ceil_div
+from repro.accelerators.base import LANES_PER_UNIT
+from repro.memory.dram import LPDDR4_4267
+from repro.nn import build_network
+from repro.quant import get_paper_profile
+from repro.quant.dynamic import DynamicPrecisionModel
+from repro.sim import run_network
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(10, 5) == 2
+        assert ceil_div(11, 5) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestAcceleratorConfig:
+    def test_defaults(self):
+        config = AcceleratorConfig()
+        assert config.equivalent_macs == 128
+        assert config.scale == 1.0
+        assert config.dram is None
+
+    def test_scaling_helpers(self):
+        config = AcceleratorConfig().with_scale(256).with_dram(LPDDR4_4267)
+        assert config.equivalent_macs == 256
+        assert config.scale == 2.0
+        assert config.dram is LPDDR4_4267
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(equivalent_macs=100)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(equivalent_macs=8)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(abin_bytes=0)
+
+
+class TestDPNNCycles:
+    def test_structure(self, dpnn_default):
+        assert dpnn_default.num_ip_units == 8
+        assert DPNN(AcceleratorConfig(equivalent_macs=256)).num_ip_units == 16
+
+    def test_conv_cycle_formula(self, alexnet_100, dpnn_default):
+        conv1 = alexnet_100.conv_layers()[0]
+        # conv1: 55x55 windows, 363 terms, 96 filters.
+        expected = 55 * 55 * ceil_div(363, 16) * ceil_div(96, 8)
+        assert dpnn_default.compute_cycles(conv1) == expected
+
+    def test_fc_cycle_formula(self, alexnet_100, dpnn_default):
+        fc6 = alexnet_100.fc_layers()[0]
+        expected = ceil_div(9216, 16) * ceil_div(4096, 8)
+        assert dpnn_default.compute_cycles(fc6) == expected
+
+    def test_cycles_independent_of_precision(self, dpnn_default):
+        net100 = build_network("alexnet")
+        net100.attach_profile(get_paper_profile("alexnet", "100%"))
+        net99 = build_network("alexnet")
+        net99.attach_profile(get_paper_profile("alexnet", "99%"))
+        r100 = run_network(dpnn_default, net100)
+        r99 = run_network(dpnn_default, net99)
+        assert r100.total_cycles() == r99.total_cycles()
+
+    def test_bigger_config_is_faster(self, alexnet_100):
+        small = DPNN(AcceleratorConfig(equivalent_macs=64))
+        large = DPNN(AcceleratorConfig(equivalent_macs=256))
+        conv3 = alexnet_100.conv_layers()[2]
+        assert large.compute_cycles(conv3) < small.compute_cycles(conv3)
+
+    def test_simulate_layer_rejects_non_compute(self, alexnet_100, dpnn_default):
+        with pytest.raises(ValueError):
+            # Build a fake LayerWithPrecision around a pooling layer.
+            from repro.nn.network import LayerWithPrecision
+            from repro.nn.layers import Pool2D, TensorShape
+            pool = Pool2D(name="p", kernel=2, stride=2)
+            lw = LayerWithPrecision(layer=pool,
+                                    input_shape=TensorShape(8, 4, 4),
+                                    output_shape=TensorShape(8, 2, 2))
+            dpnn_default.simulate_layer(lw)
+
+    def test_storage_is_16_bit(self, alexnet_100, dpnn_default):
+        conv1 = alexnet_100.conv_layers()[0]
+        assert dpnn_default.storage_precisions(conv1) == (16, 16)
+        result = dpnn_default.simulate_layer(conv1)
+        assert result.weight_bits_read == conv1.weight_count * 16
+
+    def test_utilization_at_most_one(self, alexnet_100, dpnn_default):
+        for lw in alexnet_100.compute_layers():
+            result = dpnn_default.simulate_layer(lw)
+            assert 0 < result.utilization <= 1.0
+
+    def test_describe(self, dpnn_default):
+        text = dpnn_default.describe()
+        assert "DPNN" in text and "128" in text
+
+
+class TestStripes:
+    def test_fc_matches_dpnn(self, alexnet_100, dpnn_default, stripes_default):
+        for fc in alexnet_100.fc_layers():
+            assert stripes_default.compute_cycles(fc) == \
+                dpnn_default.compute_cycles(fc)
+
+    def test_conv_speedup_close_to_16_over_pa(self, alexnet_100, dpnn_default,
+                                              stripes_default):
+        # conv3: 384 filters, 2304 terms, 13x13 windows, Pa = 5.
+        conv3 = alexnet_100.conv_layers()[2]
+        ratio = (dpnn_default.compute_cycles(conv3)
+                 / stripes_default.compute_cycles(conv3))
+        ideal = 16 / conv3.precision.activation_bits
+        assert ratio == pytest.approx(ideal, rel=0.05)
+
+    def test_conv_never_slower_than_dpnn(self, alexnet_100, dpnn_default,
+                                         stripes_default):
+        for conv in alexnet_100.conv_layers():
+            assert stripes_default.compute_cycles(conv) <= \
+                dpnn_default.compute_cycles(conv) * 1.05
+
+    def test_activation_storage_precision_scaled(self, alexnet_100,
+                                                 stripes_default):
+        conv1 = alexnet_100.conv_layers()[0]
+        weight_bits, act_bits = stripes_default.storage_precisions(conv1)
+        assert weight_bits == 16
+        assert act_bits == conv1.precision.activation_bits
+
+    def test_static_by_default(self, stripes_default):
+        assert not stripes_default.dynamic_precision.enabled
+
+    def test_power_higher_than_dpnn(self, dpnn_default, stripes_default):
+        assert stripes_default.datapath_pj_per_cycle() > \
+            dpnn_default.datapath_pj_per_cycle()
+
+
+class TestDStripes:
+    def test_dynamic_enabled(self, dstripes_default):
+        assert dstripes_default.dynamic_precision.enabled
+
+    def test_rejects_disabled_model(self):
+        with pytest.raises(ValueError):
+            DStripes(dynamic_precision=DynamicPrecisionModel(enabled=False))
+
+    def test_conv_faster_than_stripes(self, alexnet_100, stripes_default,
+                                      dstripes_default):
+        for conv in alexnet_100.conv_layers():
+            assert dstripes_default.compute_cycles(conv) < \
+                stripes_default.compute_cycles(conv)
+
+    def test_fc_unchanged_vs_stripes(self, alexnet_100, stripes_default,
+                                     dstripes_default):
+        for fc in alexnet_100.fc_layers():
+            assert dstripes_default.compute_cycles(fc) == \
+                stripes_default.compute_cycles(fc)
+
+    def test_network_level_ordering(self, alexnet_results):
+        # DPNN slowest, then Stripes, then DStripes, then Loom-1b on CVLs.
+        conv = {k: v.total_cycles("conv") for k, v in alexnet_results.items()}
+        assert conv["dpnn"] > conv["stripes"] > conv["dstripes"] > conv["loom-1b"]
+
+
+class TestMemoryBoundBehaviour:
+    def test_fc_layers_become_memory_bound_with_dram(self, alexnet_100):
+        config = AcceleratorConfig(dram=LPDDR4_4267)
+        dpnn = DPNN(config)
+        fc6 = alexnet_100.fc_layers()[0]
+        result = dpnn.simulate_layer(fc6)
+        assert result.memory_cycles > result.compute_cycles
+        assert result.cycles == result.memory_cycles
+
+    def test_conv_layers_stay_compute_bound(self, alexnet_100):
+        config = AcceleratorConfig(dram=LPDDR4_4267)
+        dpnn = DPNN(config)
+        conv3 = alexnet_100.conv_layers()[2]
+        result = dpnn.simulate_layer(conv3)
+        assert result.compute_cycles >= result.memory_cycles

@@ -1,0 +1,187 @@
+"""Unit and property tests for repro.quant.bitops (bit-serial primitives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.bitops import (
+    bit_compose,
+    bit_decompose,
+    bit_serial_dot,
+    count_significant_bits,
+    pack_bit_interleaved,
+    unpack_bit_interleaved,
+)
+
+
+class TestBitDecompose:
+    def test_unsigned_simple(self):
+        planes = bit_decompose(np.array([5]), bits=4, signed=False)
+        assert planes.shape == (4, 1)
+        assert list(planes[:, 0]) == [1, 0, 1, 0]
+
+    def test_signed_negative_twos_complement(self):
+        # -3 in 4-bit two's complement is 1101.
+        planes = bit_decompose(np.array([-3]), bits=4, signed=True)
+        assert list(planes[:, 0]) == [1, 0, 1, 1]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([16]), bits=4, signed=False)
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([8]), bits=4, signed=True)
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([-9]), bits=4, signed=True)
+
+    def test_non_integer_input_raises(self):
+        with pytest.raises(TypeError):
+            bit_decompose(np.array([1.5]), bits=4)
+
+    def test_zero_bits_raises(self):
+        with pytest.raises(ValueError):
+            bit_decompose(np.array([0]), bits=0)
+
+    def test_preserves_shape(self):
+        codes = np.arange(12).reshape(3, 4)
+        planes = bit_decompose(codes, bits=5, signed=False)
+        assert planes.shape == (5, 3, 4)
+
+    @given(st.lists(st.integers(min_value=-128, max_value=127),
+                    min_size=1, max_size=32))
+    @settings(max_examples=80)
+    def test_roundtrip_signed(self, values):
+        codes = np.array(values, dtype=np.int64)
+        planes = bit_decompose(codes, bits=8, signed=True)
+        assert np.array_equal(bit_compose(planes, signed=True), codes)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 12 - 1),
+                    min_size=1, max_size=32))
+    @settings(max_examples=80)
+    def test_roundtrip_unsigned(self, values):
+        codes = np.array(values, dtype=np.int64)
+        planes = bit_decompose(codes, bits=12, signed=False)
+        assert np.array_equal(bit_compose(planes, signed=False), codes)
+
+
+class TestBitSerialDot:
+    def test_matches_numpy_dot_simple(self):
+        a = np.array([1, 2, 3, 4])
+        w = np.array([-1, 5, 0, 2])
+        result, cycles = bit_serial_dot(a, w, act_bits=4, weight_bits=5)
+        assert result == int(np.dot(a, w))
+        assert cycles == 4 * 5
+
+    def test_signed_activations(self):
+        a = np.array([-3, 2, -1, 4])
+        w = np.array([1, -2, 3, -4])
+        result, _ = bit_serial_dot(a, w, act_bits=4, weight_bits=4,
+                                   act_signed=True, weight_signed=True)
+        assert result == int(np.dot(a, w))
+
+    def test_all_zero(self):
+        a = np.zeros(8, dtype=np.int64)
+        w = np.zeros(8, dtype=np.int64)
+        result, cycles = bit_serial_dot(a, w, act_bits=1, weight_bits=2)
+        assert result == 0
+        assert cycles == 2
+
+    def test_cycle_count_scales_with_precision(self):
+        a = np.array([1, 1])
+        w = np.array([1, 1])
+        _, c1 = bit_serial_dot(a, w, act_bits=3, weight_bits=7)
+        _, c2 = bit_serial_dot(a, w, act_bits=6, weight_bits=7)
+        assert c1 == 21 and c2 == 42
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bit_serial_dot(np.array([1, 2]), np.array([1]), 2, 2)
+
+    def test_two_dimensional_input_raises(self):
+        with pytest.raises(ValueError):
+            bit_serial_dot(np.ones((2, 2), dtype=np.int64),
+                           np.ones((2, 2), dtype=np.int64), 2, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    @settings(max_examples=60)
+    def test_matches_integer_dot_product(self, act_bits, weight_bits, length, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << act_bits, size=length)
+        w = rng.integers(-(1 << (weight_bits - 1)), 1 << (weight_bits - 1),
+                         size=length)
+        result, cycles = bit_serial_dot(a, w, act_bits, weight_bits,
+                                        act_signed=False, weight_signed=True)
+        assert result == int(np.dot(a.astype(np.int64), w.astype(np.int64)))
+        assert cycles == act_bits * weight_bits
+
+
+class TestBitInterleavedPacking:
+    def test_pack_shape(self):
+        codes = np.arange(10)
+        rows = pack_bit_interleaved(codes, bits=5, row_width=4, signed=False)
+        # 10 values over rows of 4 -> 3 rows per plane, 5 planes.
+        assert rows.shape == (15, 4)
+
+    def test_pack_values_are_bits(self):
+        codes = np.arange(-8, 8)
+        rows = pack_bit_interleaved(codes, bits=4, row_width=8, signed=True)
+        assert set(np.unique(rows)).issubset({0, 1})
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(-64, 64, size=37)
+        rows = pack_bit_interleaved(codes, bits=7, row_width=16, signed=True)
+        recovered = unpack_bit_interleaved(rows, bits=7, count=37, signed=True)
+        assert np.array_equal(recovered, codes)
+
+    def test_footprint_scales_with_precision(self):
+        codes = np.arange(64)
+        rows_8 = pack_bit_interleaved(codes, bits=8, row_width=64, signed=False)
+        rows_16 = pack_bit_interleaved(codes, bits=16, row_width=64, signed=False)
+        assert rows_16.size == 2 * rows_8.size
+
+    def test_invalid_row_width(self):
+        with pytest.raises(ValueError):
+            pack_bit_interleaved(np.arange(4), bits=4, row_width=0)
+
+    def test_unpack_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bit_interleaved(np.zeros((5, 4), dtype=np.int64), bits=2, count=4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=60),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, values, row_width):
+        codes = np.array(values, dtype=np.int64)
+        rows = pack_bit_interleaved(codes, bits=8, row_width=row_width,
+                                    signed=False)
+        recovered = unpack_bit_interleaved(rows, bits=8, count=len(values),
+                                           signed=False)
+        assert np.array_equal(recovered, codes)
+
+
+class TestCountSignificantBits:
+    def test_zero_needs_one_bit(self):
+        assert count_significant_bits(np.array([0]))[0] == 1
+
+    def test_unsigned_values(self):
+        bits = count_significant_bits(np.array([1, 2, 3, 7, 8, 255]))
+        assert list(bits) == [1, 2, 2, 3, 4, 8]
+
+    def test_signed_values(self):
+        bits = count_significant_bits(np.array([-1, -2, 1, 3, -8]), signed=True)
+        assert list(bits) == [1, 2, 2, 3, 4]
+
+    def test_negative_in_unsigned_mode_raises(self):
+        with pytest.raises(ValueError):
+            count_significant_bits(np.array([-1]), signed=False)
+
+    def test_shape_preserved(self):
+        codes = np.arange(12).reshape(3, 4)
+        assert count_significant_bits(codes).shape == (3, 4)

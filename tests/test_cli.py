@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "figure4", "area", "table3",
+                        "table4", "ablation", "all"):
+            assert parser.parse_args([command]).command == command
+
+    def test_figure5_configs_argument(self):
+        args = build_parser().parse_args(["figure5", "--configs", "32", "64"])
+        assert args.configs == [32, 64]
+
+    def test_summary_arguments(self):
+        args = build_parser().parse_args(
+            ["summary", "--network", "vggm", "--accuracy", "99%"])
+        assert args.network == "vggm"
+        assert args.accuracy == "99%"
+
+    def test_summary_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summary", "--network", "resnet"])
+
+
+class TestMain:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "alexnet" in out
+
+    def test_table3_output(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_area_output(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out.lower()
+
+    def test_summary_output(self, capsys):
+        assert main(["summary", "--network", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "TOTAL" in out
+
+    def test_figure5_with_reduced_sweep(self, capsys):
+        assert main(["figure5", "--configs", "32", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "512" not in out.split("\n")[2]

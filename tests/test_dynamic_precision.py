@@ -1,0 +1,112 @@
+"""Tests for the dynamic precision model (repro.quant.dynamic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_precision import (
+    DynamicPrecisionModel,
+    measure_network_dynamic_precisions,
+)
+from repro.workloads.datasets import synthetic_image
+from repro.workloads.synthetic import SyntheticTensorGenerator
+
+
+class TestAnalyticalMode:
+    def test_disabled_returns_profile_bits(self):
+        model = DynamicPrecisionModel(enabled=False)
+        assert model.effective_activation_bits(9) == 9.0
+        assert model.effective_activation_bits(9, bits_per_cycle=2) == 10.0
+        assert model.effective_activation_bits(9, bits_per_cycle=4) == 12.0
+
+    def test_enabled_reduces_precision(self):
+        model = DynamicPrecisionModel(activation_reduction=0.78)
+        assert model.effective_activation_bits(10) == pytest.approx(7.8)
+
+    def test_never_below_one_bit(self):
+        model = DynamicPrecisionModel(activation_reduction=0.5)
+        assert model.effective_activation_bits(1) >= 1.0
+
+    def test_never_above_rounded_profile(self):
+        model = DynamicPrecisionModel(activation_reduction=1.0)
+        assert model.effective_activation_bits(9, bits_per_cycle=4) <= 12.0
+        assert model.effective_activation_bits(9) == pytest.approx(9.0)
+
+    def test_multi_bit_rounding_penalty(self):
+        model = DynamicPrecisionModel(activation_reduction=0.78)
+        one_bit = model.effective_activation_bits(10, bits_per_cycle=1)
+        two_bit = model.effective_activation_bits(10, bits_per_cycle=2)
+        four_bit = model.effective_activation_bits(10, bits_per_cycle=4)
+        assert one_bit < two_bit < four_bit
+
+    def test_effective_weight_bits_clamped(self):
+        model = DynamicPrecisionModel()
+        assert model.effective_weight_bits(7.55) == pytest.approx(7.55)
+        assert model.effective_weight_bits(0.5) == 1.0
+        assert model.effective_weight_bits(20.0) == 16.0
+        with pytest.raises(ValueError):
+            model.effective_weight_bits(0.0)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            DynamicPrecisionModel(activation_reduction=0.0)
+        with pytest.raises(ValueError):
+            DynamicPrecisionModel(activation_reduction=1.5)
+
+    def test_invalid_arguments(self):
+        model = DynamicPrecisionModel()
+        with pytest.raises(ValueError):
+            model.effective_activation_bits(0)
+        with pytest.raises(ValueError):
+            model.effective_activation_bits(8, bits_per_cycle=0)
+
+
+class TestMeasuredMode:
+    def test_measured_matches_group_computation(self):
+        model = DynamicPrecisionModel()
+        codes = np.full(512, 3)  # every group needs 2 bits
+        measured = model.measured_activation_bits(codes, profile_bits=8,
+                                                  group_size=256)
+        assert measured == pytest.approx(2.0)
+
+    def test_measured_disabled_returns_profile(self):
+        model = DynamicPrecisionModel(enabled=False)
+        codes = np.full(512, 3)
+        assert model.measured_activation_bits(codes, profile_bits=8) == 8.0
+
+    def test_measured_never_exceeds_profile(self):
+        generator = SyntheticTensorGenerator(seed=3)
+        codes = generator.activations(4096, precision_bits=9)
+        model = DynamicPrecisionModel()
+        measured = model.measured_activation_bits(codes, profile_bits=9)
+        assert 1.0 <= measured <= 9.0
+
+    def test_measured_reduces_for_skewed_data(self):
+        generator = SyntheticTensorGenerator(seed=5, tail_exponent=4.0)
+        codes = generator.activations(8192, precision_bits=10)
+        model = DynamicPrecisionModel()
+        measured = model.measured_activation_bits(codes, profile_bits=10)
+        assert measured < 10.0
+
+    def test_measured_weight_bits(self):
+        generator = SyntheticTensorGenerator(seed=1)
+        codes = generator.weights(4096, precision_bits=11)
+        model = DynamicPrecisionModel()
+        measured = model.measured_weight_bits(codes, profile_bits=11)
+        assert 1.0 <= measured < 11.0
+
+
+class TestNetworkMeasurement:
+    def test_measurement_covers_all_compute_layers(self, tiny_network, rng):
+        from repro.quant import NetworkPrecisionProfile, LayerPrecision
+        profile = NetworkPrecisionProfile(
+            network="tiny", accuracy_target="100%",
+            conv_layers=[LayerPrecision(8, 8), LayerPrecision(8, 8)],
+            fc_layers=[LayerPrecision(16, 8)],
+        )
+        tiny_network.attach_profile(profile)
+        image = synthetic_image(tiny_network.input_shape, seed=0)
+        measured = measure_network_dynamic_precisions(tiny_network, image, rng=rng)
+        names = {lw.name for lw in tiny_network.compute_layers()}
+        assert set(measured) == names
+        for lw in tiny_network.compute_layers():
+            assert 1.0 <= measured[lw.name] <= lw.precision.activation_bits

@@ -1,0 +1,125 @@
+"""Cross-cutting edge cases and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import DPNN, Stripes, AcceleratorConfig
+from repro.core import Loom
+from repro.core.scheduler import LoomGeometry, schedule_conv_layer
+from repro.nn.layers import Conv2D, FullyConnected, TensorShape
+from repro.nn.network import LayerWithPrecision, Network
+from repro.quant import get_paper_profile
+from repro.quant.precision import LayerPrecision, NetworkPrecisionProfile
+from repro.sim import run_network
+
+
+class TestDegenerateLayers:
+    def test_one_by_one_network(self):
+        """A 1x1x1 network with single-output layers still simulates."""
+        net = Network("degenerate", TensorShape(1, 1, 1))
+        net.add(Conv2D(name="conv", out_channels=1, kernel=1))
+        net.add(FullyConnected(name="fc", out_features=1))
+        profile = NetworkPrecisionProfile(
+            network="degenerate", accuracy_target="100%",
+            conv_layers=[LayerPrecision(1, 1)],
+            fc_layers=[LayerPrecision(16, 1)],
+        )
+        net.attach_profile(profile)
+        for accel in (DPNN(), Stripes(), Loom()):
+            result = run_network(accel, net)
+            assert all(lr.cycles >= 1 for lr in result.layers)
+            assert all(np.isfinite(lr.energy_pj) for lr in result.layers)
+
+    def test_single_pixel_spatial_conv(self):
+        layer = Conv2D(name="c", out_channels=2048, kernel=1)
+        in_shape = TensorShape(64, 1, 1)
+        lw = LayerWithPrecision(layer=layer, input_shape=in_shape,
+                                output_shape=layer.output_shape(in_shape),
+                                precision=LayerPrecision(8, 8))
+        # Only one window: Loom's 16 window columns are mostly idle but the
+        # schedule must still be valid.
+        schedule = schedule_conv_layer(lw, LoomGeometry())
+        assert schedule.window_chunks == 1
+        assert 0 < schedule.occupancy <= 1.0
+
+    def test_huge_kernel_small_filter_count(self):
+        layer = Conv2D(name="c", out_channels=3, kernel=11, stride=4)
+        in_shape = TensorShape(3, 227, 227)
+        lw = LayerWithPrecision(layer=layer, input_shape=in_shape,
+                                output_shape=layer.output_shape(in_shape),
+                                precision=LayerPrecision(16, 16))
+        assert Loom().compute_cycles(lw) > 0
+        assert DPNN().compute_cycles(lw) > 0
+
+
+class TestConfigurationEdges:
+    def test_minimum_configuration(self):
+        config = AcceleratorConfig(equivalent_macs=16)
+        loom = Loom(config)
+        assert loom.geometry.filter_rows == 16
+        assert loom.geometry.num_sips == 256
+        dpnn = DPNN(config)
+        assert dpnn.num_ip_units == 1
+
+    def test_explicit_memory_sizing_overrides_defaults(self):
+        config = AcceleratorConfig(am_capacity_bytes=256 * 1024,
+                                   wm_capacity_bytes=512 * 1024)
+        loom = Loom(config)
+        assert loom.hierarchy.activation_memory.capacity_bytes == 256 * 1024
+        assert loom.hierarchy.weight_memory.capacity_bytes == 512 * 1024
+
+    def test_small_am_forces_activation_spill(self, vgg19_100):
+        config = AcceleratorConfig(am_capacity_bytes=64 * 1024)
+        loom = Loom(config)
+        conv = vgg19_100.conv_layers()[0]
+        weight_bits, act_bits = loom.storage_precisions(conv)
+        traffic = loom.hierarchy.layer_traffic(
+            weight_count=conv.weight_count,
+            input_activations=conv.input_activations,
+            output_activations=conv.output_activations,
+            weight_bits=weight_bits, activation_bits=act_bits, is_fc=False,
+        )
+        assert not traffic.activations_fit_on_chip
+
+    def test_window_fanout_must_divide(self):
+        with pytest.raises(ValueError):
+            Loom(AcceleratorConfig(equivalent_macs=128), window_fanout=5)
+
+
+class TestProfileMismatches:
+    def test_wrong_network_profile_rejected(self):
+        net = Network("custom", TensorShape(3, 8, 8))
+        net.add(Conv2D(name="only_conv", out_channels=4, kernel=3))
+        with pytest.raises(ValueError):
+            net.attach_profile(get_paper_profile("alexnet"))
+
+    def test_profile_reattachment_overwrites(self):
+        from repro.nn import build_network
+        net = build_network("alexnet")
+        net.attach_profile(get_paper_profile("alexnet", "100%"))
+        first = net.conv_layers()[2].precision.activation_bits
+        net.attach_profile(get_paper_profile("alexnet", "99%"))
+        second = net.conv_layers()[2].precision.activation_bits
+        assert (first, second) == (5, 4)
+
+
+class TestNumericalRobustness:
+    def test_loom_results_finite_across_variants(self, alexnet_100):
+        for bits in (1, 2, 4):
+            result = run_network(Loom(bits_per_cycle=bits), alexnet_100)
+            for lr in result.layers:
+                assert np.isfinite(lr.cycles) and lr.cycles > 0
+                assert np.isfinite(lr.energy_pj) and lr.energy_pj > 0
+                assert np.isfinite(lr.utilization)
+
+    def test_max_precision_profile_is_supported(self, dpnn_default):
+        net = Network("max", TensorShape(8, 8, 8))
+        net.add(Conv2D(name="c", out_channels=16, kernel=3, padding=1))
+        profile = NetworkPrecisionProfile(
+            network="max", accuracy_target="100%",
+            conv_layers=[LayerPrecision(16, 16)], fc_layers=[],
+        )
+        net.attach_profile(profile)
+        loom_cycles = run_network(Loom(), net).total_cycles()
+        dpnn_cycles = run_network(dpnn_default, net).total_cycles()
+        assert loom_cycles >= dpnn_cycles * 0.9

@@ -1,0 +1,143 @@
+"""Tests for the technology, power and area models (repro.energy)."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy.area import DatapathArea, AreaModel
+from repro.energy.power import DatapathPower, PowerModel
+from repro.energy.tech import TechnologyParameters, TSMC_65NM
+
+
+class TestTechnologyParameters:
+    def test_default_is_65nm_1ghz(self):
+        assert TSMC_65NM.feature_nm == 65.0
+        assert TSMC_65NM.clock_ghz == 1.0
+
+    def test_all_parameters_positive(self):
+        for field in dataclasses.fields(TSMC_65NM):
+            value = getattr(TSMC_65NM, field.name)
+            if isinstance(value, float):
+                assert value > 0, field.name
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TSMC_65NM, mult16_energy_pj=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(TSMC_65NM, activity_factor=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(TSMC_65NM, activity_factor=1.5)
+
+
+class TestDatapathPower:
+    power = DatapathPower()
+
+    def test_dpnn_unit_dominated_by_multipliers(self):
+        unit = self.power.dpnn_ip_unit_pj()
+        multipliers = 16 * TSMC_65NM.mult16_energy_pj
+        assert multipliers / unit > 0.8
+
+    def test_loom_sip_much_cheaper_than_ip_unit(self):
+        assert self.power.loom_sip_pj(1) < self.power.dpnn_ip_unit_pj() / 50
+
+    def test_design_power_ratios_match_paper_calibration(self):
+        """The paper's Perf/Eff ratios imply Loom-1b burns ~1.2x DPNN power,
+        Loom-2b ~1.05x, Loom-4b ~1x and Stripes ~1.15x."""
+        dpnn = self.power.dpnn_pj_per_cycle(128)
+        lm1 = self.power.loom_pj_per_cycle(128, 1)
+        lm2 = self.power.loom_pj_per_cycle(128, 2)
+        lm4 = self.power.loom_pj_per_cycle(128, 4)
+        stripes = self.power.stripes_pj_per_cycle(128)
+        assert 1.15 <= lm1 / dpnn <= 1.32
+        assert 1.00 <= lm2 / dpnn <= 1.15
+        assert 0.90 <= lm4 / dpnn <= 1.08
+        assert 1.05 <= stripes / dpnn <= 1.25
+        assert lm1 > lm2 > lm4
+
+    def test_power_scales_linearly_with_macs(self):
+        assert self.power.dpnn_pj_per_cycle(256) == pytest.approx(
+            2 * self.power.dpnn_pj_per_cycle(128))
+        lm_128 = self.power.loom_pj_per_cycle(128, 1, dynamic_precision=False)
+        lm_256 = self.power.loom_pj_per_cycle(256, 1, dynamic_precision=False)
+        assert lm_256 == pytest.approx(2 * lm_128)
+
+    def test_dynamic_precision_adds_small_overhead(self):
+        with_dp = self.power.loom_pj_per_cycle(128, 1, dynamic_precision=True)
+        without = self.power.loom_pj_per_cycle(128, 1, dynamic_precision=False)
+        assert without < with_dp < without * 1.02
+
+    def test_dstripes_costs_more_than_stripes(self):
+        assert self.power.stripes_pj_per_cycle(128, dynamic_precision=True) > \
+            self.power.stripes_pj_per_cycle(128, dynamic_precision=False)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            self.power.dpnn_pj_per_cycle(100)
+        with pytest.raises(ValueError):
+            self.power.loom_pj_per_cycle(8)
+        with pytest.raises(ValueError):
+            self.power.loom_pj_per_cycle(128, bits_per_cycle=3)
+        with pytest.raises(ValueError):
+            self.power.loom_sip_pj(0)
+
+
+class TestPowerModel:
+    def test_layer_energy_composition(self):
+        model = PowerModel()
+        assert model.layer_energy_pj(100, 2.0, 50.0) == pytest.approx(250.0)
+
+    def test_validation(self):
+        model = PowerModel()
+        with pytest.raises(ValueError):
+            model.layer_energy_pj(-1, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            model.layer_energy_pj(1, -2.0, 1.0)
+
+
+class TestDatapathArea:
+    area = DatapathArea()
+
+    def test_core_area_ratios_match_section_4_4(self):
+        dpnn = self.area.dpnn_core_mm2(128)
+        lm1 = self.area.loom_core_mm2(128, 1)
+        lm2 = self.area.loom_core_mm2(128, 2)
+        lm4 = self.area.loom_core_mm2(128, 4)
+        assert 1.25 <= lm1 / dpnn <= 1.45      # paper: 1.34
+        assert 1.15 <= lm2 / dpnn <= 1.35      # paper: 1.25
+        assert 1.05 <= lm4 / dpnn <= 1.30      # paper: 1.16
+        assert lm1 > lm2 > lm4
+
+    def test_area_scales_with_macs(self):
+        assert self.area.dpnn_core_mm2(256) == pytest.approx(
+            2 * self.area.dpnn_core_mm2(128))
+
+    def test_stripes_area_between_dpnn_and_absurd(self):
+        dpnn = self.area.dpnn_core_mm2(128)
+        stripes = self.area.stripes_core_mm2(128)
+        assert dpnn < stripes < 3 * dpnn
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            self.area.dpnn_core_mm2(8)
+        with pytest.raises(ValueError):
+            self.area.loom_core_mm2(128, bits_per_cycle=5)
+        with pytest.raises(ValueError):
+            self.area.loom_sip_um2(0)
+
+
+class TestAreaModel:
+    def test_total_includes_memory(self):
+        from repro.accelerators import DPNN
+        dpnn = DPNN()
+        model = AreaModel()
+        core = dpnn.core_area_mm2()
+        assert model.total_mm2(core, dpnn.hierarchy) > core
+        assert model.total_mm2(core, None) == core
+
+    def test_relative_core_area(self):
+        model = AreaModel()
+        assert model.relative_core_area(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            model.relative_core_area(1.0, 0.0)
+        with pytest.raises(ValueError):
+            model.total_mm2(-1.0)

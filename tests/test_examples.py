@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    env = {"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"}
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=600, env=env,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Loom-1b" in out and "speedup" in out
+
+    def test_mobile_vision_pipeline(self):
+        out = run_example("mobile_vision_pipeline.py")
+        assert "pipeline fps" in out and "Loom-1b" in out
+
+    def test_precision_tradeoff(self):
+        out = run_example("precision_tradeoff.py")
+        assert "bit-serial FC == integer FC" in out
+        assert "99%" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py")
+        assert "512" in out and "DStripes" in out
+
+    def test_sparsity_extension(self):
+        out = run_example("sparsity_extension.py")
+        assert "pruning rate" in out and "speedup bound" in out

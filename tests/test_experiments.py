@@ -1,0 +1,262 @@
+"""Tests for the experiment harnesses: the paper's tables and figures.
+
+These assert the *shape* of the reproduced results: who wins, by roughly what
+factor, and where crossovers fall, mirroring the claims the paper makes.
+Absolute equality with the paper's numbers is not expected (see
+EXPERIMENTS.md); loose per-cell tolerances are asserted only for the
+geometric means.
+"""
+
+import pytest
+
+from repro.experiments import area, figure4, figure5, table1, table2, table3, table4
+from repro.experiments.common import (
+    ExperimentResult,
+    build_profiled_network,
+    default_designs,
+    format_ratio_table,
+)
+from repro.quant import paper_networks
+
+
+# Experiment runs are expensive; share them across this module's tests.
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2.run(accuracies=("100%",))
+
+
+@pytest.fixture(scope="module")
+def figure4_result():
+    return figure4.run()
+
+
+@pytest.fixture(scope="module")
+def figure5_result():
+    return figure5.run(configs=(32, 128, 512))
+
+
+@pytest.fixture(scope="module")
+def table4_result():
+    return table4.run()
+
+
+class TestCommonHelpers:
+    def test_build_profiled_network(self):
+        net = build_profiled_network("alexnet", "99%")
+        assert net.profile.accuracy_target == "99%"
+
+    def test_default_designs_contains_baseline_and_variants(self):
+        designs = default_designs()
+        assert {"dpnn", "stripes", "loom-1b", "loom-2b", "loom-4b"} <= set(designs)
+        assert "dstripes" not in designs
+        assert "dstripes" in default_designs(include_dstripes=True)
+
+    def test_format_ratio_table(self):
+        result = ExperimentResult(name="demo", columns=["a", "b"])
+        result.add_row("net", {"a": 1.234})
+        text = format_ratio_table(result)
+        assert "demo" in text and "1.23" in text and "n/a" in text
+
+
+class TestTable1:
+    def test_rows_cover_all_networks_and_accuracies(self):
+        rows = table1.run()
+        assert len(rows) == 12
+        assert {r.network for r in rows} == set(paper_networks())
+
+    def test_alexnet_row_matches_paper(self):
+        rows = {(r.network, r.accuracy): r for r in table1.run()}
+        alexnet = rows[("alexnet", "100%")]
+        assert alexnet.conv_activation_string() == "9-8-5-5-7"
+        assert alexnet.conv_weight_bits == 11
+        assert alexnet.fc_weight_string() == "10-9-9"
+
+    def test_nin_has_no_fc_entry(self):
+        rows = {(r.network, r.accuracy): r for r in table1.run()}
+        assert rows[("nin", "100%")].fc_weight_string() == "N/A"
+
+    def test_format_contains_all_networks(self):
+        text = table1.format_table()
+        for name in paper_networks():
+            assert name in text
+
+    def test_derived_profile_on_tiny_network(self, tiny_network):
+        profile = table1.derive_profile_for_network(tiny_network, batch=2, seed=1)
+        assert profile.num_conv_layers == 2
+        assert profile.num_fc_layers == 1
+        assert all(1 <= lp.activation_bits <= 16 for lp in profile.conv_layers)
+
+
+class TestTable2:
+    def test_all_cells_present(self, table2_result):
+        cells = table2_result.cells["100%"]
+        assert set(cells["conv"]) == set(paper_networks())
+        # NiN has no FC layers.
+        assert set(cells["fc"]) == set(paper_networks()) - {"nin"}
+
+    def test_loom_beats_stripes_on_convs(self, table2_result):
+        for network, designs in table2_result.cells["100%"]["conv"].items():
+            assert designs["loom-1b"][0] > designs["stripes"][0]
+
+    def test_stripes_gets_no_fc_speedup(self, table2_result):
+        for network, designs in table2_result.cells["100%"]["fc"].items():
+            assert designs["stripes"][0] == pytest.approx(1.0, abs=0.02)
+            assert designs["stripes"][1] < 1.0
+
+    def test_loom_fc_speedup_close_to_paper(self, table2_result):
+        paper = table2.PAPER_TABLE2["100%"]["fc"]
+        for network, designs in table2_result.cells["100%"]["fc"].items():
+            measured = designs["loom-1b"][0]
+            expected = paper[network]["loom-1b"][0]
+            assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_conv_geomeans_within_15_percent_of_paper(self, table2_result):
+        means = table2_result.geomeans("100%", "conv")
+        paper_geomeans = {"stripes": (1.84, 1.61), "loom-1b": (3.25, 2.63),
+                         "loom-2b": (3.10, 2.92), "loom-4b": (2.78, 2.92)}
+        for design, (paper_perf, paper_eff) in paper_geomeans.items():
+            perf, eff = means[design]
+            assert perf == pytest.approx(paper_perf, rel=0.15)
+            assert eff == pytest.approx(paper_eff, rel=0.15)
+
+    def test_variant_ordering_on_convs(self, table2_result):
+        means = table2_result.geomeans("100%", "conv")
+        assert means["loom-1b"][0] > means["loom-2b"][0] > means["loom-4b"][0]
+
+    def test_99_profile_is_at_least_as_fast(self):
+        result99 = table2.run(accuracies=("99%",), networks=("alexnet",))
+        result100 = table2.run(accuracies=("100%",), networks=("alexnet",))
+        perf99 = result99.cells["99%"]["conv"]["alexnet"]["loom-1b"][0]
+        perf100 = result100.cells["100%"]["conv"]["alexnet"]["loom-1b"][0]
+        assert perf99 >= perf100
+
+    def test_format_table_runs(self, table2_result):
+        text = table2.format_table(table2_result)
+        assert "CONVOLUTIONAL" in text and "geomean" in text
+
+
+class TestFigure4:
+    def test_headline_claims(self, figure4_result):
+        geomean_perf = figure4_result.performance["geomean"]
+        geomean_eff = figure4_result.efficiency["geomean"]
+        # "LM1b outperforms DPNN by more than 3x ... more than 2.5x energy
+        # efficient" (paper: 3.19x / 2.59x).
+        assert geomean_perf["loom-1b"] > 2.7
+        assert geomean_eff["loom-1b"] > 2.2
+        # LM1b consistently outperforms Stripes and DStripes.
+        for network in paper_networks():
+            row = figure4_result.performance[network]
+            assert row["loom-1b"] > row["stripes"]
+            assert row["loom-1b"] > row["dstripes"]
+
+    def test_loom_more_efficient_than_stripes(self, figure4_result):
+        for network in paper_networks():
+            row = figure4_result.efficiency[network]
+            assert row["loom-1b"] > row["stripes"]
+
+    def test_format_figure(self, figure4_result):
+        text = figure4.format_figure(figure4_result)
+        assert "Figure 4a" in text and "Figure 4b" in text and "geomean" in text
+
+
+class TestArea:
+    def test_ratios_match_paper(self):
+        result = area.run()
+        assert result.area_ratio["loom-1b"] == pytest.approx(1.34, abs=0.08)
+        assert result.area_ratio["loom-2b"] == pytest.approx(1.25, abs=0.08)
+        assert result.area_ratio["loom-4b"] == pytest.approx(1.16, abs=0.10)
+        # Performance per area beats DPNN (whose value is 1.0 by definition).
+        for design in ("loom-1b", "loom-2b", "loom-4b"):
+            assert result.performance_per_area(design) > 1.0
+
+    def test_format_table(self):
+        text = area.format_table()
+        assert "area ratio" in text and "loom-4b" in text
+
+
+class TestFigure5:
+    def test_weight_memory_matches_paper(self, figure5_result):
+        assert figure5_result.point(32).loom_weight_memory_mb == 0.5
+        assert figure5_result.point(128).loom_weight_memory_mb == 2.0
+        assert figure5_result.point(512).loom_weight_memory_mb == 8.0
+
+    def test_loom_advantage_shrinks_with_scale(self, figure5_result):
+        perfs = figure5_result.series("loom_rel_perf_all")
+        assert perfs[0] > perfs[1] > perfs[2]
+
+    def test_dstripes_advantage_roughly_flat(self, figure5_result):
+        ds = figure5_result.series("dstripes_rel_perf_conv")
+        assert max(ds) / min(ds) < 1.6
+
+    def test_crossover_at_large_configs(self, figure5_result):
+        # "At 512 [DStripes] performs better" -- Loom ahead at 32, behind or
+        # equal at 512 (convolutional layers).
+        p32 = figure5_result.point(32)
+        p512 = figure5_result.point(512)
+        assert p32.loom_rel_perf_conv > p32.dstripes_rel_perf_conv
+        assert p512.loom_rel_perf_conv <= p512.dstripes_rel_perf_conv * 1.05
+
+    def test_fps_increases_with_scale(self, figure5_result):
+        fps = figure5_result.series("loom_fps_all")
+        assert fps[0] < fps[1] < fps[2]
+
+    def test_loom_outperforms_dpnn_everywhere(self, figure5_result):
+        assert all(p > 1.0 for p in figure5_result.series("loom_rel_perf_all"))
+
+    def test_area_ratio_grows_with_scale(self, figure5_result):
+        ratios = figure5_result.series("loom_area_ratio")
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_energy_efficiency_declines_with_scale(self, figure5_result):
+        eff = figure5_result.series("loom_energy_efficiency")
+        assert eff[0] > eff[1] > eff[2]
+
+    def test_fps_annotations_in_paper_ballpark_at_small_configs(self,
+                                                                figure5_result):
+        # The paper reports 53 fps (conv) at the 32 configuration.
+        assert figure5_result.point(32).loom_fps_conv == pytest.approx(53, rel=0.2)
+
+    def test_format_figure(self, figure5_result):
+        text = figure5.format_figure(figure5_result)
+        assert "Loom rel perf (all)" in text and "(paper)" in text
+
+
+class TestTable3:
+    def test_paper_values_returned(self):
+        result = table3.run(include_synthetic=False)
+        assert result.paper["alexnet"] == pytest.approx(
+            (8.36, 7.62, 7.62, 7.44, 7.55))
+        assert not result.measured
+
+    def test_synthetic_measurement_below_profile(self):
+        measured = table3.measure_synthetic_effective_precisions(
+            "alexnet", weights_per_layer=2048, seed=0)
+        assert len(measured) == 5
+        assert all(m < 11.0 for m in measured)
+        assert all(m >= 1.0 for m in measured)
+
+    def test_format_table(self):
+        text = table3.format_table(table3.run(include_synthetic=False))
+        assert "Table 3" in text and "alexnet" in text
+
+
+class TestTable4:
+    def test_geomeans_close_to_paper(self, table4_result):
+        measured = table4_result.cells["geomean"]
+        paper = table4.PAPER_TABLE4["geomean"]
+        for design in ("loom-1b", "loom-2b", "loom-4b"):
+            assert measured[design][0] == pytest.approx(paper[design][0], rel=0.15)
+            assert measured[design][1] == pytest.approx(paper[design][1], rel=0.15)
+
+    def test_per_group_mode_beats_table2_mode(self, table4_result, table2_result):
+        # Exploiting per-group weight precisions must improve on the
+        # profile-only speedups for every network.
+        for network in paper_networks():
+            conv_perf_profile = table2_result.cells["100%"]["conv"][network][
+                "loom-1b"][0]
+            all_perf_group = table4_result.cells[network]["loom-1b"][0]
+            assert all_perf_group > 0.9 * conv_perf_profile
+
+    def test_format_table(self, table4_result):
+        text = table4.format_table(table4_result)
+        assert "Table 4" in text and "geomean" in text

@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.quant.fixedpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.fixedpoint import (
+    FixedPointFormat,
+    dequantize,
+    quantize,
+    quantize_tensor,
+    required_precision,
+    saturate,
+)
+
+
+class TestFixedPointFormat:
+    def test_basic_signed_format(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=8, signed=True)
+        assert fmt.scale == pytest.approx(1 / 256)
+        assert fmt.min_code == -32768
+        assert fmt.max_code == 32767
+        assert fmt.int_bits == 7
+
+    def test_basic_unsigned_format(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0, signed=False)
+        assert fmt.min_code == 0
+        assert fmt.max_code == 255
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == 255.0
+
+    def test_min_max_value_scaled(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=2, signed=True)
+        assert fmt.max_value == pytest.approx(7 / 4)
+        assert fmt.min_value == pytest.approx(-8 / 4)
+
+    def test_describe(self):
+        assert FixedPointFormat(16, 8, True).describe() == "s16.8"
+        assert FixedPointFormat(8, 0, False).describe() == "u8.0"
+
+    def test_with_total_bits(self):
+        fmt = FixedPointFormat(16, 8, True).with_total_bits(8)
+        assert fmt.total_bits == 8
+        assert fmt.frac_bits == 8
+        assert fmt.signed is True
+
+    def test_invalid_total_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=0)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, frac_bits=-1)
+
+    def test_signed_needs_two_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, signed=True)
+
+    def test_unsigned_single_bit_allowed(self):
+        fmt = FixedPointFormat(total_bits=1, signed=False)
+        assert fmt.max_code == 1
+
+
+class TestQuantize:
+    def test_integer_values_roundtrip(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0, signed=True)
+        values = np.array([-5.0, 0.0, 3.0, 100.0])
+        assert np.array_equal(quantize(values, fmt), np.array([-5, 0, 3, 100]))
+
+    def test_fractional_scaling(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4, signed=True)
+        codes = quantize(np.array([1.0, 0.5, -0.25]), fmt)
+        assert np.array_equal(codes, np.array([16, 8, -4]))
+
+    def test_saturation_positive(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0, signed=True)
+        assert quantize(np.array([100.0]), fmt)[0] == 7
+
+    def test_saturation_negative(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0, signed=True)
+        assert quantize(np.array([-100.0]), fmt)[0] == -8
+
+    def test_unsigned_clamps_negative_to_zero(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0, signed=False)
+        assert quantize(np.array([-3.0]), fmt)[0] == 0
+
+    def test_dequantize_inverse_of_quantize_on_grid(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=3, signed=True)
+        values = np.arange(-10, 10) / 8.0
+        assert np.allclose(dequantize(quantize(values, fmt), fmt), values)
+
+    def test_quantize_tensor_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(total_bits=12, frac_bits=6, signed=True)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-10, 10, size=100)
+        error = np.abs(quantize_tensor(values, fmt) - values)
+        assert np.all(error <= fmt.scale / 2 + 1e-12)
+
+    def test_saturate_function(self):
+        fmt = FixedPointFormat(total_bits=4, frac_bits=0, signed=True)
+        codes = np.array([-100, -8, 0, 7, 100])
+        assert np.array_equal(saturate(codes, fmt), np.array([-8, -8, 0, 7, 7]))
+
+
+class TestRequiredPrecision:
+    def test_zero_tensor_needs_one_bit(self):
+        assert required_precision(np.zeros(10, dtype=np.int64)) == 1
+
+    def test_empty_tensor(self):
+        assert required_precision(np.array([], dtype=np.int64)) == 1
+
+    def test_unsigned_powers_of_two(self):
+        assert required_precision(np.array([1]), signed=False) == 1
+        assert required_precision(np.array([2]), signed=False) == 2
+        assert required_precision(np.array([255]), signed=False) == 8
+        assert required_precision(np.array([256]), signed=False) == 9
+
+    def test_signed_boundaries(self):
+        # -8..7 fits in 4 bits; 8 needs 5.
+        assert required_precision(np.array([-8, 7])) == 4
+        assert required_precision(np.array([8])) == 5
+        assert required_precision(np.array([-9])) == 5
+
+    @given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+    @settings(max_examples=60)
+    def test_signed_value_fits_in_reported_precision(self, value):
+        bits = required_precision(np.array([value]), signed=True)
+        assert -(1 << (bits - 1)) <= value <= (1 << (bits - 1)) - 1
+        if bits > 1:
+            smaller = bits - 1
+            fits_smaller = (-(1 << (smaller - 1)) <= value
+                            <= (1 << (smaller - 1)) - 1) if smaller > 0 else False
+            assert not fits_smaller or value == 0
+
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=60)
+    def test_unsigned_value_fits_in_reported_precision(self, value):
+        bits = required_precision(np.array([value]), signed=False)
+        assert value <= (1 << bits) - 1
+        if value > 0:
+            assert value > (1 << (bits - 1)) - 1
+
+
+class TestQuantizationProperty:
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=8),
+        st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=1, max_size=20),
+    )
+    @settings(max_examples=80)
+    def test_codes_always_within_format_range(self, bits, frac, values):
+        fmt = FixedPointFormat(total_bits=bits, frac_bits=frac, signed=True)
+        codes = quantize(np.array(values), fmt)
+        assert codes.min() >= fmt.min_code
+        assert codes.max() <= fmt.max_code

@@ -1,0 +1,119 @@
+"""Tests for per-group precision reduction (repro.quant.groups)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.groups import (
+    GroupPrecisionStats,
+    effective_precision,
+    group_activation_precisions,
+    group_weight_precisions,
+)
+
+
+class TestGroupActivationPrecisions:
+    def test_uniform_small_values_need_few_bits(self):
+        codes = np.full(512, 3)  # needs 2 bits
+        stats = group_activation_precisions(codes, baseline_bits=8, group_size=256)
+        assert stats.num_groups == 2
+        assert stats.average_bits == 2.0
+        assert stats.max_bits == 2
+
+    def test_group_max_dominates(self):
+        codes = np.zeros(256, dtype=np.int64)
+        codes[100] = 255  # one big value forces 8 bits for the whole group
+        stats = group_activation_precisions(codes, baseline_bits=8, group_size=256)
+        assert stats.average_bits == 8.0
+
+    def test_clamped_to_baseline(self):
+        codes = np.full(256, 2 ** 12 - 1)
+        stats = group_activation_precisions(codes, baseline_bits=8, group_size=256)
+        assert stats.max_bits == 8
+
+    def test_partial_group_padded_with_zeros(self):
+        codes = np.full(100, 7)
+        stats = group_activation_precisions(codes, baseline_bits=8, group_size=256)
+        assert stats.num_groups == 1
+        assert stats.average_bits == 3.0
+
+    def test_empty_tensor(self):
+        stats = group_activation_precisions(np.array([], dtype=np.int64),
+                                            baseline_bits=8)
+        assert stats.num_groups == 0
+        assert stats.average_bits == 8.0
+
+    def test_reduction_metric(self):
+        codes = np.full(256, 15)  # 4 bits
+        stats = group_activation_precisions(codes, baseline_bits=8, group_size=256)
+        assert stats.reduction == pytest.approx(0.5)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_activation_precisions(np.array([1]), baseline_bits=8, group_size=0)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            group_activation_precisions(np.array([1]), baseline_bits=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=1, max_size=600),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50)
+    def test_group_precision_bounds(self, values, group_size):
+        codes = np.array(values, dtype=np.int64)
+        stats = group_activation_precisions(codes, baseline_bits=8,
+                                            group_size=group_size)
+        assert 1 <= stats.min_bits <= stats.max_bits <= 8
+        assert stats.average_bits <= 8.0
+        # Dynamic reduction never needs fewer bits than the largest value.
+        needed = max(1, int(codes.max()).bit_length())
+        assert stats.max_bits >= min(needed, 8)
+
+
+class TestGroupWeightPrecisions:
+    def test_signed_weights(self):
+        codes = np.array([-8, 7, 3, -1] * 4)  # -8 needs 4 bits
+        stats = group_weight_precisions(codes, baseline_bits=11, group_size=16)
+        assert stats.num_groups == 1
+        assert stats.average_bits == 4.0
+
+    def test_per_group_variation(self):
+        small = np.full(16, 1, dtype=np.int64)     # 2 bits signed
+        large = np.full(16, -512, dtype=np.int64)  # 10 bits signed
+        stats = group_weight_precisions(np.concatenate([small, large]),
+                                        baseline_bits=11, group_size=16)
+        assert stats.num_groups == 2
+        assert stats.average_bits == pytest.approx((2 + 10) / 2)
+
+    def test_average_below_baseline_for_gaussian_weights(self):
+        rng = np.random.default_rng(0)
+        codes = np.clip(np.round(rng.normal(0, 100, size=4096)), -1023, 1023)
+        stats = group_weight_precisions(codes.astype(np.int64), baseline_bits=11)
+        assert stats.average_bits < 11.0
+
+
+class TestEffectivePrecision:
+    def test_one_bit_per_cycle_equals_average(self):
+        stats = GroupPrecisionStats(group_size=16, num_groups=2,
+                                    precisions=np.array([3, 5]), baseline_bits=8)
+        assert effective_precision(stats, bits_per_cycle=1) == pytest.approx(4.0)
+
+    def test_two_bits_per_cycle_rounds_each_group_up(self):
+        stats = GroupPrecisionStats(group_size=16, num_groups=2,
+                                    precisions=np.array([3, 5]), baseline_bits=8)
+        # ceil(3/2)=2 steps, ceil(5/2)=3 steps -> avg 2.5 steps -> 5.0 bits.
+        assert effective_precision(stats, bits_per_cycle=2) == pytest.approx(5.0)
+
+    def test_empty_stats_fall_back_to_baseline(self):
+        stats = GroupPrecisionStats(group_size=16, num_groups=0,
+                                    precisions=np.zeros(0, dtype=np.int64),
+                                    baseline_bits=7)
+        assert effective_precision(stats, bits_per_cycle=4) == pytest.approx(8.0)
+
+    def test_invalid_bits_per_cycle(self):
+        stats = GroupPrecisionStats(group_size=16, num_groups=1,
+                                    precisions=np.array([3]), baseline_bits=8)
+        with pytest.raises(ValueError):
+            effective_precision(stats, bits_per_cycle=0)

@@ -1,0 +1,177 @@
+"""Tests for the reference NumPy inference (repro.nn.inference)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.inference import ReferenceModel, choose_format, run_quantized, \
+    run_reference
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    LRN,
+    Pool2D,
+    ReLU,
+    Softmax,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+
+def brute_force_conv(x, w, b, stride, padding):
+    """Naive convolution used as ground truth."""
+    out_c, in_c, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    h = (x.shape[1] - k) // stride + 1
+    wdt = (x.shape[2] - k) // stride + 1
+    out = np.zeros((out_c, h, wdt))
+    for oc in range(out_c):
+        for i in range(h):
+            for j in range(wdt):
+                patch = x[:, i * stride:i * stride + k, j * stride:j * stride + k]
+                out[oc, i, j] = np.sum(patch * w[oc]) + (b[oc] if b is not None else 0)
+    return out
+
+
+class TestConvolution:
+    def test_matches_brute_force(self, rng):
+        net = Network("c", TensorShape(3, 9, 9))
+        net.add(Conv2D(name="conv", out_channels=4, kernel=3, stride=2, padding=1))
+        model = ReferenceModel(net, rng=rng)
+        x = rng.normal(size=(3, 9, 9))
+        w = model.layer_weights("conv")
+        b = model.layer_bias("conv")
+        expected = brute_force_conv(x, w, b, stride=2, padding=1)
+        assert np.allclose(model.forward(x), expected)
+
+    def test_grouped_convolution_matches_blockwise(self, rng):
+        net = Network("g", TensorShape(4, 6, 6))
+        net.add(Conv2D(name="conv", out_channels=6, kernel=3, padding=1, groups=2,
+                       bias=False))
+        model = ReferenceModel(net, rng=rng)
+        x = rng.normal(size=(4, 6, 6))
+        w = model.layer_weights("conv")
+        out = model.forward(x)
+        # First half of the filters sees only the first half of the channels.
+        expected_first = brute_force_conv(x[:2], w[:3], None, 1, 1)
+        expected_second = brute_force_conv(x[2:], w[3:], None, 1, 1)
+        assert np.allclose(out[:3], expected_first)
+        assert np.allclose(out[3:], expected_second)
+
+    def test_user_supplied_weights(self, rng):
+        net = Network("c", TensorShape(1, 3, 3))
+        net.add(Conv2D(name="conv", out_channels=1, kernel=3, bias=False))
+        w = np.ones((1, 1, 3, 3))
+        model = ReferenceModel(net, weights={"conv": (w, None)})
+        x = np.arange(9, dtype=float).reshape(1, 3, 3)
+        assert model.forward(x)[0, 0, 0] == pytest.approx(36.0)
+
+
+class TestOtherLayers:
+    def test_relu(self, rng):
+        net = Network("r", TensorShape(2, 2, 2))
+        net.add(ReLU(name="relu"))
+        out = ReferenceModel(net, rng=rng).forward(
+            np.array([[[-1.0, 2.0], [3.0, -4.0]], [[0.0, -1.0], [1.0, 5.0]]])
+        )
+        assert out.min() >= 0.0
+        assert out[0, 0, 1] == 2.0
+
+    def test_max_pool(self, rng):
+        net = Network("p", TensorShape(1, 4, 4))
+        net.add(Pool2D(name="pool", kernel=2, stride=2))
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = ReferenceModel(net, rng=rng).forward(x)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 0, 0] == 5.0
+        assert out[0, 1, 1] == 15.0
+
+    def test_avg_and_global_pool(self, rng):
+        net = Network("p", TensorShape(2, 4, 4))
+        net.add(Pool2D(name="pool", mode="avg", global_pool=True))
+        x = np.ones((2, 4, 4))
+        out = ReferenceModel(net, rng=rng).forward(x)
+        assert out.shape == (2, 1, 1)
+        assert np.allclose(out, 1.0)
+
+    def test_lrn_preserves_shape_and_reduces_magnitude(self, rng):
+        net = Network("l", TensorShape(8, 3, 3))
+        net.add(LRN(name="norm", alpha=1.0, beta=0.75, local_size=5, k=2.0))
+        x = np.abs(rng.normal(size=(8, 3, 3))) + 1.0
+        out = ReferenceModel(net, rng=rng).forward(x)
+        assert out.shape == x.shape
+        assert np.all(np.abs(out) < np.abs(x))
+
+    def test_softmax_sums_to_one(self, rng):
+        net = Network("s", TensorShape(10))
+        net.add(Softmax(name="prob"))
+        out = ReferenceModel(net, rng=rng).forward(rng.normal(size=10))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+    def test_concat_execution(self, rng):
+        net = Network("cc", TensorShape(2, 4, 4))
+        net.add(Conv2D(name="a", out_channels=3, kernel=1, bias=False),
+                inputs=["__input__"])
+        net.add(Conv2D(name="b", out_channels=5, kernel=1, bias=False),
+                inputs=["__input__"])
+        net.add(Concat(name="merge", out_channels=8), inputs=["a", "b"])
+        out = ReferenceModel(net, rng=rng).forward(rng.normal(size=(2, 4, 4)))
+        assert out.shape == (8, 4, 4)
+
+
+class TestFullNetwork:
+    def test_tiny_network_end_to_end(self, tiny_network, rng):
+        out = run_reference(tiny_network, rng.normal(size=(3, 16, 16)), rng=rng)
+        assert out.shape == (10,)
+
+    def test_wrong_input_shape_raises(self, tiny_network, rng):
+        model = ReferenceModel(tiny_network, rng=rng)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((3, 8, 8)))
+
+    def test_quantized_forward_close_to_float(self, tiny_network, rng):
+        x = rng.normal(size=(3, 16, 16))
+        float_out = run_reference(tiny_network, x, rng=np.random.default_rng(7))
+        precisions = {lw.name: (12, 12) for lw in tiny_network.compute_layers()}
+        quant_out = run_quantized(tiny_network, x, precisions,
+                                  rng=np.random.default_rng(7))
+        assert np.argmax(quant_out) == np.argmax(float_out)
+
+    def test_lower_precision_increases_error(self, tiny_network, rng):
+        x = rng.normal(size=(3, 16, 16))
+        model = ReferenceModel(tiny_network, rng=np.random.default_rng(7))
+        reference = model.forward(x)
+        names = [lw.name for lw in tiny_network.compute_layers()]
+        high = model.forward(x, precisions={n: (14, 14) for n in names})
+        low = model.forward(x, precisions={n: (3, 3) for n in names})
+        assert np.max(np.abs(high - reference)) <= np.max(np.abs(low - reference))
+
+    def test_capture_collects_compute_layer_inputs(self, tiny_network, rng):
+        model = ReferenceModel(tiny_network, rng=rng)
+        captured = {}
+        model.forward(rng.normal(size=(3, 16, 16)), capture=captured)
+        assert set(captured) == {"conv1", "conv2", "fc1"}
+        assert captured["conv1"].shape == (3, 16, 16)
+        assert captured["fc1"].ndim == 1
+
+
+class TestChooseFormat:
+    def test_unsigned_format_for_nonnegative(self):
+        fmt = choose_format(np.array([0.0, 3.0]), bits=8, signed=False)
+        assert not fmt.signed
+        assert fmt.max_value >= 3.0
+
+    def test_signed_range_covers_data(self):
+        data = np.array([-7.3, 2.0])
+        fmt = choose_format(data, bits=8, signed=True)
+        assert fmt.min_value <= -7.3 <= fmt.max_value or fmt.min_value <= -7.3
+
+    def test_zero_data(self):
+        fmt = choose_format(np.zeros(4), bits=6, signed=False)
+        assert fmt.total_bits == 6
+
+    def test_signed_single_bit_upgraded(self):
+        fmt = choose_format(np.array([-1.0, 1.0]), bits=1, signed=True)
+        assert fmt.total_bits == 2

@@ -1,0 +1,147 @@
+"""Cross-module integration tests: the paper's headline claims end to end."""
+
+import pytest
+
+from repro import (
+    DPNN,
+    DStripes,
+    Loom,
+    Stripes,
+    AcceleratorConfig,
+    build_network,
+    compare,
+    geomean,
+    get_paper_profile,
+    paper_networks,
+    run_network,
+)
+from repro.core.scheduler import schedule_conv_layer, schedule_fc_layer
+from repro.core.tile import LoomTileSimulator
+from repro.quant.dynamic import DynamicPrecisionModel
+
+
+@pytest.fixture(scope="module")
+def all_network_results():
+    """DPNN and Loom-1b results for every network (100% profiles)."""
+    dpnn, loom = DPNN(), Loom()
+    results = {}
+    for name in paper_networks():
+        network = build_network(name)
+        network.attach_profile(get_paper_profile(name, "100%"))
+        results[name] = {
+            "dpnn": run_network(dpnn, network),
+            "loom-1b": run_network(loom, network),
+        }
+    return results
+
+
+class TestHeadlineClaims:
+    def test_loom_faster_and_more_efficient_everywhere(self, all_network_results):
+        for name, results in all_network_results.items():
+            comp = compare(results["loom-1b"], results["dpnn"])
+            assert comp.speedup > 1.5, name
+            assert comp.energy_efficiency > 1.3, name
+
+    def test_geomean_speedup_in_paper_range(self, all_network_results):
+        speedups = [compare(r["loom-1b"], r["dpnn"]).speedup
+                    for r in all_network_results.values()]
+        efficiencies = [compare(r["loom-1b"], r["dpnn"]).energy_efficiency
+                        for r in all_network_results.values()]
+        # Paper: 3.19x speedup, 2.59x energy efficiency (all layers, 100%).
+        assert geomean(speedups) == pytest.approx(3.19, rel=0.15)
+        assert geomean(efficiencies) == pytest.approx(2.59, rel=0.15)
+
+    def test_traffic_reduction_tracks_precision(self, all_network_results):
+        # Loom moves (Pw/16, Pa/16) of DPNN's weight/activation bits.
+        for name, results in all_network_results.items():
+            loom_bits = sum(lr.total_traffic_bits
+                            for lr in results["loom-1b"].layers)
+            dpnn_bits = sum(lr.total_traffic_bits
+                            for lr in results["dpnn"].layers)
+            assert loom_bits < dpnn_bits * 0.85, name
+
+
+class TestCycleModelConsistency:
+    """The analytical Loom model and the event-driven tile simulator agree on
+    real network layers (static precisions, scaled-down grid)."""
+
+    def test_alexnet_conv_layers(self, alexnet_100):
+        from repro.core.scheduler import LoomGeometry
+        geometry = LoomGeometry(equivalent_macs=16)
+        simulator = LoomTileSimulator()
+        # Use the two smallest conv layers to keep event counts reasonable.
+        layers = sorted(alexnet_100.conv_layers(), key=lambda lw: lw.macs)[:2]
+        for lw in layers:
+            schedule = schedule_conv_layer(lw, geometry)
+            sim = simulator.run_conv(schedule)
+            assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+    def test_alexnet_fc_layer(self, alexnet_100):
+        from repro.core.scheduler import LoomGeometry
+        geometry = LoomGeometry(equivalent_macs=16)
+        fc8 = alexnet_100.fc_layers()[-1]
+        schedule = schedule_fc_layer(fc8, geometry)
+        sim = LoomTileSimulator().run_fc(schedule)
+        assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+
+class TestAblation:
+    def test_dynamic_precision_contribution(self, alexnet_100, dpnn_default):
+        """Dynamic precision reduction is worth a measurable chunk of Loom's
+        convolutional speedup (the Stripes -> DStripes gap of the paper)."""
+        base = run_network(dpnn_default, alexnet_100)
+        static = run_network(
+            Loom(dynamic_precision=DynamicPrecisionModel(enabled=False)),
+            alexnet_100)
+        dynamic = run_network(Loom(), alexnet_100)
+        static_speedup = compare(static, base, kind="conv").speedup
+        dynamic_speedup = compare(dynamic, base, kind="conv").speedup
+        assert dynamic_speedup > static_speedup * 1.1
+
+    def test_bit_interleaved_storage_contribution(self, alexnet_100):
+        """Storing data bit-interleaved is what shrinks traffic; Stripes only
+        gets the activation share, Loom gets both."""
+        stripes = run_network(Stripes(), alexnet_100)
+        loom = run_network(Loom(), alexnet_100)
+        assert sum(lr.weight_bits_read for lr in loom.layers) < \
+            sum(lr.weight_bits_read for lr in stripes.layers)
+
+    def test_cascading_contribution_on_googlenet(self, googlenet_100,
+                                                 dpnn_default):
+        base = run_network(dpnn_default, googlenet_100)
+        with_cascade = run_network(Loom(use_cascading=True), googlenet_100)
+        without = run_network(Loom(use_cascading=False), googlenet_100)
+        assert compare(with_cascade, base, kind="fc").speedup > \
+            1.8 * compare(without, base, kind="fc").speedup
+
+    def test_window_fanout_tiling_at_512(self, googlenet_100):
+        config = AcceleratorConfig(equivalent_macs=512)
+        base = run_network(DPNN(config), googlenet_100)
+        rigid = run_network(Loom(config), googlenet_100)
+        fanned = run_network(Loom(config, window_fanout=4), googlenet_100)
+        assert compare(fanned, base, kind="conv").speedup > \
+            compare(rigid, base, kind="conv").speedup
+
+
+class TestScalingStory:
+    def test_dstripes_overtakes_loom_only_at_large_configs(self, vgg19_100,
+                                                           googlenet_100):
+        """The Figure 5 crossover: at 128 Loom-conv wins, at 512 DStripes is
+        at least on par (geomean over two representative networks)."""
+        for macs, loom_should_win in ((128, True), (512, False)):
+            config = AcceleratorConfig(equivalent_macs=macs)
+            dpnn = DPNN(config)
+            loom = Loom(config)
+            dstripes = DStripes(config)
+            loom_speedups, ds_speedups = [], []
+            for network in (vgg19_100, googlenet_100):
+                base = run_network(dpnn, network)
+                loom_speedups.append(
+                    compare(run_network(loom, network), base, kind="conv").speedup)
+                ds_speedups.append(
+                    compare(run_network(dstripes, network), base,
+                            kind="conv").speedup)
+            if loom_should_win:
+                assert geomean(loom_speedups) > geomean(ds_speedups)
+            else:
+                assert geomean(loom_speedups) <= geomean(ds_speedups) * 1.1

@@ -1,0 +1,177 @@
+"""Tests for the layer IR and shape inference (repro.nn.layers)."""
+
+import pytest
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    LRN,
+    Pool2D,
+    ReLU,
+    Softmax,
+    TensorShape,
+)
+
+
+class TestTensorShape:
+    def test_spatial_shape(self):
+        shape = TensorShape(3, 224, 224)
+        assert shape.is_spatial
+        assert shape.size == 3 * 224 * 224
+
+    def test_flat_shape(self):
+        shape = TensorShape(4096)
+        assert not shape.is_spatial
+        assert shape.size == 4096
+
+    def test_flatten(self):
+        assert TensorShape(8, 2, 2).flatten() == TensorShape(32)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            TensorShape(0)
+
+    def test_partial_spatial_dims_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape(3, 10, None)
+
+    def test_invalid_spatial_dims(self):
+        with pytest.raises(ValueError):
+            TensorShape(3, 0, 10)
+
+    def test_str(self):
+        assert str(TensorShape(3, 4, 5)) == "3x4x5"
+        assert str(TensorShape(10)) == "10"
+
+
+class TestConv2D:
+    def test_output_shape_basic(self):
+        conv = Conv2D(name="c", out_channels=64, kernel=3, padding=1)
+        out = conv.output_shape(TensorShape(3, 32, 32))
+        assert out == TensorShape(64, 32, 32)
+
+    def test_output_shape_stride(self):
+        conv = Conv2D(name="c", out_channels=96, kernel=11, stride=4)
+        out = conv.output_shape(TensorShape(3, 227, 227))
+        assert out == TensorShape(96, 55, 55)
+
+    def test_window_size_and_macs(self):
+        conv = Conv2D(name="c", out_channels=64, kernel=3, padding=1)
+        in_shape = TensorShape(32, 8, 8)
+        assert conv.window_size(in_shape) == 32 * 9
+        assert conv.num_windows(in_shape) == 64
+        assert conv.macs(in_shape) == 32 * 9 * 64 * 64
+
+    def test_grouped_convolution(self):
+        conv = Conv2D(name="c", out_channels=256, kernel=5, padding=2, groups=2)
+        in_shape = TensorShape(96, 27, 27)
+        assert conv.window_size(in_shape) == 48 * 25
+        assert conv.weight_count_for(in_shape) == 48 * 25 * 256
+
+    def test_macs_halved_by_grouping(self):
+        in_shape = TensorShape(96, 27, 27)
+        dense = Conv2D(name="d", out_channels=256, kernel=5, padding=2)
+        grouped = Conv2D(name="g", out_channels=256, kernel=5, padding=2, groups=2)
+        assert grouped.macs(in_shape) * 2 == dense.macs(in_shape)
+
+    def test_kernel_too_large_raises(self):
+        conv = Conv2D(name="c", out_channels=8, kernel=9)
+        with pytest.raises(ValueError):
+            conv.output_shape(TensorShape(3, 4, 4))
+
+    def test_flat_input_rejected(self):
+        conv = Conv2D(name="c", out_channels=8, kernel=1)
+        with pytest.raises(ValueError):
+            conv.output_shape(TensorShape(100))
+
+    def test_channels_not_divisible_by_groups(self):
+        conv = Conv2D(name="c", out_channels=8, kernel=1, groups=2)
+        with pytest.raises(ValueError):
+            conv.output_shape(TensorShape(3, 4, 4))
+
+    def test_out_channels_not_divisible_by_groups(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=9, kernel=1, groups=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=0)
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=8, kernel=0)
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=8, padding=-1)
+
+    def test_weight_count_requires_input_shape(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", out_channels=8).weight_count()
+
+    def test_is_compute_flags(self):
+        conv = Conv2D(name="c", out_channels=8)
+        assert conv.is_conv and conv.is_compute and not conv.is_fc
+
+
+class TestFullyConnected:
+    def test_output_shape(self):
+        fc = FullyConnected(name="fc", out_features=4096)
+        assert fc.output_shape(TensorShape(256, 6, 6)) == TensorShape(4096)
+
+    def test_macs_and_weights(self):
+        fc = FullyConnected(name="fc", out_features=10)
+        in_shape = TensorShape(256, 6, 6)
+        assert fc.macs(in_shape) == 9216 * 10
+        assert fc.weight_count_for(in_shape) == 9216 * 10
+        assert fc.in_features(in_shape) == 9216
+
+    def test_invalid_out_features(self):
+        with pytest.raises(ValueError):
+            FullyConnected(name="fc", out_features=0)
+
+    def test_is_compute_flags(self):
+        fc = FullyConnected(name="fc", out_features=8)
+        assert fc.is_fc and fc.is_compute and not fc.is_conv
+
+
+class TestPool2D:
+    def test_max_pool_shape(self):
+        pool = Pool2D(name="p", kernel=3, stride=2)
+        assert pool.output_shape(TensorShape(96, 55, 55)) == TensorShape(96, 27, 27)
+
+    def test_global_pool(self):
+        pool = Pool2D(name="p", mode="avg", global_pool=True)
+        assert pool.output_shape(TensorShape(1000, 6, 6)) == TensorShape(1000, 1, 1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Pool2D(name="p", mode="median")
+
+    def test_flat_input_rejected(self):
+        with pytest.raises(ValueError):
+            Pool2D(name="p").output_shape(TensorShape(10))
+
+    def test_no_macs(self):
+        assert Pool2D(name="p").macs(TensorShape(8, 4, 4)) == 0
+        assert not Pool2D(name="p").is_compute
+
+
+class TestOtherLayers:
+    def test_relu_identity_shape(self):
+        assert ReLU(name="r").output_shape(TensorShape(8, 4, 4)) == \
+            TensorShape(8, 4, 4)
+
+    def test_lrn_identity_shape(self):
+        assert LRN(name="n").output_shape(TensorShape(96, 55, 55)) == \
+            TensorShape(96, 55, 55)
+
+    def test_softmax_identity_shape(self):
+        assert Softmax(name="s").output_shape(TensorShape(1000)) == \
+            TensorShape(1000)
+
+    def test_concat_overrides_channels(self):
+        concat = Concat(name="c", out_channels=256)
+        assert concat.output_shape(TensorShape(256, 28, 28)) == \
+            TensorShape(256, 28, 28)
+
+    def test_concat_requires_spatial(self):
+        with pytest.raises(ValueError):
+            Concat(name="c", out_channels=8).output_shape(TensorShape(8))

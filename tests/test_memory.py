@@ -1,0 +1,235 @@
+"""Tests for the memory-system substrate (SRAM, eDRAM, DRAM, layouts, hierarchy)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import DRAMChannel, LPDDR4_4267
+from repro.memory.edram import EDRAMMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.layout import (
+    BitInterleavedLayout,
+    BitParallelLayout,
+    Transposer,
+    footprint_bits,
+)
+from repro.memory.sram import SRAMBuffer
+
+
+class TestSRAMBuffer:
+    def test_basic_properties(self):
+        buf = SRAMBuffer("ABin", capacity_bytes=8 * 1024, width_bits=256)
+        assert buf.capacity_bits == 8 * 1024 * 8
+        assert buf.rows == buf.capacity_bits // 256
+        assert buf.area_mm2 > 0
+        assert buf.leakage_mw > 0
+
+    def test_energy_scales_with_bits(self):
+        buf = SRAMBuffer("b", 4096, 256)
+        assert buf.read_energy_pj(512) == pytest.approx(2 * buf.read_energy_pj(256))
+        assert buf.write_energy_pj() > buf.read_energy_pj()
+
+    def test_energy_grows_with_capacity(self):
+        small = SRAMBuffer("s", 2048, 256)
+        large = SRAMBuffer("l", 64 * 1024, 256)
+        assert large.read_energy_pj() > small.read_energy_pj()
+
+    def test_accesses_for_bits(self):
+        buf = SRAMBuffer("b", 4096, 256)
+        assert buf.accesses_for_bits(0) == 0
+        assert buf.accesses_for_bits(1) == 1
+        assert buf.accesses_for_bits(257) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer("b", 0, 256)
+        with pytest.raises(ValueError):
+            SRAMBuffer("b", 256, 0)
+        with pytest.raises(ValueError):
+            SRAMBuffer("b", 256, 8).read_energy_pj(-1)
+
+
+class TestEDRAMMemory:
+    def test_capacity_accessors(self):
+        mem = EDRAMMemory("AM", 2 * 1024 * 1024, width_bits=256)
+        assert mem.capacity_mb == pytest.approx(2.0)
+        assert mem.fits(2 * 1024 * 1024 * 8)
+        assert not mem.fits(2 * 1024 * 1024 * 8 + 1)
+
+    def test_energy_and_area_scale(self):
+        small = EDRAMMemory("m", 1024 * 1024, 256)
+        large = EDRAMMemory("m", 8 * 1024 * 1024, 256)
+        assert large.area_mm2 > small.area_mm2
+        assert large.refresh_power_mw > small.refresh_power_mw
+        assert large.access_energy_pj(256) >= small.access_energy_pj(256)
+
+    def test_accesses_for_bits(self):
+        mem = EDRAMMemory("m", 1024, 128)
+        assert mem.accesses_for_bits(129) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EDRAMMemory("m", 0, 256)
+        with pytest.raises(ValueError):
+            EDRAMMemory("m", 1024, 256).access_energy_pj(-5)
+
+
+class TestDRAMChannel:
+    def test_lpddr4_bandwidth(self):
+        # 4267 MT/s x 32 bits = ~17 GB/s peak.
+        assert LPDDR4_4267.peak_bandwidth_gb_per_s == pytest.approx(17.07, rel=0.01)
+        assert LPDDR4_4267.sustained_bandwidth_gbps < LPDDR4_4267.peak_bandwidth_gbps
+
+    def test_transfer_cycles_at_1ghz(self):
+        channel = DRAMChannel("test", transfer_rate_mts=1000, interface_bits=16,
+                              efficiency=1.0)
+        # 16 Gb/s at 1 GHz -> 16 bits per cycle.
+        assert channel.bits_per_cycle(1.0) == pytest.approx(16.0)
+        assert channel.transfer_cycles(160, 1.0) == pytest.approx(10.0)
+
+    def test_transfer_energy(self):
+        assert LPDDR4_4267.transfer_energy_pj(100) == pytest.approx(
+            100 * LPDDR4_4267.energy_pj_per_bit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMChannel("bad", transfer_rate_mts=0)
+        with pytest.raises(ValueError):
+            DRAMChannel("bad", transfer_rate_mts=100, efficiency=0.0)
+        with pytest.raises(ValueError):
+            LPDDR4_4267.transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            LPDDR4_4267.bits_per_cycle(0)
+
+
+class TestLayouts:
+    def test_footprint_bits_parallel_ignores_precision(self):
+        assert footprint_bits(100, 5, bit_interleaved=False) == 1600
+        assert footprint_bits(100, 16, bit_interleaved=False) == 1600
+
+    def test_footprint_bits_interleaved_scales(self):
+        assert footprint_bits(100, 5, bit_interleaved=True) == 500
+        assert footprint_bits(100, 16, bit_interleaved=True) == 1600
+
+    def test_footprint_validation(self):
+        with pytest.raises(ValueError):
+            footprint_bits(-1, 5, True)
+        with pytest.raises(ValueError):
+            footprint_bits(10, 0, True)
+        with pytest.raises(ValueError):
+            footprint_bits(10, 17, True)
+
+    def test_reduction_vs_parallel(self):
+        layout = BitInterleavedLayout()
+        assert layout.reduction_vs_parallel(10) == pytest.approx(6 / 16)
+        assert layout.reduction_vs_parallel(16) == 0.0
+
+    def test_rows_accounting(self):
+        parallel = BitParallelLayout()
+        interleaved = BitInterleavedLayout(group_size=256)
+        assert parallel.rows(256, 10, row_bits=256) == 16  # 256*16/256
+        # 256 values, 10 planes, one row of 256 bits per plane.
+        assert interleaved.rows(256, 10, row_bits=256) == 10
+
+    def test_interleaved_pack_roundtrip(self):
+        layout = BitInterleavedLayout()
+        codes = np.arange(-50, 50)
+        rows = layout.pack(codes, precision_bits=8, row_bits=32)
+        assert np.array_equal(layout.unpack(rows, 8, 100), codes)
+
+    def test_transposer(self):
+        transposer = Transposer(width=16)
+        assert transposer.cycles(0) == 0
+        assert transposer.cycles(17) == 2
+        assert transposer.energy_pj(10) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            transposer.cycles(-1)
+
+
+class TestMemoryHierarchy:
+    def make_hierarchy(self, interleaved=True, dram=None, am_bytes=1024 * 1024):
+        layout = BitInterleavedLayout() if interleaved else BitParallelLayout()
+        return MemoryHierarchy(
+            activation_memory=EDRAMMemory("AM", am_bytes, 256),
+            weight_memory=EDRAMMemory("WM", 2 * 1024 * 1024, 2048),
+            abin=SRAMBuffer("ABin", 8192, 256),
+            about=SRAMBuffer("ABout", 8192, 256),
+            activation_layout=layout,
+            weight_layout=layout,
+            dram=dram,
+            transposer=Transposer() if interleaved else None,
+        )
+
+    def test_traffic_precision_scaling(self):
+        hierarchy = self.make_hierarchy(interleaved=True)
+        traffic = hierarchy.layer_traffic(
+            weight_count=1000, input_activations=500, output_activations=200,
+            weight_bits=10, activation_bits=8, is_fc=False,
+        )
+        assert traffic.weight_bits == 10000
+        assert traffic.activation_in_bits == 4000
+        assert traffic.activation_out_bits == 1600
+
+    def test_parallel_layout_ignores_precision(self):
+        hierarchy = self.make_hierarchy(interleaved=False)
+        traffic = hierarchy.layer_traffic(
+            weight_count=1000, input_activations=500, output_activations=200,
+            weight_bits=10, activation_bits=8, is_fc=False,
+        )
+        assert traffic.weight_bits == 16000
+        assert traffic.activation_in_bits == 8000
+
+    def test_activation_spill_detection(self):
+        hierarchy = self.make_hierarchy(am_bytes=1024)  # 8 Kb AM
+        traffic = hierarchy.layer_traffic(
+            weight_count=10, input_activations=10_000, output_activations=10_000,
+            weight_bits=8, activation_bits=8, is_fc=False,
+        )
+        assert not traffic.activations_fit_on_chip
+        assert traffic.offchip_bits > traffic.weight_bits
+
+    def test_fc_weights_marked_streaming(self):
+        hierarchy = self.make_hierarchy()
+        conv = hierarchy.layer_traffic(1000, 100, 100, 8, 8, is_fc=False)
+        fc = hierarchy.layer_traffic(1000, 100, 100, 8, 8, is_fc=True)
+        assert conv.weights_fit_on_chip
+        assert not fc.weights_fit_on_chip
+
+    def test_memory_cycles_zero_without_dram(self):
+        hierarchy = self.make_hierarchy(dram=None)
+        traffic = hierarchy.layer_traffic(1000, 100, 100, 8, 8, is_fc=True)
+        assert hierarchy.memory_cycles(traffic) == 0.0
+
+    def test_memory_cycles_with_dram(self):
+        hierarchy = self.make_hierarchy(dram=LPDDR4_4267)
+        traffic = hierarchy.layer_traffic(10_000_000, 100, 100, 16, 16, is_fc=True)
+        cycles = hierarchy.memory_cycles(traffic)
+        assert cycles == pytest.approx(
+            LPDDR4_4267.transfer_cycles(traffic.offchip_bits, 1.0))
+        assert cycles > 0
+
+    def test_energy_positive_and_monotonic_in_traffic(self):
+        hierarchy = self.make_hierarchy()
+        small = hierarchy.layer_traffic(100, 100, 100, 8, 8, is_fc=False)
+        large = hierarchy.layer_traffic(10_000, 10_000, 10_000, 8, 8, is_fc=False)
+        assert 0 < hierarchy.memory_energy_pj(small) < hierarchy.memory_energy_pj(large)
+
+    def test_offchip_energy_toggle(self):
+        charged = self.make_hierarchy(dram=LPDDR4_4267)
+        uncharged = MemoryHierarchy(
+            activation_memory=charged.activation_memory,
+            weight_memory=charged.weight_memory,
+            abin=charged.abin, about=charged.about,
+            activation_layout=charged.activation_layout,
+            weight_layout=charged.weight_layout,
+            dram=LPDDR4_4267, charge_offchip_energy=False,
+        )
+        traffic = charged.layer_traffic(100_000, 1000, 1000, 16, 16, is_fc=True)
+        assert charged.memory_energy_pj(traffic) > uncharged.memory_energy_pj(traffic)
+
+    def test_describe_mentions_capacities(self):
+        text = self.make_hierarchy(dram=LPDDR4_4267).describe()
+        assert "AM" in text and "WM" in text and "LPDDR4" in text
+
+    def test_total_onchip_area(self):
+        hierarchy = self.make_hierarchy()
+        assert hierarchy.total_onchip_area_mm2 > 0

@@ -1,0 +1,171 @@
+"""Tests for the network container (repro.nn.network)."""
+
+import pytest
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    TensorShape,
+)
+from repro.nn.network import Network
+from repro.quant.precision import (
+    BASELINE_PRECISION,
+    LayerPrecision,
+    NetworkPrecisionProfile,
+)
+
+
+def small_profile(conv_count, fc_count):
+    return NetworkPrecisionProfile(
+        network="test", accuracy_target="100%",
+        conv_layers=[LayerPrecision(8, 10) for _ in range(conv_count)],
+        fc_layers=[LayerPrecision(16, 9) for _ in range(fc_count)],
+    )
+
+
+class TestConstruction:
+    def test_linear_chain_shapes(self, tiny_network):
+        shapes = tiny_network.resolve_shapes()
+        assert shapes["conv1"][1] == TensorShape(8, 16, 16)
+        assert shapes["pool1"][1] == TensorShape(8, 8, 8)
+        assert shapes["fc1"][1] == TensorShape(10)
+        assert tiny_network.output_shape() == TensorShape(10)
+
+    def test_duplicate_name_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8))
+        net.add(Conv2D(name="conv", out_channels=4, kernel=1))
+        with pytest.raises(ValueError):
+            net.add(Conv2D(name="conv", out_channels=4, kernel=1))
+
+    def test_unknown_input_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8))
+        with pytest.raises(ValueError):
+            net.add(Conv2D(name="conv", out_channels=4, kernel=1),
+                    inputs=["missing"])
+
+    def test_empty_inputs_rejected(self):
+        net = Network("n", TensorShape(3, 8, 8))
+        with pytest.raises(ValueError):
+            net.add(Conv2D(name="conv", out_channels=4, kernel=1), inputs=[])
+
+    def test_multiple_inputs_only_for_concat(self):
+        net = Network("n", TensorShape(3, 8, 8))
+        net.add(Conv2D(name="a", out_channels=4, kernel=1), inputs=["__input__"])
+        net.add(Conv2D(name="b", out_channels=4, kernel=1), inputs=["__input__"])
+        with pytest.raises(ValueError):
+            net.add(Conv2D(name="c", out_channels=4, kernel=1), inputs=["a", "b"])
+
+    def test_contains_and_lookup(self, tiny_network):
+        assert "conv1" in tiny_network
+        assert "nope" not in tiny_network
+        assert tiny_network.layer("conv1").out_channels == 8
+        with pytest.raises(KeyError):
+            tiny_network.layer("nope")
+        assert len(tiny_network) == 7
+
+    def test_inputs_of(self, tiny_network):
+        assert tiny_network.inputs_of("conv1") == ("__input__",)
+        assert tiny_network.inputs_of("relu1") == ("conv1",)
+
+
+class TestBranchesAndConcat:
+    def build_branching(self):
+        net = Network("branchy", TensorShape(8, 14, 14))
+        net.add(Conv2D(name="b1", out_channels=16, kernel=1), inputs=["__input__"])
+        net.add(Conv2D(name="b2_reduce", out_channels=4, kernel=1),
+                inputs=["__input__"])
+        net.add(Conv2D(name="b2", out_channels=8, kernel=3, padding=1),
+                inputs=["b2_reduce"])
+        net.add(Concat(name="merge", out_channels=24), inputs=["b1", "b2"])
+        return net
+
+    def test_concat_channel_sum(self):
+        net = self.build_branching()
+        shapes = net.resolve_shapes()
+        assert shapes["merge"][1] == TensorShape(24, 14, 14)
+
+    def test_concat_channel_mismatch_raises(self):
+        net = Network("bad", TensorShape(8, 14, 14))
+        net.add(Conv2D(name="b1", out_channels=16, kernel=1), inputs=["__input__"])
+        net.add(Conv2D(name="b2", out_channels=8, kernel=1), inputs=["__input__"])
+        net.add(Concat(name="merge", out_channels=99), inputs=["b1", "b2"])
+        with pytest.raises(ValueError):
+            net.resolve_shapes()
+
+    def test_concat_spatial_mismatch_raises(self):
+        net = Network("bad", TensorShape(8, 14, 14))
+        net.add(Conv2D(name="b1", out_channels=16, kernel=1), inputs=["__input__"])
+        net.add(Conv2D(name="b2", out_channels=8, kernel=3, stride=2),
+                inputs=["__input__"])
+        net.add(Concat(name="merge", out_channels=24), inputs=["b1", "b2"])
+        with pytest.raises(ValueError):
+            net.resolve_shapes()
+
+
+class TestProfileBinding:
+    def test_attach_and_lookup(self, tiny_network):
+        tiny_network.attach_profile(small_profile(2, 1))
+        layers = tiny_network.compute_layers()
+        assert layers[0].precision.activation_bits == 8
+        assert layers[0].precision.weight_bits == 10
+        assert layers[2].precision.weight_bits == 9
+
+    def test_default_precision_is_baseline(self, tiny_network):
+        layers = tiny_network.compute_layers()
+        assert all(lw.precision.activation_bits == BASELINE_PRECISION
+                   for lw in layers)
+
+    def test_wrong_conv_count_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.attach_profile(small_profile(3, 1))
+
+    def test_wrong_fc_count_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.attach_profile(small_profile(2, 2))
+
+    def test_precision_groups_share_profile_entry(self):
+        net = Network("grouped", TensorShape(3, 8, 8))
+        net.add(Conv2D(name="a", out_channels=4, kernel=1, precision_group=0))
+        net.add(Conv2D(name="b", out_channels=4, kernel=1, precision_group=0))
+        net.add(Conv2D(name="c", out_channels=4, kernel=1, precision_group=1))
+        assert net.num_conv_groups() == 2
+        profile = NetworkPrecisionProfile(
+            network="grouped", accuracy_target="100%",
+            conv_layers=[LayerPrecision(5, 10), LayerPrecision(9, 10)],
+            fc_layers=[],
+        )
+        net.attach_profile(profile)
+        layers = {lw.name: lw for lw in net.compute_layers()}
+        assert layers["a"].precision.activation_bits == 5
+        assert layers["b"].precision.activation_bits == 5
+        assert layers["c"].precision.activation_bits == 9
+
+
+class TestWorkAccounting:
+    def test_compute_layer_properties(self, tiny_network):
+        layers = tiny_network.compute_layers()
+        conv1 = layers[0]
+        assert conv1.is_conv
+        assert conv1.macs == 3 * 9 * 8 * 16 * 16
+        assert conv1.weight_count == 3 * 9 * 8
+        assert conv1.input_activations == 3 * 16 * 16
+        assert conv1.output_activations == 8 * 16 * 16
+
+    def test_conv_and_fc_selectors(self, tiny_network):
+        assert len(tiny_network.conv_layers()) == 2
+        assert len(tiny_network.fc_layers()) == 1
+
+    def test_totals(self, tiny_network):
+        layers = tiny_network.compute_layers()
+        assert tiny_network.total_macs() == sum(lw.macs for lw in layers)
+        assert tiny_network.total_weights() == sum(lw.weight_count for lw in layers)
+        assert tiny_network.max_layer_activations() > 0
+
+    def test_summary_mentions_all_layers(self, tiny_network):
+        text = tiny_network.summary()
+        for layer in tiny_network.layers:
+            assert layer.name in text
+        assert "total MACs" in text

@@ -1,0 +1,162 @@
+"""Tests for the published precision profiles (Table 1 / Table 3 data)."""
+
+import pytest
+
+from repro.quant.precision import (
+    BASELINE_PRECISION,
+    LayerPrecision,
+    NetworkPrecisionProfile,
+    PAPER_EFFECTIVE_WEIGHT_PRECISIONS,
+    PAPER_PROFILES_100,
+    PAPER_PROFILES_99,
+    get_paper_profile,
+    paper_networks,
+)
+
+
+class TestLayerPrecision:
+    def test_valid(self):
+        lp = LayerPrecision(activation_bits=8, weight_bits=11)
+        assert lp.effective_weight_bits is None
+
+    def test_activation_bounds(self):
+        with pytest.raises(ValueError):
+            LayerPrecision(activation_bits=0, weight_bits=8)
+        with pytest.raises(ValueError):
+            LayerPrecision(activation_bits=17, weight_bits=8)
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            LayerPrecision(activation_bits=8, weight_bits=0)
+        with pytest.raises(ValueError):
+            LayerPrecision(activation_bits=8, weight_bits=32)
+
+    def test_effective_bounds(self):
+        with pytest.raises(ValueError):
+            LayerPrecision(activation_bits=8, weight_bits=8,
+                           effective_weight_bits=0.0)
+        lp = LayerPrecision(activation_bits=8, weight_bits=8,
+                            effective_weight_bits=7.5)
+        assert lp.effective_weight_bits == 7.5
+
+
+class TestPaperProfiles:
+    def test_all_networks_present_in_both_tables(self):
+        for name in paper_networks():
+            assert name in PAPER_PROFILES_100
+            assert name in PAPER_PROFILES_99
+            assert name in PAPER_EFFECTIVE_WEIGHT_PRECISIONS
+
+    def test_network_order(self):
+        assert paper_networks() == ["nin", "alexnet", "googlenet", "vggs",
+                                    "vggm", "vgg19"]
+
+    @pytest.mark.parametrize("name,conv_count,fc_count", [
+        ("nin", 12, 0),
+        ("alexnet", 5, 3),
+        ("googlenet", 11, 1),
+        ("vggs", 5, 3),
+        ("vggm", 5, 3),
+        ("vgg19", 16, 3),
+    ])
+    def test_layer_counts(self, name, conv_count, fc_count):
+        for table in (PAPER_PROFILES_100, PAPER_PROFILES_99):
+            profile = table[name]
+            assert profile.num_conv_layers == conv_count
+            assert profile.num_fc_layers == fc_count
+
+    def test_alexnet_100_values_match_table1(self):
+        profile = PAPER_PROFILES_100["alexnet"]
+        assert profile.conv_activation_bits() == [9, 8, 5, 5, 7]
+        assert set(profile.conv_weight_bits()) == {11}
+        assert profile.fc_weight_bits() == [10, 9, 9]
+
+    def test_alexnet_99_values_match_table1(self):
+        profile = PAPER_PROFILES_99["alexnet"]
+        assert profile.conv_activation_bits() == [9, 7, 4, 5, 7]
+        assert profile.fc_weight_bits() == [9, 8, 8]
+
+    def test_vgg19_100_activations(self):
+        acts = PAPER_PROFILES_100["vgg19"].conv_activation_bits()
+        assert len(acts) == 16
+        assert acts[0] == 12 and acts[-1] == 13
+
+    def test_googlenet_fc_single_entry(self):
+        assert PAPER_PROFILES_100["googlenet"].fc_weight_bits() == [7]
+
+    def test_99_profile_never_needs_more_weight_bits_than_100(self):
+        for name in paper_networks():
+            w100 = max(PAPER_PROFILES_100[name].conv_weight_bits())
+            w99 = max(PAPER_PROFILES_99[name].conv_weight_bits())
+            assert w99 <= w100
+
+    def test_all_precisions_within_baseline(self):
+        for table in (PAPER_PROFILES_100, PAPER_PROFILES_99):
+            for profile in table.values():
+                for lp in profile.conv_layers + profile.fc_layers:
+                    assert 1 <= lp.activation_bits <= BASELINE_PRECISION
+                    assert 1 <= lp.weight_bits <= BASELINE_PRECISION
+
+    def test_table3_lengths_match_conv_counts(self):
+        for name in paper_networks():
+            assert len(PAPER_EFFECTIVE_WEIGHT_PRECISIONS[name]) == \
+                PAPER_PROFILES_100[name].num_conv_layers
+
+    def test_table3_effective_below_profile(self):
+        # Per-group effective precisions are never above the per-layer profile.
+        for name in paper_networks():
+            profile_bits = max(PAPER_PROFILES_100[name].conv_weight_bits())
+            for eff in PAPER_EFFECTIVE_WEIGHT_PRECISIONS[name]:
+                assert eff <= profile_bits
+
+
+class TestGetPaperProfile:
+    def test_lookup_case_insensitive(self):
+        assert get_paper_profile("AlexNet").network == "alexnet"
+
+    def test_accuracy_variants(self):
+        assert get_paper_profile("nin", "100%").accuracy_target == "100%"
+        assert get_paper_profile("nin", "99").accuracy_target == "99%"
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            get_paper_profile("resnet50")
+
+    def test_unknown_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            get_paper_profile("nin", "95%")
+
+    def test_with_effective_weights(self):
+        profile = get_paper_profile("alexnet", with_effective_weights=True)
+        effs = [lp.effective_weight_bits for lp in profile.conv_layers]
+        assert effs == pytest.approx([8.36, 7.62, 7.62, 7.44, 7.55])
+        # FC layers keep profile-only precision.
+        assert all(lp.effective_weight_bits is None for lp in profile.fc_layers)
+
+    def test_without_effective_weights_is_none(self):
+        profile = get_paper_profile("alexnet")
+        assert all(lp.effective_weight_bits is None for lp in profile.conv_layers)
+
+
+class TestNetworkPrecisionProfile:
+    def test_with_effective_weights_length_mismatch(self):
+        profile = get_paper_profile("alexnet")
+        with pytest.raises(ValueError):
+            profile.with_effective_weights([8.0, 7.0])
+
+    def test_with_effective_weights_does_not_mutate_original(self):
+        profile = get_paper_profile("alexnet")
+        derived = profile.with_effective_weights([8, 7, 7, 7, 7])
+        assert all(lp.effective_weight_bits is None for lp in profile.conv_layers)
+        assert all(lp.effective_weight_bits is not None
+                   for lp in derived.conv_layers)
+
+    def test_accessor_lists(self):
+        profile = NetworkPrecisionProfile(
+            network="x", accuracy_target="100%",
+            conv_layers=[LayerPrecision(8, 10), LayerPrecision(6, 10)],
+            fc_layers=[LayerPrecision(16, 9)],
+        )
+        assert profile.conv_activation_bits() == [8, 6]
+        assert profile.conv_weight_bits() == [10, 10]
+        assert profile.fc_weight_bits() == [9]

@@ -1,0 +1,123 @@
+"""Tests for the Judd-style precision profiler (repro.quant.profiler)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fixedpoint import BASELINE_PRECISION
+from repro.quant.profiler import PrecisionProfiler, fidelity_evaluator
+
+
+def threshold_evaluator(min_bits_required):
+    """Synthetic evaluator: the score is 1.0 iff every layer meets its floor.
+
+    ``min_bits_required`` maps layer name -> (min_act_bits, min_weight_bits).
+    This gives the profiler a known ground truth to find.
+    """
+
+    def evaluate(assignment):
+        for name, (act_floor, weight_floor) in min_bits_required.items():
+            act, weight = assignment[name]
+            if act < act_floor or weight < weight_floor:
+                return 0.0
+        return 1.0
+
+    return evaluate
+
+
+class TestPrecisionProfiler:
+    def test_finds_exact_floors(self):
+        floors = {"conv1": (7, 9), "conv2": (5, 11), "fc1": (3, 8)}
+        profiler = PrecisionProfiler(evaluator=threshold_evaluator(floors),
+                                     target_score=1.0)
+        results = profiler.profile_layers(["conv1", "conv2", "fc1"],
+                                          [True, True, False])
+        by_name = {r.layer_name: r for r in results}
+        for name, (act_floor, weight_floor) in floors.items():
+            assert by_name[name].activation_bits == act_floor
+            assert by_name[name].weight_bits == weight_floor
+
+    def test_profile_network_uniform_conv_weight(self):
+        floors = {"conv1": (7, 9), "conv2": (5, 11), "fc1": (16, 8)}
+        profiler = PrecisionProfiler(evaluator=threshold_evaluator(floors))
+        profile = profiler.profile_network("toy", list(floors), [True, True, False])
+        # CVL weight precision is collapsed to the maximum across layers.
+        assert set(profile.conv_weight_bits()) == {11}
+        assert profile.conv_activation_bits() == [7, 5]
+        assert profile.fc_weight_bits() == [8]
+        # FC activations are recorded at the baseline precision.
+        assert profile.fc_layers[0].activation_bits == BASELINE_PRECISION
+
+    def test_per_layer_conv_weights_when_not_uniform(self):
+        floors = {"conv1": (7, 9), "conv2": (5, 11)}
+        profiler = PrecisionProfiler(evaluator=threshold_evaluator(floors))
+        profile = profiler.profile_network("toy", list(floors), [True, True],
+                                           uniform_conv_weight=False)
+        assert profile.conv_weight_bits() == [9, 11]
+
+    def test_weights_not_searched_when_disabled(self):
+        floors = {"conv1": (4, 1)}
+        profiler = PrecisionProfiler(evaluator=threshold_evaluator(floors),
+                                     search_weights=False)
+        results = profiler.profile_layers(["conv1"], [True])
+        assert results[0].weight_bits == BASELINE_PRECISION
+
+    def test_all_layers_trivially_satisfiable_goes_to_min(self):
+        profiler = PrecisionProfiler(evaluator=lambda assignment: 1.0,
+                                     min_bits=2)
+        results = profiler.profile_layers(["l0"], [True])
+        assert results[0].activation_bits == 2
+        assert results[0].weight_bits == 2
+
+    def test_unsatisfiable_stays_at_baseline(self):
+        profiler = PrecisionProfiler(evaluator=lambda assignment: 0.0)
+        results = profiler.profile_layers(["l0"], [True])
+        assert results[0].activation_bits == BASELINE_PRECISION
+        assert results[0].weight_bits == BASELINE_PRECISION
+
+    def test_mismatched_inputs_raise(self):
+        profiler = PrecisionProfiler(evaluator=lambda a: 1.0)
+        with pytest.raises(ValueError):
+            profiler.profile_layers(["a", "b"], [True])
+
+    def test_invalid_target_score(self):
+        with pytest.raises(ValueError):
+            PrecisionProfiler(evaluator=lambda a: 1.0, target_score=0.0)
+        with pytest.raises(ValueError):
+            PrecisionProfiler(evaluator=lambda a: 1.0, target_score=1.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            PrecisionProfiler(evaluator=lambda a: 1.0, min_bits=0)
+        with pytest.raises(ValueError):
+            PrecisionProfiler(evaluator=lambda a: 1.0, min_bits=9, max_bits=8)
+
+    def test_as_layer_precision_conversion(self):
+        profiler = PrecisionProfiler(evaluator=lambda a: 1.0, min_bits=3)
+        result = profiler.profile_layers(["l0"], [False])[0]
+        lp = result.as_layer_precision()
+        assert lp.activation_bits == result.activation_bits
+        assert lp.weight_bits == result.weight_bits
+
+
+class TestFidelityEvaluator:
+    def test_perfect_agreement_scores_one(self):
+        reference = np.array([[0.1, 0.9], [0.8, 0.2]])
+        evaluator = fidelity_evaluator(lambda assignment: reference, reference)
+        assert evaluator({}) == 1.0
+
+    def test_partial_agreement(self):
+        reference = np.array([[0.1, 0.9], [0.8, 0.2]])
+        flipped = np.array([[0.1, 0.9], [0.2, 0.8]])
+        evaluator = fidelity_evaluator(lambda assignment: flipped, reference)
+        assert evaluator({}) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        reference = np.array([[0.1, 0.9]])
+        evaluator = fidelity_evaluator(lambda assignment: np.zeros((2, 2)),
+                                       reference)
+        with pytest.raises(ValueError):
+            evaluator({})
+
+    def test_reference_must_be_2d(self):
+        with pytest.raises(ValueError):
+            fidelity_evaluator(lambda a: np.zeros(3), np.zeros(3))

@@ -1,0 +1,94 @@
+"""Tests for the reporting utilities (repro.sim.report)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.accelerators import DPNN, AcceleratorConfig
+from repro.memory.dram import LPDDR4_4267
+from repro.sim import run_network
+from repro.sim.report import (
+    bottleneck_summary,
+    comparison_table,
+    layer_breakdown,
+    to_csv,
+)
+
+
+class TestLayerBreakdown:
+    def test_contains_all_layers_and_total(self, alexnet_results):
+        text = layer_breakdown(alexnet_results["dpnn"])
+        for lr in alexnet_results["dpnn"].layers:
+            assert lr.layer_name in text
+        assert "TOTAL" in text and "100.0%" in text
+
+    def test_top_n_limits_rows(self, alexnet_results):
+        text = layer_breakdown(alexnet_results["dpnn"], top=2)
+        # header + 2 layers + total + title = 5 lines
+        assert len(text.splitlines()) == 5
+
+    def test_top_must_be_positive(self, alexnet_results):
+        with pytest.raises(ValueError):
+            layer_breakdown(alexnet_results["dpnn"], top=0)
+
+    def test_layers_sorted_by_cycles(self, alexnet_results):
+        text = layer_breakdown(alexnet_results["dpnn"], top=1)
+        heaviest = max(alexnet_results["dpnn"].layers, key=lambda lr: lr.cycles)
+        assert heaviest.layer_name in text
+
+
+class TestComparisonTable:
+    def test_columns_for_each_kind(self, alexnet_results):
+        text = comparison_table(
+            alexnet_results["dpnn"],
+            {"loom-1b": alexnet_results["loom-1b"],
+             "stripes": alexnet_results["stripes"]},
+        )
+        assert "conv perf" in text and "fc perf" in text and "all perf" in text
+        assert "loom-1b" in text and "stripes" in text
+
+    def test_missing_kind_shows_na(self, googlenet_100, dpnn_default, loom_1b):
+        # NiN-style check: build a conv-only selection by comparing only convs
+        # of a network without FC results is covered elsewhere; here check the
+        # n/a path via a zero-cycle kind by comparing a conv-only network.
+        from repro.experiments.common import build_profiled_network
+        nin = build_profiled_network("nin")
+        base = run_network(dpnn_default, nin)
+        design = run_network(loom_1b, nin)
+        text = comparison_table(base, {"loom-1b": design})
+        assert "n/a" in text
+
+    def test_empty_designs_rejected(self, alexnet_results):
+        with pytest.raises(ValueError):
+            comparison_table(alexnet_results["dpnn"], {})
+
+
+class TestBottleneckSummary:
+    def test_unconstrained_bandwidth_all_compute_bound(self, alexnet_results):
+        summary = bottleneck_summary(alexnet_results["dpnn"])
+        assert summary.memory_bound_layers == 0
+        assert summary.memory_bound_fraction == 0.0
+        assert summary.compute_bound_layers == 8
+
+    def test_with_dram_fc_layers_memory_bound(self, alexnet_100):
+        dpnn = DPNN(AcceleratorConfig(dram=LPDDR4_4267))
+        summary = bottleneck_summary(run_network(dpnn, alexnet_100))
+        assert summary.memory_bound_layers >= 3  # the three FC layers
+        assert 0.0 < summary.memory_bound_fraction < 1.0
+
+
+class TestCSVExport:
+    def test_round_trips_through_csv_reader(self, alexnet_results):
+        text = to_csv([alexnet_results["dpnn"], alexnet_results["loom-1b"]])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 16  # 8 layers x 2 designs
+        assert {row["accelerator"] for row in rows} == {"DPNN", "Loom-1b"}
+        first = rows[0]
+        assert float(first["cycles"]) > 0
+        assert first["network"] == "alexnet"
+
+    def test_empty_input_gives_header_only(self):
+        text = to_csv([])
+        assert text.strip().startswith("network,accelerator,layer")
+        assert len(text.strip().splitlines()) == 1

@@ -1,0 +1,204 @@
+"""Tests for the Loom schedules (repro.core.scheduler)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    LoomGeometry,
+    choose_cascade_slices,
+    schedule_conv_layer,
+    schedule_fc_layer,
+)
+from repro.nn.layers import Conv2D, FullyConnected, TensorShape
+from repro.nn.network import LayerWithPrecision
+from repro.quant.precision import LayerPrecision
+
+
+def conv_layer(out_channels=128, kernel=3, in_channels=128, spatial=32,
+               act_bits=8, weight_bits=11, stride=1, padding=1):
+    layer = Conv2D(name="conv", out_channels=out_channels, kernel=kernel,
+                   stride=stride, padding=padding)
+    in_shape = TensorShape(in_channels, spatial, spatial)
+    return LayerWithPrecision(
+        layer=layer, input_shape=in_shape,
+        output_shape=layer.output_shape(in_shape),
+        precision=LayerPrecision(activation_bits=act_bits,
+                                 weight_bits=weight_bits),
+    )
+
+
+def fc_layer(out_features=4096, in_features=9216, weight_bits=10):
+    layer = FullyConnected(name="fc", out_features=out_features)
+    in_shape = TensorShape(in_features)
+    return LayerWithPrecision(
+        layer=layer, input_shape=in_shape,
+        output_shape=layer.output_shape(in_shape),
+        precision=LayerPrecision(activation_bits=16, weight_bits=weight_bits),
+    )
+
+
+class TestLoomGeometry:
+    def test_paper_configuration(self):
+        geometry = LoomGeometry(equivalent_macs=128, bits_per_cycle=1)
+        assert geometry.filter_rows == 128
+        assert geometry.window_columns == 16
+        assert geometry.num_sips == 2048
+        assert geometry.weight_bus_bits == 2048
+        assert geometry.activation_bus_bits == 256
+
+    def test_multibit_variants_shrink_grid(self):
+        lm2 = LoomGeometry(bits_per_cycle=2)
+        lm4 = LoomGeometry(bits_per_cycle=4)
+        assert lm2.num_sips == 1024
+        assert lm4.num_sips == 512
+        # Total 1-bit products per cycle is the same for all variants.
+        assert lm2.num_sips * 16 * 2 == 2048 * 16
+        assert lm4.num_sips * 16 * 4 == 2048 * 16
+
+    def test_window_fanout_trades_rows_for_columns(self):
+        geometry = LoomGeometry(equivalent_macs=128, window_fanout=4)
+        assert geometry.filter_rows == 32
+        assert geometry.window_columns == 64
+        assert geometry.num_sips == 2048
+
+    def test_steps_for_activation_bits(self):
+        lm1 = LoomGeometry(bits_per_cycle=1)
+        lm4 = LoomGeometry(bits_per_cycle=4)
+        assert lm1.steps_for_activation_bits(9) == 9
+        assert lm4.steps_for_activation_bits(9) == 3  # ceil(9/4)
+        assert lm4.steps_for_activation_bits(7.5) == pytest.approx(1.875)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoomGeometry(equivalent_macs=100)
+        with pytest.raises(ValueError):
+            LoomGeometry(bits_per_cycle=3)
+        with pytest.raises(ValueError):
+            LoomGeometry(window_fanout=3)
+        with pytest.raises(ValueError):
+            LoomGeometry().steps_for_activation_bits(0)
+
+
+class TestConvSchedule:
+    def test_ideal_speedup_formula(self):
+        """For a layer that tiles perfectly, Loom beats DPNN by 256/(Pa*Pw)."""
+        lw = conv_layer(out_channels=128, in_channels=128, spatial=32,
+                        act_bits=8, weight_bits=8)
+        geometry = LoomGeometry()
+        schedule = schedule_conv_layer(lw, geometry)
+        conv = lw.layer
+        windows = conv.num_windows(lw.input_shape)
+        terms = conv.window_size(lw.input_shape)
+        dpnn_cycles = windows * -(-terms // 16) * -(-128 // 8)
+        ratio = dpnn_cycles / schedule.total_cycles
+        assert ratio == pytest.approx(256 / (8 * 8), rel=0.01)
+
+    def test_worst_case_matches_dpnn(self):
+        lw = conv_layer(act_bits=16, weight_bits=16)
+        schedule = schedule_conv_layer(lw, LoomGeometry())
+        conv = lw.layer
+        dpnn_cycles = (conv.num_windows(lw.input_shape)
+                       * -(-conv.window_size(lw.input_shape) // 16) * 16)
+        assert schedule.total_cycles == pytest.approx(dpnn_cycles, rel=0.01)
+
+    def test_cycles_scale_with_precisions(self):
+        base = schedule_conv_layer(conv_layer(act_bits=8, weight_bits=8),
+                                   LoomGeometry())
+        half_act = schedule_conv_layer(conv_layer(act_bits=4, weight_bits=8),
+                                       LoomGeometry())
+        half_w = schedule_conv_layer(conv_layer(act_bits=8, weight_bits=4),
+                                     LoomGeometry())
+        assert half_act.total_cycles == pytest.approx(base.total_cycles / 2,
+                                                      rel=0.01)
+        assert half_w.total_cycles == pytest.approx(base.total_cycles / 2,
+                                                    rel=0.01)
+
+    def test_lm2b_rounds_activation_bits_up(self):
+        lm2 = LoomGeometry(bits_per_cycle=2)
+        odd = schedule_conv_layer(conv_layer(act_bits=5), lm2)
+        even = schedule_conv_layer(conv_layer(act_bits=6), lm2)
+        assert odd.cycles_per_pass == even.cycles_per_pass
+
+    def test_filter_underutilisation(self):
+        # 96 filters on a 128-row grid: same passes as 128 filters.
+        small = schedule_conv_layer(conv_layer(out_channels=96), LoomGeometry())
+        full = schedule_conv_layer(conv_layer(out_channels=128), LoomGeometry())
+        assert small.filter_chunks == full.filter_chunks == 1
+        assert small.occupancy < full.occupancy
+
+    def test_filter_replication_recovers_utilisation(self):
+        rigid = schedule_conv_layer(conv_layer(out_channels=32), LoomGeometry(),
+                                    replicate_filters=False)
+        flexible = schedule_conv_layer(conv_layer(out_channels=32), LoomGeometry(),
+                                       replicate_filters=True)
+        assert flexible.filter_replication == 4
+        assert flexible.total_cycles < rigid.total_cycles
+        assert flexible.occupancy > rigid.occupancy
+
+    def test_explicit_precision_overrides(self):
+        lw = conv_layer(act_bits=8, weight_bits=11)
+        schedule = schedule_conv_layer(lw, LoomGeometry(),
+                                       activation_serial_bits=6.5,
+                                       weight_serial_bits=7.5)
+        assert schedule.activation_serial_steps == pytest.approx(6.5)
+        assert schedule.weight_serial_bits == pytest.approx(7.5)
+
+    def test_rejects_fc_layer(self):
+        with pytest.raises(ValueError):
+            schedule_conv_layer(fc_layer(), LoomGeometry())
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            schedule_conv_layer(conv_layer(), LoomGeometry(),
+                                weight_serial_bits=0)
+
+
+class TestFCSchedule:
+    def test_ideal_speedup_formula(self):
+        """With >= 2K outputs Loom beats DPNN by 16/Pw on FCLs."""
+        lw = fc_layer(out_features=4096, in_features=9216, weight_bits=10)
+        schedule = schedule_fc_layer(lw, LoomGeometry())
+        dpnn_cycles = -(-9216 // 16) * -(-4096 // 8)
+        ratio = dpnn_cycles / schedule.total_cycles
+        assert ratio == pytest.approx(16 / 10, rel=0.01)
+
+    def test_worst_case_matches_dpnn(self):
+        lw = fc_layer(out_features=4096, in_features=4096, weight_bits=16)
+        schedule = schedule_fc_layer(lw, LoomGeometry())
+        dpnn_cycles = -(-4096 // 16) * -(-4096 // 8)
+        assert schedule.total_cycles == pytest.approx(dpnn_cycles, rel=0.01)
+
+    def test_performance_independent_of_bits_per_cycle(self):
+        lw = fc_layer(out_features=4096, in_features=9216, weight_bits=9)
+        lm1 = schedule_fc_layer(lw, LoomGeometry(bits_per_cycle=1))
+        lm4 = schedule_fc_layer(lw, LoomGeometry(bits_per_cycle=4))
+        # Steady-state cycles identical; only the column stagger differs.
+        assert lm4.total_cycles <= lm1.total_cycles
+        assert lm1.total_cycles - lm4.total_cycles < 20
+
+    def test_cascading_for_small_layers(self):
+        lw = fc_layer(out_features=1000, in_features=1024, weight_bits=7)
+        with_cascade = schedule_fc_layer(lw, LoomGeometry(), use_cascading=True)
+        without = schedule_fc_layer(lw, LoomGeometry(), use_cascading=False)
+        assert with_cascade.cascade_slices == 2
+        assert with_cascade.total_cycles < without.total_cycles / 1.8
+        assert with_cascade.occupancy > without.occupancy
+
+    def test_choose_cascade_slices(self):
+        geometry = LoomGeometry()
+        assert choose_cascade_slices(4096, geometry) == 1
+        assert choose_cascade_slices(2048, geometry) == 1
+        assert choose_cascade_slices(1000, geometry) == 2
+        assert choose_cascade_slices(100, geometry) == 16
+        with pytest.raises(ValueError):
+            choose_cascade_slices(0, geometry)
+
+    def test_activation_precision_does_not_change_fc_time(self):
+        lw_low = fc_layer(weight_bits=9)
+        lw_low.precision = LayerPrecision(activation_bits=5, weight_bits=9)
+        lw_high = fc_layer(weight_bits=9)
+        assert schedule_fc_layer(lw_low, LoomGeometry()).total_cycles == \
+            schedule_fc_layer(lw_high, LoomGeometry()).total_cycles
+
+    def test_rejects_conv_layer(self):
+        with pytest.raises(ValueError):
+            schedule_fc_layer(conv_layer(), LoomGeometry())

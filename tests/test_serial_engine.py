@@ -1,0 +1,119 @@
+"""Tests for the functional bit-serial layer execution (repro.core.serial_engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serial_engine import bit_serial_conv2d, bit_serial_fc
+from repro.nn.layers import Conv2D, TensorShape
+
+
+def reference_conv(x, w, layer):
+    """Integer reference convolution (grouped) used as ground truth."""
+    channels = x.shape[0]
+    in_per_group = channels // layer.groups
+    out_per_group = layer.out_channels // layer.groups
+    if layer.padding:
+        x = np.pad(x, ((0, 0), (layer.padding, layer.padding),
+                       (layer.padding, layer.padding)))
+    out_h = (x.shape[1] - layer.kernel) // layer.stride + 1
+    out_w = (x.shape[2] - layer.kernel) // layer.stride + 1
+    out = np.zeros((layer.out_channels, out_h, out_w), dtype=np.int64)
+    for oc in range(layer.out_channels):
+        g = oc // out_per_group
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[g * in_per_group:(g + 1) * in_per_group,
+                          i * layer.stride:i * layer.stride + layer.kernel,
+                          j * layer.stride:j * layer.stride + layer.kernel]
+                out[oc, i, j] = np.sum(patch * w[oc])
+    return out
+
+
+class TestBitSerialFC:
+    def test_matches_matrix_vector_product(self, rng):
+        acts = rng.integers(0, 2 ** 7, size=50)
+        weights = rng.integers(-2 ** 6, 2 ** 6, size=(12, 50))
+        result = bit_serial_fc(acts, weights, act_bits=7, weight_bits=7)
+        assert np.array_equal(result.outputs, weights @ acts)
+
+    def test_serial_steps_scale_with_precision(self, rng):
+        acts = rng.integers(0, 4, size=32)
+        weights = rng.integers(-2, 2, size=(4, 32))
+        low = bit_serial_fc(acts, weights, act_bits=2, weight_bits=3)
+        high = bit_serial_fc(acts, weights, act_bits=4, weight_bits=6)
+        assert high.serial_steps == 4 * low.serial_steps
+
+    def test_step_count_formula(self, rng):
+        acts = rng.integers(0, 8, size=40)  # padded to 48 = 3 chunks of 16
+        weights = rng.integers(-4, 4, size=(5, 40))
+        result = bit_serial_fc(acts, weights, act_bits=3, weight_bits=4)
+        assert result.serial_steps == 5 * 3 * 3 * 4  # outputs*chunks*Pa*Pw
+
+    def test_signed_activations(self, rng):
+        acts = rng.integers(-2 ** 5, 2 ** 5, size=20)
+        weights = rng.integers(-2 ** 5, 2 ** 5, size=(3, 20))
+        result = bit_serial_fc(acts, weights, act_bits=6, weight_bits=6,
+                               act_signed=True)
+        assert np.array_equal(result.outputs, weights @ acts)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bit_serial_fc(np.zeros((2, 2), dtype=np.int64),
+                          np.zeros((2, 2), dtype=np.int64), 2, 2)
+        with pytest.raises(ValueError):
+            bit_serial_fc(np.zeros(3, dtype=np.int64),
+                          np.zeros((2, 4), dtype=np.int64), 2, 2)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, seed, act_bits, weight_bits):
+        rng = np.random.default_rng(seed)
+        in_features = int(rng.integers(1, 40))
+        out_features = int(rng.integers(1, 6))
+        acts = rng.integers(0, 1 << act_bits, size=in_features)
+        weights = rng.integers(-(1 << (weight_bits - 1)), 1 << (weight_bits - 1),
+                               size=(out_features, in_features))
+        result = bit_serial_fc(acts, weights, act_bits, weight_bits)
+        assert np.array_equal(result.outputs, weights @ acts)
+
+
+class TestBitSerialConv:
+    def test_matches_reference_simple(self, rng):
+        layer = Conv2D(name="c", out_channels=3, kernel=3, padding=1)
+        x = rng.integers(0, 2 ** 5, size=(2, 6, 6))
+        w = rng.integers(-2 ** 4, 2 ** 4, size=(3, 2, 3, 3))
+        result = bit_serial_conv2d(x, w, layer, act_bits=5, weight_bits=5)
+        assert np.array_equal(result.outputs, reference_conv(x, w, layer))
+
+    def test_strided_convolution(self, rng):
+        layer = Conv2D(name="c", out_channels=2, kernel=3, stride=2)
+        x = rng.integers(0, 2 ** 4, size=(3, 9, 9))
+        w = rng.integers(-2 ** 3, 2 ** 3, size=(2, 3, 3, 3))
+        result = bit_serial_conv2d(x, w, layer, act_bits=4, weight_bits=4)
+        assert result.outputs.shape == (2, 4, 4)
+        assert np.array_equal(result.outputs, reference_conv(x, w, layer))
+
+    def test_grouped_convolution(self, rng):
+        layer = Conv2D(name="c", out_channels=4, kernel=1, groups=2)
+        x = rng.integers(0, 2 ** 4, size=(4, 3, 3))
+        w = rng.integers(-2 ** 3, 2 ** 3, size=(4, 2, 1, 1))
+        result = bit_serial_conv2d(x, w, layer, act_bits=4, weight_bits=4)
+        assert np.array_equal(result.outputs, reference_conv(x, w, layer))
+
+    def test_serial_steps_positive_and_scale(self, rng):
+        layer = Conv2D(name="c", out_channels=1, kernel=2)
+        x = rng.integers(0, 4, size=(1, 3, 3))
+        w = rng.integers(-2, 2, size=(1, 1, 2, 2))
+        low = bit_serial_conv2d(x, w, layer, act_bits=2, weight_bits=2)
+        high = bit_serial_conv2d(x, w, layer, act_bits=4, weight_bits=4)
+        assert high.serial_steps == 4 * low.serial_steps
+
+    def test_validation(self):
+        layer = Conv2D(name="c", out_channels=1, kernel=1)
+        with pytest.raises(ValueError):
+            bit_serial_conv2d(np.zeros((2, 2), dtype=np.int64),
+                              np.zeros((1, 1, 1, 1), dtype=np.int64), layer, 2, 2)

@@ -1,0 +1,86 @@
+"""Tests for JSON serialisation of networks and profiles."""
+
+import pytest
+
+from repro.nn import build_network
+from repro.nn.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_network,
+)
+from repro.quant import get_paper_profile
+from repro.sim import run_network
+
+
+class TestNetworkSerialization:
+    def test_roundtrip_preserves_structure(self, tiny_network):
+        data = network_to_dict(tiny_network)
+        rebuilt = network_from_dict(data)
+        assert rebuilt.name == tiny_network.name
+        assert len(rebuilt) == len(tiny_network)
+        assert rebuilt.resolve_shapes().keys() == tiny_network.resolve_shapes().keys()
+        assert rebuilt.total_macs() == tiny_network.total_macs()
+
+    @pytest.mark.parametrize("name", ["alexnet", "googlenet", "nin"])
+    def test_roundtrip_zoo_networks(self, name):
+        original = build_network(name)
+        rebuilt = network_from_dict(network_to_dict(original))
+        assert rebuilt.total_macs() == original.total_macs()
+        assert rebuilt.total_weights() == original.total_weights()
+        assert rebuilt.num_conv_groups() == original.num_conv_groups()
+
+    def test_roundtrip_preserves_simulation_results(self, dpnn_default):
+        original = build_network("alexnet")
+        original.attach_profile(get_paper_profile("alexnet"))
+        rebuilt = network_from_dict(network_to_dict(original))
+        rebuilt.attach_profile(get_paper_profile("alexnet"))
+        assert run_network(dpnn_default, rebuilt).total_cycles() == \
+            run_network(dpnn_default, original).total_cycles()
+
+    def test_file_roundtrip(self, tiny_network, tmp_path):
+        path = tmp_path / "tiny.json"
+        save_network(tiny_network, path)
+        assert path.exists()
+        rebuilt = load_network(path)
+        assert rebuilt.name == tiny_network.name
+        assert rebuilt.total_macs() == tiny_network.total_macs()
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError):
+            network_from_dict({"name": "x"})
+
+    def test_unknown_layer_type_raises(self):
+        data = {"name": "x", "input_shape": [3, 8, 8],
+                "layers": [{"type": "Deconv", "name": "d"}]}
+        with pytest.raises(ValueError):
+            network_from_dict(data)
+
+
+class TestProfileSerialization:
+    def test_roundtrip(self):
+        profile = get_paper_profile("alexnet", "99%", with_effective_weights=True)
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert rebuilt.network == profile.network
+        assert rebuilt.accuracy_target == "99%"
+        assert rebuilt.conv_activation_bits() == profile.conv_activation_bits()
+        assert rebuilt.fc_weight_bits() == profile.fc_weight_bits()
+        assert [lp.effective_weight_bits for lp in rebuilt.conv_layers] == \
+            [lp.effective_weight_bits for lp in profile.conv_layers]
+
+    def test_roundtrip_without_effective_weights(self):
+        profile = get_paper_profile("vgg19")
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert all(lp.effective_weight_bits is None for lp in rebuilt.conv_layers)
+
+    def test_rebuilt_profile_attaches_to_network(self):
+        network = build_network("vggm")
+        profile = profile_from_dict(profile_to_dict(get_paper_profile("vggm")))
+        network.attach_profile(profile)
+        assert network.conv_layers()[0].precision.activation_bits == 7
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValueError):
+            profile_from_dict({"network": "x"})

@@ -1,0 +1,138 @@
+"""Tests for the functional SIP model (repro.core.sip)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sip import SIP
+from repro.quant.bitops import bit_decompose
+
+
+class TestSIPBasics:
+    def test_initial_state(self):
+        sip = SIP()
+        assert sip.output == 0
+        assert sip.cycles == 0
+        assert sip.max_output is None
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            SIP(lanes=0)
+
+    def test_load_weights_validation(self):
+        sip = SIP(lanes=4)
+        with pytest.raises(ValueError):
+            sip.load_weights([1, 0, 1], bit_index=0)
+        with pytest.raises(ValueError):
+            sip.load_weights([1, 0, 2, 0], bit_index=0)
+        with pytest.raises(ValueError):
+            sip.load_weights([1, 0, 1, 0], bit_index=-1)
+
+    def test_step_validation(self):
+        sip = SIP(lanes=4)
+        sip.load_weights([1, 1, 1, 1], bit_index=0)
+        with pytest.raises(ValueError):
+            sip.step([1, 0, 1], bit_index=0)
+        with pytest.raises(ValueError):
+            sip.step([1, 0, 3, 0], bit_index=0)
+
+    def test_single_cycle_and_gate_behaviour(self):
+        sip = SIP(lanes=4)
+        sip.load_weights([1, 0, 1, 1], bit_index=0)
+        partial = sip.step([1, 1, 0, 1], bit_index=0)
+        assert partial == 2  # lanes 0 and 3 have both bits set
+        sip.commit_weight_plane()
+        assert sip.output == 2
+        assert sip.cycles == 1
+
+
+class TestSIPInnerProduct:
+    def test_unsigned_times_signed(self):
+        sip = SIP(lanes=16)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2 ** 8, size=16)
+        w = rng.integers(-2 ** 7, 2 ** 7, size=16)
+        result = sip.run_inner_product(a, w, act_bits=8, weight_bits=8)
+        assert result == int(np.dot(a, w))
+        assert sip.cycles == 64
+
+    def test_signed_times_signed(self):
+        sip = SIP(lanes=8)
+        a = np.array([-3, 5, -7, 2, 0, 1, -1, 4])
+        w = np.array([2, -2, 3, -3, 5, -5, 7, -7])
+        result = sip.run_inner_product(a, w, act_bits=5, weight_bits=5,
+                                       act_signed=True, weight_signed=True)
+        assert result == int(np.dot(a, w))
+
+    def test_one_bit_weights(self):
+        sip = SIP(lanes=4)
+        a = np.array([3, 2, 1, 0])
+        w = np.array([1, 0, 1, 1])
+        result = sip.run_inner_product(a, w, act_bits=2, weight_bits=1,
+                                       weight_signed=False)
+        assert result == 4
+
+    def test_reset_clears_state(self):
+        sip = SIP(lanes=4)
+        sip.run_inner_product([1, 1, 1, 1], [1, 1, 1, 1], 2, 2,
+                              weight_signed=False)
+        assert sip.output != 0
+        sip.reset()
+        assert sip.output == 0
+        assert sip.max_output is None
+
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40)
+    def test_matches_numpy_dot(self, seed, act_bits, weight_bits):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << act_bits, size=16)
+        w = rng.integers(-(1 << (weight_bits - 1)), 1 << (weight_bits - 1), size=16)
+        sip = SIP()
+        result = sip.run_inner_product(a, w, act_bits, weight_bits)
+        assert result == int(np.dot(a, w))
+
+
+class TestSIPSchedule:
+    def test_manual_weight_plane_streaming(self):
+        """Drive the SIP exactly as the CVL schedule does: weight plane held
+        for Pa cycles, activation planes streamed LSB first."""
+        a = np.array([5, 3, 7, 1, 0, 2, 6, 4] * 2)
+        w = np.array([3, -2, 1, 0, -4, 2, -1, 3] * 2)
+        act_bits, weight_bits = 3, 4
+        a_planes = bit_decompose(a, act_bits, signed=False)
+        w_planes = bit_decompose(w, weight_bits, signed=True)
+        sip = SIP()
+        for wi in range(weight_bits):
+            sip.load_weights(w_planes[wi], bit_index=wi,
+                             is_sign_plane=(wi == weight_bits - 1))
+            for ai in range(act_bits):
+                sip.step(a_planes[ai], bit_index=ai)
+            sip.commit_weight_plane()
+        assert sip.output == int(np.dot(a, w))
+        assert sip.cycles == act_bits * weight_bits
+
+
+class TestSIPCascadeAndMax:
+    def test_cascade_accumulates_partial_outputs(self):
+        a = np.arange(16)
+        w = np.arange(16) - 8
+        full = SIP().run_inner_product(a, w, act_bits=5, weight_bits=5)
+        # Slice the inner product across two SIPs and cascade.
+        first = SIP(lanes=8).run_inner_product(a[:8], w[:8], 5, 5)
+        second = SIP(lanes=8)
+        second.run_inner_product(a[8:], w[8:], 5, 5)
+        second.cascade_in(first)
+        assert second.output == full
+
+    def test_max_pooling_support(self):
+        sip = SIP(lanes=4)
+        # run_inner_product resets state, so compute first, then track maxima.
+        sip.run_inner_product([1, 1, 1, 1], [1, 1, 1, 1], 1, 1,
+                              weight_signed=False)
+        assert sip.max_update() == sip.output == 4
+        assert sip.max_update(9) == 9
+        assert sip.max_update(3) == 9
+        assert sip.max_output == 9

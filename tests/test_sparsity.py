@@ -1,0 +1,89 @@
+"""Tests for the weight-sparsity analysis extension (repro.core.sparsity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparsity import (
+    LayerSparsity,
+    analyze_weight_sparsity,
+    sparse_speedup_bound,
+)
+
+
+class TestAnalyzeWeightSparsity:
+    def test_dense_tensor(self):
+        stats = analyze_weight_sparsity(np.ones(64, dtype=np.int64), "dense")
+        assert stats.weight_sparsity == 0.0
+        assert stats.group_sparsity == 0.0
+        assert stats.skip_speedup_bound == 1.0
+
+    def test_all_zero_tensor(self):
+        stats = analyze_weight_sparsity(np.zeros(64, dtype=np.int64), "zero")
+        assert stats.weight_sparsity == 1.0
+        assert stats.group_sparsity == 1.0
+        assert stats.skip_speedup_bound == float("inf")
+
+    def test_half_zero_groups(self):
+        codes = np.concatenate([np.zeros(32, dtype=np.int64),
+                                np.ones(32, dtype=np.int64)])
+        stats = analyze_weight_sparsity(codes, group_size=16)
+        assert stats.total_groups == 4
+        assert stats.zero_groups == 2
+        assert stats.group_sparsity == 0.5
+        assert stats.skip_speedup_bound == pytest.approx(2.0)
+
+    def test_scattered_zeros_do_not_make_groups_skippable(self):
+        codes = np.ones(64, dtype=np.int64)
+        codes[::2] = 0  # 50% weight sparsity, but every group has non-zeros
+        stats = analyze_weight_sparsity(codes, group_size=16)
+        assert stats.weight_sparsity == 0.5
+        assert stats.group_sparsity == 0.0
+
+    def test_padding_does_not_create_fake_zero_groups(self):
+        codes = np.ones(17, dtype=np.int64)  # pads to 32 = 2 groups
+        stats = analyze_weight_sparsity(codes, group_size=16)
+        assert stats.total_groups == 2
+        assert stats.zero_groups == 0
+
+    def test_empty_tensor(self):
+        stats = analyze_weight_sparsity(np.array([], dtype=np.int64))
+        assert stats.total_weights == 0
+        assert stats.weight_sparsity == 0.0
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            analyze_weight_sparsity(np.ones(4, dtype=np.int64), group_size=0)
+
+
+class TestSparseSpeedupBound:
+    def test_weighted_by_layer_cycles(self):
+        per_layer = {
+            "a": LayerSparsity("a", 100, 50, 10, 5, 16),   # 50% skippable
+            "b": LayerSparsity("b", 100, 0, 10, 0, 16),    # dense
+        }
+        cycles = {"a": 100.0, "b": 100.0}
+        # Layer a halves, layer b unchanged: 200 -> 150.
+        assert sparse_speedup_bound(per_layer, cycles) == pytest.approx(200 / 150)
+
+    def test_missing_cycles_rejected(self):
+        per_layer = {"a": LayerSparsity("a", 10, 0, 1, 0, 16)}
+        with pytest.raises(ValueError):
+            sparse_speedup_bound(per_layer, {})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparse_speedup_bound({}, {})
+
+    def test_pruned_synthetic_network_bound(self, rng):
+        """A magnitude-pruned synthetic layer yields a meaningful bound."""
+        from repro.workloads.synthetic import SyntheticTensorGenerator
+        generator = SyntheticTensorGenerator(seed=0)
+        codes = generator.weights(4096, precision_bits=11)
+        # Prune the smallest 70% by magnitude, then zero whole groups where
+        # everything was pruned.
+        threshold = np.quantile(np.abs(codes), 0.7)
+        pruned = np.where(np.abs(codes) < threshold, 0, codes)
+        stats = analyze_weight_sparsity(pruned, "pruned")
+        assert stats.weight_sparsity >= 0.65
+        bound = sparse_speedup_bound({"pruned": stats}, {"pruned": 1000.0})
+        assert bound >= 1.0

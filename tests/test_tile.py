@@ -1,0 +1,108 @@
+"""Tests for the event-driven tile simulator (repro.core.tile).
+
+The event-driven model and the analytical schedules must agree on the cycle
+counts: that cross-check is what the paper's custom cycle-accurate simulator
+provided, and it is asserted here on small layers where event-by-event
+simulation is cheap.
+"""
+
+import pytest
+
+from repro.core.scheduler import LoomGeometry, schedule_conv_layer, schedule_fc_layer
+from repro.core.tile import LoomTileSimulator
+from repro.nn.layers import Conv2D, FullyConnected, TensorShape
+from repro.nn.network import LayerWithPrecision
+from repro.quant.precision import LayerPrecision
+
+
+def small_conv(act_bits=3, weight_bits=4, out_channels=32, spatial=6):
+    layer = Conv2D(name="conv", out_channels=out_channels, kernel=3, padding=1)
+    in_shape = TensorShape(16, spatial, spatial)
+    return LayerWithPrecision(
+        layer=layer, input_shape=in_shape,
+        output_shape=layer.output_shape(in_shape),
+        precision=LayerPrecision(activation_bits=act_bits, weight_bits=weight_bits),
+    )
+
+
+def small_fc(out_features=64, in_features=96, weight_bits=5):
+    layer = FullyConnected(name="fc", out_features=out_features)
+    in_shape = TensorShape(in_features)
+    return LayerWithPrecision(
+        layer=layer, input_shape=in_shape,
+        output_shape=layer.output_shape(in_shape),
+        precision=LayerPrecision(activation_bits=16, weight_bits=weight_bits),
+    )
+
+
+# A small grid keeps the event counts manageable while exercising the same
+# scheduling structure as the full 128x16 configuration.
+SMALL_GEOMETRY = LoomGeometry(equivalent_macs=16, bits_per_cycle=1)
+
+
+class TestConvTileSimulation:
+    @pytest.mark.parametrize("act_bits,weight_bits", [(1, 1), (3, 4), (5, 2)])
+    def test_matches_analytical_cycles(self, act_bits, weight_bits):
+        schedule = schedule_conv_layer(small_conv(act_bits, weight_bits),
+                                       SMALL_GEOMETRY)
+        sim = LoomTileSimulator().run_conv(schedule)
+        assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+    def test_weight_plane_loads_counted(self):
+        schedule = schedule_conv_layer(small_conv(2, 3), SMALL_GEOMETRY)
+        sim = LoomTileSimulator().run_conv(schedule)
+        assert sim.weight_plane_loads == schedule.passes * 3
+        assert sim.compute_steps == schedule.passes * 3 * 2
+
+    def test_fractional_precision_rejected(self):
+        schedule = schedule_conv_layer(small_conv(), SMALL_GEOMETRY,
+                                       activation_serial_bits=2.5)
+        with pytest.raises(ValueError):
+            LoomTileSimulator().run_conv(schedule)
+
+    def test_multibit_variant(self):
+        geometry = LoomGeometry(equivalent_macs=16, bits_per_cycle=2)
+        schedule = schedule_conv_layer(small_conv(act_bits=6, weight_bits=3),
+                                       geometry)
+        sim = LoomTileSimulator().run_conv(schedule)
+        assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+
+class TestFCTileSimulation:
+    @pytest.mark.parametrize("weight_bits", [2, 5, 9])
+    def test_matches_analytical_cycles(self, weight_bits):
+        schedule = schedule_fc_layer(small_fc(weight_bits=weight_bits),
+                                     SMALL_GEOMETRY)
+        sim = LoomTileSimulator().run_fc(schedule)
+        assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+    def test_cascaded_fc_matches_analytical(self):
+        # 64 outputs on a 256-SIP grid -> cascading kicks in.
+        schedule = schedule_fc_layer(small_fc(out_features=64, in_features=128),
+                                     SMALL_GEOMETRY)
+        assert schedule.cascade_slices > 1
+        sim = LoomTileSimulator().run_fc(schedule)
+        assert sim.cycles == pytest.approx(schedule.total_cycles)
+
+    def test_stagger_appears_in_event_simulation(self):
+        schedule = schedule_fc_layer(small_fc(out_features=1024, in_features=64,
+                                              weight_bits=3), SMALL_GEOMETRY)
+        sim = LoomTileSimulator().run_fc(schedule)
+        # The last column finishes window_columns - 1 cycles after the first.
+        assert sim.cycles >= (schedule.output_chunks * schedule.term_chunks
+                              * schedule.cycles_per_chunk)
+
+    def test_weight_bus_single_load_per_cycle(self):
+        schedule = schedule_fc_layer(small_fc(weight_bits=4), SMALL_GEOMETRY)
+        sim = LoomTileSimulator().run_fc(schedule)
+        # Total loads = columns x chunks x weight bits; the bus issues at most
+        # one per cycle, so the simulated time is at least the load count
+        # divided across the columns.
+        assert sim.weight_plane_loads >= schedule.term_chunks * 4
+        assert sim.cycles >= sim.weight_plane_loads / SMALL_GEOMETRY.window_columns
+
+    def test_fractional_precision_rejected(self):
+        schedule = schedule_fc_layer(small_fc(), SMALL_GEOMETRY,
+                                     weight_serial_bits=4.5)
+        with pytest.raises(ValueError):
+            LoomTileSimulator().run_fc(schedule)

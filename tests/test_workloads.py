@@ -1,0 +1,95 @@
+"""Tests for the synthetic workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import TensorShape
+from repro.workloads.datasets import synthetic_image, synthetic_image_batch
+from repro.workloads.synthetic import (
+    SyntheticTensorGenerator,
+    synthetic_activation_codes,
+    synthetic_weight_codes,
+)
+
+
+class TestSyntheticActivations:
+    def test_range_and_dtype(self):
+        codes = synthetic_activation_codes(1000, precision_bits=8, seed=0)
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        assert codes.max() == 255  # the profile precision is exercised
+
+    def test_sparsity_respected(self):
+        generator = SyntheticTensorGenerator(seed=0, sparsity=0.6)
+        codes = generator.activations(20_000, precision_bits=8)
+        zero_fraction = float(np.mean(codes == 0))
+        assert 0.5 <= zero_fraction <= 0.7
+
+    def test_heavy_concentration_near_zero(self):
+        codes = synthetic_activation_codes(20_000, precision_bits=10, seed=1)
+        assert np.median(codes) < (1 << 10) / 8
+
+    def test_reproducible_with_seed(self):
+        a = synthetic_activation_codes(100, 8, seed=42)
+        b = synthetic_activation_codes(100, 8, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        generator = SyntheticTensorGenerator()
+        with pytest.raises(ValueError):
+            generator.activations(0, 8)
+        with pytest.raises(ValueError):
+            generator.activations(10, 0)
+        with pytest.raises(ValueError):
+            SyntheticTensorGenerator(sparsity=1.0)
+        with pytest.raises(ValueError):
+            SyntheticTensorGenerator(tail_exponent=0.0)
+
+
+class TestSyntheticWeights:
+    def test_signed_range(self):
+        codes = synthetic_weight_codes(5000, precision_bits=11, seed=0)
+        limit = (1 << 10) - 1
+        assert codes.min() >= -limit - 1
+        assert codes.max() == limit
+
+    def test_roughly_zero_centred(self):
+        codes = synthetic_weight_codes(20_000, precision_bits=11, seed=3)
+        assert abs(float(np.mean(codes))) < (1 << 10) * 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTensorGenerator().weights(10, 1)
+
+    def test_layer_pair(self):
+        generator = SyntheticTensorGenerator(seed=0)
+        acts, weights = generator.layer_pair(100, 200, 8, 10)
+        assert acts.shape == (100,)
+        assert weights.shape == (200,)
+
+
+class TestSyntheticImages:
+    def test_shape_and_determinism(self):
+        shape = TensorShape(3, 32, 32)
+        a = synthetic_image(shape, seed=1)
+        b = synthetic_image(shape, seed=1)
+        c = synthetic_image(shape, seed=2)
+        assert a.shape == (3, 32, 32)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_zero_centred_like_mean_subtracted_input(self):
+        image = synthetic_image(TensorShape(3, 64, 64), seed=0)
+        assert abs(float(image.mean())) < 30.0
+        assert image.std() > 5.0
+
+    def test_requires_spatial_shape(self):
+        with pytest.raises(ValueError):
+            synthetic_image(TensorShape(10))
+
+    def test_batch(self):
+        batch = synthetic_image_batch(TensorShape(3, 16, 16), batch=4, seed=0)
+        assert batch.shape == (4, 3, 16, 16)
+        assert not np.array_equal(batch[0], batch[1])
+        with pytest.raises(ValueError):
+            synthetic_image_batch(TensorShape(3, 16, 16), batch=0)

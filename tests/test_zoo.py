@@ -1,0 +1,124 @@
+"""Tests for the network zoo: geometries and compatibility with the profiles."""
+
+import pytest
+
+from repro.nn import build_network, available_networks
+from repro.nn.layers import TensorShape
+from repro.quant import get_paper_profile, paper_networks
+
+
+class TestZooBasics:
+    def test_available_matches_paper_order(self):
+        assert available_networks() == paper_networks()
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            build_network("resnet")
+
+    def test_case_insensitive(self):
+        assert build_network("AlexNet").name == "alexnet"
+
+    @pytest.mark.parametrize("name", paper_networks())
+    def test_shapes_resolve(self, name):
+        network = build_network(name)
+        shapes = network.resolve_shapes()
+        assert len(shapes) == len(network)
+
+    @pytest.mark.parametrize("name", paper_networks())
+    def test_profiles_attach(self, name):
+        network = build_network(name)
+        for accuracy in ("100%", "99%"):
+            network.attach_profile(get_paper_profile(name, accuracy))
+
+
+class TestLayerCounts:
+    @pytest.mark.parametrize("name,conv_groups,fc_count", [
+        ("nin", 12, 0),
+        ("alexnet", 5, 3),
+        ("googlenet", 11, 1),
+        ("vggs", 5, 3),
+        ("vggm", 5, 3),
+        ("vgg19", 16, 3),
+    ])
+    def test_counts_match_profiles(self, name, conv_groups, fc_count):
+        network = build_network(name)
+        assert network.num_conv_groups() == conv_groups
+        assert len(network.fc_layers()) == fc_count
+
+    def test_googlenet_has_57_convolutions(self):
+        network = build_network("googlenet")
+        assert len(network.conv_layers()) == 57
+
+    def test_nin_has_no_fc(self):
+        assert len(build_network("nin").fc_layers()) == 0
+
+
+class TestGeometries:
+    def test_alexnet_conv1_output(self):
+        network = build_network("alexnet")
+        shapes = network.resolve_shapes()
+        assert shapes["conv1"][1] == TensorShape(96, 55, 55)
+        assert shapes["conv5"][1] == TensorShape(256, 13, 13)
+        assert shapes["fc6"][0] == TensorShape(256, 6, 6)
+
+    def test_alexnet_fc_dimensions(self):
+        network = build_network("alexnet")
+        fcs = network.fc_layers()
+        assert fcs[0].input_activations == 9216
+        assert fcs[0].output_activations == 4096
+        assert fcs[2].output_activations == 1000
+
+    def test_vgg19_structure(self):
+        network = build_network("vgg19")
+        shapes = network.resolve_shapes()
+        assert shapes["conv1_1"][1] == TensorShape(64, 224, 224)
+        assert shapes["conv5_4"][1] == TensorShape(512, 14, 14)
+        assert shapes["fc6"][0] == TensorShape(512, 7, 7)
+
+    def test_googlenet_inception_output_channels(self):
+        network = build_network("googlenet")
+        shapes = network.resolve_shapes()
+        assert shapes["inception_3a_output"][1].channels == 256
+        assert shapes["inception_4e_output"][1].channels == 832
+        assert shapes["inception_5b_output"][1].channels == 1024
+        assert shapes["loss3_classifier"][0] == TensorShape(1024, 1, 1)
+
+    def test_googlenet_spatial_reduction(self):
+        network = build_network("googlenet")
+        shapes = network.resolve_shapes()
+        assert shapes["inception_3a_output"][1].height == 28
+        assert shapes["inception_4a_output"][1].height == 14
+        assert shapes["inception_5a_output"][1].height == 7
+
+    def test_nin_final_classifier(self):
+        network = build_network("nin")
+        shapes = network.resolve_shapes()
+        assert shapes["cccp8"][1].channels == 1000
+        assert shapes["pool4"][1] == TensorShape(1000, 1, 1)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name,min_gmacs,max_gmacs", [
+        # Published single-inference MAC counts (approximate, our geometries):
+        ("alexnet", 0.6, 0.8),
+        ("nin", 0.85, 1.3),
+        ("googlenet", 1.3, 1.8),
+        ("vgg19", 18.0, 21.0),
+        ("vggm", 1.4, 2.6),
+        ("vggs", 2.3, 3.3),
+    ])
+    def test_total_macs_in_published_ballpark(self, name, min_gmacs, max_gmacs):
+        network = build_network(name)
+        gmacs = network.total_macs() / 1e9
+        assert min_gmacs <= gmacs <= max_gmacs, f"{name}: {gmacs:.2f} GMACs"
+
+    def test_vgg19_activation_footprint_exceeds_2mb(self):
+        # The paper notes VGG-19 needs ~10 MB of activations and must spill.
+        network = build_network("vgg19")
+        peak_values = network.max_layer_activations()
+        assert peak_values * 16 / 8 / 1e6 > 2.0
+
+    def test_alexnet_weight_count(self):
+        network = build_network("alexnet")
+        millions = network.total_weights() / 1e6
+        assert 55 <= millions <= 65  # ~61M parameters
