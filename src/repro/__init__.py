@@ -10,7 +10,8 @@ pure-Python library:
 * :mod:`repro.quant` -- fixed point, bit-serial ops and precision profiles.
 * :mod:`repro.memory` -- SRAM/eDRAM/LPDDR4 models and bit-interleaved layouts.
 * :mod:`repro.energy` -- 65 nm technology, area and power models.
-* :mod:`repro.sim` -- results, metrics and the network runner.
+* :mod:`repro.sim` -- results, metrics, the network runner and the
+  declarative job pipeline (:mod:`repro.sim.jobs`).
 * :mod:`repro.workloads` -- synthetic tensor generators.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
 
@@ -29,7 +30,17 @@ from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
 from repro.core import Loom, LoomGeometry, DynamicPrecisionModel
 from repro.nn import Network, build_network, available_networks
 from repro.quant import get_paper_profile, paper_networks, NetworkPrecisionProfile
-from repro.sim import run_network, AcceleratorRunner, compare, geomean
+from repro.sim import (
+    run_network,
+    AcceleratorRunner,
+    compare,
+    geomean,
+    AcceleratorSpec,
+    JobExecutor,
+    NetworkSpec,
+    ResultCache,
+    SimJob,
+)
 
 __version__ = "1.0.0"
 
@@ -51,5 +62,10 @@ __all__ = [
     "AcceleratorRunner",
     "compare",
     "geomean",
+    "AcceleratorSpec",
+    "JobExecutor",
+    "NetworkSpec",
+    "ResultCache",
+    "SimJob",
     "__version__",
 ]

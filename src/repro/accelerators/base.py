@@ -206,9 +206,15 @@ class Accelerator(abc.ABC):
             return (layer.precision.weight_bits, layer.precision.activation_bits)
         return (16, 16)
 
-    def utilization(self, layer: LayerWithPrecision) -> float:
-        """Fraction of peak datapath throughput used for this layer."""
-        cycles = self.compute_cycles(layer)
+    def utilization(self, layer: LayerWithPrecision,
+                    compute_cycles: Optional[float] = None) -> float:
+        """Fraction of peak datapath throughput used for this layer.
+
+        ``compute_cycles`` lets callers that already scheduled the layer
+        (``simulate_layer``) skip re-deriving the datapath cycles.
+        """
+        cycles = (compute_cycles if compute_cycles is not None
+                  else self.compute_cycles(layer))
         if cycles <= 0:
             return 1.0
         ideal = layer.macs / self.config.equivalent_macs
@@ -259,7 +265,7 @@ class Accelerator(abc.ABC):
             activation_bits_read=traffic.activation_in_bits,
             activation_bits_written=traffic.activation_out_bits,
             macs=layer.macs,
-            utilization=self.utilization(layer),
+            utilization=self.utilization(layer, compute_cycles=compute_cycles),
         )
 
     # -- reporting -------------------------------------------------------------------

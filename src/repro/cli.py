@@ -10,11 +10,22 @@ Usage::
     loom-repro table3
     loom-repro table4
     loom-repro all
+    loom-repro networks
     loom-repro summary --network alexnet
+    loom-repro --jobs 4 all            # fan simulations out over 4 processes
+    loom-repro --cache-dir .loom-cache all   # persist results across runs
 
-``loom-repro all`` regenerates every artefact (this is what EXPERIMENTS.md is
-built from); ``summary`` prints a per-layer breakdown for one network on DPNN
-and Loom, which is handy when exploring the model interactively.
+Every simulation goes through one shared :class:`~repro.sim.jobs.JobExecutor`
+per invocation, so ``loom-repro all`` simulates each unique
+(network, accelerator, configuration) job exactly once even though several
+tables and figures share parts of their matrices.  ``--jobs N`` fans the
+simulations out over a process pool (results are identical to a serial run),
+``--no-cache`` disables result reuse, and ``--cache-dir`` adds an on-disk
+JSON store so repeated invocations skip already-simulated jobs entirely.
+
+``summary`` prints a per-layer breakdown for one network on DPNN and Loom,
+which is handy when exploring the model interactively; ``networks`` lists the
+zoo networks with their compute-layer counts.
 """
 
 from __future__ import annotations
@@ -23,8 +34,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.accelerators import DPNN
-from repro.core import Loom
 from repro.experiments import (
     ablation,
     area,
@@ -35,11 +44,26 @@ from repro.experiments import (
     table3,
     table4,
 )
-from repro.experiments.common import build_profiled_network
+from repro.experiments.common import loom_spec
+from repro.nn import available_networks
 from repro.quant import paper_networks
-from repro.sim import run_network
+from repro.sim.jobs import (
+    AcceleratorSpec,
+    JobExecutor,
+    NetworkSpec,
+    ResultCache,
+    SimJob,
+    network_layer_counts,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_executor"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="loom-repro",
         description="Regenerate the tables and figures of the Loom paper "
                     "(Sharify et al., DAC 2018).",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the simulation pipeline (default: 1; "
+             "results are identical regardless of N)",
+    )
+    caching = parser.add_mutually_exclusive_group()
+    caching.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the simulation result cache (every job re-simulates)",
+    )
+    caching.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulation results as JSON under DIR so repeated "
+             "invocations reuse them",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="precision profiles (Table 1)")
@@ -61,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table4", help="per-group weight precision speedups (Table 4)")
     sub.add_parser("ablation", help="contribution of each Loom mechanism")
     sub.add_parser("all", help="regenerate every table and figure")
+    sub.add_parser("networks", help="list the zoo networks and layer counts")
     summary = sub.add_parser("summary", help="per-layer breakdown for one network")
     summary.add_argument("--network", default="alexnet",
                          choices=paper_networks(), help="network to summarise")
@@ -69,11 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _summary(network_name: str, accuracy: str) -> str:
-    network = build_profiled_network(network_name, accuracy)
-    dpnn, loom = DPNN(), Loom()
-    base = run_network(dpnn, network)
-    fast = run_network(loom, network)
+def build_executor(args: argparse.Namespace) -> JobExecutor:
+    """Build the invocation-wide executor from the parsed CLI flags."""
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = ResultCache()
+    return JobExecutor(workers=args.jobs, cache=cache)
+
+
+def _summary(network_name: str, accuracy: str, executor: JobExecutor) -> str:
+    net = NetworkSpec(network_name, accuracy)
+    base, fast = executor.run([
+        SimJob(network=net, accelerator=AcceleratorSpec.create("dpnn")),
+        SimJob(network=net, accelerator=loom_spec()),
+    ])
     lines = [f"== {network_name} ({accuracy} profile): DPNN vs Loom-1b =="]
     lines.append(f"{'layer':<24s} {'kind':<5s} {'DPNN cycles':>14s} "
                  f"{'Loom cycles':>14s} {'speedup':>9s}")
@@ -92,31 +144,51 @@ def _summary(network_name: str, accuracy: str) -> str:
     return "\n".join(lines)
 
 
+def _networks_listing() -> str:
+    lines = ["== networks: the zoo the paper evaluates =="]
+    lines.append(f"{'network':<12s} {'conv':>6s} {'fc':>6s} {'total':>7s}")
+    for name in available_networks():
+        conv, fc = network_layer_counts(name)
+        lines.append(f"{name:<12s} {conv:>6d} {fc:>6d} {conv + fc:>7d}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``loom-repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
     outputs: List[str] = []
-    if command in ("table1", "all"):
-        outputs.append(table1.format_table())
-    if command in ("table2", "all"):
-        outputs.append(table2.format_table())
-    if command in ("figure4", "all"):
-        outputs.append(figure4.format_figure())
-    if command in ("area", "all"):
-        outputs.append(area.format_table())
-    if command in ("figure5", "all"):
-        configs = tuple(getattr(args, "configs", figure5.CONFIG_SWEEP))
-        outputs.append(figure5.format_figure(figure5.run(configs=configs)))
-    if command in ("table3", "all"):
-        outputs.append(table3.format_table())
-    if command in ("table4", "all"):
-        outputs.append(table4.format_table())
-    if command == "ablation":
-        outputs.append(ablation.format_table())
-    if command == "summary":
-        outputs.append(_summary(args.network, args.accuracy))
+    try:
+        executor = build_executor(args)
+    except OSError as error:
+        parser.error(f"--cache-dir: {error}")
+    with executor:
+        if command in ("table1", "all"):
+            outputs.append(table1.format_table())
+        if command in ("table2", "all"):
+            outputs.append(table2.format_table(table2.run(executor=executor)))
+        if command in ("figure4", "all"):
+            outputs.append(figure4.format_figure(figure4.run(executor=executor)))
+        if command in ("area", "all"):
+            outputs.append(area.format_table(area.run(executor=executor)))
+        if command in ("figure5", "all"):
+            configs = tuple(getattr(args, "configs", figure5.CONFIG_SWEEP))
+            outputs.append(
+                figure5.format_figure(
+                    figure5.run(configs=configs, executor=executor)
+                )
+            )
+        if command in ("table3", "all"):
+            outputs.append(table3.format_table())
+        if command in ("table4", "all"):
+            outputs.append(table4.format_table(table4.run(executor=executor)))
+        if command == "ablation":
+            outputs.append(ablation.format_table(ablation.run(executor=executor)))
+        if command == "networks":
+            outputs.append(_networks_listing())
+        if command == "summary":
+            outputs.append(_summary(args.network, args.accuracy, executor))
     print("\n\n".join(outputs))
     return 0
 

@@ -22,12 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.accelerators import DPNN, AcceleratorConfig
-from repro.core import Loom
-from repro.experiments.common import build_profiled_network
+from repro.accelerators import AcceleratorConfig
+from repro.experiments.common import loom_spec
 from repro.quant import paper_networks
 from repro.quant.dynamic import DynamicPrecisionModel
-from repro.sim import geomean, run_network
+from repro.sim import AcceleratorSpec, NetworkSpec, SimJob, geomean
+from repro.sim.jobs import get_default_executor, network_layer_counts
 from repro.sim.results import compare
 
 __all__ = ["AblationResult", "run", "format_table"]
@@ -50,60 +50,73 @@ class AblationResult:
         return enabled / disabled
 
 
-def _geomean_speedup(design, baseline, networks, kind=None) -> float:
-    ratios = []
-    for network in networks:
-        base = run_network(baseline, network)
-        ratios.append(compare(run_network(design, network), base, kind=kind).speedup)
+def _geomean_speedup(executor, design_spec, baseline_spec, nets, config,
+                     kind=None) -> float:
+    jobs = []
+    for net in nets:
+        jobs.append(SimJob(network=net, accelerator=baseline_spec, config=config))
+        jobs.append(SimJob(network=net, accelerator=design_spec, config=config))
+    flat = executor.run(jobs)
+    ratios = [
+        compare(flat[2 * i + 1], flat[2 * i], kind=kind).speedup
+        for i in range(len(nets))
+    ]
     return geomean(ratios)
 
 
 def run(networks: Optional[Tuple[str, ...]] = None,
-        accuracy: str = "100%") -> AblationResult:
-    """Run all four ablations."""
+        accuracy: str = "100%", executor=None) -> AblationResult:
+    """Run all four ablations (job matrices dispatched via ``executor``)."""
     names = networks or tuple(paper_networks())
-    nets = [build_profiled_network(name, accuracy) for name in names]
-    fc_nets = [n for n in nets if n.fc_layers()]
+    executor = executor if executor is not None else get_default_executor()
+    nets = [NetworkSpec(name, accuracy) for name in names]
+    fc_nets = [n for n in nets if network_layer_counts(n.name)[1] > 0]
     config = AcceleratorConfig()
-    dpnn = DPNN(config)
+    dpnn = AcceleratorSpec.create("dpnn")
     result = AblationResult()
 
     # 1. Dynamic activation precision reduction (convolutional layers).
-    with_dynamic = Loom(config)
-    without_dynamic = Loom(config,
-                           dynamic_precision=DynamicPrecisionModel(enabled=False))
+    with_dynamic = loom_spec()
+    without_dynamic = loom_spec(
+        dynamic_precision=DynamicPrecisionModel(enabled=False))
     result.dynamic_precision = (
-        _geomean_speedup(with_dynamic, dpnn, nets, kind="conv"),
-        _geomean_speedup(without_dynamic, dpnn, nets, kind="conv"),
+        _geomean_speedup(executor, with_dynamic, dpnn, nets, config, kind="conv"),
+        _geomean_speedup(executor, without_dynamic, dpnn, nets, config,
+                         kind="conv"),
     )
 
     # 2. SIP cascading (fully-connected layers).
-    with_cascade = Loom(config, use_cascading=True)
-    without_cascade = Loom(config, use_cascading=False)
+    with_cascade = loom_spec(use_cascading=True)
+    without_cascade = loom_spec(use_cascading=False)
     result.cascading = (
-        _geomean_speedup(with_cascade, dpnn, fc_nets, kind="fc"),
-        _geomean_speedup(without_cascade, dpnn, fc_nets, kind="fc"),
+        _geomean_speedup(executor, with_cascade, dpnn, fc_nets, config,
+                         kind="fc"),
+        _geomean_speedup(executor, without_cascade, dpnn, fc_nets, config,
+                         kind="fc"),
     )
 
     # 3. Bit-interleaved storage: traffic ratio vs DPNN (lower is better, so
     # report DPNN traffic / Loom traffic -- "enabled" uses the precisions,
     # "disabled" is the 16-bit layout, i.e. exactly DPNN's traffic).
-    loom = Loom(config)
-    traffic_gains = []
-    for network in nets:
-        loom_bits = run_network(loom, network).total_traffic_bits()
-        dpnn_bits = run_network(dpnn, network).total_traffic_bits()
-        traffic_gains.append(dpnn_bits / loom_bits)
+    jobs = []
+    for net in nets:
+        jobs.append(SimJob(network=net, accelerator=loom_spec(), config=config))
+        jobs.append(SimJob(network=net, accelerator=dpnn, config=config))
+    flat = executor.run(jobs)
+    traffic_gains = [
+        flat[2 * i + 1].total_traffic_bits() / flat[2 * i].total_traffic_bits()
+        for i in range(len(nets))
+    ]
     result.storage_traffic_ratio = (geomean(traffic_gains), 1.0)
 
     # 4. Tiling organisation at the 512-MAC configuration.
     big_config = AcceleratorConfig(equivalent_macs=512)
-    big_dpnn = DPNN(big_config)
-    rigid = Loom(big_config)
-    window_major = Loom(big_config, window_fanout=4)
+    rigid = loom_spec()
+    window_major = loom_spec(window_fanout=4)
     result.tiling_at_512 = (
-        _geomean_speedup(window_major, big_dpnn, nets, kind="conv"),
-        _geomean_speedup(rigid, big_dpnn, nets, kind="conv"),
+        _geomean_speedup(executor, window_major, dpnn, nets, big_config,
+                         kind="conv"),
+        _geomean_speedup(executor, rigid, dpnn, nets, big_config, kind="conv"),
     )
     return result
 

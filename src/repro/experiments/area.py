@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.accelerators import DPNN, AcceleratorConfig
-from repro.core import Loom
-from repro.experiments.common import build_profiled_network
+from repro.accelerators import AcceleratorConfig
+from repro.experiments.common import loom_spec
 from repro.quant import paper_networks
-from repro.sim import geomean, run_network
+from repro.sim import AcceleratorRunner, AcceleratorSpec, NetworkSpec, geomean
+from repro.sim.jobs import build_accelerator
 from repro.sim.results import compare
 
 __all__ = ["run", "format_table", "PAPER_AREA_RATIOS"]
@@ -48,27 +48,26 @@ class AreaResult:
 
 
 def run(config: Optional[AcceleratorConfig] = None,
-        accuracy: str = "100%") -> AreaResult:
+        accuracy: str = "100%", executor=None) -> AreaResult:
     """Compute area ratios and the matching all-layer geomean speedups."""
     config = config or AcceleratorConfig()
-    dpnn = DPNN(config)
-    designs = {
-        "loom-1b": Loom(config, bits_per_cycle=1),
-        "loom-2b": Loom(config, bits_per_cycle=2),
-        "loom-4b": Loom(config, bits_per_cycle=4),
-    }
+    dpnn_spec = AcceleratorSpec.create("dpnn")
+    design_specs = {f"loom-{bits}b": loom_spec(bits_per_cycle=bits)
+                    for bits in (1, 2, 4)}
+    runner = AcceleratorRunner(
+        designs={"dpnn": dpnn_spec, **design_specs}, baseline="dpnn",
+        config=config, executor=executor,
+    )
+    raw = runner.run([NetworkSpec(name, accuracy) for name in paper_networks()])
     result = AreaResult()
-    base_area = dpnn.core_area_mm2()
-    networks = [build_profiled_network(name, accuracy) for name in paper_networks()]
-    baseline_results = {net.name: run_network(dpnn, net) for net in networks}
-    for label, design in designs.items():
+    base_area = build_accelerator(dpnn_spec, config).core_area_mm2()
+    for label, spec in design_specs.items():
+        design = build_accelerator(spec, config)
         result.area_ratio[label] = design.core_area_mm2() / base_area
-        speedups = []
-        for net in networks:
-            design_result = run_network(design, net)
-            speedups.append(
-                compare(design_result, baseline_results[net.name]).speedup
-            )
+        speedups = [
+            compare(per_design[label], per_design["dpnn"]).speedup
+            for per_design in raw.values()
+        ]
         result.speedup[label] = geomean(speedups)
     return result
 

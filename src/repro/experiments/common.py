@@ -1,20 +1,30 @@
-"""Shared helpers for the experiment harnesses."""
+"""Shared helpers for the experiment harnesses.
+
+The harnesses declare their simulation matrices with
+:func:`default_design_specs` and network specs, and hand them to a
+:class:`~repro.sim.jobs.JobExecutor` (the CLI shares one executor across all
+of ``loom-repro all``, so overlapping matrices are simulated once).
+:func:`default_designs` materialises the same designs as live accelerator
+instances for callers that want to poke at the models directly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
-from repro.core import Loom
+from repro.accelerators import AcceleratorConfig
 from repro.nn import Network, build_network
 from repro.quant import get_paper_profile
+from repro.sim.jobs import AcceleratorSpec, build_accelerator
 
 __all__ = [
     "ExperimentResult",
     "build_profiled_network",
+    "default_design_specs",
     "default_designs",
     "format_ratio_table",
+    "loom_spec",
 ]
 
 
@@ -51,19 +61,41 @@ def build_profiled_network(name: str, accuracy: str = "100%",
     return network
 
 
+def loom_spec(bits_per_cycle: int = 1, **options) -> AcceleratorSpec:
+    """Spec for a Loom variant (LM1b/LM2b/LM4b plus any ablation knobs)."""
+    return AcceleratorSpec.create("loom", bits_per_cycle=bits_per_cycle,
+                                  **options)
+
+
+def default_design_specs(include_stripes: bool = True,
+                         include_dstripes: bool = False
+                         ) -> Dict[str, AcceleratorSpec]:
+    """Declarative form of the design matrix most experiments compare."""
+    specs: Dict[str, AcceleratorSpec] = {"dpnn": AcceleratorSpec.create("dpnn")}
+    if include_stripes:
+        specs["stripes"] = AcceleratorSpec.create("stripes")
+    if include_dstripes:
+        specs["dstripes"] = AcceleratorSpec.create("dstripes")
+    for bits in (1, 2, 4):
+        specs[f"loom-{bits}b"] = loom_spec(bits_per_cycle=bits)
+    return specs
+
+
 def default_designs(config: Optional[AcceleratorConfig] = None,
                     include_stripes: bool = True,
                     include_dstripes: bool = False) -> Dict[str, object]:
-    """The designs most experiments compare: DPNN baseline, Loom 1/2/4-bit."""
-    designs: Dict[str, object] = {"dpnn": DPNN(config)}
-    if include_stripes:
-        designs["stripes"] = Stripes(config)
-    if include_dstripes:
-        designs["dstripes"] = DStripes(config)
-    designs["loom-1b"] = Loom(config, bits_per_cycle=1)
-    designs["loom-2b"] = Loom(config, bits_per_cycle=2)
-    designs["loom-4b"] = Loom(config, bits_per_cycle=4)
-    return designs
+    """The designs most experiments compare: DPNN baseline, Loom 1/2/4-bit.
+
+    Returns live accelerator instances (shared, stateless); experiments use
+    :func:`default_design_specs` instead and go through the job executor.
+    """
+    return {
+        label: build_accelerator(spec, config)
+        for label, spec in default_design_specs(
+            include_stripes=include_stripes,
+            include_dstripes=include_dstripes,
+        ).items()
+    }
 
 
 def format_ratio_table(result: ExperimentResult, width: int = 9,

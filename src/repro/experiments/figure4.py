@@ -19,13 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import (
-    ExperimentResult,
-    build_profiled_network,
-    default_designs,
-)
+from repro.experiments.common import ExperimentResult, default_design_specs
 from repro.quant import paper_networks
-from repro.sim import AcceleratorRunner, geomean
+from repro.sim import AcceleratorRunner, NetworkSpec, geomean
 
 __all__ = ["run", "format_figure", "FIGURE4_DESIGNS"]
 
@@ -46,13 +42,14 @@ class Figure4Result:
 
 
 def run(networks: Optional[Tuple[str, ...]] = None,
-        accuracy: str = "100%") -> Figure4Result:
+        accuracy: str = "100%", executor=None) -> Figure4Result:
     """Run the Figure 4 experiment (all layers combined)."""
     networks = networks or tuple(paper_networks())
     runner = AcceleratorRunner(
-        designs=default_designs(include_dstripes=True), baseline="dpnn"
+        designs=default_design_specs(include_dstripes=True), baseline="dpnn",
+        executor=executor,
     )
-    nets = [build_profiled_network(name, accuracy) for name in networks]
+    nets = [NetworkSpec(name, accuracy) for name in networks]
     raw = runner.run(nets)
     comparisons = runner.compare_all(raw, kind=None)
     result = Figure4Result()

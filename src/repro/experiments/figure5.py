@@ -23,12 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.accelerators import DPNN, DStripes, AcceleratorConfig
-from repro.core import Loom
-from repro.experiments.common import build_profiled_network
+from repro.accelerators import AcceleratorConfig
+from repro.experiments.common import loom_spec
 from repro.memory.dram import LPDDR4_4267
 from repro.quant import paper_networks
-from repro.sim import geomean, run_network
+from repro.sim import AcceleratorSpec, NetworkSpec, SimJob, geomean
+from repro.sim.jobs import build_accelerator, get_default_executor
 from repro.sim.results import compare
 
 __all__ = ["run", "format_figure", "CONFIG_SWEEP", "PAPER_FIGURE5"]
@@ -78,27 +78,30 @@ class Figure5Result:
 
 def run(configs: Tuple[int, ...] = CONFIG_SWEEP,
         networks: Optional[Tuple[str, ...]] = None,
-        accuracy: str = "100%") -> Figure5Result:
-    """Run the scaling sweep."""
+        accuracy: str = "100%", executor=None) -> Figure5Result:
+    """Run the scaling sweep (job matrix dispatched via ``executor``)."""
     networks = networks or tuple(paper_networks())
-    nets = [build_profiled_network(name, accuracy) for name in networks]
+    executor = executor if executor is not None else get_default_executor()
+    nets = [NetworkSpec(name, accuracy) for name in networks]
+    dpnn_spec = AcceleratorSpec.create("dpnn")
+    loom_1b_spec = loom_spec(bits_per_cycle=1)
+    dstripes_spec = AcceleratorSpec.create("dstripes")
+    designs = (dpnn_spec, loom_1b_spec, dstripes_spec)
     result = Figure5Result()
     for macs in configs:
         # Off-chip transfer energy is excluded from the efficiency numbers,
         # matching the paper's accounting for this figure.
         config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267,
                                    charge_offchip_energy=False)
-        dpnn = DPNN(config)
-        loom = Loom(config, bits_per_cycle=1)
-        dstripes = DStripes(config)
+        jobs = [SimJob(network=net, accelerator=design, config=config)
+                for net in nets for design in designs]
+        flat = executor.run(jobs)
         loom_perf_all, loom_perf_conv = [], []
         ds_perf_all, ds_perf_conv = [], []
         loom_eff_all = []
         loom_fps_all, loom_fps_conv = [], []
-        for net in nets:
-            base = run_network(dpnn, net)
-            loom_result = run_network(loom, net)
-            ds_result = run_network(dstripes, net)
+        for index, net in enumerate(nets):
+            base, loom_result, ds_result = flat[3 * index:3 * index + 3]
             loom_perf_all.append(compare(loom_result, base).speedup)
             loom_perf_conv.append(compare(loom_result, base, kind="conv").speedup)
             ds_perf_all.append(compare(ds_result, base).speedup)
@@ -106,6 +109,8 @@ def run(configs: Tuple[int, ...] = CONFIG_SWEEP,
             loom_eff_all.append(compare(loom_result, base).energy_efficiency)
             loom_fps_all.append(loom_result.frames_per_second())
             loom_fps_conv.append(loom_result.frames_per_second(kind="conv"))
+        loom = build_accelerator(loom_1b_spec, config)
+        dpnn = build_accelerator(dpnn_spec, config)
         wm_mb = loom.hierarchy.weight_memory.capacity_mb
         area_ratio = loom.total_area_mm2() / dpnn.total_area_mm2()
         result.points.append(

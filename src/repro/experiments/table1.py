@@ -12,6 +12,9 @@ that data and (b) optionally re-derives a profile with our own
 to demonstrate the methodology end to end (``derive=True``; used by the
 benchmark on a reduced-size network because a full profile search over the
 zoo networks is slow in pure Python).
+
+Unlike the other harnesses this one dispatches no accelerator simulations,
+so it takes no :class:`~repro.sim.jobs.JobExecutor`.
 """
 
 from __future__ import annotations

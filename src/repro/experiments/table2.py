@@ -15,13 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import (
-    ExperimentResult,
-    build_profiled_network,
-    default_designs,
-)
+from repro.experiments.common import ExperimentResult, default_design_specs
 from repro.quant import paper_networks
-from repro.sim import AcceleratorRunner, geomean
+from repro.sim import AcceleratorRunner, NetworkSpec, geomean
 
 __all__ = ["run", "format_table", "PAPER_TABLE2", "DESIGN_LABELS"]
 
@@ -110,14 +106,16 @@ class Table2Result:
 
 
 def run(accuracies: Tuple[str, ...] = ("100%", "99%"),
-        networks: Optional[Tuple[str, ...]] = None) -> Table2Result:
-    """Run the Table 2 experiment."""
+        networks: Optional[Tuple[str, ...]] = None,
+        executor=None) -> Table2Result:
+    """Run the Table 2 experiment (job matrix dispatched via ``executor``)."""
     networks = networks or tuple(paper_networks())
     result = Table2Result()
+    runner = AcceleratorRunner(designs=default_design_specs(),
+                               baseline="dpnn", executor=executor)
     for accuracy in accuracies:
         result.cells[accuracy] = {"fc": {}, "conv": {}}
-        runner = AcceleratorRunner(designs=default_designs(), baseline="dpnn")
-        nets = [build_profiled_network(name, accuracy) for name in networks]
+        nets = [NetworkSpec(name, accuracy) for name in networks]
         raw = runner.run(nets)
         for kind in ("fc", "conv"):
             comparisons = runner.compare_all(raw, kind=kind)

@@ -15,6 +15,10 @@ This harness does two things:
   per-group effective precisions with :mod:`repro.quant.groups` -- the same
   computation the hardware's detection logic (or an offline pass producing
   per-group metadata) performs.
+
+Like Table 1 this harness dispatches no accelerator simulations (the
+measurement operates on synthetic weight tensors directly), so it takes no
+:class:`~repro.sim.jobs.JobExecutor`.
 """
 
 from __future__ import annotations

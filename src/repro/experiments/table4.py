@@ -18,11 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.accelerators import DPNN, AcceleratorConfig
-from repro.core import Loom
-from repro.experiments.common import build_profiled_network
+from repro.accelerators import AcceleratorConfig
+from repro.experiments.common import loom_spec
 from repro.quant import paper_networks
-from repro.sim import geomean, run_network
+from repro.sim import AcceleratorRunner, AcceleratorSpec, NetworkSpec, geomean
 from repro.sim.results import compare
 
 __all__ = ["run", "format_table", "PAPER_TABLE4"]
@@ -56,23 +55,27 @@ class Table4Result:
 
 def run(config: Optional[AcceleratorConfig] = None,
         networks: Optional[Tuple[str, ...]] = None,
-        accuracy: str = "100%") -> Table4Result:
+        accuracy: str = "100%", executor=None) -> Table4Result:
     """Run the Table 4 experiment (all layers, per-group weight precisions)."""
     config = config or AcceleratorConfig()
     networks = networks or tuple(paper_networks())
-    dpnn = DPNN(config)
-    looms = {
-        "loom-1b": Loom(config, bits_per_cycle=1, use_effective_weight_precision=True),
-        "loom-2b": Loom(config, bits_per_cycle=2, use_effective_weight_precision=True),
-        "loom-4b": Loom(config, bits_per_cycle=4, use_effective_weight_precision=True),
-    }
+    designs = {"dpnn": AcceleratorSpec.create("dpnn")}
+    for bits in (1, 2, 4):
+        designs[f"loom-{bits}b"] = loom_spec(
+            bits_per_cycle=bits, use_effective_weight_precision=True
+        )
+    runner = AcceleratorRunner(designs=designs, baseline="dpnn",
+                               config=config, executor=executor)
+    nets = [NetworkSpec(name, accuracy, with_effective_weights=True)
+            for name in networks]
+    raw = runner.run(nets)
     result = Table4Result()
     for name in networks:
-        net = build_profiled_network(name, accuracy, with_effective_weights=True)
-        baseline = run_network(dpnn, net)
+        per_design = raw[name]
+        baseline = per_design["dpnn"]
         row: Dict[str, Tuple[float, float]] = {}
-        for label, loom in looms.items():
-            comp = compare(run_network(loom, net), baseline)
+        for label in DESIGNS:
+            comp = compare(per_design[label], baseline)
             row[label] = (comp.speedup, comp.energy_efficiency)
         result.cells[name] = row
     result.cells["geomean"] = {

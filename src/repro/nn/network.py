@@ -14,6 +14,7 @@ exact information the accelerator models consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.nn.layers import Concat, Conv2D, FullyConnected, Layer, TensorShape
@@ -70,21 +71,25 @@ class LayerWithPrecision:
     def is_fc(self) -> bool:
         return self.layer.is_fc
 
-    @property
+    # Derived quantities are cached: one resolved layer is simulated by many
+    # accelerator designs (and, via the job pipeline, shared across
+    # experiments), and shapes never change after resolution.
+
+    @cached_property
     def macs(self) -> int:
         return self.layer.macs(self.input_shape)
 
-    @property
+    @cached_property
     def weight_count(self) -> int:
         if isinstance(self.layer, (Conv2D, FullyConnected)):
             return self.layer.weight_count_for(self.input_shape)
         return 0
 
-    @property
+    @cached_property
     def input_activations(self) -> int:
         return self.input_shape.size
 
-    @property
+    @cached_property
     def output_activations(self) -> int:
         return self.output_shape.size
 

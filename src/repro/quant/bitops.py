@@ -200,16 +200,25 @@ def count_significant_bits(codes: np.ndarray, signed: bool = False) -> np.ndarra
     """
     codes = _as_int_array(codes)
     flat = codes.ravel()
-    out = np.empty(flat.shape, dtype=np.int64)
-    for i, v in enumerate(flat):
-        v = int(v)
-        if signed:
-            if v >= 0:
-                out[i] = max(1, v.bit_length() + 1)
-            else:
-                out[i] = max(1, (-v - 1).bit_length() + 1)
-        else:
-            if v < 0:
-                raise ValueError("negative code in unsigned count_significant_bits")
-            out[i] = max(1, v.bit_length())
+    if signed:
+        # Two's-complement magnitude: -v needs as many bits as (-v - 1),
+        # plus the sign bit; non-negative v needs bit_length(v) + 1.
+        magnitude = np.where(flat >= 0, flat, -flat - 1)
+    else:
+        if flat.size and int(flat.min()) < 0:
+            raise ValueError("negative code in unsigned count_significant_bits")
+        magnitude = flat
+    # The exponent frexp reports for a positive integer is its bit length
+    # (and 0 for zero) -- except that the float64 conversion can round a
+    # value just below a power of two up to it (first possible at 2**53),
+    # overestimating by one.  It can never underestimate, so one downward
+    # correction step keeps the result exact for the full int64 range.
+    bit_length = np.frexp(magnitude.astype(np.float64))[1].astype(np.int64)
+    positive = bit_length > 0
+    overshoot = np.zeros(bit_length.shape, dtype=np.int64)
+    overshoot[positive] = (
+        magnitude[positive] >> (bit_length[positive] - 1)
+    ) == 0
+    bit_length -= overshoot
+    out = np.maximum(1, bit_length + 1 if signed else bit_length)
     return out.reshape(codes.shape)

@@ -9,6 +9,9 @@
   tile-level simulators.
 * :mod:`repro.sim.runner` -- walks a network (with a bound precision profile)
   through any accelerator model and aggregates the per-layer results.
+* :mod:`repro.sim.jobs` -- the declarative job pipeline: ``SimJob`` specs, a
+  content-keyed result cache and a parallel ``JobExecutor`` the experiment
+  harnesses run on.
 """
 
 from repro.sim.results import (
@@ -21,6 +24,17 @@ from repro.sim.results import (
 from repro.sim.metrics import geomean, speedup, efficiency_ratio, harmonic_mean
 from repro.sim.engine import CycleEngine, Event
 from repro.sim.runner import AcceleratorRunner, run_network, LayerSelection
+from repro.sim.jobs import (
+    AcceleratorSpec,
+    JobExecutor,
+    NetworkSpec,
+    ResultCache,
+    SimJob,
+    get_default_executor,
+    job_key,
+    set_default_executor,
+    use_executor,
+)
 from repro.sim.report import (
     layer_breakdown,
     comparison_table,
@@ -44,6 +58,15 @@ __all__ = [
     "AcceleratorRunner",
     "run_network",
     "LayerSelection",
+    "AcceleratorSpec",
+    "JobExecutor",
+    "NetworkSpec",
+    "ResultCache",
+    "SimJob",
+    "get_default_executor",
+    "job_key",
+    "set_default_executor",
+    "use_executor",
     "layer_breakdown",
     "comparison_table",
     "bottleneck_summary",

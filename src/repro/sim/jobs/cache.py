@@ -1,0 +1,145 @@
+"""Content-keyed result cache for simulation jobs.
+
+The cache maps a :func:`~repro.sim.jobs.spec.job_key` content hash to the
+:class:`~repro.sim.results.NetworkResult` the job produced.  Lookups go
+through an in-memory dict first; an optional on-disk store (one JSON file per
+key under ``directory``) makes results survive across processes and
+invocations, which is what lets a repeated ``loom-repro all`` skip every
+simulation it has already done.
+
+Disk entries are written atomically (tmp file + rename) and validated on
+load; an unreadable, truncated or mismatched entry is counted in
+``stats.invalid_disk_entries`` and treated as a miss rather than crashing the
+run -- it will simply be recomputed and overwritten.
+
+Cached results are shared objects: treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.sim.results import NetworkResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: On-disk entry schema version; bump when the payload layout changes.
+_FORMAT = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters describing what the cache did for a run."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid_disk_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class ResultCache:
+    """In-memory (plus optional on-disk JSON) store of job results by key."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self._memory: Dict[str, NetworkResult] = {}
+        self.directory = (Path(directory).expanduser()
+                          if directory is not None else None)
+        self.stats = CacheStats()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[NetworkResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        result = self._memory.get(key)
+        if result is not None:
+            self.stats.memory_hits += 1
+            return result
+        result = self._load_disk(key)
+        if result is not None:
+            self._memory[key] = result
+            self.stats.disk_hits += 1
+            return result
+        self.stats.misses += 1
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.directory is not None and self._path(key).exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- store ---------------------------------------------------------------
+
+    def put(self, key: str, result: NetworkResult,
+            spec: Optional[dict] = None) -> None:
+        """Store ``result`` under ``key``; ``spec`` is kept on disk for audit."""
+        self._memory[key] = result
+        self.stats.stores += 1
+        if self.directory is not None:
+            self._store_disk(key, result, spec)
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (on-disk entries are left alone)."""
+        self._memory.clear()
+
+    # -- on-disk store -------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _load_disk(self, key: str) -> Optional[NetworkResult]:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != _FORMAT or payload.get("key") != key:
+                raise ValueError("cache entry format/key mismatch")
+            return NetworkResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted / stale entry: ignore it, recompute, overwrite.
+            self.stats.invalid_disk_entries += 1
+            return None
+
+    def _store_disk(self, key: str, result: NetworkResult,
+                    spec: Optional[dict]) -> None:
+        payload = {
+            "format": _FORMAT,
+            "key": key,
+            "spec": spec,
+            "result": result.to_dict(),
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,268 @@
+"""Job executor: cached, optionally parallel execution of simulation jobs.
+
+:class:`JobExecutor` is the engine behind every experiment harness: it takes
+a batch of declarative :class:`~repro.sim.jobs.spec.SimJob`\\ s, consults the
+result cache, deduplicates identical jobs inside the batch, executes the
+remainder -- serially or fanned out over a ``multiprocessing`` pool -- and
+returns the results *in job order*, so aggregation code is byte-for-byte
+independent of worker count.
+
+A process-wide default executor (serial, in-memory cache) backs every
+experiment ``run()`` that is not handed an explicit executor; the CLI
+installs a shared one so that ``loom-repro all`` simulates each unique
+(network, accelerator, configuration) job exactly once across all tables and
+figures.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.jobs.cache import ResultCache
+from repro.sim.jobs.spec import SimJob, execute_job, job_key, spec_dict
+from repro.sim.results import NetworkResult
+
+__all__ = [
+    "ExecutorStats",
+    "JobEvent",
+    "JobExecutor",
+    "get_default_executor",
+    "set_default_executor",
+    "use_executor",
+]
+
+
+@dataclass
+class ExecutorStats:
+    """What an executor did over its lifetime.
+
+    ``executed`` counts actual simulations; ``cache_hits`` jobs answered from
+    the cache; ``dedup_hits`` duplicate jobs inside a batch that piggybacked
+    on another job's execution.  ``executed_key_counts`` maps each content key
+    to how many times it was simulated -- with a shared cache every count is 1,
+    which is exactly what the pipeline tests assert.
+    """
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    executed_key_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record_execution(self, key: str) -> None:
+        self.executed += 1
+        self.executed_key_counts[key] = self.executed_key_counts.get(key, 0) + 1
+
+    @property
+    def max_executions_per_key(self) -> int:
+        if not self.executed_key_counts:
+            return 0
+        return max(self.executed_key_counts.values())
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """Progress notification for one job in a batch."""
+
+    job: SimJob
+    key: str
+    status: str  # "cached", "deduplicated" or "executed"
+    index: int
+    total: int
+
+
+#: Sentinel: "give this executor its own fresh in-memory cache".
+_FRESH_CACHE = object()
+
+
+class JobExecutor:
+    """Runs batches of jobs with caching, dedup and optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Process count for the ``multiprocessing`` fan-out.  ``1`` executes
+        inline (no pool); results are identical either way.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching entirely
+        (every submitted job is executed, duplicates included).  Left at the
+        default, each executor gets its own fresh in-memory cache.
+    progress:
+        Optional hook called with a :class:`JobEvent` as each job resolves.
+    log:
+        Optional ``callable(str)`` for human-readable progress lines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache=_FRESH_CACHE,
+        progress: Optional[Callable[[JobEvent], None]] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = (
+            ResultCache() if cache is _FRESH_CACHE else cache
+        )
+        self.progress = progress
+        self.log = log
+        self.stats = ExecutorStats()
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = context.Pool(self.workers)
+        return self._pool
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, jobs: Iterable[SimJob]) -> List[NetworkResult]:
+        """Execute ``jobs`` and return their results in submission order.
+
+        Within the batch, jobs with identical content keys are simulated
+        once; with a cache attached, jobs already answered by a previous
+        batch are not simulated at all.  Progress events fire as each job
+        resolves (cache lookups and executions as they happen; batch
+        duplicates once the job they piggyback on has resolved).  Returned
+        results are shared with the cache -- treat them as read-only.
+        """
+        jobs = list(jobs)
+        keys = [job_key(job) for job in jobs]
+        total = len(jobs)
+        self.stats.submitted += total
+
+        def emit(job, key, status, index):
+            if self.progress is not None:
+                self.progress(JobEvent(job=job, key=key, status=status,
+                                       index=index, total=total))
+
+        if self.cache is None:
+            # No cache: execute every submission, duplicates included.
+            def on_result(index, result):
+                self.stats.record_execution(keys[index])
+                emit(jobs[index], keys[index], "executed", index)
+
+            return self._execute(jobs, on_result)
+
+        resolved: Dict[str, NetworkResult] = {}
+        statuses: Dict[str, str] = {}
+        first_index: Dict[str, int] = {}
+        pending: List[SimJob] = []
+        pending_keys: List[str] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            if key in statuses:
+                continue
+            first_index[key] = index
+            cached = self.cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+                statuses[key] = "cached"
+                emit(job, key, "cached", index)
+            else:
+                statuses[key] = "executed"
+                pending.append(job)
+                pending_keys.append(key)
+
+        if pending:
+            if self.log is not None:
+                self.log(
+                    f"simulating {len(pending)} of {total} jobs "
+                    f"({total - len(pending)} cached/deduplicated)"
+                )
+            # The audit spec on disk entries is only worth computing when
+            # there is a disk store to write it to.
+            keep_spec = self.cache.directory is not None
+
+            def on_result(position, result):
+                job, key = pending[position], pending_keys[position]
+                self.stats.record_execution(key)
+                self.cache.put(key, result,
+                               spec=spec_dict(job) if keep_spec else None)
+                resolved[key] = result
+                emit(job, key, "executed", first_index[key])
+
+            self._execute(pending, on_result)
+
+        # Account and emit the remaining submissions: repeats of a cached key
+        # are further cache hits; repeats of an executed key are dedup hits.
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            if statuses[key] == "cached":
+                self.stats.cache_hits += 1
+                if index != first_index[key]:
+                    emit(job, key, "cached", index)
+            elif index != first_index[key]:
+                self.stats.dedup_hits += 1
+                emit(job, key, "deduplicated", index)
+        return [resolved[key] for key in keys]
+
+    def _execute(self, jobs: Sequence[SimJob],
+                 on_result=None) -> List[NetworkResult]:
+        """Run ``jobs`` in order, invoking ``on_result(index, result)`` as
+        each finishes (parallel execution streams ordered results back)."""
+        results: List[NetworkResult] = []
+        if self.workers == 1 or len(jobs) < 2:
+            iterator = (execute_job(job) for job in jobs)
+        else:
+            pool = self._get_pool()
+            chunksize = max(1, len(jobs) // (self.workers * 4))
+            iterator = pool.imap(execute_job, jobs, chunksize=chunksize)
+        for index, result in enumerate(iterator):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+
+# -- process-wide default executor --------------------------------------------
+
+_default_executor: Optional[JobExecutor] = None
+
+
+def get_default_executor() -> JobExecutor:
+    """The process-wide executor experiments fall back to (serial, cached)."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = JobExecutor()
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[JobExecutor]) -> Optional[JobExecutor]:
+    """Install ``executor`` as the process-wide default; returns the previous one."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+@contextlib.contextmanager
+def use_executor(executor: JobExecutor):
+    """Temporarily make ``executor`` the default (restores the old one on exit)."""
+    previous = set_default_executor(executor)
+    try:
+        yield executor
+    finally:
+        set_default_executor(previous)

@@ -1,0 +1,314 @@
+"""Declarative simulation-job specs and their deterministic content keys.
+
+A :class:`SimJob` names everything needed to reproduce one
+(network x accelerator x configuration) simulation without holding any live
+objects: the network comes from the zoo by name (plus which paper precision
+profile to attach), the accelerator from a small registry of factories keyed
+by ``kind`` plus a canonical tuple of constructor options, and the
+configuration is the (frozen, hashable) :class:`AcceleratorConfig` itself.
+
+Because the spec is pure data it can be
+
+* hashed into a deterministic *content key* (:func:`job_key`) that the result
+  cache uses -- two jobs with the same key are guaranteed to produce the same
+  :class:`~repro.sim.results.NetworkResult`;
+* pickled across process boundaries, so a :class:`~repro.sim.jobs.executor.
+  JobExecutor` can fan jobs out over a ``multiprocessing`` pool.
+
+:func:`execute_job` is the single entry point that turns a spec back into
+objects and runs the simulation; it memoises the (expensive) profiled-network
+construction and the accelerator instances per process, so a batch of jobs
+touching the same network pays the build cost once.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+from repro.sim.results import NetworkResult
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.accelerators.base import AcceleratorConfig
+
+__all__ = [
+    "NetworkSpec",
+    "AcceleratorSpec",
+    "SimJob",
+    "job_key",
+    "spec_dict",
+    "build_accelerator",
+    "build_spec_network",
+    "network_layer_counts",
+    "execute_job",
+    "ACCELERATOR_KINDS",
+]
+
+#: Accelerator kinds whose results do not depend on the precision profile at
+#: all (bit-parallel designs).  Their cache keys are normalised so that e.g.
+#: the DPNN baseline simulated for the 99% profile, or for the
+#: effective-weight networks of Table 4, reuses the 100% profile's result.
+_PROFILE_INSENSITIVE_KINDS = frozenset({"dpnn"})
+
+
+def _loom_factory(config, options: Dict[str, object]):
+    from repro.core import Loom
+    from repro.quant.dynamic import DynamicPrecisionModel
+
+    if "dynamic_precision" in options:
+        options = dict(options)
+        options["dynamic_precision"] = DynamicPrecisionModel(
+            **dict(options["dynamic_precision"])
+        )
+    return Loom(config, **options)
+
+
+def _dpnn_factory(config, options):
+    from repro.accelerators import DPNN
+    return DPNN(config, **options)
+
+
+def _stripes_factory(config, options):
+    from repro.accelerators import Stripes
+    return Stripes(config, **options)
+
+
+def _dstripes_factory(config, options):
+    from repro.accelerators import DStripes
+    return DStripes(config, **options)
+
+
+#: Registry of accelerator factories: ``kind -> factory(config, options)``.
+ACCELERATOR_KINDS = {
+    "dpnn": _dpnn_factory,
+    "stripes": _stripes_factory,
+    "dstripes": _dstripes_factory,
+    "loom": _loom_factory,
+}
+
+
+#: Lazily imported accelerator class per kind (kept in lockstep with
+#: ACCELERATOR_KINDS; the module-level assert below enforces it).
+_KIND_CLASSES = {
+    "dpnn": ("repro.accelerators", "DPNN"),
+    "stripes": ("repro.accelerators", "Stripes"),
+    "dstripes": ("repro.accelerators", "DStripes"),
+    "loom": ("repro.core", "Loom"),
+}
+
+assert set(_KIND_CLASSES) == set(ACCELERATOR_KINDS)
+
+
+@functools.lru_cache(maxsize=None)
+def _kind_defaults(kind: str) -> Tuple[Tuple[str, object], ...]:
+    """Constructor defaults for a kind (canonicalised), for key normalisation."""
+    import importlib
+    import inspect
+
+    if kind not in _KIND_CLASSES:
+        raise ValueError(
+            f"unknown accelerator kind {kind!r}; "
+            f"available: {sorted(ACCELERATOR_KINDS)}"
+        )
+    module_name, class_name = _KIND_CLASSES[kind]
+    cls = getattr(importlib.import_module(module_name), class_name)
+    defaults = []
+    for name, parameter in inspect.signature(cls.__init__).parameters.items():
+        if name in ("self", "config") or parameter.default is inspect.Parameter.empty:
+            continue
+        defaults.append((name, _canonical_value(parameter.default)))
+    return tuple(defaults)
+
+
+def _canonical_value(value):
+    """Normalise an option value into hashable, JSON-friendly data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return tuple(sorted(
+            (k, _canonical_value(v)) for k, v in asdict(value).items()
+        ))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"accelerator option value {value!r} cannot be canonicalised; "
+        f"use primitives, dataclasses or mappings"
+    )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Names a zoo network with a bound paper precision profile.
+
+    ``with_effective_weights`` attaches the Table 3 per-group effective
+    weight precisions (the Table 4 evaluation mode).
+    """
+
+    name: str
+    accuracy: str = "100%"
+    with_effective_weights: bool = False
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Names an accelerator design: a registry ``kind`` plus constructor options.
+
+    Use :meth:`create` rather than the raw constructor -- it canonicalises the
+    options (sorted tuple of pairs, dataclasses flattened) so that two specs
+    describing the same design always compare, hash and serialise equal.
+    """
+
+    kind: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACCELERATOR_KINDS:
+            raise ValueError(
+                f"unknown accelerator kind {self.kind!r}; "
+                f"available: {sorted(ACCELERATOR_KINDS)}"
+            )
+
+    @classmethod
+    def create(cls, kind: str, **options) -> "AcceleratorSpec":
+        defaults = dict(_kind_defaults(kind))
+        canonical = tuple(
+            (key, canonical_value)
+            for key, canonical_value in (
+                (key, _canonical_value(value))
+                for key, value in sorted(options.items())
+            )
+            # Options pinned at their constructor default describe the same
+            # design as omitting them; drop them so the specs (and therefore
+            # the cache keys) coincide.
+            if not (key in defaults and canonical_value == defaults[key])
+        )
+        return cls(kind=kind, options=canonical)
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+def _default_config():
+    from repro.accelerators.base import AcceleratorConfig
+    return AcceleratorConfig()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One declarative simulation: network x accelerator x configuration."""
+
+    network: NetworkSpec
+    accelerator: AcceleratorSpec
+    config: "AcceleratorConfig" = field(default_factory=_default_config)
+
+
+def _jsonable(value):
+    """Recursively convert canonical spec data into JSON-serialisable data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def spec_dict(job: SimJob) -> Dict[str, object]:
+    """The canonical, JSON-serialisable description of a job.
+
+    This is what gets hashed into the cache key, so *everything* that can
+    change a simulation's outcome must appear here: the network identity and
+    profile, the accelerator kind and constructor options, and every
+    :class:`AcceleratorConfig` knob (including the DRAM channel and the
+    technology parameters, which are nested dataclasses).
+    """
+    network = asdict(job.network)
+    if job.accelerator.kind in _PROFILE_INSENSITIVE_KINDS:
+        # Bit-parallel designs ignore precision profiles entirely; normalise
+        # so equivalent simulations share one cache entry.
+        network["accuracy"] = "100%"
+        network["with_effective_weights"] = False
+    return {
+        "network": network,
+        "accelerator": {
+            "kind": job.accelerator.kind,
+            "options": _jsonable(list(job.accelerator.options)),
+        },
+        "config": _jsonable(job.config),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def job_key(job: SimJob) -> str:
+    """Deterministic content key: sha256 over the canonical spec JSON."""
+    payload = json.dumps(spec_dict(job), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- spec -> objects ----------------------------------------------------------
+#
+# The memo caches below are per process; forked pool workers inherit (and then
+# grow) their own copies, so every process builds each profiled network and
+# each accelerator at most once no matter how many jobs reference it.  The
+# memoised networks and layer lists are shared across jobs and must be treated
+# as read-only.
+
+
+@functools.lru_cache(maxsize=None)
+def build_spec_network(spec: NetworkSpec):
+    """Build the zoo network named by ``spec`` with its profile attached."""
+    from repro.nn import build_network
+    from repro.quant import get_paper_profile
+
+    network = build_network(spec.name)
+    profile = get_paper_profile(
+        spec.name, spec.accuracy,
+        with_effective_weights=spec.with_effective_weights,
+    )
+    network.attach_profile(profile)
+    return network
+
+
+@functools.lru_cache(maxsize=None)
+def _spec_layers(spec: NetworkSpec) -> tuple:
+    """Resolved compute layers for a network spec (shared, read-only)."""
+    return tuple(build_spec_network(spec).compute_layers())
+
+
+def network_layer_counts(name: str) -> Tuple[int, int]:
+    """(convolutional, fully-connected) compute-layer counts for a zoo network."""
+    layers = _spec_layers(NetworkSpec(name))
+    conv = sum(1 for lw in layers if lw.is_conv)
+    return conv, len(layers) - conv
+
+
+@functools.lru_cache(maxsize=None)
+def build_accelerator(spec: AcceleratorSpec,
+                      config: "Optional[AcceleratorConfig]" = None):
+    """Instantiate the accelerator described by ``spec`` (memoised)."""
+    factory = ACCELERATOR_KINDS[spec.kind]
+    return factory(config if config is not None else _default_config(),
+                   spec.options_dict())
+
+
+def execute_job(job: SimJob) -> NetworkResult:
+    """Run one job: build the network and accelerator, simulate every layer.
+
+    Equivalent to :func:`repro.sim.runner.run_network` on the materialised
+    objects, but with the network construction and shape resolution memoised
+    per process.
+    """
+    accelerator = build_accelerator(job.accelerator, job.config)
+    result = NetworkResult(
+        network=job.network.name,
+        accelerator=accelerator.name,
+        clock_ghz=accelerator.config.clock_ghz,
+    )
+    for layer in _spec_layers(job.network):
+        result.add(accelerator.simulate_layer(layer))
+    return result

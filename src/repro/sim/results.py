@@ -8,7 +8,7 @@ relative speedup / energy-efficiency numbers that the paper's tables report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 __all__ = [
@@ -84,6 +84,14 @@ class LayerResult:
     def is_fc(self) -> bool:
         return self.layer_kind == "fc"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (for the on-disk result cache and tooling)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LayerResult":
+        return cls(**data)
+
 
 @dataclass
 class NetworkResult:
@@ -142,6 +150,26 @@ class NetworkResult:
             if lr.layer_name == name:
                 return lr
         raise KeyError(f"no layer result named {name!r}")
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (for the on-disk result cache and tooling)."""
+        return {
+            "network": self.network,
+            "accelerator": self.accelerator,
+            "clock_ghz": self.clock_ghz,
+            "layers": [lr.to_dict() for lr in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetworkResult":
+        return cls(
+            network=data["network"],
+            accelerator=data["accelerator"],
+            clock_ghz=data["clock_ghz"],
+            layers=[LayerResult.from_dict(lr) for lr in data["layers"]],
+        )
 
 
 @dataclass(frozen=True)

@@ -6,12 +6,22 @@ bound precision profile), walks its compute layers through an accelerator's
 :class:`repro.sim.results.NetworkResult`.  :class:`AcceleratorRunner` batches
 this over several designs and networks and produces the relative
 (speedup / energy-efficiency) numbers the paper's tables report.
+
+Two kinds of design mapping are accepted:
+
+* live :class:`~repro.accelerators.base.Accelerator` instances, simulated
+  in-process exactly as before; or
+* declarative :class:`~repro.sim.jobs.AcceleratorSpec` entries, which are
+  expanded into :class:`~repro.sim.jobs.SimJob` batches and dispatched
+  through a (possibly shared, caching, parallel)
+  :class:`~repro.sim.jobs.JobExecutor` -- the path every experiment harness
+  now uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.nn.network import Network
 from repro.sim.results import ComparisonResult, NetworkResult, compare
@@ -52,31 +62,82 @@ class AcceleratorRunner:
     Attributes
     ----------
     designs:
-        Mapping from a label (e.g. ``"loom-1b"``) to an accelerator instance.
+        Mapping from a label (e.g. ``"loom-1b"``) to either an accelerator
+        instance or a declarative :class:`~repro.sim.jobs.AcceleratorSpec`.
     baseline:
         Label of the design the others are compared against (``"dpnn"`` in
         every experiment).
+    config:
+        :class:`~repro.accelerators.base.AcceleratorConfig` applied when
+        materialising spec designs (``None`` = the default configuration).
+    executor:
+        :class:`~repro.sim.jobs.JobExecutor` used for spec designs; ``None``
+        falls back to the process-wide default executor.
     """
 
     designs: Dict[str, object] = field(default_factory=dict)
     baseline: str = "dpnn"
+    config: Optional[object] = None
+    executor: Optional[object] = None
 
     def add_design(self, label: str, accelerator) -> None:
         if label in self.designs:
             raise ValueError(f"duplicate design label {label!r}")
         self.designs[label] = accelerator
 
-    def run(self, networks: Iterable[Network]) -> Dict[str, Dict[str, NetworkResult]]:
+    def _uses_specs(self) -> bool:
+        from repro.sim.jobs import AcceleratorSpec
+
+        kinds = {isinstance(d, AcceleratorSpec) for d in self.designs.values()}
+        if kinds == {True, False}:
+            raise TypeError(
+                "designs must be either all Accelerator instances or all "
+                "AcceleratorSpec entries, not a mixture"
+            )
+        return kinds == {True}
+
+    def run(self, networks: Iterable[object]) -> Dict[str, Dict[str, NetworkResult]]:
         """Run all designs over all networks.
 
-        Returns ``{network_name: {design_label: NetworkResult}}``.
+        ``networks`` holds :class:`~repro.nn.network.Network` objects for
+        instance designs, or :class:`~repro.sim.jobs.NetworkSpec` entries for
+        spec designs (simulated through the job executor, so repeated runs
+        hit the result cache).  Returns
+        ``{network_name: {design_label: NetworkResult}}``.
         """
+        networks = list(networks)
+        if self.designs and self._uses_specs():
+            return self._run_jobs(networks)
         results: Dict[str, Dict[str, NetworkResult]] = {}
         for network in networks:
             per_design: Dict[str, NetworkResult] = {}
             for label, accelerator in self.designs.items():
                 per_design[label] = run_network(accelerator, network)
             results[network.name] = per_design
+        return results
+
+    def _run_jobs(self, networks: List[object]) -> Dict[str, Dict[str, NetworkResult]]:
+        from repro.sim.jobs import SimJob, get_default_executor
+
+        executor = self.executor if self.executor is not None \
+            else get_default_executor()
+        jobs = []
+        for network_spec in networks:
+            for spec in self.designs.values():
+                jobs.append(
+                    SimJob(network=network_spec, accelerator=spec,
+                           config=self.config) if self.config is not None
+                    else SimJob(network=network_spec, accelerator=spec)
+                )
+        flat = executor.run(jobs)
+        results: Dict[str, Dict[str, NetworkResult]] = {}
+        index = 0
+        for network_spec in networks:
+            per_design: Dict[str, NetworkResult] = {}
+            for label in self.designs:
+                per_design[label] = flat[index]
+                index += 1
+            results[network_spec.name] = per_design
         return results
 
     def compare_all(

@@ -182,6 +182,16 @@ class TestCountSignificantBits:
         with pytest.raises(ValueError):
             count_significant_bits(np.array([-1]), signed=False)
 
+    def test_exact_for_wide_values(self):
+        # Values just below a power of two round up in float64 from 2**53;
+        # the count must stay exact over the whole int64 range.
+        values = [2 ** 53 - 1, 2 ** 53, 2 ** 54 - 1, 2 ** 54, 2 ** 62 - 1]
+        bits = count_significant_bits(np.array(values, dtype=np.int64))
+        assert list(bits) == [int(v).bit_length() for v in values]
+        signed_bits = count_significant_bits(
+            np.array([-(2 ** 54), 2 ** 54 - 1], dtype=np.int64), signed=True)
+        assert list(signed_bits) == [55, 55]
+
     def test_shape_preserved(self):
         codes = np.arange(12).reshape(3, 4)
         assert count_significant_bits(codes).shape == (3, 4)

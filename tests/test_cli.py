@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_executor, build_parser, main
 
 
 class TestParser:
@@ -29,6 +29,51 @@ class TestParser:
     def test_summary_rejects_unknown_network(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["summary", "--network", "resnet"])
+
+    def test_pipeline_flags_default(self):
+        args = build_parser().parse_args(["all"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_pipeline_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--cache-dir", "/tmp/c", "table2"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert build_parser().parse_args(["--no-cache", "all"]).no_cache is True
+
+    def test_no_cache_conflicts_with_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--no-cache", "--cache-dir", "/tmp/c", "all"])
+
+    def test_networks_command_parses(self):
+        assert build_parser().parse_args(["networks"]).command == "networks"
+
+
+class TestBuildExecutor:
+    def test_default_executor_has_memory_cache(self):
+        executor = build_executor(build_parser().parse_args(["all"]))
+        assert executor.workers == 1
+        assert executor.cache is not None
+        assert executor.cache.directory is None
+
+    def test_no_cache_disables_cache(self):
+        executor = build_executor(
+            build_parser().parse_args(["--no-cache", "all"]))
+        assert executor.cache is None
+
+    def test_cache_dir_enables_disk_store(self, tmp_path):
+        executor = build_executor(
+            build_parser().parse_args(["--cache-dir", str(tmp_path / "c"), "all"]))
+        assert executor.cache.directory == tmp_path / "c"
+
+    def test_jobs_flag_sets_workers(self):
+        executor = build_executor(
+            build_parser().parse_args(["--jobs", "3", "all"]))
+        executor.close()
+        assert executor.workers == 3
 
 
 class TestMain:
@@ -57,3 +102,29 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "512" not in out.split("\n")[2]
+
+    def test_networks_output(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        # Every zoo network with its conv/fc layer counts.
+        assert "googlenet" in out and "57" in out
+        assert "nin" in out and "vgg19" in out
+
+    def test_no_cache_flag_runs(self, capsys):
+        assert main(["--no-cache", "summary", "--network", "alexnet"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_parallel_output_identical_to_serial(self, capsys):
+        assert main(["figure5", "--configs", "32"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2", "figure5", "--configs", "32"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_dir_reused_across_invocations(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["--cache-dir", cache_dir, "table2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--cache-dir", cache_dir, "table2"]) == 0
+        assert capsys.readouterr().out == first
+        import os
+        assert any(name.endswith(".json") for name in os.listdir(cache_dir))
