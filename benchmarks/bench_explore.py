@@ -1,0 +1,149 @@
+"""Benchmark: cache-aware design-space sweeps vs naive re-simulation.
+
+Two execution styles for the same exploration workload (an exhaustive grid
+sweep followed by an adaptive coordinate-descent search over the same space,
+which is how a sweep is actually used -- broad pass first, refinement after):
+
+* **naive** -- every search gets a fresh, cache-less executor, the way a
+  hand-rolled experiment script re-simulates its matrix from scratch;
+* **cache-aware** -- both searches share one cached :class:`JobExecutor`
+  (what ``loom-repro explore`` does per invocation), so the refinement pass
+  answers every revisited point from the cache.
+
+Run under pytest (``python -m pytest benchmarks/bench_explore.py``) for the
+measured artefact, or as a script (``python benchmarks/bench_explore.py
+[--quick]``) for the CI smoke check, which asserts the simulation counts
+rather than wall-clock so it is robust on noisy runners.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # script mode; pytest gets this from conftest.py
+    sys.path.insert(0, _SRC)
+
+from repro.explore import Axis, CoordinateDescentSearch, SweepSpec, explore
+from repro.sim.jobs import JobExecutor
+from repro.sim.jobs import spec as jobs_spec
+
+
+def _sweep_space(quick: bool) -> SweepSpec:
+    if quick:
+        axes = [
+            Axis("equivalent_macs", (32, 64)),
+            Axis("accelerator", ("loom", "dstripes")),
+        ]
+    else:
+        axes = [
+            Axis("equivalent_macs", (32, 64, 128, 256)),
+            Axis("accelerator", ("loom", "loom:bits_per_cycle=2",
+                                 "loom:bits_per_cycle=4", "dstripes")),
+            Axis("network", ("alexnet", "nin", "googlenet")),
+        ]
+    base = {"network": "alexnet"} if quick else {}
+    return SweepSpec(axes=axes, base=base)
+
+
+def _clear_memos():
+    """Forget memoised networks/accelerators (cold-start conditions)."""
+    jobs_spec.build_spec_network.cache_clear()
+    jobs_spec._spec_layers.cache_clear()
+    jobs_spec.build_accelerator.cache_clear()
+
+
+def _run_workload(space, make_executor):
+    """Grid sweep + adaptive refinement; returns (simulations, frontiers)."""
+    executed = 0
+    frontiers = []
+    for strategy in ("grid", CoordinateDescentSearch(seed=0)):
+        with make_executor() as executor:
+            result = explore(space, strategy=strategy, executor=executor)
+            executed += executor.stats.executed
+            frontiers.append(
+                tuple(sorted(ep.point.label() for ep in result.frontier))
+            )
+    return executed, frontiers
+
+
+def _run_workload_shared(space):
+    executed_markers = []
+    frontiers = []
+    with JobExecutor() as executor:
+        for strategy in ("grid", CoordinateDescentSearch(seed=0)):
+            result = explore(space, strategy=strategy, executor=executor)
+            frontiers.append(
+                tuple(sorted(ep.point.label() for ep in result.frontier))
+            )
+        executed_markers = executor.stats.executed
+        assert executor.stats.max_executions_per_key == 1
+    return executed_markers, frontiers
+
+
+def measure(quick: bool = False):
+    """Time and count both styles; returns a dict of measurements."""
+    space = _sweep_space(quick)
+
+    _clear_memos()
+    start = time.perf_counter()
+    naive_executed, naive_frontiers = _run_workload(
+        space, lambda: JobExecutor(cache=None))
+    naive_wall = time.perf_counter() - start
+
+    _clear_memos()
+    start = time.perf_counter()
+    cached_executed, cached_frontiers = _run_workload_shared(space)
+    cached_wall = time.perf_counter() - start
+
+    assert naive_frontiers == cached_frontiers, (
+        "cache-aware sweep changed the reported frontier"
+    )
+    assert cached_executed < naive_executed, (
+        f"cache-aware sweep ran {cached_executed} simulations, naive ran "
+        f"{naive_executed}; caching saved nothing"
+    )
+    return {
+        "points": len(space.points()),
+        "naive_executed": naive_executed,
+        "cached_executed": cached_executed,
+        "naive_wall": naive_wall,
+        "cached_wall": cached_wall,
+    }
+
+
+def _format(measured) -> str:
+    ratio = measured["naive_executed"] / measured["cached_executed"]
+    return (
+        "== repro.explore: cache-aware sweep vs naive re-simulation ==\n"
+        f"{measured['points']}-point space, grid sweep + coordinate descent\n"
+        f"naive:       {measured['naive_executed']} simulations, "
+        f"{measured['naive_wall']:.3f}s\n"
+        f"cache-aware: {measured['cached_executed']} simulations, "
+        f"{measured['cached_wall']:.3f}s\n"
+        f"simulation reduction: {ratio:.2f}x"
+    )
+
+
+def test_bench_explore_cache_reuse(artefacts):
+    measured = measure(quick=False)
+    artefacts["explore-cache-reuse"] = _format(measured)
+    # The adaptive refinement must be (nearly) free on the shared executor;
+    # wall-clock is asserted loosely since counts are the robust signal.
+    assert measured["cached_executed"] < measured["naive_executed"]
+    assert measured["cached_wall"] < measured["naive_wall"] * 1.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sweep for CI smoke runs")
+    args = parser.parse_args(argv)
+    print(_format(measure(quick=args.quick)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,26 +11,36 @@ Usage::
     loom-repro table4
     loom-repro all
     loom-repro networks
-    loom-repro summary --network alexnet
+    loom-repro summary --network alexnet [--csv layers.csv]
+    loom-repro explore --axis equivalent_macs=32,64,128 \\
+        --axis accelerator=loom,dstripes --base network=alexnet
+    loom-repro explore --grid sweep.json --strategy random --samples 16
     loom-repro --jobs 4 all            # fan simulations out over 4 processes
     loom-repro --cache-dir .loom-cache all   # persist results across runs
+    loom-repro --verbose all           # report executor/cache statistics
 
 Every simulation goes through one shared :class:`~repro.sim.jobs.JobExecutor`
 per invocation, so ``loom-repro all`` simulates each unique
 (network, accelerator, configuration) job exactly once even though several
 tables and figures share parts of their matrices.  ``--jobs N`` fans the
 simulations out over a process pool (results are identical to a serial run),
-``--no-cache`` disables result reuse, and ``--cache-dir`` adds an on-disk
-JSON store so repeated invocations skip already-simulated jobs entirely.
+``--no-cache`` disables result reuse, ``--cache-dir`` adds an on-disk JSON
+store so repeated invocations skip already-simulated jobs entirely, and
+``--verbose`` prints what the pipeline actually did (simulations run vs cache
+and dedup hits) to stderr so sweep users can confirm reuse is working.
 
-``summary`` prints a per-layer breakdown for one network on DPNN and Loom,
-which is handy when exploring the model interactively; ``networks`` lists the
-zoo networks with their compute-layer counts.
+``summary`` prints a per-layer breakdown for one network on DPNN and Loom
+(``--csv`` exports the same rows machine-readably); ``networks`` lists the
+zoo networks with their compute-layer counts; ``explore`` runs a declarative
+design-space sweep (inline ``--axis``/``--base`` flags or a ``--grid`` JSON
+file) through a search strategy and reports the Pareto frontier -- see
+:mod:`repro.explore`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -45,6 +55,20 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.common import loom_spec
+from repro.explore import (
+    Axis,
+    OBJECTIVES,
+    STRATEGIES,
+    SweepSpec,
+    explore,
+    frontier_table,
+    named_constraint,
+    parse_value,
+    resolve_strategy,
+    sweep_markdown,
+    sweep_table,
+    sweep_to_csv,
+)
 from repro.nn import available_networks
 from repro.quant import paper_networks
 from repro.sim.jobs import (
@@ -55,6 +79,7 @@ from repro.sim.jobs import (
     SimJob,
     network_layer_counts,
 )
+from repro.sim.report import to_csv
 
 __all__ = ["main", "build_parser", "build_executor"]
 
@@ -76,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes for the simulation pipeline (default: 1; "
              "results are identical regardless of N)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print pipeline statistics (simulations vs cache/dedup hits) "
+             "to stderr",
     )
     caching = parser.add_mutually_exclusive_group()
     caching.add_argument(
@@ -106,6 +136,60 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=paper_networks(), help="network to summarise")
     summary.add_argument("--accuracy", default="100%", choices=["100%", "99%"],
                          help="precision profile to use")
+    summary.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write the per-layer results as CSV to PATH")
+    explore_cmd = sub.add_parser(
+        "explore", help="design-space sweep with Pareto-frontier reporting")
+    explore_cmd.add_argument(
+        "--grid", default=None, metavar="FILE",
+        help="JSON sweep spec ({\"axes\": {...}, \"base\": {...}, "
+             "\"constraints\": [...]}); exclusive with --axis/--base",
+    )
+    explore_cmd.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="add a sweep axis, e.g. equivalent_macs=32,64,128 or "
+             "accelerator=loom:bits_per_cycle=2,dstripes (repeatable)",
+    )
+    explore_cmd.add_argument(
+        "--base", action="append", default=[], metavar="NAME=VALUE",
+        help="fix a non-swept parameter, e.g. network=alexnet (repeatable)",
+    )
+    explore_cmd.add_argument(
+        "--constraint", action="append", default=[], metavar="NAME",
+        help="apply a named feasibility constraint, e.g. am_fits_working_set "
+             "(repeatable)",
+    )
+    explore_cmd.add_argument(
+        "--strategy", default="grid", choices=sorted(STRATEGIES),
+        help="search strategy (default: grid = exhaustive)",
+    )
+    explore_cmd.add_argument(
+        "--samples", type=_positive_int, default=16, metavar="N",
+        help="points the random strategy draws (default: 16)",
+    )
+    explore_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the random/coordinate strategies (default: 0)",
+    )
+    explore_cmd.add_argument(
+        "--objectives", default="speedup,energy_efficiency,area",
+        metavar="LIST",
+        help="comma-separated objectives for the Pareto frontier "
+             f"(known: {','.join(sorted(OBJECTIVES))})",
+    )
+    explore_cmd.add_argument(
+        "--baseline", default="dpnn",
+        help="accelerator kind the relative metrics compare against "
+             "(default: dpnn)",
+    )
+    explore_cmd.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write every evaluated point (all metrics + Pareto rank) as CSV",
+    )
+    explore_cmd.add_argument(
+        "--markdown", action="store_true",
+        help="emit the sweep table as GitHub-flavoured markdown",
+    )
     return parser
 
 
@@ -120,28 +204,121 @@ def build_executor(args: argparse.Namespace) -> JobExecutor:
     return JobExecutor(workers=args.jobs, cache=cache)
 
 
-def _summary(network_name: str, accuracy: str, executor: JobExecutor) -> str:
+def _summary(network_name: str, accuracy: str, executor: JobExecutor,
+             csv_path: Optional[str] = None) -> str:
     net = NetworkSpec(network_name, accuracy)
     base, fast = executor.run([
         SimJob(network=net, accelerator=AcceleratorSpec.create("dpnn")),
         SimJob(network=net, accelerator=loom_spec()),
     ])
+
+    def ratio(numerator: float, denominator: float) -> str:
+        # Degenerate zero-cycle results print "n/a" (like comparison_table)
+        # rather than raising ZeroDivisionError.
+        if denominator == 0:
+            return f"{'n/a':>9s}"
+        return f"{numerator / denominator:>9.2f}"
+
     lines = [f"== {network_name} ({accuracy} profile): DPNN vs Loom-1b =="]
     lines.append(f"{'layer':<24s} {'kind':<5s} {'DPNN cycles':>14s} "
                  f"{'Loom cycles':>14s} {'speedup':>9s}")
     for base_layer, loom_layer in zip(base.layers, fast.layers):
-        speedup = base_layer.cycles / loom_layer.cycles
         lines.append(
             f"{base_layer.layer_name:<24s} {base_layer.layer_kind:<5s} "
             f"{base_layer.cycles:>14,.0f} {loom_layer.cycles:>14,.0f} "
-            f"{speedup:>9.2f}"
+            f"{ratio(base_layer.cycles, loom_layer.cycles)}"
         )
     lines.append(
         f"{'TOTAL':<24s} {'':<5s} {base.total_cycles():>14,.0f} "
         f"{fast.total_cycles():>14,.0f} "
-        f"{base.total_cycles() / fast.total_cycles():>9.2f}"
+        f"{ratio(base.total_cycles(), fast.total_cycles())}"
     )
+    if csv_path is not None:
+        with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(to_csv([base, fast]))
+        lines.append(f"per-layer CSV written to {csv_path}")
     return "\n".join(lines)
+
+
+def _parse_axis_flag(token: str) -> Axis:
+    name, sep, rest = token.partition("=")
+    values = [v for v in rest.split(",") if v]
+    if not sep or not name or not values:
+        raise argparse.ArgumentTypeError(
+            f"bad --axis {token!r}; expected NAME=V1,V2,..."
+        )
+    if name == "accelerator":
+        return Axis(name, tuple(values))
+    return Axis(name, tuple(parse_value(v) for v in values))
+
+
+def _parse_base_flag(token: str):
+    name, sep, raw = token.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"bad --base {token!r}; expected NAME=VALUE"
+        )
+    return name, (raw if name == "accelerator" else parse_value(raw))
+
+
+#: Default inline sweep: the Figure 5 scale axis crossed with the paper's
+#: precision-exploiting designs, on AlexNet.
+_DEFAULT_EXPLORE_AXES = (
+    ("equivalent_macs", "32,64,128,256,512"),
+    ("accelerator", "loom,loom:bits_per_cycle=2,loom:bits_per_cycle=4,dstripes"),
+)
+
+
+def _build_space(args: argparse.Namespace) -> SweepSpec:
+    """Build the sweep spec an ``explore`` invocation describes."""
+    if args.grid is not None:
+        if args.axis or args.base:
+            raise ValueError("--grid is exclusive with --axis/--base")
+        with open(args.grid, "r", encoding="utf-8") as handle:
+            space = SweepSpec.from_dict(json.load(handle))
+        if args.constraint:
+            space = SweepSpec(
+                axes=list(space.axes),
+                base=space.base,
+                constraints=list(space.constraints)
+                + [named_constraint(name) for name in args.constraint],
+            )
+        return space
+    axis_tokens = args.axis or [f"{name}={values}"
+                                for name, values in _DEFAULT_EXPLORE_AXES]
+    axes = [_parse_axis_flag(token) for token in axis_tokens]
+    base = dict(_parse_base_flag(token) for token in args.base)
+    swept = {axis.name for axis in axes}
+    if "network" not in swept and "network" not in base:
+        base["network"] = "alexnet"
+    return SweepSpec(axes=axes, base=base,
+                     constraints=[named_constraint(n) for n in args.constraint])
+
+
+def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
+    space = _build_space(args)
+    options = {}
+    if args.strategy == "random":
+        options = {"samples": args.samples, "seed": args.seed}
+    elif args.strategy == "coordinate":
+        options = {"seed": args.seed}
+    result = explore(
+        space,
+        strategy=resolve_strategy(args.strategy, **options),
+        objectives=args.objectives,
+        executor=executor,
+        baseline=args.baseline,
+    )
+    if args.markdown:
+        parts = [sweep_markdown(result)]
+    else:
+        parts = [sweep_table(result), frontier_table(result)]
+    if args.csv is not None:
+        with open(args.csv, "w", encoding="utf-8", newline="") as handle:
+            handle.write(sweep_to_csv(result))
+        parts.append(f"sweep CSV ({len(result.evaluated)} points) written to "
+                     f"{args.csv}")
+    return "\n\n".join(parts)
 
 
 def _networks_listing() -> str:
@@ -188,7 +365,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if command == "networks":
             outputs.append(_networks_listing())
         if command == "summary":
-            outputs.append(_summary(args.network, args.accuracy, executor))
+            try:
+                outputs.append(_summary(args.network, args.accuracy, executor,
+                                        csv_path=args.csv))
+            except OSError as error:
+                parser.error(f"--csv: {error}")
+        if command == "explore":
+            try:
+                outputs.append(_explore(args, executor))
+            except (OSError, ValueError, argparse.ArgumentTypeError) as error:
+                parser.error(str(error))
+    if args.verbose:
+        print(executor.stats.summary(cache=executor.cache), file=sys.stderr)
     print("\n\n".join(outputs))
     return 0
 

@@ -23,6 +23,7 @@ __all__ = [
     "build_profiled_network",
     "default_design_specs",
     "default_designs",
+    "design_label",
     "format_ratio_table",
     "loom_spec",
 ]
@@ -65,6 +66,26 @@ def loom_spec(bits_per_cycle: int = 1, **options) -> AcceleratorSpec:
     """Spec for a Loom variant (LM1b/LM2b/LM4b plus any ablation knobs)."""
     return AcceleratorSpec.create("loom", bits_per_cycle=bits_per_cycle,
                                   **options)
+
+
+def design_label(spec: AcceleratorSpec) -> str:
+    """Stable display label for a design spec (``loom-1b``, ``dstripes``, ...).
+
+    Matches the naming the experiment tables use; non-default options beyond
+    the Loom ``bits_per_cycle`` are appended so ablated variants stay
+    distinguishable in sweep reports.
+    """
+    options = spec.options_dict()
+    if spec.kind == "loom":
+        bits = options.pop("bits_per_cycle", 1)
+        label = f"loom-{bits}b"
+    else:
+        label = spec.kind
+    if options:
+        label += "[" + ",".join(
+            f"{key}={value}" for key, value in sorted(options.items())
+        ) + "]"
+    return label
 
 
 def default_design_specs(include_stripes: bool = True,

@@ -25,13 +25,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.accelerators import AcceleratorConfig
 from repro.experiments.common import loom_spec
+from repro.explore.space import Axis, SweepSpec
 from repro.memory.dram import LPDDR4_4267
 from repro.quant import paper_networks
-from repro.sim import AcceleratorSpec, NetworkSpec, SimJob, geomean
+from repro.sim import AcceleratorSpec, geomean
 from repro.sim.jobs import build_accelerator, get_default_executor
 from repro.sim.results import compare
 
-__all__ = ["run", "format_figure", "CONFIG_SWEEP", "PAPER_FIGURE5"]
+__all__ = ["run", "format_figure", "sweep_space", "CONFIG_SWEEP",
+           "PAPER_FIGURE5"]
 
 #: The x-axis of Figure 5: equivalent DPNN peak MACs per cycle.
 CONFIG_SWEEP = (32, 64, 128, 256, 512)
@@ -76,31 +78,59 @@ class Figure5Result:
         raise KeyError(f"no point for {equivalent_macs} MACs")
 
 
+def sweep_space(configs: Tuple[int, ...] = CONFIG_SWEEP,
+                networks: Optional[Tuple[str, ...]] = None,
+                accuracy: str = "100%") -> SweepSpec:
+    """The Figure 5 study as a declarative design-space sweep.
+
+    Axes (in product order): equivalent MACs, network, design (DPNN baseline,
+    Loom-1b, DStripes); base values pin the single LPDDR4-4267 channel and
+    exclude off-chip transfer energy, matching the paper's accounting for
+    this figure.
+    """
+    networks = networks or tuple(paper_networks())
+    designs = (AcceleratorSpec.create("dpnn"), loom_spec(bits_per_cycle=1),
+               AcceleratorSpec.create("dstripes"))
+    return SweepSpec(
+        axes=[
+            Axis("equivalent_macs", tuple(configs)),
+            Axis("network", tuple(networks)),
+            Axis("accelerator", designs),
+        ],
+        base={"accuracy": accuracy, "dram": LPDDR4_4267,
+              "charge_offchip_energy": False},
+    )
+
+
 def run(configs: Tuple[int, ...] = CONFIG_SWEEP,
         networks: Optional[Tuple[str, ...]] = None,
         accuracy: str = "100%", executor=None) -> Figure5Result:
-    """Run the scaling sweep (job matrix dispatched via ``executor``)."""
+    """Run the scaling sweep (job matrix declared by :func:`sweep_space`)."""
+    result = Figure5Result()
+    if not configs:
+        return result
     networks = networks or tuple(paper_networks())
     executor = executor if executor is not None else get_default_executor()
-    nets = [NetworkSpec(name, accuracy) for name in networks]
-    dpnn_spec = AcceleratorSpec.create("dpnn")
+    # Sweep axes hold unique values; repeated --configs entries reuse the
+    # unique point's slice (and report the row again, as the seed did).
+    unique_configs = tuple(dict.fromkeys(configs))
+    space = sweep_space(configs=unique_configs, networks=networks,
+                        accuracy=accuracy)
+    flat_all = executor.run(space.jobs())
     loom_1b_spec = loom_spec(bits_per_cycle=1)
-    dstripes_spec = AcceleratorSpec.create("dstripes")
-    designs = (dpnn_spec, loom_1b_spec, dstripes_spec)
-    result = Figure5Result()
+    dpnn_spec = AcceleratorSpec.create("dpnn")
+    per_config = len(networks) * 3
+    config_index_of = {macs: i for i, macs in enumerate(unique_configs)}
     for macs in configs:
-        # Off-chip transfer energy is excluded from the efficiency numbers,
-        # matching the paper's accounting for this figure.
+        config_index = config_index_of[macs]
         config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267,
                                    charge_offchip_energy=False)
-        jobs = [SimJob(network=net, accelerator=design, config=config)
-                for net in nets for design in designs]
-        flat = executor.run(jobs)
+        flat = flat_all[config_index * per_config:(config_index + 1) * per_config]
         loom_perf_all, loom_perf_conv = [], []
         ds_perf_all, ds_perf_conv = [], []
         loom_eff_all = []
         loom_fps_all, loom_fps_conv = [], []
-        for index, net in enumerate(nets):
+        for index, _ in enumerate(networks):
             base, loom_result, ds_result = flat[3 * index:3 * index + 3]
             loom_perf_all.append(compare(loom_result, base).speedup)
             loom_perf_conv.append(compare(loom_result, base, kind="conv").speedup)

@@ -1,0 +1,120 @@
+"""Design-space exploration: sweep specs, search strategies, Pareto frontiers.
+
+The Loom paper is a design-space story -- equivalent-MAC scale, precision
+profiles, memory sizing, off-chip channels -- and this package makes such
+studies declarative instead of hand-rolled:
+
+* :mod:`repro.explore.space` -- :class:`SweepSpec`: named parameter axes over
+  networks, accelerator designs and every ``AcceleratorConfig`` knob, with
+  constraint predicates; expands deterministically into deduplicated
+  :class:`~repro.sim.jobs.SimJob` lists.
+* :mod:`repro.explore.search` -- exhaustive :class:`GridSearch`, seeded
+  :class:`RandomSearch` and adaptive :class:`CoordinateDescentSearch`, all
+  batching their candidates through one shared
+  :class:`~repro.sim.jobs.JobExecutor` so cached results are never re-run.
+* :mod:`repro.explore.frontier` -- multi-objective :class:`Objective`\\ s,
+  Pareto-dominance tests, frontier extraction and dominance ranking.
+* :mod:`repro.explore.engine` -- :func:`explore`, the one-call entry point,
+  and the :class:`PointEvaluator` that measures each point against its
+  baseline design.
+* :mod:`repro.explore.report` -- sweep tables, frontier tables, markdown and
+  CSV export.
+
+Quick tour::
+
+    from repro.explore import Axis, SweepSpec, explore, frontier_table
+
+    space = SweepSpec(
+        axes=[
+            Axis("equivalent_macs", (32, 64, 128, 256)),
+            Axis("accelerator", ("loom", "loom:bits_per_cycle=2", "dstripes")),
+        ],
+        base={"network": "alexnet", "dram": "lpddr4-4267"},
+    )
+    result = explore(space, strategy="grid",
+                     objectives=("speedup", "energy_efficiency", "area"))
+    print(frontier_table(result))
+
+``loom-repro explore`` exposes the same machinery from the command line, and
+``repro.experiments.figure5`` is a thin wrapper over one of these specs.
+"""
+
+from repro.explore.engine import (
+    EvaluatedPoint,
+    ExplorationResult,
+    PointEvaluator,
+    explore,
+)
+from repro.explore.frontier import (
+    OBJECTIVES,
+    Objective,
+    dominance_ranks,
+    dominates,
+    pareto_frontier,
+    resolve_objectives,
+    scalar_score,
+)
+from repro.explore.report import (
+    frontier_table,
+    sweep_markdown,
+    sweep_table,
+    sweep_to_csv,
+)
+from repro.explore.search import (
+    STRATEGIES,
+    CoordinateDescentSearch,
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    resolve_strategy,
+)
+from repro.explore.space import (
+    CONFIG_PARAMETERS,
+    DRAM_CHANNELS,
+    NETWORK_PARAMETERS,
+    Axis,
+    Constraint,
+    DesignPoint,
+    SweepSpec,
+    am_fits_working_set,
+    named_constraint,
+    parse_accelerator,
+    parse_value,
+    point_to_job,
+)
+
+__all__ = [
+    "Axis",
+    "CONFIG_PARAMETERS",
+    "Constraint",
+    "CoordinateDescentSearch",
+    "DRAM_CHANNELS",
+    "DesignPoint",
+    "EvaluatedPoint",
+    "ExplorationResult",
+    "GridSearch",
+    "NETWORK_PARAMETERS",
+    "OBJECTIVES",
+    "Objective",
+    "PointEvaluator",
+    "RandomSearch",
+    "STRATEGIES",
+    "SearchStrategy",
+    "SweepSpec",
+    "am_fits_working_set",
+    "dominance_ranks",
+    "dominates",
+    "explore",
+    "frontier_table",
+    "named_constraint",
+    "pareto_frontier",
+    "parse_accelerator",
+    "parse_value",
+    "point_to_job",
+    "resolve_objectives",
+    "resolve_strategy",
+    "scalar_score",
+    "sweep_markdown",
+    "sweep_table",
+    "sweep_to_csv",
+]

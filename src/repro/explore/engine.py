@@ -1,0 +1,188 @@
+"""Exploration engine: evaluate design points and assemble sweep results.
+
+The :class:`PointEvaluator` turns :class:`~repro.explore.space.DesignPoint`\\ s
+into metrics by dispatching the point's simulation *and* its baseline
+simulation (same network and configuration on the reference design, DPNN by
+default) through one shared :class:`~repro.sim.jobs.JobExecutor` -- so a sweep
+of N points needs at most N + |distinct configs x networks| simulations, the
+baselines dedupe across points, and everything lands in the result cache for
+the next strategy round or the next invocation.
+
+:func:`explore` is the one-call entry point: expand a spec, drive a search
+strategy, rank the evaluated points by Pareto dominance and return an
+:class:`ExplorationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.jobs import (
+    AcceleratorSpec,
+    SimJob,
+    build_accelerator,
+    get_default_executor,
+)
+from repro.sim.results import compare
+from repro.explore.frontier import (
+    Objective,
+    dominance_ranks,
+    resolve_objectives,
+)
+from repro.explore.space import DesignPoint, SweepSpec
+
+__all__ = ["EvaluatedPoint", "PointEvaluator", "ExplorationResult", "explore"]
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """One design point with its measured metrics.
+
+    ``metrics`` always contains ``cycles``, ``energy_pj``, ``fps``,
+    ``speedup``, ``energy_efficiency``, ``area_mm2`` and ``area_ratio``
+    (the last four relative to the evaluator's baseline design).
+    """
+
+    point: DesignPoint
+    baseline: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, key: str) -> float:
+        return self.metrics[key]
+
+
+class PointEvaluator:
+    """Evaluates design points through a shared executor, with memoisation.
+
+    Repeated evaluations of the same point (adaptive strategies revisit their
+    current optimum constantly) are answered from an in-memory memo without
+    touching the executor at all.
+    """
+
+    def __init__(self, space: SweepSpec, executor=None,
+                 baseline: str = "dpnn") -> None:
+        self.space = space
+        self.executor = executor if executor is not None else get_default_executor()
+        self.baseline_spec = AcceleratorSpec.create(baseline)
+        self._memo: Dict[DesignPoint, EvaluatedPoint] = {}
+
+    @property
+    def evaluated_count(self) -> int:
+        return len(self._memo)
+
+    def evaluate(self, points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
+        """Evaluate ``points`` (one batch through the executor); ordered 1:1."""
+        fresh: List[DesignPoint] = []
+        seen = set(self._memo)
+        for point in points:
+            if point not in seen:
+                seen.add(point)
+                fresh.append(point)
+        if fresh:
+            jobs: List[SimJob] = []
+            for point in fresh:
+                job = self.space.job(point)
+                jobs.append(job)
+                jobs.append(SimJob(network=job.network,
+                                   accelerator=self.baseline_spec,
+                                   config=job.config))
+            results = self.executor.run(jobs)
+            for index, point in enumerate(fresh):
+                design_result = results[2 * index]
+                baseline_result = results[2 * index + 1]
+                self._memo[point] = self._evaluated(
+                    point, design_result, baseline_result
+                )
+        return [self._memo[point] for point in points]
+
+    def _evaluated(self, point, design_result, baseline_result) -> EvaluatedPoint:
+        job = self.space.job(point)
+        comparison = compare(design_result, baseline_result)
+        design_area = build_accelerator(job.accelerator, job.config).total_area_mm2()
+        baseline_area = build_accelerator(self.baseline_spec,
+                                          job.config).total_area_mm2()
+        metrics = {
+            "cycles": design_result.total_cycles(),
+            "energy_pj": design_result.total_energy_pj(),
+            "fps": design_result.frames_per_second(),
+            "speedup": comparison.speedup,
+            "energy_efficiency": comparison.energy_efficiency,
+            "area_mm2": design_area,
+            "area_ratio": design_area / baseline_area,
+        }
+        return EvaluatedPoint(point=point, baseline=baseline_result.accelerator,
+                              metrics=metrics)
+
+
+@dataclass
+class ExplorationResult:
+    """What one exploration run found.
+
+    ``evaluated`` lists every point the strategy measured, in evaluation
+    order; ``ranks`` aligns with it (0 = Pareto-optimal among the evaluated
+    set); ``frontier`` is the rank-0 subset in the same order.
+    """
+
+    space: SweepSpec
+    strategy: str
+    objectives: Tuple[Objective, ...]
+    evaluated: List[EvaluatedPoint]
+    ranks: List[int]
+    space_points: int
+
+    @property
+    def frontier(self) -> List[EvaluatedPoint]:
+        return [ep for ep, rank in zip(self.evaluated, self.ranks) if rank == 0]
+
+    def best(self, objective: Union[str, Objective]) -> EvaluatedPoint:
+        """The single best evaluated point for one objective."""
+        (resolved,) = resolve_objectives([objective]) \
+            if not isinstance(objective, Objective) else (objective,)
+        if not self.evaluated:
+            raise ValueError("no evaluated points")
+        chooser = max if resolved.maximize else min
+        return chooser(self.evaluated, key=lambda ep: resolved.value(ep.metrics))
+
+
+def explore(
+    space: SweepSpec,
+    strategy: Union[str, "SearchStrategy", None] = None,
+    objectives: Union[str, Sequence[Union[str, Objective]]] =
+        ("speedup", "energy_efficiency", "area"),
+    executor=None,
+    baseline: str = "dpnn",
+) -> ExplorationResult:
+    """Run one design-space exploration end to end.
+
+    Parameters
+    ----------
+    space:
+        The sweep specification to explore.
+    strategy:
+        A strategy name (``"grid"``, ``"random"``, ``"coordinate"``), a
+        :class:`~repro.explore.search.SearchStrategy` instance, or ``None``
+        for exhaustive grid search.
+    objectives:
+        Objective names (or instances) to rank the frontier over.
+    executor:
+        The shared :class:`~repro.sim.jobs.JobExecutor`; defaults to the
+        process-wide one.
+    baseline:
+        Accelerator kind the relative metrics are measured against.
+    """
+    from repro.explore.search import resolve_strategy
+
+    resolved_objectives = resolve_objectives(objectives)
+    resolved_strategy = resolve_strategy(strategy)
+    evaluator = PointEvaluator(space, executor=executor, baseline=baseline)
+    evaluated = resolved_strategy.run(space, evaluator, resolved_objectives)
+    ranks = dominance_ranks(evaluated, resolved_objectives)
+    return ExplorationResult(
+        space=space,
+        strategy=resolved_strategy.name,
+        objectives=resolved_objectives,
+        evaluated=evaluated,
+        ranks=ranks,
+        space_points=len(space.points()),
+    )

@@ -1,0 +1,152 @@
+"""Multi-objective analysis: objectives, Pareto dominance and frontier ranking.
+
+An :class:`Objective` names one metric of an evaluated design point together
+with its direction (maximise speedup, minimise area).  Dominance follows the
+standard multi-objective definition: point ``a`` dominates ``b`` when it is at
+least as good on every objective and strictly better on at least one.  The
+Pareto frontier is the non-dominated set; :func:`dominance_ranks` peels
+successive frontiers so every point gets a rank (0 = on the frontier, 1 = on
+the frontier once rank-0 points are removed, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "Objective",
+    "OBJECTIVES",
+    "resolve_objectives",
+    "dominates",
+    "pareto_frontier",
+    "dominance_ranks",
+    "scalar_score",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation objective over an evaluated point's metrics.
+
+    ``key`` names the entry of the point's metrics mapping; ``maximize``
+    gives the direction.  ``name`` is how sweeps and CLI flags refer to it.
+    """
+
+    name: str
+    key: str
+    maximize: bool = True
+
+    @property
+    def direction(self) -> str:
+        return "max" if self.maximize else "min"
+
+    def value(self, metrics) -> float:
+        return float(metrics[self.key])
+
+
+#: The objectives `loom-repro explore` understands out of the box.
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective("speedup", "speedup", maximize=True),
+        Objective("energy_efficiency", "energy_efficiency", maximize=True),
+        Objective("area", "area_mm2", maximize=False),
+        Objective("area_ratio", "area_ratio", maximize=False),
+        Objective("fps", "fps", maximize=True),
+        Objective("cycles", "cycles", maximize=False),
+        Objective("energy", "energy_pj", maximize=False),
+    )
+}
+
+
+def resolve_objectives(
+    objectives: Union[str, Sequence[Union[str, Objective]]]
+) -> Tuple[Objective, ...]:
+    """Coerce a comma-separated string or a mixed sequence into objectives."""
+    if isinstance(objectives, str):
+        objectives = [token.strip() for token in objectives.split(",")
+                      if token.strip()]
+    resolved = []
+    for objective in objectives:
+        if isinstance(objective, Objective):
+            resolved.append(objective)
+            continue
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; known: {sorted(OBJECTIVES)}"
+            )
+        resolved.append(OBJECTIVES[objective])
+    if not resolved:
+        raise ValueError("at least one objective is required")
+    if len({o.name for o in resolved}) != len(resolved):
+        raise ValueError("duplicate objectives")
+    return tuple(resolved)
+
+
+def _oriented(objective: Objective, metrics) -> float:
+    """Objective value with direction folded in (always maximise)."""
+    value = objective.value(metrics)
+    return value if objective.maximize else -value
+
+
+def dominates(metrics_a, metrics_b,
+              objectives: Sequence[Objective]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` over ``objectives``."""
+    strictly_better = False
+    for objective in objectives:
+        a = _oriented(objective, metrics_a)
+        b = _oriented(objective, metrics_b)
+        if a < b:
+            return False
+        if a > b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(points: Iterable, objectives: Sequence[Objective],
+                    metrics=lambda point: point.metrics) -> List:
+    """The non-dominated subset of ``points``, preserving input order."""
+    points = list(points)
+    ranks = dominance_ranks(points, objectives, metrics=metrics)
+    return [point for point, rank in zip(points, ranks) if rank == 0]
+
+
+def dominance_ranks(points: Sequence, objectives: Sequence[Objective],
+                    metrics=lambda point: point.metrics) -> List[int]:
+    """Rank every point by iterated frontier peeling (0 = Pareto-optimal)."""
+    values = [metrics(point) for point in points]
+    ranks = [-1] * len(points)
+    remaining = list(range(len(points)))
+    rank = 0
+    while remaining:
+        frontier = [
+            i for i in remaining
+            if not any(dominates(values[j], values[i], objectives)
+                       for j in remaining if j != i)
+        ]
+        if not frontier:  # pragma: no cover - only on inconsistent metrics
+            frontier = list(remaining)
+        for i in frontier:
+            ranks[i] = rank
+        remaining = [i for i in remaining if i not in set(frontier)]
+        rank += 1
+    return ranks
+
+
+def scalar_score(metrics, objectives: Sequence[Objective]) -> float:
+    """Fold multiple objectives into one figure of merit.
+
+    The score is the product of the maximised metrics divided by the
+    minimised ones (e.g. ``speedup * efficiency / area``) -- a scale-free
+    composite that adaptive strategies can hill-climb on.  Non-finite or
+    non-positive metric values yield ``-inf`` so such points never win.
+    """
+    score = 1.0
+    for objective in objectives:
+        value = objective.value(metrics)
+        if not math.isfinite(value) or value <= 0.0:
+            return float("-inf")
+        score = score * value if objective.maximize else score / value
+    return score

@@ -1,0 +1,137 @@
+"""Sweep-level reporting: text/markdown tables, frontier views and CSV export.
+
+Extends :mod:`repro.sim.report` (which covers single simulations) to whole
+explorations: every evaluated point with its objective metrics and dominance
+rank, the Pareto frontier on its own, and a machine-readable CSV with one row
+per point (all parameters, all metrics, the rank).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+from repro.explore.engine import EvaluatedPoint, ExplorationResult
+from repro.explore.frontier import Objective
+from repro.explore.space import format_parameter
+from repro.sim.report import markdown_table
+
+__all__ = ["sweep_table", "frontier_table", "sweep_markdown", "sweep_to_csv"]
+
+
+def _format_metric(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return "n/a"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def _objective_headers(objectives: Sequence[Objective]) -> List[str]:
+    return [f"{o.name} ({o.direction})" for o in objectives]
+
+
+def _point_cells(ep: EvaluatedPoint, names: Sequence[str]) -> List[str]:
+    return [format_parameter(name, ep.point[name]) for name in names]
+
+
+def _rows(result: ExplorationResult, evaluated, ranks):
+    names = result.space.axis_names
+    rows = []
+    for ep, rank in zip(evaluated, ranks):
+        rows.append(
+            _point_cells(ep, names)
+            + [_format_metric(o.value(ep.metrics)) for o in result.objectives]
+            + [str(rank)]
+        )
+    return rows
+
+
+def _headers(result: ExplorationResult) -> List[str]:
+    return (list(result.space.axis_names)
+            + _objective_headers(result.objectives) + ["rank"])
+
+
+def _aligned(headers: Sequence[str], rows: Sequence[Sequence[str]],
+             title: str) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                           for i, (h, w) in enumerate(zip(headers, widths))))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                               for i, (c, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def _sorted_by_first_objective(result: ExplorationResult):
+    """Evaluated points with their ranks, best-first on the first objective."""
+    first = result.objectives[0]
+    pairs = list(zip(result.evaluated, result.ranks))
+    pairs.sort(key=lambda pair: first.value(pair[0].metrics),
+               reverse=first.maximize)
+    return pairs
+
+
+def sweep_table(result: ExplorationResult) -> str:
+    """Every evaluated point with objective values and dominance rank."""
+    pairs = _sorted_by_first_objective(result)
+    title = (f"== design-space exploration: {result.strategy} strategy, "
+             f"{len(result.evaluated)}/{result.space_points} feasible points "
+             f"evaluated ==\nspace: {result.space.describe()}")
+    return _aligned(
+        _headers(result),
+        _rows(result, [ep for ep, _ in pairs], [r for _, r in pairs]),
+        title,
+    )
+
+
+def frontier_table(result: ExplorationResult) -> str:
+    """The Pareto-optimal points only (rank 0), best-first."""
+    pairs = [(ep, rank) for ep, rank in _sorted_by_first_objective(result)
+             if rank == 0]
+    objective_names = ", ".join(f"{o.name} {o.direction}"
+                                for o in result.objectives)
+    title = (f"== Pareto frontier over ({objective_names}): "
+             f"{len(pairs)} of {len(result.evaluated)} points ==")
+    return _aligned(
+        _headers(result),
+        _rows(result, [ep for ep, _ in pairs], [r for _, r in pairs]),
+        title,
+    )
+
+
+def sweep_markdown(result: ExplorationResult) -> str:
+    """The sweep table as GitHub-flavoured markdown."""
+    pairs = _sorted_by_first_objective(result)
+    return markdown_table(
+        _headers(result),
+        _rows(result, [ep for ep, _ in pairs], [r for _, r in pairs]),
+    )
+
+
+def sweep_to_csv(result: ExplorationResult,
+                 metrics: Optional[Sequence[str]] = None) -> str:
+    """One CSV row per evaluated point: parameters, metrics, dominance rank.
+
+    ``metrics`` restricts the metric columns; by default every measured
+    metric is exported (not just the requested objectives).
+    """
+    if not result.evaluated:
+        return ""
+    parameter_names = list(result.evaluated[0].point)
+    metric_names = (list(metrics) if metrics is not None
+                    else sorted(result.evaluated[0].metrics))
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(parameter_names + metric_names + ["pareto_rank"])
+    for ep, rank in zip(result.evaluated, result.ranks):
+        writer.writerow(
+            [format_parameter(name, ep.point[name]) for name in parameter_names]
+            + [repr(float(ep.metrics[name])) for name in metric_names]
+            + [rank]
+        )
+    return buffer.getvalue()

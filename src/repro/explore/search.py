@@ -1,0 +1,167 @@
+"""Search strategies: exhaustive, seeded random, adaptive coordinate descent.
+
+Every strategy drives one :class:`~repro.explore.engine.PointEvaluator` (and
+therefore one shared :class:`~repro.sim.jobs.JobExecutor`): candidates are
+submitted in batches so parallel executors fan them out, and anything already
+simulated -- earlier in the search, by another strategy, or in a previous
+invocation via the on-disk cache -- costs nothing to revisit.  All randomness
+is seeded, so a strategy's trajectory (and thus its reported point set) is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.explore.engine import EvaluatedPoint, PointEvaluator
+from repro.explore.frontier import Objective, scalar_score
+from repro.explore.space import DesignPoint, SweepSpec
+
+__all__ = [
+    "SearchStrategy",
+    "GridSearch",
+    "RandomSearch",
+    "CoordinateDescentSearch",
+    "STRATEGIES",
+    "resolve_strategy",
+]
+
+
+class SearchStrategy(abc.ABC):
+    """Picks which points of a sweep to evaluate, possibly adaptively."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def run(self, space: SweepSpec, evaluator: PointEvaluator,
+            objectives: Sequence[Objective]) -> List[EvaluatedPoint]:
+        """Explore ``space``; return every evaluated point, in evaluation order."""
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive: evaluate every feasible point, one batch."""
+
+    name = "grid"
+
+    def run(self, space, evaluator, objectives):
+        return evaluator.evaluate(space.points())
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def __init__(self, samples: int = 16, seed: int = 0) -> None:
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def run(self, space, evaluator, objectives):
+        points = space.points()
+        if len(points) > self.samples:
+            points = random.Random(self.seed).sample(points, self.samples)
+        return evaluator.evaluate(points)
+
+
+class CoordinateDescentSearch(SearchStrategy):
+    """Adaptive coordinate descent over the sweep's axes.
+
+    From each of ``starts`` seeded random feasible points, the search sweeps
+    one axis at a time: every feasible value of that axis (other coordinates
+    held fixed) is evaluated as one batch, the best point under the
+    scalarised objective (:func:`~repro.explore.frontier.scalar_score`)
+    becomes the new current point, and the process repeats until a full pass
+    over the axes improves nothing or ``max_rounds`` is hit.  Points already
+    measured -- by an earlier start, an earlier round, or a previous run via
+    the result cache -- are never re-simulated, so restarts are cheap.
+    """
+
+    name = "coordinate"
+
+    def __init__(self, seed: int = 0, starts: int = 2,
+                 max_rounds: int = 8) -> None:
+        if starts < 1:
+            raise ValueError(f"starts must be >= 1, got {starts}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.seed = seed
+        self.starts = starts
+        self.max_rounds = max_rounds
+
+    def run(self, space, evaluator, objectives):
+        points = space.points()
+        if not points:
+            return []
+        axis_names = space.axis_names
+        by_coords: Dict[Tuple, DesignPoint] = {
+            tuple(point[name] for name in axis_names): point
+            for point in points
+        }
+        rng = random.Random(self.seed)
+        trace: List[EvaluatedPoint] = []
+        traced = set()
+
+        def record(evaluated: Sequence[EvaluatedPoint]) -> None:
+            for ep in evaluated:
+                if ep.point not in traced:
+                    traced.add(ep.point)
+                    trace.append(ep)
+
+        def score_of(ep: EvaluatedPoint) -> float:
+            return scalar_score(ep.metrics, objectives)
+
+        for _ in range(self.starts):
+            current = rng.choice(points)
+            (current_ep,) = evaluator.evaluate([current])
+            record([current_ep])
+            for _ in range(self.max_rounds):
+                improved = False
+                for index, axis in enumerate(space.axes):
+                    if len(axis.values) < 2:
+                        continue
+                    coords = tuple(current[name] for name in axis_names)
+                    candidates = []
+                    for value in axis.values:
+                        candidate_coords = (coords[:index] + (value,)
+                                            + coords[index + 1:])
+                        candidate = by_coords.get(candidate_coords)
+                        if candidate is not None:
+                            candidates.append(candidate)
+                    evaluated = evaluator.evaluate(candidates)
+                    record(evaluated)
+                    best = max(evaluated, key=score_of)
+                    if best.point != current and score_of(best) > score_of(current_ep):
+                        current, current_ep = best.point, best
+                        improved = True
+                if not improved:
+                    break
+        return trace
+
+
+#: Strategy factories by CLI name.
+STRATEGIES = {
+    "grid": GridSearch,
+    "random": RandomSearch,
+    "coordinate": CoordinateDescentSearch,
+}
+
+
+def resolve_strategy(
+    strategy: Union[str, SearchStrategy, None], **options
+) -> SearchStrategy:
+    """Coerce a name (plus options) or an instance into a strategy object."""
+    if strategy is None:
+        return GridSearch()
+    if isinstance(strategy, SearchStrategy):
+        if options:
+            raise ValueError("options only apply when naming a strategy")
+        return strategy
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; known: {sorted(STRATEGIES)}"
+        )
+    return STRATEGIES[strategy](**options)

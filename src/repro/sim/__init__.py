@@ -39,6 +39,7 @@ from repro.sim.report import (
     layer_breakdown,
     comparison_table,
     bottleneck_summary,
+    markdown_table,
     to_csv,
     BottleneckSummary,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "layer_breakdown",
     "comparison_table",
     "bottleneck_summary",
+    "markdown_table",
     "to_csv",
     "BottleneckSummary",
 ]

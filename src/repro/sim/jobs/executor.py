@@ -61,6 +61,16 @@ class ExecutorStats:
             return 0
         return max(self.executed_key_counts.values())
 
+    def summary(self, cache=None) -> str:
+        """One-line human-readable account (the CLI's ``--verbose`` output)."""
+        line = (f"pipeline: {self.submitted} jobs submitted, "
+                f"{self.executed} simulated, {self.cache_hits} cache hits, "
+                f"{self.dedup_hits} dedup hits")
+        if cache is not None and cache.directory is not None:
+            line += (f" (disk cache: {cache.stats.disk_hits} hits, "
+                     f"{cache.stats.stores} stores)")
+        return line
+
 
 @dataclass(frozen=True)
 class JobEvent:

@@ -20,6 +20,7 @@ __all__ = [
     "layer_breakdown",
     "comparison_table",
     "bottleneck_summary",
+    "markdown_table",
     "to_csv",
     "BottleneckSummary",
 ]
@@ -47,14 +48,17 @@ def layer_breakdown(result: NetworkResult, top: Optional[int] = None) -> str:
     lines.append(f"{'layer':<24s}{'kind':<6s}{'cycles':>14s}{'% time':>8s}"
                  f"{'energy (nJ)':>13s}{'traffic (Kb)':>14s}{'util':>6s}")
     for lr in shown:
-        share = 100.0 * lr.cycles / total_cycles if total_cycles else 0.0
+        # Degenerate (zero-cycle) results get "n/a" instead of a division.
+        share = (f"{100.0 * lr.cycles / total_cycles:>7.1f}%" if total_cycles
+                 else f"{'n/a':>8s}")
         lines.append(
             f"{lr.layer_name:<24s}{lr.layer_kind:<6s}{lr.cycles:>14,.0f}"
-            f"{share:>7.1f}%{lr.energy_pj / 1e3:>13.1f}"
+            f"{share}{lr.energy_pj / 1e3:>13.1f}"
             f"{lr.total_traffic_bits / 1e3:>14.1f}{lr.utilization:>6.2f}"
         )
+    total_share = "100.0%" if total_cycles else "n/a"
     lines.append(
-        f"{'TOTAL':<24s}{'':<6s}{total_cycles:>14,.0f}{'100.0%':>8s}"
+        f"{'TOTAL':<24s}{'':<6s}{total_cycles:>14,.0f}{total_share:>8s}"
         f"{result.total_energy_pj() / 1e3:>13.1f}"
         f"{result.total_traffic_bits() / 1e3:>14.1f}"
         f"{result.average_utilization():>6.2f}"
@@ -120,6 +124,26 @@ def bottleneck_summary(result: NetworkResult) -> BottleneckSummary:
         compute_bound_cycles=compute_cycles,
         memory_bound_cycles=memory_cycles,
     )
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                   align_first_left: bool = True) -> str:
+    """Render a GitHub-flavoured markdown table (used by sweep reports)."""
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ValueError("headers must not be empty")
+    lines = ["| " + " | ".join(headers) + " |"]
+    separators = [(":---" if align_first_left and i == 0 else "---:")
+                  for i in range(len(headers))]
+    lines.append("| " + " | ".join(separators) + " |")
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
 
 
 def to_csv(results: Iterable[NetworkResult]) -> str:

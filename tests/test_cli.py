@@ -51,6 +51,33 @@ class TestParser:
     def test_networks_command_parses(self):
         assert build_parser().parse_args(["networks"]).command == "networks"
 
+    def test_verbose_flag_parses(self):
+        assert build_parser().parse_args(["-v", "all"]).verbose is True
+        assert build_parser().parse_args(["all"]).verbose is False
+
+    def test_summary_csv_flag(self):
+        args = build_parser().parse_args(["summary", "--csv", "/tmp/x.csv"])
+        assert args.csv == "/tmp/x.csv"
+
+    def test_explore_arguments(self):
+        args = build_parser().parse_args([
+            "explore", "--axis", "equivalent_macs=32,64",
+            "--axis", "accelerator=loom,dstripes",
+            "--base", "network=nin", "--strategy", "random",
+            "--samples", "4", "--seed", "9",
+            "--objectives", "speedup,area", "--csv", "/tmp/sweep.csv",
+        ])
+        assert args.command == "explore"
+        assert args.axis == ["equivalent_macs=32,64", "accelerator=loom,dstripes"]
+        assert args.base == ["network=nin"]
+        assert args.strategy == "random" and args.samples == 4 and args.seed == 9
+        assert args.objectives == "speedup,area"
+        assert args.csv == "/tmp/sweep.csv"
+
+    def test_explore_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--strategy", "genetic"])
+
 
 class TestBuildExecutor:
     def test_default_executor_has_memory_cache(self):
@@ -128,3 +155,109 @@ class TestMain:
         assert capsys.readouterr().out == first
         import os
         assert any(name.endswith(".json") for name in os.listdir(cache_dir))
+
+    def test_summary_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "layers.csv"
+        assert main(["summary", "--network", "alexnet",
+                     "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"per-layer CSV written to {path}" in out
+        rows = path.read_text().strip().splitlines()
+        assert rows[0].startswith("network,accelerator,layer")
+        # DPNN and Loom rows for every compute layer, plus the header.
+        assert len(rows) > 2 and ",DPNN," in rows[1]
+        assert any(",Loom-1b," in row for row in rows)
+
+    def test_summary_csv_unwritable_path_is_a_clean_cli_error(self, capsys,
+                                                              tmp_path):
+        with pytest.raises(SystemExit):
+            main(["summary", "--network", "alexnet",
+                  "--csv", str(tmp_path / "missing-dir" / "x.csv")])
+        assert "--csv" in capsys.readouterr().err
+
+    def test_figure5_duplicate_configs_accepted(self, capsys):
+        assert main(["figure5", "--configs", "32", "32"]) == 0
+        header = capsys.readouterr().out.splitlines()[1]
+        assert header.count("32") == 2
+
+    def test_verbose_reports_pipeline_stats(self, capsys):
+        assert main(["--verbose", "summary", "--network", "alexnet"]) == 0
+        captured = capsys.readouterr()
+        assert "TOTAL" in captured.out
+        assert "pipeline:" in captured.err and "simulated" in captured.err
+
+
+class TestExploreCommand:
+    ARGS = ["explore",
+            "--axis", "equivalent_macs=32,64",
+            "--axis", "accelerator=loom,dstripes"]
+
+    def test_inline_axes_sweep(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "design-space exploration: grid strategy" in out
+        assert "Pareto frontier" in out
+        assert "loom-1b" in out and "dstripes" in out
+
+    def test_grid_file_sweep(self, capsys, tmp_path):
+        import json
+        grid = tmp_path / "sweep.json"
+        grid.write_text(json.dumps({
+            "axes": {"equivalent_macs": [32, 64],
+                     "accelerator": ["loom", "dstripes"]},
+            "base": {"network": "alexnet"},
+        }))
+        assert main(["explore", "--grid", str(grid)]) == 0
+        assert "4/4 feasible points" in capsys.readouterr().out
+
+    def test_grid_conflicts_with_axes(self, tmp_path):
+        grid = tmp_path / "sweep.json"
+        grid.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["explore", "--grid", str(grid),
+                  "--axis", "equivalent_macs=32"])
+
+    def test_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert main(self.ARGS + ["--csv", str(path)]) == 0
+        assert f"written to {path}" in capsys.readouterr().out
+        rows = path.read_text().strip().splitlines()
+        assert len(rows) == 1 + 4
+        assert "pareto_rank" in rows[0]
+
+    def test_markdown_output(self, capsys):
+        assert main(self.ARGS + ["--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("| equivalent_macs |")
+
+    def test_random_strategy_is_reproducible(self, capsys):
+        args = self.ARGS + ["--strategy", "random", "--samples", "2",
+                            "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert "2/4 feasible points" in first
+
+    def test_repeat_run_with_disk_cache_simulates_nothing(self, capsys,
+                                                          tmp_path):
+        args = ["--verbose", "--cache-dir", str(tmp_path / "cache")] + self.ARGS
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert " 6 simulated" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert " 0 simulated" in second.err
+
+    def test_constraint_flag(self, capsys):
+        assert main(["explore",
+                     "--axis", "am_capacity_bytes=65536,4194304",
+                     "--base", "accelerator=dpnn",
+                     "--constraint", "am_fits_working_set",
+                     "--objectives", "cycles,area"]) == 0
+        assert "1/1 feasible points" in capsys.readouterr().out
+
+    def test_unknown_axis_errors_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explore", "--axis", "warp_drive=1,2"])

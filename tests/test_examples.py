@@ -43,3 +43,9 @@ class TestExamples:
     def test_sparsity_extension(self):
         out = run_example("sparsity_extension.py")
         assert "pruning rate" in out and "speedup bound" in out
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "Pareto frontier" in out
+        assert "coordinate descent" in out
+        assert "am_fits_working_set" in out

@@ -1,0 +1,504 @@
+"""Tests for the design-space exploration subsystem (repro.explore)."""
+
+import json
+
+import pytest
+
+from repro.accelerators import AcceleratorConfig
+from repro.experiments import figure5
+from repro.experiments.common import design_label, loom_spec
+from repro.explore import (
+    Axis,
+    Constraint,
+    CoordinateDescentSearch,
+    EvaluatedPoint,
+    GridSearch,
+    PointEvaluator,
+    RandomSearch,
+    SweepSpec,
+    am_fits_working_set,
+    dominance_ranks,
+    explore,
+    frontier_table,
+    pareto_frontier,
+    parse_accelerator,
+    parse_value,
+    point_to_job,
+    resolve_objectives,
+    resolve_strategy,
+    scalar_score,
+    sweep_markdown,
+    sweep_table,
+    sweep_to_csv,
+)
+from repro.memory.dram import LPDDR4_4267
+from repro.quant import paper_networks
+from repro.sim import geomean
+from repro.sim.jobs import AcceleratorSpec, JobExecutor, NetworkSpec, SimJob, job_key
+from repro.sim.results import compare
+
+
+def small_space(**overrides):
+    kwargs = dict(
+        axes=[
+            Axis("equivalent_macs", (32, 64)),
+            Axis("accelerator", ("loom", "dstripes")),
+        ],
+        base={"network": "alexnet"},
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestSpaceExpansion:
+    def test_product_order_last_axis_fastest(self):
+        points = small_space().points()
+        coords = [(p["equivalent_macs"], p["accelerator"].kind) for p in points]
+        assert coords == [(32, "loom"), (32, "dstripes"),
+                          (64, "loom"), (64, "dstripes")]
+
+    def test_expansion_is_deterministic(self):
+        space = small_space()
+        first, second = space.points(), space.points()
+        assert first == second
+        assert [job_key(j) for j in space.jobs()] \
+            == [job_key(j) for j in space.jobs()]
+
+    def test_base_values_reach_every_job(self):
+        space = small_space(base={"network": "nin", "accuracy": "99%",
+                                  "dram": "lpddr4-4267"})
+        for job in space.jobs():
+            assert job.network == NetworkSpec("nin", "99%")
+            assert job.config.dram == LPDDR4_4267
+
+    def test_unique_jobs_collapse_profile_insensitive_baseline(self):
+        # DPNN ignores precision profiles entirely, so sweeping it across
+        # profiles yields one unique simulation for two points.
+        space = SweepSpec(
+            axes=[Axis("accuracy", ("100%", "99%"))],
+            base={"network": "alexnet", "accelerator": "dpnn"},
+        )
+        assert len(space.points()) == 2
+        assert len(space.unique_jobs()) == 1
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep parameter"):
+            SweepSpec(axes=[Axis("frequency", (1, 2))])
+        with pytest.raises(ValueError, match="unknown base parameter"):
+            SweepSpec(axes=[Axis("equivalent_macs", (32,))],
+                      base={"nonsense": 1})
+
+    def test_axis_and_base_conflict_rejected(self):
+        with pytest.raises(ValueError, match="both an axis and a base"):
+            small_space(base={"network": "alexnet", "equivalent_macs": 32})
+
+    def test_point_without_network_rejected(self):
+        space = SweepSpec(axes=[Axis("equivalent_macs", (32,))],
+                          base={"accelerator": "dpnn"})
+        with pytest.raises(ValueError, match="network"):
+            space.jobs()
+
+    def test_size_counts_pre_constraint_product(self):
+        assert small_space().size == 4
+
+    def test_points_memoised_and_callers_get_fresh_lists(self):
+        calls = []
+        space = small_space(constraints=[
+            Constraint("count", lambda p: calls.append(p) or True)
+        ])
+        first = space.points()
+        evaluations = len(calls)
+        second = space.points()
+        assert evaluations == len(calls)  # constraint pass ran once
+        assert first == second and first is not second
+        first.clear()
+        assert space.points() == second  # caller mutation cannot corrupt
+
+
+class TestConstraints:
+    def test_callable_constraint_filters_points(self):
+        space = small_space(constraints=[
+            Constraint("small_only", lambda p: p["equivalent_macs"] <= 32)
+        ])
+        assert [p["equivalent_macs"] for p in space.points()] == [32, 32]
+
+    def test_am_fits_working_set(self):
+        # AlexNet's worst layer needs ~0.9 MB of 16-bit activations: a 64 KB
+        # AM is infeasible, a 4 MB AM is fine.
+        space = SweepSpec(
+            axes=[Axis("am_capacity_bytes", (64 * 1024, 4 * 1024 * 1024))],
+            base={"network": "alexnet", "accelerator": "dpnn"},
+            constraints=[am_fits_working_set()],
+        )
+        points = space.points()
+        assert [p["am_capacity_bytes"] for p in points] == [4 * 1024 * 1024]
+
+    def test_named_constraint_from_string(self):
+        space = SweepSpec(
+            axes=[Axis("am_capacity_bytes", (64 * 1024,))],
+            base={"network": "alexnet", "accelerator": "dpnn"},
+            constraints=["am_fits_working_set"],
+        )
+        assert space.points() == []
+        with pytest.raises(ValueError, match="unknown constraint"):
+            SweepSpec(axes=[Axis("equivalent_macs", (32,))],
+                      constraints=["no_such_thing"])
+
+
+class TestParsing:
+    def test_parse_value(self):
+        assert parse_value("32") == 32
+        assert parse_value("0.5") == 0.5
+        assert parse_value("true") is True
+        assert parse_value("none") is None
+        assert parse_value("alexnet") == "alexnet"
+
+    def test_parse_accelerator_forms(self):
+        expected = AcceleratorSpec.create("loom", bits_per_cycle=2)
+        assert parse_accelerator("loom:bits_per_cycle=2") == expected
+        assert parse_accelerator(("loom", {"bits_per_cycle": 2})) == expected
+        assert parse_accelerator({"kind": "loom", "bits_per_cycle": 2}) == expected
+        assert parse_accelerator(expected) is expected
+
+    def test_parse_accelerator_rejects_bad_tokens(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_accelerator("loom:bits_per_cycle")
+        with pytest.raises(ValueError, match="kind"):
+            parse_accelerator({"bits_per_cycle": 2})
+
+    def test_design_label(self):
+        assert design_label(parse_accelerator("loom")) == "loom-1b"
+        assert design_label(parse_accelerator("loom:bits_per_cycle=4")) == "loom-4b"
+        assert design_label(parse_accelerator("dpnn")) == "dpnn"
+        assert design_label(
+            parse_accelerator("loom:bits_per_cycle=2:window_fanout=4")
+        ) == "loom-2b[window_fanout=4]"
+
+    def test_dict_roundtrip(self):
+        space = SweepSpec(
+            axes=[Axis("equivalent_macs", (32, 64)),
+                  Axis("accelerator", ("loom:bits_per_cycle=2", "dstripes"))],
+            base={"network": "alexnet", "dram": "lpddr4-4267"},
+            constraints=["am_fits_working_set"],
+        )
+        restored = SweepSpec.from_json(json.dumps(space.to_dict()))
+        assert restored.points() == space.points()
+        assert [c.name for c in restored.constraints] == ["am_fits_working_set"]
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            SweepSpec.from_dict({"axes": {"equivalent_macs": [32]},
+                                 "oops": 1})
+
+
+def _point(label, **metrics):
+    return EvaluatedPoint(
+        point=next(iter(small_space().points())),  # point identity is unused
+        baseline="DPNN",
+        metrics=metrics,
+    )
+
+
+class TestFrontier:
+    OBJECTIVES = resolve_objectives(("speedup", "energy_efficiency", "area"))
+
+    def test_pareto_frontier_on_hand_built_results(self):
+        dominated = _point("a", speedup=1.0, energy_efficiency=1.0, area_mm2=5.0)
+        fast = _point("b", speedup=4.0, energy_efficiency=1.5, area_mm2=6.0)
+        small = _point("c", speedup=1.5, energy_efficiency=1.2, area_mm2=2.0)
+        best = _point("d", speedup=4.0, energy_efficiency=2.0, area_mm2=6.0)
+        frontier = pareto_frontier([dominated, fast, small, best],
+                                   self.OBJECTIVES)
+        assert frontier == [small, best]
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        a = _point("a", speedup=2.0, energy_efficiency=2.0, area_mm2=3.0)
+        b = _point("b", speedup=2.0, energy_efficiency=2.0, area_mm2=3.0)
+        assert pareto_frontier([a, b], self.OBJECTIVES) == [a, b]
+
+    def test_dominance_ranks_peel_successive_frontiers(self):
+        layers = [
+            _point("r0", speedup=4.0, energy_efficiency=4.0, area_mm2=1.0),
+            _point("r1", speedup=3.0, energy_efficiency=3.0, area_mm2=2.0),
+            _point("r2", speedup=2.0, energy_efficiency=2.0, area_mm2=3.0),
+        ]
+        assert dominance_ranks(layers, self.OBJECTIVES) == [0, 1, 2]
+
+    def test_scalar_score_direction(self):
+        better = _point("a", speedup=4.0, energy_efficiency=2.0, area_mm2=1.0)
+        worse = _point("b", speedup=4.0, energy_efficiency=2.0, area_mm2=2.0)
+        assert scalar_score(better.metrics, self.OBJECTIVES) \
+            > scalar_score(worse.metrics, self.OBJECTIVES)
+        bad = _point("c", speedup=float("inf"), energy_efficiency=1.0,
+                     area_mm2=1.0)
+        assert scalar_score(bad.metrics, self.OBJECTIVES) == float("-inf")
+
+    def test_resolve_objectives_from_string(self):
+        names = [o.name for o in resolve_objectives("speedup,area")]
+        assert names == ["speedup", "area"]
+        with pytest.raises(ValueError, match="unknown objective"):
+            resolve_objectives("speedup,banana")
+
+
+class TestStrategies:
+    def test_grid_evaluates_every_feasible_point(self):
+        space = small_space()
+        with JobExecutor() as executor:
+            result = explore(space, strategy="grid", executor=executor)
+        assert len(result.evaluated) == len(space.points()) == 4
+        assert executor.stats.max_executions_per_key == 1
+
+    def test_random_is_seed_reproducible(self):
+        space = small_space()
+        with JobExecutor() as executor:
+            first = explore(space, strategy=RandomSearch(samples=2, seed=7),
+                            executor=executor)
+            second = explore(space, strategy=RandomSearch(samples=2, seed=7),
+                             executor=executor)
+            other = explore(space, strategy=RandomSearch(samples=2, seed=8),
+                            executor=executor)
+        assert [ep.point for ep in first.evaluated] \
+            == [ep.point for ep in second.evaluated]
+        assert len(first.evaluated) == 2
+        # A different seed draws a different sample (true for this space).
+        assert [ep.point for ep in first.evaluated] \
+            != [ep.point for ep in other.evaluated]
+
+    def test_coordinate_descent_is_seed_reproducible_and_cached(self):
+        space = SweepSpec(
+            axes=[Axis("equivalent_macs", (32, 64, 128)),
+                  Axis("accelerator",
+                       ("loom", "loom:bits_per_cycle=2", "dstripes"))],
+            base={"network": "alexnet"},
+        )
+        with JobExecutor() as executor:
+            first = explore(space, strategy=CoordinateDescentSearch(seed=3),
+                            executor=executor)
+            executed_once = executor.stats.executed
+            second = explore(space, strategy=CoordinateDescentSearch(seed=3),
+                             executor=executor)
+            # The repeat search re-simulates nothing: every candidate is
+            # answered by the shared executor's cache.
+            assert executor.stats.executed == executed_once
+        assert [ep.point for ep in first.evaluated] \
+            == [ep.point for ep in second.evaluated]
+        assert executor.stats.max_executions_per_key == 1
+
+    def test_coordinate_descent_finds_the_scalar_optimum(self):
+        # On this small space the composite score is monotone enough that
+        # the adaptive search must land on the exhaustive optimum.
+        space = small_space()
+        objectives = resolve_objectives(("speedup", "energy_efficiency",
+                                         "area"))
+        with JobExecutor() as executor:
+            grid = explore(space, strategy="grid", objectives=objectives,
+                           executor=executor)
+            adaptive = explore(space,
+                               strategy=CoordinateDescentSearch(seed=0,
+                                                                starts=2),
+                               objectives=objectives, executor=executor)
+        best_grid = max(grid.evaluated,
+                        key=lambda ep: scalar_score(ep.metrics, objectives))
+        best_adaptive = max(adaptive.evaluated,
+                            key=lambda ep: scalar_score(ep.metrics, objectives))
+        assert best_adaptive.point == best_grid.point
+
+    def test_resolve_strategy(self):
+        assert isinstance(resolve_strategy(None), GridSearch)
+        assert isinstance(resolve_strategy("random", samples=4), RandomSearch)
+        strategy = CoordinateDescentSearch()
+        assert resolve_strategy(strategy) is strategy
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            resolve_strategy("simulated_annealing")
+
+
+class TestEvaluator:
+    def test_baseline_jobs_dedupe_across_points(self):
+        # Four design points share two (network, config) pairs, so only two
+        # baseline simulations run in addition to the four designs.
+        space = small_space()
+        with JobExecutor() as executor:
+            evaluator = PointEvaluator(space, executor=executor)
+            evaluator.evaluate(space.points())
+            assert executor.stats.executed == 4 + 2
+
+    def test_metrics_match_direct_comparison(self):
+        space = small_space()
+        point = space.points()[0]
+        with JobExecutor() as executor:
+            evaluator = PointEvaluator(space, executor=executor)
+            (evaluated,) = evaluator.evaluate([point])
+            job = space.job(point)
+            baseline_job = SimJob(network=job.network,
+                                  accelerator=AcceleratorSpec.create("dpnn"),
+                                  config=job.config)
+            design, baseline = executor.run([job, baseline_job])
+        comparison = compare(design, baseline)
+        assert evaluated.metrics["speedup"] == pytest.approx(comparison.speedup)
+        assert evaluated.metrics["energy_efficiency"] \
+            == pytest.approx(comparison.energy_efficiency)
+        assert evaluated.metrics["cycles"] == design.total_cycles()
+        assert evaluated.metrics["area_mm2"] > 0
+
+    def test_memoisation_skips_the_executor(self):
+        space = small_space()
+        point = space.points()[0]
+        with JobExecutor() as executor:
+            evaluator = PointEvaluator(space, executor=executor)
+            evaluator.evaluate([point])
+            submitted = executor.stats.submitted
+            evaluator.evaluate([point, point])
+            assert executor.stats.submitted == submitted
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        with JobExecutor() as executor:
+            return explore(small_space(), executor=executor)
+
+    def test_sweep_table_lists_every_point(self, result):
+        text = sweep_table(result)
+        assert "loom-1b" in text and "dstripes" in text
+        assert text.count("\n") >= 4 + 2
+
+    def test_frontier_table_only_rank_zero(self, result):
+        text = frontier_table(result)
+        for line in text.splitlines()[2:]:
+            assert line.rstrip().endswith("0")
+
+    def test_markdown_table_shape(self, result):
+        lines = sweep_markdown(result).splitlines()
+        assert lines[0].startswith("| equivalent_macs |")
+        assert set(lines[1].replace("|", "").split()) <= {":---", "---:"}
+        assert len(lines) == 2 + len(result.evaluated)
+
+    def test_csv_has_one_row_per_point(self, result):
+        rows = sweep_to_csv(result).strip().splitlines()
+        assert len(rows) == 1 + len(result.evaluated)
+        header = rows[0].split(",")
+        assert "speedup" in header and "pareto_rank" in header
+
+    def test_best_by_objective(self, result):
+        best = result.best("speedup")
+        assert best.metrics["speedup"] \
+            == max(ep.metrics["speedup"] for ep in result.evaluated)
+
+
+class TestFigure5ViaExplore:
+    """The scaling study must be a thin wrapper over the sweep subsystem."""
+
+    CONFIGS = (32, 64)
+    NETWORKS = ("alexnet", "nin")
+
+    def _pre_refactor_run(self, executor):
+        """The PR-1 implementation of figure5.run: hand-rolled job batches."""
+        nets = [NetworkSpec(name, "100%") for name in self.NETWORKS]
+        dpnn_spec = AcceleratorSpec.create("dpnn")
+        loom_1b_spec = loom_spec(bits_per_cycle=1)
+        dstripes_spec = AcceleratorSpec.create("dstripes")
+        designs = (dpnn_spec, loom_1b_spec, dstripes_spec)
+        from repro.sim.jobs import build_accelerator
+        result = figure5.Figure5Result()
+        for macs in self.CONFIGS:
+            config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267,
+                                       charge_offchip_energy=False)
+            jobs = [SimJob(network=net, accelerator=design, config=config)
+                    for net in nets for design in designs]
+            flat = executor.run(jobs)
+            loom_perf_all, loom_perf_conv = [], []
+            ds_perf_all, ds_perf_conv = [], []
+            loom_eff_all, loom_fps_all, loom_fps_conv = [], [], []
+            for index, _ in enumerate(nets):
+                base, loom_result, ds_result = flat[3 * index:3 * index + 3]
+                loom_perf_all.append(compare(loom_result, base).speedup)
+                loom_perf_conv.append(
+                    compare(loom_result, base, kind="conv").speedup)
+                ds_perf_all.append(compare(ds_result, base).speedup)
+                ds_perf_conv.append(
+                    compare(ds_result, base, kind="conv").speedup)
+                loom_eff_all.append(
+                    compare(loom_result, base).energy_efficiency)
+                loom_fps_all.append(loom_result.frames_per_second())
+                loom_fps_conv.append(
+                    loom_result.frames_per_second(kind="conv"))
+            loom = build_accelerator(loom_1b_spec, config)
+            dpnn = build_accelerator(dpnn_spec, config)
+            result.points.append(figure5.Figure5Point(
+                equivalent_macs=macs,
+                loom_rel_perf_all=geomean(loom_perf_all),
+                loom_rel_perf_conv=geomean(loom_perf_conv),
+                dstripes_rel_perf_all=geomean(ds_perf_all),
+                dstripes_rel_perf_conv=geomean(ds_perf_conv),
+                loom_fps_all=geomean(loom_fps_all),
+                loom_fps_conv=geomean(loom_fps_conv),
+                loom_weight_memory_mb=loom.hierarchy.weight_memory.capacity_mb,
+                loom_area_ratio=loom.total_area_mm2() / dpnn.total_area_mm2(),
+                loom_energy_efficiency=geomean(loom_eff_all),
+            ))
+        return result
+
+    def test_sweep_space_declares_the_pre_refactor_job_matrix(self):
+        space = figure5.sweep_space(configs=self.CONFIGS,
+                                    networks=self.NETWORKS)
+        nets = [NetworkSpec(name, "100%") for name in self.NETWORKS]
+        designs = (AcceleratorSpec.create("dpnn"), loom_spec(bits_per_cycle=1),
+                   AcceleratorSpec.create("dstripes"))
+        expected = []
+        for macs in self.CONFIGS:
+            config = AcceleratorConfig(equivalent_macs=macs, dram=LPDDR4_4267,
+                                       charge_offchip_energy=False)
+            expected.extend(
+                SimJob(network=net, accelerator=design, config=config)
+                for net in nets for design in designs
+            )
+        assert space.jobs() == expected
+
+    def test_figure5_output_byte_identical_to_pre_refactor(self):
+        with JobExecutor() as executor:
+            via_spec = figure5.run(configs=self.CONFIGS,
+                                   networks=self.NETWORKS, executor=executor)
+            pre_refactor = self._pre_refactor_run(executor)
+        assert figure5.format_figure(via_spec) \
+            == figure5.format_figure(pre_refactor)
+
+    def test_figure5_accepts_duplicate_configs_like_the_seed(self):
+        # The seed implementation simply looped, so a repeated entry
+        # reported its row twice; the sweep-spec wrapper must preserve that.
+        with JobExecutor() as executor:
+            result = figure5.run(configs=(32, 32), networks=("alexnet",),
+                                 executor=executor)
+        assert [p.equivalent_macs for p in result.points] == [32, 32]
+        assert result.points[0] == result.points[1]
+
+    def test_figure5_empty_configs_give_empty_result(self):
+        with JobExecutor() as executor:
+            result = figure5.run(configs=(), networks=("alexnet",),
+                                 executor=executor)
+        assert result.points == []
+
+
+class TestExploreIntegration:
+    def test_shared_executor_simulates_each_unique_job_once(self):
+        # A 48-point grid (the acceptance-criterion scale) through one
+        # executor: every unique (network, design, config) simulated once.
+        space = SweepSpec(
+            axes=[
+                Axis("equivalent_macs", (32, 64, 128, 256)),
+                Axis("accelerator",
+                     ("loom", "loom:bits_per_cycle=2",
+                      "loom:bits_per_cycle=4", "dstripes")),
+                Axis("network", ("alexnet", "nin", "googlenet")),
+            ],
+        )
+        points = space.points()
+        assert len(points) == 48
+        with JobExecutor() as executor:
+            result = explore(space, executor=executor)
+            assert executor.stats.max_executions_per_key == 1
+            # 48 designs + 12 shared (network x config) DPNN baselines.
+            assert executor.stats.executed == 48 + 12
+        assert len(result.evaluated) == 48
+        assert result.frontier
+        ranks = dominance_ranks(result.evaluated, result.objectives)
+        assert all(rank >= 0 for rank in ranks)

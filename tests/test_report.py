@@ -12,8 +12,10 @@ from repro.sim.report import (
     bottleneck_summary,
     comparison_table,
     layer_breakdown,
+    markdown_table,
     to_csv,
 )
+from repro.sim.results import LayerResult, NetworkResult
 
 
 class TestLayerBreakdown:
@@ -36,6 +38,46 @@ class TestLayerBreakdown:
         text = layer_breakdown(alexnet_results["dpnn"], top=1)
         heaviest = max(alexnet_results["dpnn"].layers, key=lambda lr: lr.cycles)
         assert heaviest.layer_name in text
+
+
+def _degenerate_result() -> NetworkResult:
+    """A tiny synthetic result whose only layer took zero cycles."""
+    result = NetworkResult(network="tiny", accelerator="DPNN")
+    result.add(LayerResult(layer_name="conv0", layer_kind="conv", cycles=0.0))
+    return result
+
+
+class TestZeroCycleGuards:
+    def test_layer_breakdown_prints_na_instead_of_raising(self):
+        text = layer_breakdown(_degenerate_result())
+        assert "n/a" in text and "TOTAL" in text
+        assert "ZeroDivision" not in text
+
+    def test_cli_summary_prints_na_for_zero_cycle_layers(self):
+        from repro.cli import _summary
+
+        class StubExecutor:
+            def run(self, jobs):
+                return [_degenerate_result(), _degenerate_result()]
+
+        text = _summary("tiny", "100%", StubExecutor())
+        assert "n/a" in text and "TOTAL" in text
+
+
+class TestMarkdownTable:
+    def test_shape_and_alignment(self):
+        text = markdown_table(["name", "value"], [["a", 1], ["b", 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| :--- | ---: |"
+        assert lines[2] == "| a | 1 |"
+        assert len(lines) == 4
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ValueError):
+            markdown_table([], [])
 
 
 class TestComparisonTable:
