@@ -1,6 +1,5 @@
 """Ablation benchmarks: the contribution of each Loom mechanism (DESIGN.md)."""
 
-import pytest
 
 from repro.experiments import ablation
 

@@ -2,14 +2,39 @@
 
 These track the cost of the building blocks the table/figure harnesses are
 made of, so regressions in the models show up independently of the
-experiment-level numbers: per-network accelerator simulation, the functional
-bit-serial engine, the event-driven tile simulator and the dynamic-precision
+experiment-level numbers: per-network accelerator simulation, the vectorized
+fast-path engine vs the per-layer reference engine, the functional bit-serial
+engine, the event-driven tile simulator and the dynamic-precision
 measurement.
+
+Script mode is the CI benchmark gate::
+
+    python benchmarks/bench_simulator.py \
+        --output BENCH_simulator.json \
+        --check benchmarks/BENCH_baseline_simulator.json
+
+measures the fast-vs-event layer-simulation speedup over the benchmark
+matrix, writes the results as JSON, asserts the >= 5x ISSUE target, and --
+when given a committed baseline -- fails if the measured speedup regressed by
+more than 20%.  The gate compares the *dimensionless speedup ratio* rather
+than wall-clock seconds so it is robust on noisy shared runners.
 """
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
 
 import numpy as np
 
-from repro.accelerators import DPNN
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # script mode; pytest gets this from conftest.py
+    sys.path.insert(0, _SRC)
+
+from repro.accelerators import DPNN, DStripes, Stripes
 from repro.core import Loom
 from repro.core.scheduler import LoomGeometry, schedule_conv_layer
 from repro.core.serial_engine import bit_serial_fc
@@ -17,7 +42,128 @@ from repro.core.tile import LoomTileSimulator
 from repro.experiments.common import build_profiled_network
 from repro.quant.dynamic import DynamicPrecisionModel
 from repro.sim import run_network
+from repro.sim.fastpath import build_layer_table, simulate_layers_fast
 from repro.workloads.synthetic import SyntheticTensorGenerator
+
+#: Minimum acceptable fast-vs-event layer-simulation speedup (the ISSUE's
+#: acceptance criterion); the CI gate also compares against the committed
+#: baseline with a 20% tolerance.
+SPEEDUP_FLOOR = 5.0
+
+#: Fraction of the baseline speedup the measured speedup may lose before the
+#: regression gate fails (0.20 = "fails on >20% slowdown").
+REGRESSION_TOLERANCE = 0.20
+
+_BENCH_NETWORKS = ("alexnet", "googlenet", "vgg19")
+
+
+def _bench_accelerators():
+    return (
+        ("dpnn", DPNN()),
+        ("stripes", Stripes()),
+        ("dstripes", DStripes()),
+        ("loom-1b", Loom(bits_per_cycle=1)),
+        ("loom-2b", Loom(bits_per_cycle=2)),
+        ("loom-4b", Loom(bits_per_cycle=4)),
+    )
+
+
+def _best_of(repeats, task):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        task()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_fastpath(repeats: int = 5) -> dict:
+    """Time fast-path vs per-layer reference simulation over the matrix.
+
+    Also cross-checks that the two engines produced identical layer results
+    on every configuration, so a benchmark run doubles as a validation run.
+    """
+    configs = []
+    event_total = 0.0
+    fast_total = 0.0
+    layers_simulated = 0
+    for network_name in _BENCH_NETWORKS:
+        network = build_profiled_network(network_name, "100%")
+        layers = network.compute_layers()
+        table = build_layer_table(layers)
+        for label, accelerator in _bench_accelerators():
+            reference = [accelerator.simulate_layer(layer) for layer in layers]
+            fast = simulate_layers_fast(accelerator, table)
+            if ([dataclasses.asdict(r) for r in reference]
+                    != [dataclasses.asdict(r) for r in fast]):
+                raise AssertionError(
+                    f"engines disagree on {network_name}/{label}; "
+                    f"run `loom-repro validate`"
+                )
+            event_s = _best_of(repeats, lambda: [
+                accelerator.simulate_layer(layer) for layer in layers
+            ])
+            fast_s = _best_of(repeats, lambda:
+                              simulate_layers_fast(accelerator, table))
+            configs.append({
+                "network": network_name,
+                "accelerator": label,
+                "layers": len(layers),
+                "event_s": event_s,
+                "fast_s": fast_s,
+                "speedup": event_s / fast_s,
+            })
+            event_total += event_s
+            fast_total += fast_s
+            layers_simulated += len(layers)
+    return {
+        "benchmark": "simulator-fastpath",
+        "networks": list(_BENCH_NETWORKS),
+        "accelerators": [label for label, _ in _bench_accelerators()],
+        "layers_simulated": layers_simulated,
+        "configs": configs,
+        "event_total_s": event_total,
+        "fast_total_s": fast_total,
+        "speedup": event_total / fast_total,
+    }
+
+
+def format_fastpath(measured: dict) -> str:
+    lines = ["== layer simulation: vectorized fast path vs per-layer "
+             "reference =="]
+    for entry in measured["configs"]:
+        lines.append(
+            f"{entry['network']:<10s} {entry['accelerator']:<10s} "
+            f"{entry['layers']:>3d} layers  "
+            f"event {entry['event_s'] * 1e3:>8.3f} ms  "
+            f"fast {entry['fast_s'] * 1e3:>8.3f} ms  "
+            f"{entry['speedup']:>6.2f}x"
+        )
+    lines.append(
+        f"{'TOTAL':<10s} {'':<10s} {measured['layers_simulated']:>3d} layers  "
+        f"event {measured['event_total_s'] * 1e3:>8.3f} ms  "
+        f"fast {measured['fast_total_s'] * 1e3:>8.3f} ms  "
+        f"{measured['speedup']:>6.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check_against_baseline(measured: dict, baseline: dict,
+                           tolerance: float = REGRESSION_TOLERANCE) -> str:
+    """Raise if the measured speedup regressed > ``tolerance`` vs baseline."""
+    baseline_speedup = baseline["speedup"]
+    measured_speedup = measured["speedup"]
+    floor = baseline_speedup * (1.0 - tolerance)
+    verdict = (
+        f"baseline speedup {baseline_speedup:.2f}x, measured "
+        f"{measured_speedup:.2f}x (gate: >= {floor:.2f}x)"
+    )
+    if measured_speedup < floor:
+        raise AssertionError(f"benchmark regression: {verdict}")
+    return verdict
+
+
+# -- pytest-benchmark entry points --------------------------------------------
 
 
 def test_bench_run_network_dpnn(benchmark):
@@ -32,6 +178,23 @@ def test_bench_run_network_loom(benchmark):
     loom = Loom()
     result = benchmark(run_network, loom, network)
     assert result.total_cycles() > 0
+
+
+def test_bench_fastpath_engine(benchmark):
+    network = build_profiled_network("googlenet", "100%")
+    table = build_layer_table(network.compute_layers())
+    loom = Loom()
+    result = benchmark(simulate_layers_fast, loom, table)
+    assert len(result) == 58
+
+
+def test_bench_fastpath_speedup(artefacts):
+    measured = measure_fastpath(repeats=3)
+    artefacts["simulator-fastpath"] = format_fastpath(measured)
+    assert measured["speedup"] >= SPEEDUP_FLOOR, (
+        f"fast-path speedup {measured['speedup']:.2f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x target"
+    )
 
 
 def test_bench_functional_bit_serial_fc(benchmark):
@@ -63,3 +226,46 @@ def test_bench_dynamic_precision_measurement(benchmark):
     model = DynamicPrecisionModel()
     measured = benchmark(model.measured_activation_bits, codes, 9)
     assert 1.0 <= measured <= 9.0
+
+
+# -- script mode (the CI benchmark gate) --------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the fast-path engine speedup and gate it "
+                    "against a committed baseline.",
+    )
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the measurements as JSON to PATH")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if the speedup regressed >20%% vs this "
+                             "baseline JSON")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per configuration "
+                             "(best-of; default: 5)")
+    args = parser.parse_args(argv)
+    measured = measure_fastpath(repeats=args.repeats)
+    print(format_fastpath(measured))
+    if measured["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup {measured['speedup']:.2f}x is below the "
+              f"{SPEEDUP_FLOOR:.0f}x floor", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        try:
+            print(check_against_baseline(measured, baseline))
+        except AssertionError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

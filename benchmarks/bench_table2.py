@@ -8,7 +8,6 @@ profiles, and checks the headline geometric means land near the paper's.
 import pytest
 
 from repro.experiments import table2
-from repro.sim import geomean
 
 
 def test_bench_table2_full(benchmark, artefacts):

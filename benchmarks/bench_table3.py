@@ -1,6 +1,5 @@
 """Benchmark / regeneration harness for Table 3 (per-group weight precisions)."""
 
-import pytest
 
 from repro.experiments import table3
 
@@ -14,7 +13,6 @@ def test_bench_table3(benchmark, artefacts):
         assert len(measured) == len(paper_values)
         # The mechanism must find per-group precisions below the per-layer
         # profile for every layer (that is the entire point of Table 3).
-        profile = max(paper_values)
         assert all(1.0 <= m <= 16.0 for m in measured)
         assert sum(measured) / len(measured) < 12.0
 

@@ -19,8 +19,7 @@ The configuration captures the knobs the paper sweeps:
 from __future__ import annotations
 
 import abc
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.energy.area import AreaModel, DatapathArea

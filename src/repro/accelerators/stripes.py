@@ -23,7 +23,7 @@ from repro.accelerators.base import (
     ceil_div,
 )
 from repro.accelerators.dpnn import DPNN
-from repro.nn.layers import Conv2D, FullyConnected
+from repro.nn.layers import Conv2D
 from repro.nn.network import LayerWithPrecision
 from repro.quant.dynamic import DynamicPrecisionModel
 

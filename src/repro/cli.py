@@ -18,6 +18,8 @@ Usage::
     loom-repro --jobs 4 all            # fan simulations out over 4 processes
     loom-repro --cache-dir .loom-cache all   # persist results across runs
     loom-repro --verbose all           # report executor/cache statistics
+    loom-repro --engine event all      # per-layer reference engine
+    loom-repro validate [--quick]      # prove the engines agree cycle-exactly
 
 Every simulation goes through one shared :class:`~repro.sim.jobs.JobExecutor`
 per invocation, so ``loom-repro all`` simulates each unique
@@ -28,6 +30,11 @@ simulations out over a process pool (results are identical to a serial run),
 store so repeated invocations skip already-simulated jobs entirely, and
 ``--verbose`` prints what the pipeline actually did (simulations run vs cache
 and dedup hits) to stderr so sweep users can confirm reuse is working.
+
+Every simulation runs on the vectorized fast-path engine by default;
+``--engine event`` selects the per-layer reference path (the one anchored to
+the event-driven tile simulator), and ``validate`` differentially checks that
+the two agree bit for bit over the network zoo (non-zero exit on mismatch).
 
 ``summary`` prints a per-layer breakdown for one network on DPNN and Loom
 (``--csv`` exports the same rows machine-readably); ``networks`` lists the
@@ -42,7 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments import (
     ablation,
@@ -71,6 +78,7 @@ from repro.explore import (
 )
 from repro.nn import available_networks
 from repro.quant import paper_networks
+from repro.sim.fastpath import ENGINES, set_default_engine
 from repro.sim.jobs import (
     AcceleratorSpec,
     JobExecutor,
@@ -103,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
              "results are identical regardless of N)",
     )
     parser.add_argument(
+        "--engine", choices=list(ENGINES), default="fast",
+        help="simulation engine: 'fast' (vectorized closed forms, the "
+             "default) or 'event' (per-layer reference path anchored to the "
+             "event-driven tile simulator); results are bit-identical",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print pipeline statistics (simulations vs cache/dedup hits) "
              "to stderr",
@@ -131,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablation", help="contribution of each Loom mechanism")
     sub.add_parser("all", help="regenerate every table and figure")
     sub.add_parser("networks", help="list the zoo networks and layer counts")
+    validate_cmd = sub.add_parser(
+        "validate",
+        help="differentially validate the fast engine against the event "
+             "engine (exact per-layer equality over the zoo)",
+    )
+    validate_cmd.add_argument(
+        "--quick", action="store_true",
+        help="small subset (alexnet/nin, 100%% profile) for smoke runs",
+    )
     summary = sub.add_parser("summary", help="per-layer breakdown for one network")
     summary.add_argument("--network", default="alexnet",
                          choices=paper_networks(), help="network to summarise")
@@ -330,12 +353,33 @@ def _networks_listing() -> str:
     return "\n".join(lines)
 
 
+def _validate(args: argparse.Namespace) -> Tuple[str, bool]:
+    """Run the differential engine validation; returns (report, ok)."""
+    from repro.sim.validate import validate_tile_level, validate_zoo
+
+    if args.quick:
+        report = validate_zoo(networks=["alexnet", "nin"],
+                              accuracies=["100%"],
+                              include_effective_weights=False)
+    else:
+        report = validate_zoo()
+    tile_checks = validate_tile_level()
+    lines = [report.summary(verbose=args.verbose)]
+    lines.append("== event-engine anchor: analytical schedules executed "
+                 "cycle by cycle ==")
+    lines.extend("  " + check.describe() for check in tile_checks)
+    ok = report.ok and all(check.ok for check in tile_checks)
+    return "\n".join(lines), ok
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``loom-repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
     outputs: List[str] = []
+    exit_code = 0
+    set_default_engine(args.engine)
     try:
         executor = build_executor(args)
     except OSError as error:
@@ -364,6 +408,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             outputs.append(ablation.format_table(ablation.run(executor=executor)))
         if command == "networks":
             outputs.append(_networks_listing())
+        if command == "validate":
+            report, ok = _validate(args)
+            outputs.append(report)
+            if not ok:
+                exit_code = 1
         if command == "summary":
             try:
                 outputs.append(_summary(args.network, args.accuracy, executor,
@@ -378,7 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verbose:
         print(executor.stats.summary(cache=executor.cache), file=sys.stderr)
     print("\n\n".join(outputs))
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

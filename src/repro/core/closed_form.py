@@ -1,0 +1,235 @@
+"""Vectorized closed-form tile math for all four accelerator models.
+
+The scalar models (:mod:`repro.core.scheduler` / :mod:`repro.core.loom`,
+:mod:`repro.accelerators`) derive a layer's cycle count one layer at a time,
+and the event-driven :class:`repro.core.tile.LoomTileSimulator` executes the
+same schedules callback by callback as the ground truth.  This module is the
+third leg: the same closed forms expressed as NumPy array expressions, so a
+whole network's layers (and, through :mod:`repro.sim.fastpath`, a whole batch
+of precision groups) are costed in a handful of vector operations.
+
+Exactness contract
+------------------
+Every function here mirrors its scalar counterpart *operation for operation*
+(the same order of multiplications and additions, the same integer/float
+promotions), so the results are bit-identical IEEE doubles, not merely close.
+The differential harness in :mod:`repro.sim.validate` and the parametrized
+tests in ``tests/test_fastpath.py`` enforce this across the full network zoo;
+if you change a formula in the scalar model, change it here in lockstep (or
+the validator will tell you).
+
+All functions accept NumPy integer/float arrays (or scalars) and broadcast
+elementwise; integer inputs must stay below 2**53 for the intermediate
+products to remain exact in float64, which holds by orders of magnitude for
+every network the paper evaluates.
+
+Unlike their scalar counterparts these helpers do *not* re-validate their
+operands on every call: they sit in the fast path's inner loop (where an
+``np.any`` guard on a 10-element array costs as much as the arithmetic), and
+their inputs come from :class:`repro.sim.fastpath.LayerTable` columns that
+were validated when the layers were resolved.  :func:`check_table_operands`
+performs the full set of range checks once per table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import LANES_PER_UNIT
+from repro.core.scheduler import LoomGeometry
+
+__all__ = [
+    "ceil_div_array",
+    "check_table_operands",
+    "effective_activation_bits_array",
+    "effective_weight_bits_array",
+    "steps_for_activation_bits_array",
+    "loom_conv_cycles_array",
+    "loom_fc_cycles_array",
+    "dpnn_conv_cycles_array",
+    "dpnn_fc_cycles_array",
+    "stripes_conv_cycles_array",
+]
+
+
+def ceil_div_array(a, b):
+    """Elementwise integer ceiling division (mirrors ``base.ceil_div``).
+
+    Operands must already be non-negative / positive respectively (see
+    :func:`check_table_operands`).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    return -(-a // b)
+
+
+def check_table_operands(windows, terms, outputs, act_bits, weight_bits):
+    """Range-check layer quantities once, before entering the closed forms.
+
+    Mirrors the per-call validations of the scalar schedules (positive
+    precisions, non-negative work counts); called by
+    ``repro.sim.fastpath.build_layer_table`` so the per-layer helpers can
+    stay guard-free.
+    """
+    if np.any(np.asarray(windows) < 0) or np.any(np.asarray(terms) < 0):
+        raise ValueError("windows/terms must be >= 0")
+    if np.any(np.asarray(outputs) < 1):
+        raise ValueError("outputs must be >= 1")
+    if np.any(np.asarray(act_bits) < 1):
+        raise ValueError("activation precision must be >= 1")
+    if np.any(np.asarray(weight_bits) < 1):
+        raise ValueError("weight precision must be >= 1")
+
+
+# -- dynamic precision --------------------------------------------------------
+
+
+def effective_activation_bits_array(
+    profile_bits,
+    enabled: bool,
+    activation_reduction: float,
+    bits_per_cycle: int = 1,
+):
+    """Vector mirror of ``DynamicPrecisionModel.effective_activation_bits``."""
+    profile_bits = np.asarray(profile_bits, dtype=np.int64)
+    if bits_per_cycle < 1:
+        raise ValueError(f"bits_per_cycle must be >= 1, got {bits_per_cycle}")
+    rounded_profile = bits_per_cycle * (-(-profile_bits // bits_per_cycle))
+    if not enabled:
+        return rounded_profile.astype(np.float64)
+    effective = activation_reduction * profile_bits
+    if bits_per_cycle > 1:
+        effective = effective + (bits_per_cycle - 1) / 2.0
+    return np.minimum(np.maximum(1.0, effective), rounded_profile)
+
+
+def effective_weight_bits_array(profile_bits):
+    """Vector mirror of ``DynamicPrecisionModel.effective_weight_bits``."""
+    profile_bits = np.asarray(profile_bits, dtype=np.float64)
+    return np.minimum(np.maximum(1.0, profile_bits), 16.0)
+
+
+# -- Loom schedules -----------------------------------------------------------
+
+
+def steps_for_activation_bits_array(activation_bits, bits_per_cycle: int):
+    """Vector mirror of ``LoomGeometry.steps_for_activation_bits``.
+
+    Integral precisions take the exact ``ceil(Pa / b)`` path; fractional
+    (dynamically reduced averages) divide straight through, exactly as the
+    scalar method does.
+    """
+    activation_bits = np.asarray(activation_bits, dtype=np.float64)
+    integral = activation_bits == np.floor(activation_bits)
+    # The truncating cast only feeds elements selected by ``integral``.
+    as_int = activation_bits.astype(np.int64)
+    exact = (-(-as_int // bits_per_cycle)).astype(np.float64)
+    return np.where(integral, exact, activation_bits / bits_per_cycle)
+
+
+def loom_conv_cycles_array(
+    windows,
+    terms,
+    filters,
+    activation_serial_steps,
+    weight_serial_bits,
+    geometry: LoomGeometry,
+    replicate_filters: bool = False,
+) -> np.ndarray:
+    """Total Loom CVL cycles: mirrors ``ConvSchedule.total_cycles`` on the
+    schedule that ``schedule_conv_layer`` builds (including the filter
+    replication mapping and the exposed weight-load fill cycle)."""
+    windows = np.asarray(windows, dtype=np.int64)
+    terms = np.asarray(terms, dtype=np.int64)
+    filters = np.asarray(filters, dtype=np.int64)
+    steps = np.asarray(activation_serial_steps, dtype=np.float64)
+    weight_bits = np.asarray(weight_serial_bits, dtype=np.float64)
+    term_chunks = ceil_div_array(terms, geometry.lanes)
+    filter_chunks = ceil_div_array(filters, geometry.filter_rows)
+    replication = np.ones_like(filters)
+    if replicate_filters:
+        candidate = np.maximum(1, geometry.filter_rows // np.maximum(filters, 1))
+        max_useful = np.maximum(
+            1, ceil_div_array(windows, geometry.window_columns)
+        )
+        replication = np.where(
+            filters < geometry.filter_rows,
+            np.minimum(candidate, max_useful),
+            replication,
+        )
+    window_chunks = ceil_div_array(windows, geometry.window_columns * replication)
+    passes = window_chunks * term_chunks * filter_chunks
+    # passes * cycles_per_pass + weight_load_cycles, in that order.
+    return passes * (steps * weight_bits) + 1
+
+
+def loom_fc_cycles_array(
+    outputs,
+    terms,
+    weight_serial_bits,
+    geometry: LoomGeometry,
+    use_cascading: bool = True,
+) -> np.ndarray:
+    """Total Loom FCL cycles: mirrors ``FCSchedule.total_cycles`` on the
+    schedule ``schedule_fc_layer`` builds (cascade slicing, column stagger
+    and the cascade-reduction tail)."""
+    outputs = np.asarray(outputs, dtype=np.int64)
+    terms = np.asarray(terms, dtype=np.int64)
+    weight_bits = np.asarray(weight_serial_bits, dtype=np.float64)
+    if use_cascading:
+        raw = geometry.num_sips // np.maximum(outputs, 1)
+        slices = np.where(
+            outputs >= geometry.num_sips,
+            np.ones_like(outputs),
+            np.maximum(1, np.minimum(geometry.window_columns, raw)),
+        )
+    else:
+        slices = np.ones_like(outputs)
+    concurrent = np.maximum(1, geometry.num_sips // slices)
+    output_chunks = ceil_div_array(outputs, concurrent)
+    terms_per_slice = ceil_div_array(terms, slices)
+    term_chunks = ceil_div_array(terms_per_slice, geometry.lanes)
+    activation_steps = geometry.steps_for_activation_bits(LANES_PER_UNIT)
+    stagger = geometry.window_columns - 1
+    reduction = np.where(slices > 1, slices - 1, np.zeros_like(slices))
+    return (output_chunks * term_chunks * (activation_steps * weight_bits)
+            + stagger + reduction)
+
+
+# -- bit-parallel baseline ----------------------------------------------------
+
+
+def dpnn_conv_cycles_array(windows, terms, filters, num_ip_units: int):
+    """DPNN CVL cycles (``DPNN._conv_cycles``), as float64."""
+    windows = np.asarray(windows, dtype=np.int64)
+    term_chunks = ceil_div_array(terms, LANES_PER_UNIT)
+    filter_chunks = ceil_div_array(filters, num_ip_units)
+    return (windows * term_chunks * filter_chunks).astype(np.float64)
+
+
+def dpnn_fc_cycles_array(terms, outputs, num_ip_units: int):
+    """DPNN FCL cycles (``DPNN._fc_cycles``), as float64."""
+    term_chunks = ceil_div_array(terms, LANES_PER_UNIT)
+    filter_chunks = ceil_div_array(outputs, num_ip_units)
+    return (term_chunks * filter_chunks).astype(np.float64)
+
+
+# -- Stripes / DStripes -------------------------------------------------------
+
+
+def stripes_conv_cycles_array(
+    windows,
+    terms,
+    filters,
+    activation_serial_bits,
+    filter_lanes: int,
+    window_lanes: int,
+):
+    """Stripes CVL cycles (``Stripes.compute_cycles`` conv branch)."""
+    serial_bits = np.asarray(activation_serial_bits, dtype=np.float64)
+    window_chunks = ceil_div_array(windows, window_lanes)
+    term_chunks = ceil_div_array(terms, LANES_PER_UNIT)
+    filter_chunks = ceil_div_array(filters, filter_lanes)
+    return window_chunks * term_chunks * filter_chunks * serial_bits
+
+

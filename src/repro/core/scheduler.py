@@ -22,7 +22,6 @@ can check that the two agree cycle for cycle.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

@@ -12,7 +12,6 @@ predicts for a single-SIP-per-output mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

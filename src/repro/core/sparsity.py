@@ -20,7 +20,7 @@ sparsity example/benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

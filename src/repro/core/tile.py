@@ -11,9 +11,7 @@ experiments, which is the cross-check the paper's custom simulator provided.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.core.scheduler import ConvSchedule, FCSchedule
 from repro.sim.engine import CycleEngine

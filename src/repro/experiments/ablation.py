@@ -19,8 +19,8 @@ and off, across the six networks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.accelerators import AcceleratorConfig
 from repro.experiments.common import loom_spec

@@ -10,7 +10,7 @@ performance-vs-area figure of merit the section discusses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.accelerators import AcceleratorConfig
 from repro.experiments.common import loom_spec

@@ -11,7 +11,7 @@ instances for callers that want to poke at the models directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
 from repro.accelerators import AcceleratorConfig
 from repro.nn import Network, build_network

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import ExperimentResult, default_design_specs
+from repro.experiments.common import default_design_specs
 from repro.quant import paper_networks
 from repro.sim import AcceleratorRunner, NetworkSpec, geomean
 

@@ -19,13 +19,12 @@ so it takes no :class:`~repro.sim.jobs.JobExecutor`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn import Network, ReferenceModel
-from repro.nn.layers import TensorShape
 from repro.quant import (
     NetworkPrecisionProfile,
     get_paper_profile,

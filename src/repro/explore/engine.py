@@ -16,7 +16,7 @@ strategy, rank the evaluated points by Pareto dominance and return an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.sim.jobs import (
     AcceleratorSpec,

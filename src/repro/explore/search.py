@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.explore.engine import EvaluatedPoint, PointEvaluator
 from repro.explore.frontier import Objective, scalar_score

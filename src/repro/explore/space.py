@@ -33,7 +33,6 @@ from typing import (
 from repro.accelerators.base import AcceleratorConfig
 from repro.memory.dram import DRAMChannel, LPDDR4_4267
 from repro.sim.jobs import (
-    ACCELERATOR_KINDS,
     AcceleratorSpec,
     NetworkSpec,
     SimJob,

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["DRAMChannel", "LPDDR4_4267"]
 
 
@@ -74,15 +76,21 @@ class DRAMChannel:
         return self.sustained_bandwidth_gbps / clock_ghz
 
     def transfer_cycles(self, bits: float, clock_ghz: float = 1.0) -> float:
-        """Cycles (at the accelerator clock) needed to move ``bits`` bits."""
-        if bits < 0:
+        """Cycles (at the accelerator clock) needed to move ``bits`` bits.
+
+        ``bits`` may be a NumPy array (used by the fast-path engine).
+        """
+        if np.any(np.asarray(bits) < 0):
             raise ValueError(f"bits must be >= 0, got {bits}")
         per_cycle = self.bits_per_cycle(clock_ghz)
         return bits / per_cycle
 
     def transfer_energy_pj(self, bits: float) -> float:
-        """Energy of moving ``bits`` bits over the channel."""
-        if bits < 0:
+        """Energy of moving ``bits`` bits over the channel.
+
+        ``bits`` may be a NumPy array (used by the fast-path engine).
+        """
+        if np.any(np.asarray(bits) < 0):
             raise ValueError(f"bits must be >= 0, got {bits}")
         return bits * self.energy_pj_per_bit
 

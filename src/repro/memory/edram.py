@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["EDRAMMemory"]
 
 
@@ -71,9 +73,13 @@ class EDRAMMemory:
         return (self.technology_nm / 65.0) ** 2
 
     def access_energy_pj(self, bits: float | None = None) -> float:
-        """Energy to read or write ``bits`` bits (default one full access)."""
+        """Energy to read or write ``bits`` bits (default one full access).
+
+        ``bits`` may be a NumPy array (the fast-path engine batches whole
+        networks); the expression is identical elementwise.
+        """
         bits = self.width_bits if bits is None else bits
-        if bits < 0:
+        if np.any(np.asarray(bits) < 0):
             raise ValueError(f"bits must be >= 0, got {bits}")
         return (self._BASE_ACCESS_ENERGY_PJ_PER_BIT * bits * self._size_factor()
                 * self._tech_factor())

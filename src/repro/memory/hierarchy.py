@@ -23,7 +23,6 @@ is the max of compute and memory time) and hand both to the energy model.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional, Union
 

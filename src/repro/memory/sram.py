@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["SRAMBuffer"]
 
 
@@ -81,17 +83,23 @@ class SRAMBuffer:
     # -- CACTI-like outputs ------------------------------------------------------
 
     def read_energy_pj(self, bits: int | None = None) -> float:
-        """Energy of reading ``bits`` bits (default: one full-width access)."""
+        """Energy of reading ``bits`` bits (default: one full-width access).
+
+        ``bits`` may be a NumPy array (used by the fast-path engine).
+        """
         bits = self.width_bits if bits is None else bits
-        if bits < 0:
+        if np.any(np.asarray(bits) < 0):
             raise ValueError(f"bits must be >= 0, got {bits}")
         return (self._BASE_READ_ENERGY_PJ_PER_BIT * bits * self._size_factor()
                 * self._tech_factor())
 
     def write_energy_pj(self, bits: int | None = None) -> float:
-        """Energy of writing ``bits`` bits (default: one full-width access)."""
+        """Energy of writing ``bits`` bits (default: one full-width access).
+
+        ``bits`` may be a NumPy array (used by the fast-path engine).
+        """
         bits = self.width_bits if bits is None else bits
-        if bits < 0:
+        if np.any(np.asarray(bits) < 0):
             raise ValueError(f"bits must be >= 0, got {bits}")
         return (self._BASE_WRITE_ENERGY_PJ_PER_BIT * bits * self._size_factor()
                 * self._tech_factor())

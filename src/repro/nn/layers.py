@@ -14,9 +14,8 @@ paper evaluates single-image inference).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "TensorShape",

@@ -10,13 +10,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Union
 
 from repro.nn.layers import (
     Concat,
     Conv2D,
     FullyConnected,
-    Layer,
     LRN,
     Pool2D,
     ReLU,

@@ -24,7 +24,6 @@ resulting table entries compare with the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -20,7 +20,6 @@ aggregation into average effective precisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

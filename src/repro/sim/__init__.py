@@ -12,6 +12,11 @@
 * :mod:`repro.sim.jobs` -- the declarative job pipeline: ``SimJob`` specs, a
   content-keyed result cache and a parallel ``JobExecutor`` the experiment
   harnesses run on.
+* :mod:`repro.sim.fastpath` -- the vectorized closed-form engine (the default
+  ``--engine fast``), bit-identical to the per-layer reference path.
+* :mod:`repro.sim.validate` -- the differential harness asserting that the
+  two engines agree cycle for cycle (and that Loom's analytical schedules
+  match the event-driven tile simulator).
 """
 
 from repro.sim.results import (
@@ -34,6 +39,16 @@ from repro.sim.jobs import (
     job_key,
     set_default_executor,
     use_executor,
+)
+from repro.sim.fastpath import (
+    ENGINES,
+    LayerTable,
+    build_layer_table,
+    get_default_engine,
+    set_default_engine,
+    simulate_network_fast,
+    supports_fast_path,
+    use_engine,
 )
 from repro.sim.report import (
     layer_breakdown,
@@ -68,6 +83,14 @@ __all__ = [
     "job_key",
     "set_default_executor",
     "use_executor",
+    "ENGINES",
+    "LayerTable",
+    "build_layer_table",
+    "get_default_engine",
+    "set_default_engine",
+    "simulate_network_fast",
+    "supports_fast_path",
+    "use_engine",
     "layer_breakdown",
     "comparison_table",
     "bottleneck_summary",

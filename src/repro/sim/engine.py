@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -46,7 +47,29 @@ class CycleEngine:
 
     def schedule(self, delay: int, callback: Callable[[], None],
                  label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from the current cycle."""
+        """Schedule ``callback`` to run ``delay`` cycles from the current cycle.
+
+        ``delay`` must be a whole number of cycles.  Integral floats (which
+        precision math like ``steps * weight_bits`` readily produces) are
+        coerced to ``int`` so event cycles stay exact integers; fractional
+        delays are rejected instead of silently truncating the timeline.
+        """
+        if isinstance(delay, float):
+            if not delay.is_integer():
+                raise ValueError(
+                    f"delay must be a whole number of cycles, got {delay!r}; "
+                    f"fractional (dynamic-precision) cycle counts belong in "
+                    f"the analytical models, not the event engine"
+                )
+            delay = int(delay)
+        elif not isinstance(delay, int):
+            try:
+                delay = int(operator.index(delay))
+            except TypeError:
+                raise TypeError(
+                    f"delay must be an integer cycle count, got "
+                    f"{type(delay).__name__}"
+                ) from None
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         event = Event(

@@ -1,0 +1,428 @@
+"""Vectorized analytical fast-path simulator.
+
+The reference ("event") engine walks a network layer by layer through
+``Accelerator.simulate_layer`` -- per-layer Python arithmetic whose Loom
+schedules are cross-checked callback-by-callback against the event-driven
+:class:`repro.core.tile.LoomTileSimulator`.  This module computes the same
+per-layer cycle counts, memory-channel stalls, traffic, energy and occupancy
+for *all* layers of a network at once with the NumPy closed forms of
+:mod:`repro.core.closed_form`, producing bit-identical
+:class:`~repro.sim.results.LayerResult` records an order of magnitude faster.
+
+The two engines are interchangeable by contract: ``loom-repro --engine
+{fast,event}`` selects one for the whole invocation, the result cache keys do
+not record the engine, and :mod:`repro.sim.validate` (plus
+``tests/test_fastpath.py``) asserts exact equality over the full network zoo.
+
+Only the four stock designs (DPNN, Stripes, DStripes, Loom) have vector
+kernels; exotic subclasses fall back to the reference engine automatically
+(see :func:`supports_fast_path`), so user extensions keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.layout import BitInterleavedLayout
+from repro.sim.results import LayerResult, NetworkResult
+
+# repro.core.closed_form is imported lazily inside the kernels: this module is
+# pulled in by ``repro.sim.__init__`` while ``repro.accelerators.base`` (which
+# the core schedules depend on) may still be mid-initialisation.
+
+__all__ = [
+    "ENGINES",
+    "LayerTable",
+    "build_layer_table",
+    "get_default_engine",
+    "resolve_engine",
+    "set_default_engine",
+    "use_engine",
+    "supports_fast_path",
+    "simulate_layers_fast",
+    "simulate_network_fast",
+]
+
+#: The selectable simulation engines: the vectorized fast path and the
+#: per-layer reference path anchored to the event-driven tile simulator.
+ENGINES = ("fast", "event")
+
+_default_engine = "fast"
+
+
+def get_default_engine() -> str:
+    """The process-wide engine used when callers do not pass one."""
+    return _default_engine
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine choice; ``None`` resolves to the process default."""
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {'/'.join(ENGINES)}"
+        )
+    return engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Install ``engine`` as the process default; returns the previous one.
+
+    Worker processes forked by :class:`~repro.sim.jobs.JobExecutor` inherit
+    the setting active at fork time (both engines produce identical results,
+    so this only matters for benchmarking).
+    """
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {'/'.join(ENGINES)}"
+        )
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+@contextlib.contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Temporarily select a simulation engine (restored on exit)."""
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)
+
+
+# -- layer feature tables ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerTable:
+    """Column-wise view of a network's resolved compute layers.
+
+    One row per layer, in network order; ``windows`` is 0 for FCLs and
+    ``effective_weight_bits`` is NaN when the profile carries no per-group
+    weight precisions.  Tables are immutable and safely shared across
+    accelerator designs (the job pipeline memoises one per network spec).
+    """
+
+    names: Tuple[str, ...]
+    is_conv: np.ndarray
+    windows: np.ndarray
+    terms: np.ndarray
+    outputs: np.ndarray
+    macs: np.ndarray
+    weight_count: np.ndarray
+    input_activations: np.ndarray
+    output_activations: np.ndarray
+    act_bits: np.ndarray
+    weight_bits: np.ndarray
+    effective_weight_bits: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def build_layer_table(layers: Sequence[object]) -> LayerTable:
+    """Extract the per-layer quantities the closed forms consume.
+
+    ``layers`` holds :class:`~repro.nn.network.LayerWithPrecision` records
+    (what ``Network.compute_layers`` returns).
+    """
+    names: List[str] = []
+    rows: List[Tuple[bool, int, int, int, int, int, int, int, int, int, float]] = []
+    for lw in layers:
+        if not (lw.is_conv or lw.is_fc):
+            raise ValueError(f"layer {lw.name!r} is not a compute layer")
+        precision = lw.precision
+        if lw.is_conv:
+            conv = lw.layer
+            windows = conv.num_windows(lw.input_shape)
+            terms = conv.window_size(lw.input_shape)
+            outputs = conv.out_channels
+        else:
+            windows = 0
+            terms = lw.input_shape.size
+            outputs = lw.layer.out_features
+        effective = precision.effective_weight_bits
+        names.append(lw.name)
+        rows.append((
+            lw.is_conv, windows, terms, outputs, lw.macs, lw.weight_count,
+            lw.input_activations, lw.output_activations,
+            precision.activation_bits, precision.weight_bits,
+            float("nan") if effective is None else float(effective),
+        ))
+    from repro.core.closed_form import check_table_operands
+
+    columns = list(zip(*rows)) if rows else [[] for _ in range(11)]
+    table = LayerTable(
+        names=tuple(names),
+        is_conv=np.asarray(columns[0], dtype=bool),
+        windows=np.asarray(columns[1], dtype=np.int64),
+        terms=np.asarray(columns[2], dtype=np.int64),
+        outputs=np.asarray(columns[3], dtype=np.int64),
+        macs=np.asarray(columns[4], dtype=np.int64),
+        weight_count=np.asarray(columns[5], dtype=np.int64),
+        input_activations=np.asarray(columns[6], dtype=np.int64),
+        output_activations=np.asarray(columns[7], dtype=np.int64),
+        act_bits=np.asarray(columns[8], dtype=np.int64),
+        weight_bits=np.asarray(columns[9], dtype=np.int64),
+        effective_weight_bits=np.asarray(columns[10], dtype=np.float64),
+    )
+    # Range-check once here so the per-call closed forms stay guard-free.
+    check_table_operands(table.windows, table.terms, table.outputs,
+                         table.act_bits, table.weight_bits)
+    return table
+
+
+# -- per-design vector kernels -------------------------------------------------
+
+
+def _stock_kinds():
+    """Exact classes with a vector kernel (imported lazily: no package cycles)."""
+    from repro.accelerators.dpnn import DPNN
+    from repro.accelerators.dstripes import DStripes
+    from repro.accelerators.stripes import Stripes
+    from repro.core.loom import Loom
+
+    return Loom, DPNN, Stripes, DStripes
+
+
+def supports_fast_path(accelerator) -> bool:
+    """Whether ``accelerator`` is one of the four stock designs.
+
+    The check is on the *exact* type: subclasses may override any hook, so
+    they take the reference engine (correct for every Accelerator) instead.
+    """
+    return type(accelerator) in _stock_kinds()
+
+
+def _loom_weight_serial_bits(loom, table: LayerTable,
+                             idx: np.ndarray) -> np.ndarray:
+    """Mirror of ``Loom._conv_weight_bits`` / ``_fc_weight_bits``."""
+    from repro.core.closed_form import effective_weight_bits_array
+
+    profile = table.weight_bits[idx].astype(np.float64)
+    if not loom.use_effective_weight_precision:
+        return profile
+    effective = table.effective_weight_bits[idx]
+    has_effective = ~np.isnan(effective)
+    clamped = effective_weight_bits_array(np.where(has_effective, effective, 1.0))
+    return np.where(has_effective, clamped, profile)
+
+
+def _compute_cycles(accelerator, table: LayerTable,
+                    conv: np.ndarray, fc: np.ndarray) -> np.ndarray:
+    """Datapath cycles for every layer (the ``compute_cycles`` column)."""
+    from repro.accelerators.dpnn import DPNN
+    from repro.accelerators.stripes import Stripes
+    from repro.core.closed_form import (
+        dpnn_conv_cycles_array,
+        dpnn_fc_cycles_array,
+        effective_activation_bits_array,
+        loom_conv_cycles_array,
+        loom_fc_cycles_array,
+        steps_for_activation_bits_array,
+        stripes_conv_cycles_array,
+    )
+    from repro.core.loom import Loom
+
+    cycles = np.zeros(len(table), dtype=np.float64)
+    if isinstance(accelerator, Loom):
+        geometry = accelerator.geometry
+        dynamic = accelerator.dynamic_precision
+        if conv.size:
+            act_bits = effective_activation_bits_array(
+                table.act_bits[conv], dynamic.enabled,
+                dynamic.activation_reduction, geometry.bits_per_cycle,
+            )
+            steps = steps_for_activation_bits_array(
+                act_bits, geometry.bits_per_cycle
+            )
+            cycles[conv] = loom_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                steps, _loom_weight_serial_bits(accelerator, table, conv),
+                geometry, accelerator.replicate_filters,
+            )
+        if fc.size:
+            cycles[fc] = loom_fc_cycles_array(
+                table.outputs[fc], table.terms[fc],
+                _loom_weight_serial_bits(accelerator, table, fc),
+                geometry, accelerator.use_cascading,
+            )
+        return cycles
+    if isinstance(accelerator, Stripes):  # covers DStripes
+        if conv.size:
+            dynamic = accelerator.dynamic_precision
+            serial_bits = effective_activation_bits_array(
+                table.act_bits[conv], dynamic.enabled,
+                dynamic.activation_reduction, bits_per_cycle=1,
+            )
+            cycles[conv] = stripes_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                serial_bits, accelerator.filter_lanes, Stripes.WINDOW_LANES,
+            )
+        if fc.size:
+            cycles[fc] = dpnn_fc_cycles_array(
+                table.terms[fc], table.outputs[fc],
+                accelerator._dpnn.num_ip_units,
+            )
+        return cycles
+    if isinstance(accelerator, DPNN):
+        if conv.size:
+            cycles[conv] = dpnn_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                accelerator.num_ip_units,
+            )
+        if fc.size:
+            cycles[fc] = dpnn_fc_cycles_array(
+                table.terms[fc], table.outputs[fc], accelerator.num_ip_units,
+            )
+        return cycles
+    raise TypeError(
+        f"no vector kernel for {type(accelerator).__name__}; "
+        f"check supports_fast_path() before calling the fast engine"
+    )
+
+
+def _storage_precisions(accelerator, table: LayerTable):
+    """Mirror of ``Accelerator.storage_precisions`` for the stock designs."""
+    from repro.core.loom import Loom
+
+    if isinstance(accelerator, Loom):
+        return table.weight_bits, table.act_bits
+    full = np.full(len(table), 16, dtype=np.int64)
+    if accelerator.stores_activations_serially:  # Stripes / DStripes
+        return full, table.act_bits
+    return full, full  # DPNN
+
+
+def _traffic_bits(layout, count: np.ndarray, precision: np.ndarray) -> np.ndarray:
+    """Vector mirror of the layouts' ``traffic_bits`` (bits to move once)."""
+    if isinstance(layout, BitInterleavedLayout):
+        return (count * precision).astype(np.float64)
+    return (count * layout.word_bits).astype(np.float64)
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
+    """Simulate every layer of ``table`` on ``accelerator`` in one vector pass.
+
+    Produces exactly what per-layer ``Accelerator.simulate_layer`` calls
+    would: the same cycles/compute/stall split, traffic, energy and
+    utilization, bit for bit (each array expression mirrors the scalar
+    arithmetic's operation order).
+    """
+    n = len(table)
+    if n == 0:
+        return []
+    conv = np.flatnonzero(table.is_conv)
+    fc = np.flatnonzero(~table.is_conv)
+    compute_cycles = _compute_cycles(accelerator, table, conv, fc)
+
+    hierarchy = accelerator.hierarchy
+    weight_store, act_store = _storage_precisions(accelerator, table)
+    weight_bits = _traffic_bits(hierarchy.weight_layout,
+                                table.weight_count, weight_store)
+    act_in_bits = _traffic_bits(hierarchy.activation_layout,
+                                table.input_activations, act_store)
+    act_out_bits = _traffic_bits(hierarchy.activation_layout,
+                                 table.output_activations, act_store)
+    act_footprint = act_in_bits + act_out_bits
+    activations_fit = hierarchy.activation_memory.fits(act_footprint)
+    weights_fit = hierarchy.weight_memory.fits(weight_bits) & table.is_conv
+    offchip_bits = weight_bits + np.where(activations_fit, 0.0, act_footprint)
+
+    if hierarchy.dram is None:
+        memory_cycles = np.zeros(n, dtype=np.float64)
+    else:
+        memory_cycles = hierarchy.dram.transfer_cycles(
+            offchip_bits, hierarchy.clock_ghz
+        )
+    cycles = np.maximum(compute_cycles, memory_cycles)
+
+    # Datapath energy: active power while computing, clock-gated (0.25x)
+    # while stalled on memory -- same expression as Accelerator.simulate_layer.
+    stall_cycles = np.maximum(0.0, cycles - compute_cycles)
+    datapath_pj = accelerator.datapath_pj_per_cycle()
+    datapath_energy = (compute_cycles * datapath_pj
+                       + stall_cycles * datapath_pj * 0.25)
+
+    # Memory energy, term by term in MemoryHierarchy.memory_energy_pj order.
+    energy = np.where(
+        weights_fit,
+        hierarchy.weight_memory.access_energy_pj(weight_bits),
+        hierarchy.abin.read_energy_pj(weight_bits) * 0.15,
+    )
+    energy = energy + hierarchy.activation_memory.access_energy_pj(
+        act_in_bits + act_out_bits
+    )
+    energy = energy + hierarchy.abin.read_energy_pj(act_in_bits)
+    energy = energy + hierarchy.about.write_energy_pj(act_out_bits)
+    if hierarchy.transposer is not None:
+        # Zero-output layers contribute exactly 0.0, matching the scalar guard.
+        energy = energy + hierarchy.transposer.energy_pj(table.output_activations)
+    if hierarchy.dram is not None and hierarchy.charge_offchip_energy:
+        energy = energy + hierarchy.dram.transfer_energy_pj(offchip_bits)
+    energy = datapath_energy + energy
+
+    equivalent_macs = accelerator.config.equivalent_macs
+    safe_cycles = np.where(compute_cycles <= 0, 1.0, compute_cycles)
+    ideal = table.macs / equivalent_macs
+    utilization = np.where(compute_cycles <= 0, 1.0,
+                           np.minimum(1.0, ideal / safe_cycles))
+
+    # tolist() converts whole columns to plain Python scalars in one pass
+    # (bit-exact for float64), far cheaper than per-element float() casts.
+    rows = zip(
+        table.names, table.is_conv.tolist(), cycles.tolist(),
+        compute_cycles.tolist(), memory_cycles.tolist(), energy.tolist(),
+        weight_bits.tolist(), act_in_bits.tolist(), act_out_bits.tolist(),
+        table.macs.tolist(), utilization.tolist(),
+    )
+    return [
+        LayerResult(
+            layer_name=name,
+            layer_kind="conv" if conv_kind else "fc",
+            cycles=row_cycles,
+            compute_cycles=row_compute,
+            memory_cycles=row_memory,
+            energy_pj=row_energy,
+            weight_bits_read=row_weights,
+            activation_bits_read=row_act_in,
+            activation_bits_written=row_act_out,
+            macs=row_macs,
+            utilization=row_utilization,
+        )
+        for (name, conv_kind, row_cycles, row_compute, row_memory, row_energy,
+             row_weights, row_act_in, row_act_out, row_macs,
+             row_utilization) in rows
+    ]
+
+
+def simulate_network_fast(
+    accelerator,
+    layers,
+    network: str = "",
+    clock_ghz: Optional[float] = None,
+) -> NetworkResult:
+    """Fast-path equivalent of :func:`repro.sim.runner.run_network`.
+
+    ``layers`` is either a :class:`LayerTable` or a sequence of resolved
+    :class:`~repro.nn.network.LayerWithPrecision` records.
+    """
+    table = layers if isinstance(layers, LayerTable) else build_layer_table(layers)
+    result = NetworkResult(
+        network=network,
+        accelerator=accelerator.name,
+        clock_ghz=(clock_ghz if clock_ghz is not None
+                   else accelerator.config.clock_ghz),
+    )
+    result.layers.extend(simulate_layers_fast(accelerator, table))
+    return result

@@ -233,13 +233,21 @@ class JobExecutor:
                  on_result=None) -> List[NetworkResult]:
         """Run ``jobs`` in order, invoking ``on_result(index, result)`` as
         each finishes (parallel execution streams ordered results back)."""
+        import functools
+
+        from repro.sim.fastpath import get_default_engine
+
+        # Pin the submit-time engine explicitly so pool workers honour it
+        # even on platforms where the pool falls back to spawn (a spawned
+        # worker re-imports with the engine default reset to "fast").
+        run_job = functools.partial(execute_job, engine=get_default_engine())
         results: List[NetworkResult] = []
         if self.workers == 1 or len(jobs) < 2:
-            iterator = (execute_job(job) for job in jobs)
+            iterator = (run_job(job) for job in jobs)
         else:
             pool = self._get_pool()
             chunksize = max(1, len(jobs) // (self.workers * 4))
-            iterator = pool.imap(execute_job, jobs, chunksize=chunksize)
+            iterator = pool.imap(run_job, jobs, chunksize=chunksize)
         for index, result in enumerate(iterator):
             if on_result is not None:
                 on_result(index, result)

@@ -280,6 +280,14 @@ def _spec_layers(spec: NetworkSpec) -> tuple:
     return tuple(build_spec_network(spec).compute_layers())
 
 
+@functools.lru_cache(maxsize=None)
+def _spec_layer_table(spec: NetworkSpec):
+    """Column-wise layer table for the fast-path engine (shared, read-only)."""
+    from repro.sim.fastpath import build_layer_table
+
+    return build_layer_table(_spec_layers(spec))
+
+
 def network_layer_counts(name: str) -> Tuple[int, int]:
     """(convolutional, fully-connected) compute-layer counts for a zoo network."""
     layers = _spec_layers(NetworkSpec(name))
@@ -296,14 +304,31 @@ def build_accelerator(spec: AcceleratorSpec,
                    spec.options_dict())
 
 
-def execute_job(job: SimJob) -> NetworkResult:
+def execute_job(job: SimJob, engine: Optional[str] = None) -> NetworkResult:
     """Run one job: build the network and accelerator, simulate every layer.
 
     Equivalent to :func:`repro.sim.runner.run_network` on the materialised
     objects, but with the network construction and shape resolution memoised
     per process.
+
+    ``engine`` selects the simulation engine (``"fast"`` -- the vectorized
+    closed-form path -- or ``"event"``, the per-layer reference path); the
+    default follows :func:`repro.sim.fastpath.get_default_engine`.  The two
+    engines produce bit-identical results (enforced by
+    :mod:`repro.sim.validate`), which is why the engine is *not* part of the
+    job's cache key.
     """
+    from repro.sim import fastpath
+
     accelerator = build_accelerator(job.accelerator, job.config)
+    engine = fastpath.resolve_engine(engine)
+    if engine == "fast" and fastpath.supports_fast_path(accelerator):
+        return fastpath.simulate_network_fast(
+            accelerator,
+            _spec_layer_table(job.network),
+            network=job.network.name,
+            clock_ghz=accelerator.config.clock_ghz,
+        )
     result = NetworkResult(
         network=job.network.name,
         accelerator=accelerator.name,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 __all__ = ["geomean", "harmonic_mean", "speedup", "efficiency_ratio"]
 

@@ -21,7 +21,7 @@ Two kinds of design mapping are accepted:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.nn.network import Network
 from repro.sim.results import ComparisonResult, NetworkResult, compare
@@ -38,17 +38,33 @@ class LayerSelection:
 
 
 def run_network(accelerator, network: Network,
-                clock_ghz: Optional[float] = None) -> NetworkResult:
+                clock_ghz: Optional[float] = None,
+                engine: Optional[str] = None) -> NetworkResult:
     """Simulate every compute layer of ``network`` on ``accelerator``.
 
     The network must have shapes that resolve; attach a precision profile
     first if the accelerator exploits precision (Loom/Stripes fall back to the
     16-bit baseline precisions otherwise, which simply yields no benefit).
+
+    ``engine`` picks between the vectorized closed-form path (``"fast"``) and
+    the per-layer reference path (``"event"``); ``None`` follows the process
+    default (see :mod:`repro.sim.fastpath`).  Both produce bit-identical
+    results; custom accelerator subclasses without a vector kernel always
+    take the reference path.
     """
+    from repro.sim import fastpath
+
+    engine = fastpath.resolve_engine(engine)
+    clock = clock_ghz if clock_ghz is not None else accelerator.config.clock_ghz
+    if engine == "fast" and fastpath.supports_fast_path(accelerator):
+        return fastpath.simulate_network_fast(
+            accelerator, network.compute_layers(),
+            network=network.name, clock_ghz=clock,
+        )
     result = NetworkResult(
         network=network.name,
         accelerator=accelerator.name,
-        clock_ghz=clock_ghz if clock_ghz is not None else accelerator.config.clock_ghz,
+        clock_ghz=clock,
     )
     for layer in network.compute_layers():
         result.add(accelerator.simulate_layer(layer))

@@ -10,7 +10,6 @@ exercise the full pipeline.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

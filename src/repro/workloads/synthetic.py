@@ -21,7 +21,7 @@ Two knobs matter for the dynamic-precision behaviour:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig
+from repro.accelerators import DPNN, DStripes, Stripes
 from repro.core import Loom
 from repro.nn import Network, build_network
 from repro.nn.layers import Conv2D, FullyConnected, Pool2D, ReLU, TensorShape

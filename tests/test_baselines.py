@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.accelerators import DPNN, DStripes, Stripes, AcceleratorConfig, ceil_div
-from repro.accelerators.base import LANES_PER_UNIT
+from repro.accelerators import DPNN, DStripes, AcceleratorConfig, ceil_div
 from repro.memory.dram import LPDDR4_4267
 from repro.nn import build_network
 from repro.quant import get_paper_profile

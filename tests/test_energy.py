@@ -6,7 +6,7 @@ import pytest
 
 from repro.energy.area import DatapathArea, AreaModel
 from repro.energy.power import DatapathPower, PowerModel
-from repro.energy.tech import TechnologyParameters, TSMC_65NM
+from repro.energy.tech import TSMC_65NM
 
 
 class TestTechnologyParameters:

@@ -23,7 +23,6 @@ from repro.explore import (
     pareto_frontier,
     parse_accelerator,
     parse_value,
-    point_to_job,
     resolve_objectives,
     resolve_strategy,
     scalar_score,
@@ -32,7 +31,6 @@ from repro.explore import (
     sweep_to_csv,
 )
 from repro.memory.dram import LPDDR4_4267
-from repro.quant import paper_networks
 from repro.sim import geomean
 from repro.sim.jobs import AcceleratorSpec, JobExecutor, NetworkSpec, SimJob, job_key
 from repro.sim.results import compare

@@ -8,7 +8,6 @@ from repro.nn.inference import ReferenceModel, choose_format, run_quantized, \
 from repro.nn.layers import (
     Concat,
     Conv2D,
-    FullyConnected,
     LRN,
     Pool2D,
     ReLU,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.accelerators import DPNN, AcceleratorConfig
 from repro.core import Loom
 from repro.quant import get_paper_profile
 from repro.quant.dynamic import DynamicPrecisionModel

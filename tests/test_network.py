@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.nn.layers import (
-    Concat,
-    Conv2D,
-    FullyConnected,
-    Pool2D,
-    ReLU,
-    TensorShape,
-)
+from repro.nn.layers import Concat, Conv2D, TensorShape
 from repro.nn.network import Network
 from repro.quant.precision import (
     BASELINE_PRECISION,

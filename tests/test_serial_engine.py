@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.serial_engine import bit_serial_conv2d, bit_serial_fc
-from repro.nn.layers import Conv2D, TensorShape
+from repro.nn.layers import Conv2D
 
 
 def reference_conv(x, w, layer):

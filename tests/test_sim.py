@@ -5,7 +5,6 @@ import pytest
 from repro.sim.engine import CycleEngine
 from repro.sim.metrics import efficiency_ratio, geomean, harmonic_mean, speedup
 from repro.sim.results import (
-    ComparisonResult,
     LayerResult,
     NetworkResult,
     combine_layer_results,
