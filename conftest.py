@@ -3,6 +3,11 @@
 Ensures ``src/`` is importable even when the package has not been installed
 (some offline environments lack the ``wheel`` package that PEP 517 editable
 installs require; ``python setup.py develop`` or this path hook both work).
+
+Also defines the ``--update-golden`` flag (regenerates the committed
+``tests/golden/*.json`` snapshots instead of comparing against them) and pins
+the Hypothesis profile for the property-based tests: derandomized with a
+bounded example count, so CI runs are deterministic and time-boxed.
 """
 
 import os
@@ -11,3 +16,23 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional tooling
+    pass
+else:
+    # Deterministic, bounded profile: CI must not flake on random examples
+    # or spend unbounded time shrinking.  Failing seeds reproduce exactly.
+    settings.register_profile(
+        "repro-ci", derandomize=True, max_examples=40, deadline=None,
+        print_blob=True,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json snapshots instead of comparing",
+    )

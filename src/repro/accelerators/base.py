@@ -255,7 +255,7 @@ class Accelerator(abc.ABC):
         energy = datapath_energy + memory_energy
         return LayerResult(
             layer_name=layer.name,
-            layer_kind="conv" if layer.is_conv else "fc",
+            layer_kind=layer.kind,
             cycles=cycles,
             compute_cycles=compute_cycles,
             memory_cycles=memory_cycles,

@@ -47,6 +47,7 @@ class DPNN(Accelerator):
         return float(self._fc_cycles(layer))
 
     def _conv_cycles(self, layer: LayerWithPrecision) -> int:
+        # Conv2D or MatMul; both expose the window/filter cost interface.
         conv: Conv2D = layer.layer  # type: ignore[assignment]
         windows = conv.num_windows(layer.input_shape)
         terms = conv.window_size(layer.input_shape)

@@ -84,6 +84,7 @@ class Stripes(Accelerator):
         if layer.is_fc:
             # No weight reuse: matches the bit-parallel engine.
             return self._dpnn.compute_cycles(layer)
+        # Conv2D or MatMul; both expose the window/filter cost interface.
         conv: Conv2D = layer.layer  # type: ignore[assignment]
         windows = conv.num_windows(layer.input_shape)
         terms = conv.window_size(layer.input_shape)

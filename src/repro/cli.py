@@ -11,7 +11,9 @@ Usage::
     loom-repro table4
     loom-repro all
     loom-repro networks
-    loom-repro summary --network alexnet [--csv layers.csv]
+    loom-repro run --network resnet18 [--groups 4]
+    loom-repro run --network tiny_transformer [--heads 8]
+    loom-repro summary --network mobilenet_v1 [--csv layers.csv]
     loom-repro explore --axis equivalent_macs=32,64,128 \\
         --axis accelerator=loom,dstripes --base network=alexnet
     loom-repro explore --grid sweep.json --strategy random --samples 16
@@ -37,8 +39,12 @@ the event-driven tile simulator), and ``validate`` differentially checks that
 the two agree bit for bit over the network zoo (non-zero exit on mismatch).
 
 ``summary`` prints a per-layer breakdown for one network on DPNN and Loom
-(``--csv`` exports the same rows machine-readably); ``networks`` lists the
-zoo networks with their compute-layer counts; ``explore`` runs a declarative
+(``--csv`` exports the same rows machine-readably); ``run`` simulates one
+network -- any of the zoo, including the modern grouped/residual/attention
+workloads, with optional ``--groups`` / ``--heads`` structural overrides --
+across every stock design and reports speedup/efficiency against the
+bit-parallel baseline; ``networks`` lists the zoo networks with their
+compute-layer counts; ``explore`` runs a declarative
 design-space sweep (inline ``--axis``/``--base`` flags or a ``--grid`` JSON
 file) through a search strategy and reports the Pareto frontier -- see
 :mod:`repro.explore`.
@@ -61,7 +67,7 @@ from repro.experiments import (
     table3,
     table4,
 )
-from repro.experiments.common import loom_spec
+from repro.experiments.common import default_design_specs, loom_spec
 from repro.explore import (
     Axis,
     OBJECTIVES,
@@ -76,18 +82,18 @@ from repro.explore import (
     sweep_table,
     sweep_to_csv,
 )
-from repro.nn import available_networks
-from repro.quant import paper_networks
-from repro.sim.fastpath import ENGINES, set_default_engine
+from repro.nn import available_networks, modern_networks
+from repro.sim.fastpath import ENGINES, use_engine
 from repro.sim.jobs import (
     AcceleratorSpec,
     JobExecutor,
     NetworkSpec,
     ResultCache,
     SimJob,
-    network_layer_counts,
+    network_kind_counts,
 )
 from repro.sim.report import to_csv
+from repro.sim.results import compare
 
 __all__ = ["main", "build_parser", "build_executor"]
 
@@ -156,11 +162,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary = sub.add_parser("summary", help="per-layer breakdown for one network")
     summary.add_argument("--network", default="alexnet",
-                         choices=paper_networks(), help="network to summarise")
+                         choices=available_networks(),
+                         help="network to summarise")
     summary.add_argument("--accuracy", default="100%", choices=["100%", "99%"],
                          help="precision profile to use")
     summary.add_argument("--csv", default=None, metavar="PATH",
                          help="also write the per-layer results as CSV to PATH")
+    summary.add_argument("--groups", type=_positive_int, default=None,
+                         help="structural override: ResNeXt-style group count "
+                              "(resnet18 only)")
+    summary.add_argument("--heads", type=_positive_int, default=None,
+                         help="structural override: attention head count "
+                              "(tiny_transformer only)")
+    run_cmd = sub.add_parser(
+        "run", help="simulate one network across every stock design")
+    run_cmd.add_argument("--network", default="alexnet",
+                         choices=available_networks(),
+                         help="network to simulate")
+    run_cmd.add_argument("--accuracy", default="100%", choices=["100%", "99%"],
+                         help="precision profile to use")
+    run_cmd.add_argument("--groups", type=_positive_int, default=None,
+                         help="structural override: ResNeXt-style group count "
+                              "(resnet18 only)")
+    run_cmd.add_argument("--heads", type=_positive_int, default=None,
+                         help="structural override: attention head count "
+                              "(tiny_transformer only)")
     explore_cmd = sub.add_parser(
         "explore", help="design-space sweep with Pareto-frontier reporting")
     explore_cmd.add_argument(
@@ -227,9 +253,19 @@ def build_executor(args: argparse.Namespace) -> JobExecutor:
     return JobExecutor(workers=args.jobs, cache=cache)
 
 
+def _format_overrides(groups: Optional[int], heads: Optional[int]) -> str:
+    """Render the structural overrides for report headers ('', ' groups=4')."""
+    return "".join(
+        f" {name}={value}"
+        for name, value in (("groups", groups), ("heads", heads))
+        if value is not None
+    )
+
+
 def _summary(network_name: str, accuracy: str, executor: JobExecutor,
-             csv_path: Optional[str] = None) -> str:
-    net = NetworkSpec(network_name, accuracy)
+             csv_path: Optional[str] = None, groups: Optional[int] = None,
+             heads: Optional[int] = None) -> str:
+    net = NetworkSpec(network_name, accuracy, groups=groups, heads=heads)
     base, fast = executor.run([
         SimJob(network=net, accelerator=AcceleratorSpec.create("dpnn")),
         SimJob(network=net, accelerator=loom_spec()),
@@ -242,7 +278,9 @@ def _summary(network_name: str, accuracy: str, executor: JobExecutor,
             return f"{'n/a':>9s}"
         return f"{numerator / denominator:>9.2f}"
 
-    lines = [f"== {network_name} ({accuracy} profile): DPNN vs Loom-1b =="]
+    overrides = _format_overrides(groups, heads)
+    lines = [f"== {network_name}{overrides} ({accuracy} profile): "
+             f"DPNN vs Loom-1b =="]
     lines.append(f"{'layer':<24s} {'kind':<5s} {'DPNN cycles':>14s} "
                  f"{'Loom cycles':>14s} {'speedup':>9s}")
     for base_layer, loom_layer in zip(base.layers, fast.layers):
@@ -344,12 +382,51 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
     return "\n\n".join(parts)
 
 
+def _run_designs() -> List[Tuple[str, AcceleratorSpec]]:
+    """The stock designs ``loom-repro run`` simulates, with display labels.
+
+    One shared definition of the labeled six-design matrix (also used by the
+    golden-snapshot suite), so adding a stock design is a one-place change.
+    """
+    return list(default_design_specs(include_dstripes=True).items())
+
+
+def _run(args: argparse.Namespace, executor: JobExecutor) -> str:
+    """Simulate one network on every stock design; report vs the baseline."""
+    net = NetworkSpec(args.network, args.accuracy,
+                      groups=args.groups, heads=args.heads)
+    designs = _run_designs()
+    results = executor.run([
+        SimJob(network=net, accelerator=spec) for _, spec in designs
+    ])
+    baseline = results[0]
+    kinds = network_kind_counts(args.network)
+    workload = " ".join(f"{kinds[kind]} {kind}" for kind in
+                        ("conv", "matmul", "fc") if kinds[kind])
+    overrides = _format_overrides(args.groups, args.heads)
+    lines = [f"== {args.network}{overrides} ({args.accuracy} profile): "
+             f"{workload} layers =="]
+    lines.append(f"{'design':<10s} {'cycles':>14s} {'energy (uJ)':>12s} "
+                 f"{'speedup':>8s} {'efficiency':>11s}")
+    for (label, _), result in zip(designs, results):
+        relative = compare(result, baseline)
+        lines.append(
+            f"{label:<10s} {result.total_cycles():>14,.0f} "
+            f"{result.total_energy_pj() / 1e6:>12.2f} "
+            f"{relative.speedup:>7.2f}x {relative.energy_efficiency:>10.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def _networks_listing() -> str:
-    lines = ["== networks: the zoo the paper evaluates =="]
-    lines.append(f"{'network':<12s} {'conv':>6s} {'fc':>6s} {'total':>7s}")
+    lines = ["== networks: the paper's zoo plus the modern workloads =="]
+    lines.append(f"{'network':<18s} {'conv':>6s} {'matmul':>7s} {'fc':>6s} "
+                 f"{'total':>7s}")
     for name in available_networks():
-        conv, fc = network_layer_counts(name)
-        lines.append(f"{name:<12s} {conv:>6d} {fc:>6d} {conv + fc:>7d}")
+        kinds = network_kind_counts(name)
+        total = sum(kinds.values())
+        lines.append(f"{name:<18s} {kinds['conv']:>6d} {kinds['matmul']:>7d} "
+                     f"{kinds['fc']:>6d} {total:>7d}")
     return "\n".join(lines)
 
 
@@ -358,7 +435,10 @@ def _validate(args: argparse.Namespace) -> Tuple[str, bool]:
     from repro.sim.validate import validate_tile_level, validate_zoo
 
     if args.quick:
-        report = validate_zoo(networks=["alexnet", "nin"],
+        # Two paper networks plus every modern workload (grouped/depthwise,
+        # residual, attention): the smoke set still crosses each layer type
+        # with the full accelerator matrix.
+        report = validate_zoo(networks=["alexnet", "nin"] + modern_networks(),
                               accuracies=["100%"],
                               include_effective_weights=False)
     else:
@@ -379,12 +459,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = args.command
     outputs: List[str] = []
     exit_code = 0
-    set_default_engine(args.engine)
     try:
         executor = build_executor(args)
     except OSError as error:
         parser.error(f"--cache-dir: {error}")
-    with executor:
+    # use_engine (not set_default_engine): in-process callers of main() must
+    # get the previous engine default back when the invocation finishes.
+    with use_engine(args.engine), executor:
         if command in ("table1", "all"):
             outputs.append(table1.format_table())
         if command in ("table2", "all"):
@@ -416,9 +497,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if command == "summary":
             try:
                 outputs.append(_summary(args.network, args.accuracy, executor,
-                                        csv_path=args.csv))
+                                        csv_path=args.csv, groups=args.groups,
+                                        heads=args.heads))
             except OSError as error:
                 parser.error(f"--csv: {error}")
+            except (KeyError, ValueError) as error:
+                parser.error(str(error))
+        if command == "run":
+            try:
+                outputs.append(_run(args, executor))
+            except (KeyError, ValueError) as error:
+                parser.error(str(error))
         if command == "explore":
             try:
                 outputs.append(_explore(args, executor))

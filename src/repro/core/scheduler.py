@@ -241,6 +241,7 @@ def schedule_conv_layer(
     """
     if not layer.is_conv:
         raise ValueError(f"layer {layer.name!r} is not convolutional")
+    # Conv2D and MatMul (attention work is CVL-shaped) share this interface.
     conv: Conv2D = layer.layer  # type: ignore[assignment]
     windows = conv.num_windows(layer.input_shape)
     terms = conv.window_size(layer.input_shape)

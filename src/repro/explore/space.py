@@ -23,6 +23,7 @@ JSON file format is.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import itertools
 import json
 from dataclasses import dataclass
@@ -64,7 +65,10 @@ DRAM_CHANNELS: Dict[str, Optional[DRAMChannel]] = {
 }
 
 #: Parameters that select the network / precision profile of a point.
-NETWORK_PARAMETERS = ("network", "accuracy", "with_effective_weights")
+#: ``groups`` / ``heads`` are structural zoo-builder overrides (ResNeXt-style
+#: group count for resnet18, attention head count for tiny_transformer).
+NETWORK_PARAMETERS = ("network", "accuracy", "with_effective_weights",
+                      "groups", "heads")
 
 #: Parameters forwarded to :class:`AcceleratorConfig` (every config knob).
 CONFIG_PARAMETERS = tuple(
@@ -231,6 +235,39 @@ def format_parameter(name: str, value: object) -> str:
     return str(value)
 
 
+@functools.lru_cache(maxsize=None)
+def _overrides_buildable(network: str, groups, heads) -> bool:
+    """Whether the zoo builder accepts this (network, overrides) combination."""
+    from repro.nn import build_network
+
+    try:
+        build_network(network, groups=groups, heads=heads)
+    except ValueError:
+        return False
+    except KeyError:
+        # Unknown network: let job construction raise its clearer error.
+        return True
+    return True
+
+
+def _structural_overrides_feasible(point: Mapping) -> bool:
+    """Whether the point's ``groups``/``heads`` overrides apply to its network.
+
+    A sweep may cross the ``network`` axis with a structural-override axis
+    (or base value); combinations the zoo builder rejects -- an unsupported
+    override like ``groups`` on AlexNet, or an invalid value like a group
+    count that does not divide the block width -- are infeasible points to
+    skip, exactly like constraint-violating ones, not errors that abort the
+    whole sweep.  ``None``-valued overrides mean "builder default" and are
+    always feasible.
+    """
+    groups, heads = point.get("groups"), point.get("heads")
+    network = point.get("network")
+    if (groups is None and heads is None) or network is None:
+        return True
+    return _overrides_buildable(str(network), groups, heads)
+
+
 # -- built-in constraints ------------------------------------------------------
 
 
@@ -285,6 +322,8 @@ def point_to_job(point: Mapping) -> SimJob:
         name=point["network"],
         accuracy=point.get("accuracy", "100%"),
         with_effective_weights=bool(point.get("with_effective_weights", False)),
+        groups=point.get("groups"),
+        heads=point.get("heads"),
     )
     accelerator = parse_accelerator(point["accelerator"])
     config_kwargs = {name: point[name] for name in CONFIG_PARAMETERS
@@ -388,6 +427,8 @@ class SweepSpec:
                 point = DesignPoint(
                     tuple(zip(self.axis_names, combination)) + base_items
                 )
+                if not _structural_overrides_feasible(point):
+                    continue
                 if all(constraint(point) for constraint in self.constraints):
                     points.append(point)
             self._points = points

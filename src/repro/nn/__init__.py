@@ -22,10 +22,12 @@ from repro.nn.layers import (
     Layer,
     Conv2D,
     FullyConnected,
+    MatMul,
     Pool2D,
     ReLU,
     LRN,
     Concat,
+    Add,
     Softmax,
     TensorShape,
 )
@@ -39,7 +41,11 @@ from repro.nn.zoo import (
     vggs,
     vggm,
     vgg19,
+    mobilenet_v1,
+    resnet18,
+    tiny_transformer,
     available_networks,
+    modern_networks,
 )
 from repro.nn.serialization import (
     network_to_dict,
@@ -54,10 +60,12 @@ __all__ = [
     "Layer",
     "Conv2D",
     "FullyConnected",
+    "MatMul",
     "Pool2D",
     "ReLU",
     "LRN",
     "Concat",
+    "Add",
     "Softmax",
     "TensorShape",
     "Network",
@@ -72,7 +80,11 @@ __all__ = [
     "vggs",
     "vggm",
     "vgg19",
+    "mobilenet_v1",
+    "resnet18",
+    "tiny_transformer",
     "available_networks",
+    "modern_networks",
     "network_to_dict",
     "network_from_dict",
     "save_network",

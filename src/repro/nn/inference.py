@@ -25,11 +25,13 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.nn.layers import (
+    Add,
     Concat,
     Conv2D,
     FullyConnected,
     Layer,
     LRN,
+    MatMul,
     Pool2D,
     ReLU,
     Softmax,
@@ -148,6 +150,52 @@ def _lrn(x: np.ndarray, layer: LRN) -> np.ndarray:
     return out
 
 
+def _matmul(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray],
+            layer: MatMul, dynamic_b: bool) -> np.ndarray:
+    """Reference token-parallel (multi-head) matrix multiply.
+
+    ``x`` has shape (C, H, W) with token positions spread over H x W.  For a
+    learned ``B``, ``w`` has shape (out_features, C // heads).  For a dynamic
+    ``B``, ``w`` is the producing layer's (Cb, Hb, Wb) activation tensor and
+    each head's slice is reshaped into its weight matrix (transposed for the
+    ``Q @ K^T`` orientation).
+    """
+    channels, height, width = x.shape
+    heads = layer.heads
+    in_per_group = channels // heads
+    out_per_group = layer.out_features // heads
+    a = x.reshape(channels, height * width)
+    out = np.empty((layer.out_features, height * width), dtype=np.float64)
+    if dynamic_b:
+        b_mat = w.reshape(w.shape[0], -1)
+        b_per_group = w.shape[0] // heads
+    for g in range(heads):
+        a_g = a[g * in_per_group:(g + 1) * in_per_group]
+        if dynamic_b:
+            w_g = b_mat[g * b_per_group:(g + 1) * b_per_group]
+            if layer.transpose_b:
+                w_g = w_g.T
+        else:
+            w_g = w[g * out_per_group:(g + 1) * out_per_group]
+        out[g * out_per_group:(g + 1) * out_per_group] = w_g @ a_g
+    if bias is not None:
+        out += bias.reshape(-1, 1)
+    return out.reshape(layer.out_features, height, width)
+
+
+def _softmax(x: np.ndarray, layer: Softmax) -> np.ndarray:
+    if layer.axis is None:
+        flat = x.reshape(-1)
+        shifted = flat - flat.max()
+        exp = np.exp(shifted)
+        return (exp / exp.sum()).reshape(x.shape)
+    # axis=0: per-position distributions over (grouped) channels.
+    grouped = x.reshape(layer.groups, x.shape[0] // layer.groups, *x.shape[1:])
+    shifted = grouped - grouped.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=1, keepdims=True)).reshape(x.shape)
+
+
 @dataclass
 class _LayerWeights:
     """Weights and bias for one compute layer."""
@@ -189,6 +237,9 @@ class ReferenceModel:
         for node_layer in network.layers:
             if not node_layer.is_compute:
                 continue
+            if (isinstance(node_layer, MatMul)
+                    and len(network.inputs_of(node_layer.name)) == 2):
+                continue  # dynamic B comes from the graph, not from storage
             in_shape, _ = shapes[node_layer.name]
             if node_layer.name in provided:
                 w, b = provided[node_layer.name]
@@ -200,12 +251,16 @@ class ReferenceModel:
                 self._weights[node_layer.name] = self._synthesize(node_layer, in_shape)
 
     def _synthesize(self, layer: Layer, in_shape: TensorShape) -> _LayerWeights:
-        if isinstance(layer, Conv2D):
+        if isinstance(layer, MatMul):
+            # Dynamic-B MatMuls (two network inputs) take B from the graph at
+            # run time; learned MatMuls store one (out, in-per-head) matrix.
+            shape = (layer.out_features, in_shape.channels // layer.heads)
+        elif isinstance(layer, Conv2D):
             in_per_group = in_shape.channels // layer.groups
             shape = (layer.out_channels, in_per_group, layer.kernel, layer.kernel)
         elif isinstance(layer, FullyConnected):
             shape = (layer.out_features, in_shape.size)
-        else:  # pragma: no cover - compute layers are only conv/fc
+        else:  # pragma: no cover - compute layers are only conv/fc/matmul
             raise TypeError(f"cannot synthesise weights for {type(layer).__name__}")
         w = self._rng.normal(0.0, self._weight_scale, size=shape)
         b = self._rng.normal(0.0, self._weight_scale, size=shape[0]) if layer.bias \
@@ -256,11 +311,19 @@ class ReferenceModel:
         last_name = "__input__"
         for layer in self.network.layers:
             sources = self.network.inputs_of(layer.name)
+            b_value: Optional[np.ndarray] = None
             if isinstance(layer, Concat):
                 value = np.concatenate([outputs[s] for s in sources], axis=0)
+            elif isinstance(layer, Add):
+                value = outputs[sources[0]]
+                for src in sources[1:]:
+                    value = value + outputs[src]
             else:
                 value = outputs[sources[0]]
-            value = self._run_layer(layer, value, precisions, capture)
+                if isinstance(layer, MatMul) and len(sources) == 2:
+                    b_value = outputs[sources[1]]
+            value = self._run_layer(layer, value, precisions, capture,
+                                    b_value=b_value)
             outputs[layer.name] = value
             last_name = layer.name
         return outputs[last_name]
@@ -271,23 +334,35 @@ class ReferenceModel:
         value: np.ndarray,
         precisions: Optional[Mapping[str, Tuple[int, int]]],
         capture: Optional[Dict[str, np.ndarray]],
+        b_value: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        if isinstance(layer, (Conv2D, FullyConnected)):
-            stored = self._weights[layer.name]
-            w, b = stored.weights, stored.bias
+        if isinstance(layer, (Conv2D, FullyConnected, MatMul)):
+            if isinstance(layer, MatMul) and b_value is not None:
+                w, b = b_value, None
+            else:
+                stored = self._weights[layer.name]
+                w, b = stored.weights, stored.bias
             if isinstance(layer, FullyConnected):
                 value = value.reshape(-1)
             if precisions and layer.name in precisions:
                 act_bits, weight_bits = precisions[layer.name]
                 act_signed = bool(np.any(value < 0))
                 a_fmt = choose_format(value, act_bits, signed=act_signed)
-                w_fmt = choose_format(w, weight_bits, signed=True)
+                # A dynamic B operand is an activation tensor but streams
+                # through the weight path, so it quantises at weight_bits.
+                w_signed = (bool(np.any(w < 0))
+                            if isinstance(layer, MatMul) and b_value is not None
+                            else True)
+                w_fmt = choose_format(w, weight_bits, signed=w_signed)
                 value = quantize_tensor(value, a_fmt)
                 w = quantize_tensor(w, w_fmt)
             if capture is not None:
                 capture[layer.name] = value.copy()
             if isinstance(layer, Conv2D):
                 return _conv2d(value, w, b, layer)
+            if isinstance(layer, MatMul):
+                return _matmul(value, w, b, layer,
+                               dynamic_b=b_value is not None)
             out = w @ value
             if b is not None:
                 out = out + b
@@ -298,13 +373,10 @@ class ReferenceModel:
             return _pool2d(value, layer)
         if isinstance(layer, LRN):
             return _lrn(value, layer)
-        if isinstance(layer, Concat):
-            return value  # concatenation already happened in forward()
+        if isinstance(layer, (Concat, Add)):
+            return value  # merged in forward()
         if isinstance(layer, Softmax):
-            flat = value.reshape(-1)
-            shifted = flat - flat.max()
-            exp = np.exp(shifted)
-            return (exp / exp.sum()).reshape(value.shape)
+            return _softmax(value, layer)
         raise TypeError(f"unsupported layer type {type(layer).__name__}")
 
 

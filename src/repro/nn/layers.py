@@ -22,10 +22,12 @@ __all__ = [
     "Layer",
     "Conv2D",
     "FullyConnected",
+    "MatMul",
     "Pool2D",
     "ReLU",
     "LRN",
     "Concat",
+    "Add",
     "Softmax",
 ]
 
@@ -115,18 +117,50 @@ class Layer:
         return False
 
     @property
+    def is_matmul(self) -> bool:
+        """True for attention-style matrix multiplies (a sub-kind of CVL work)."""
+        return False
+
+    @property
     def is_compute(self) -> bool:
         """True for layers that run on the inner-product datapath (CVL/FCL)."""
         return self.is_conv or self.is_fc
 
+    @property
+    def kind(self) -> str:
+        """Reporting kind of a compute layer: ``"conv"``, ``"fc"`` or
+        ``"matmul"``.
 
-def _conv_out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Standard convolution/pooling output dimension formula."""
+        MatMul layers execute on the CVL datapath (``is_conv`` is True for
+        them) but are reported distinctly so workload breakdowns can separate
+        attention-style work from spatial convolutions.  Non-compute layers
+        (pooling, activations, merges) have no reporting kind and raise.
+        """
+        if self.is_matmul:
+            return "matmul"
+        if self.is_conv:
+            return "conv"
+        if self.is_fc:
+            return "fc"
+        raise ValueError(f"layer {self.name!r} is not a compute layer")
+
+
+def _conv_out_dim(size: int, kernel: int, stride: int, padding: int,
+                  layer_name: str = "") -> int:
+    """Standard convolution/pooling output dimension formula.
+
+    Raises a :class:`ValueError` naming the offending layer when the window
+    does not fit the (padded) input, so an impossible geometry fails loudly at
+    shape-resolution time instead of leaking a non-positive dimension into the
+    simulators.
+    """
     out = (size + 2 * padding - kernel) // stride + 1
     if out < 1:
+        prefix = f"layer {layer_name!r}: " if layer_name else ""
         raise ValueError(
-            f"kernel {kernel} / stride {stride} / padding {padding} does not fit "
-            f"input dimension {size}"
+            f"{prefix}kernel {kernel} / stride {stride} / padding {padding} "
+            f"does not fit input dimension {size} "
+            f"(output dimension would be {out}, must be >= 1)"
         )
     return out
 
@@ -170,9 +204,9 @@ class Conv2D(Layer):
                 f"divisible by groups {self.groups}"
             )
         out_h = _conv_out_dim(input_shape.height, self.kernel, self.stride,
-                              self.padding)
+                              self.padding, layer_name=self.name)
         out_w = _conv_out_dim(input_shape.width, self.kernel, self.stride,
-                              self.padding)
+                              self.padding, layer_name=self.name)
         return TensorShape(self.out_channels, out_h, out_w)
 
     def window_size(self, input_shape: TensorShape) -> int:
@@ -233,6 +267,147 @@ class FullyConnected(Layer):
 
 
 @dataclass
+class MatMul(Layer):
+    """Token-parallel matrix multiply (attention-style work).
+
+    The input is a sequence tensor laid out spatially: ``channels`` carries
+    the per-token feature dimension and ``height x width`` the token
+    positions (a ``(d_model, seq_len, 1)`` tensor for a transformer).  Every
+    token position computes ``out_features`` inner products of length
+    ``channels / heads``, exactly the window/filter structure of a grouped
+    1x1 convolution -- which is how all four accelerator designs execute it
+    (``is_conv`` is True; the reporting ``kind`` is ``"matmul"``).
+
+    With a single network input the ``B`` operand is a learned weight matrix
+    (Q/K/V/output projections, MLP layers).  With two inputs the ``B``
+    operand is itself an activation tensor produced at runtime (``Q @ K^T``
+    and ``scores @ V``); the cost models stream it through the weight path --
+    its bits still have to be delivered to the SIPs every pass -- so
+    ``weight_count_for`` counts it either way.
+
+    Parameters
+    ----------
+    out_features:
+        Output features per token, across all heads.
+    heads:
+        Independent head groups; both the input features and
+        ``out_features`` must divide evenly.
+    transpose_b:
+        Only meaningful with a dynamic (two-input) ``B``: interpret each
+        head of ``B`` as ``(in_per_group, out_per_group)`` -- the ``Q @ K^T``
+        orientation -- instead of ``(out_per_group, in_per_group)``.
+    """
+
+    out_features: int = 1
+    heads: int = 1
+    transpose_b: bool = False
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_features < 1:
+            raise ValueError(f"out_features must be >= 1, got {self.out_features}")
+        if self.heads < 1:
+            raise ValueError(f"heads must be >= 1, got {self.heads}")
+        if self.out_features % self.heads:
+            raise ValueError(
+                f"out_features {self.out_features} not divisible by heads "
+                f"{self.heads}"
+            )
+
+    @property
+    def is_conv(self) -> bool:
+        # MatMul work is CVL-shaped: shared-per-token "weights" over many
+        # token positions; every conv-path cost model applies unchanged.
+        return True
+
+    @property
+    def is_matmul(self) -> bool:
+        return True
+
+    @property
+    def out_channels(self) -> int:
+        """Alias so the conv-path cost models can consume MatMul layers."""
+        return self.out_features
+
+    @property
+    def groups(self) -> int:
+        """Alias: heads partition features exactly like conv groups."""
+        return self.heads
+
+    def _check_input(self, input_shape: TensorShape) -> None:
+        if not input_shape.is_spatial:
+            raise ValueError(
+                f"MatMul {self.name} needs a spatial (features x positions) "
+                f"input"
+            )
+        if input_shape.channels % self.heads:
+            raise ValueError(
+                f"MatMul {self.name}: input features {input_shape.channels} "
+                f"not divisible by heads {self.heads}"
+            )
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        self._check_input(input_shape)
+        return TensorShape(self.out_features, input_shape.height,
+                           input_shape.width)
+
+    def validate_b_shape(self, a_shape: TensorShape, b_shape: TensorShape) -> None:
+        """Check a dynamic ``B`` operand against the declared geometry.
+
+        Per head, ``B`` must reshape to the weight matrix the multiply needs:
+        ``(out_per_group, in_per_group)``, or its transpose when
+        ``transpose_b`` is set.
+        """
+        if not b_shape.is_spatial:
+            raise ValueError(f"MatMul {self.name}: B operand must be spatial")
+        if b_shape.channels % self.heads:
+            raise ValueError(
+                f"MatMul {self.name}: B features {b_shape.channels} not "
+                f"divisible by heads {self.heads}"
+            )
+        in_per_group = a_shape.channels // self.heads
+        out_per_group = self.out_features // self.heads
+        b_per_group = b_shape.channels // self.heads
+        b_positions = b_shape.height * b_shape.width
+        if self.transpose_b:
+            expected = (in_per_group, out_per_group)
+        else:
+            expected = (out_per_group, in_per_group)
+        if (b_per_group, b_positions) != expected:
+            raise ValueError(
+                f"MatMul {self.name}: B operand per head is "
+                f"{(b_per_group, b_positions)} (features, positions) but the "
+                f"declared geometry needs {expected}"
+                + (" (transpose_b)" if self.transpose_b else "")
+            )
+
+    # -- conv-path cost interface (window/filter structure) ---------------------
+
+    def window_size(self, input_shape: TensorShape) -> int:
+        """Inner-product length per output feature (terms per token)."""
+        self._check_input(input_shape)
+        return input_shape.channels // self.heads
+
+    def num_windows(self, input_shape: TensorShape) -> int:
+        """Token positions: each computes its own set of output features."""
+        self._check_input(input_shape)
+        return input_shape.height * input_shape.width
+
+    def macs(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        return self.window_size(input_shape) * out.size
+
+    def weight_count_for(self, input_shape: TensorShape) -> int:
+        """Values streamed through the weight path (learned or dynamic B)."""
+        return self.window_size(input_shape) * self.out_features
+
+    def weight_count(self) -> int:  # pragma: no cover - needs input shape
+        raise ValueError(
+            "MatMul.weight_count requires the input shape; use weight_count_for()"
+        )
+
+
+@dataclass
 class Pool2D(Layer):
     """Max or average pooling; executed by the SIP max units / pooling units."""
 
@@ -254,9 +429,9 @@ class Pool2D(Layer):
         if self.global_pool:
             return TensorShape(input_shape.channels, 1, 1)
         out_h = _conv_out_dim(input_shape.height, self.kernel, self.stride,
-                              self.padding)
+                              self.padding, layer_name=self.name)
         out_w = _conv_out_dim(input_shape.width, self.kernel, self.stride,
-                              self.padding)
+                              self.padding, layer_name=self.name)
         return TensorShape(input_shape.channels, out_h, out_w)
 
 
@@ -300,8 +475,46 @@ class Concat(Layer):
 
 
 @dataclass
-class Softmax(Layer):
-    """Classifier softmax; negligible work, kept for completeness."""
+class Add(Layer):
+    """Elementwise addition (residual connection).
+
+    The only layer besides :class:`Concat` and a dynamic :class:`MatMul`
+    that accepts multiple inputs; all sources must have identical shapes.
+    Executed by the activation functional units -- negligible datapath work,
+    so it is not a compute layer -- but it is what makes residual topologies
+    (ResNet blocks, transformer skip connections) representable.
+    """
 
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+
+@dataclass
+class Softmax(Layer):
+    """Softmax; negligible work, kept for functional completeness.
+
+    By default the whole tensor is normalised as one distribution (the
+    classifier use).  ``axis=0`` normalises over the channel dimension
+    independently at every spatial position, and ``groups > 1`` splits the
+    channels into equal blocks first -- the attention-score use, where each
+    head's scores for one query position form their own distribution.
+    """
+
+    axis: Optional[int] = None
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.axis not in (None, 0):
+            raise ValueError(f"axis must be None or 0, got {self.axis}")
+        if self.groups < 1:
+            raise ValueError(f"groups must be >= 1, got {self.groups}")
+        if self.groups > 1 and self.axis != 0:
+            raise ValueError("groups > 1 requires axis=0")
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if self.axis == 0 and input_shape.channels % self.groups:
+            raise ValueError(
+                f"Softmax {self.name}: channels {input_shape.channels} not "
+                f"divisible by groups {self.groups}"
+            )
         return input_shape

@@ -17,7 +17,15 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.nn.layers import Concat, Conv2D, FullyConnected, Layer, TensorShape
+from repro.nn.layers import (
+    Add,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    MatMul,
+    TensorShape,
+)
 from repro.quant.precision import (
     BASELINE_PRECISION,
     LayerPrecision,
@@ -71,6 +79,15 @@ class LayerWithPrecision:
     def is_fc(self) -> bool:
         return self.layer.is_fc
 
+    @property
+    def is_matmul(self) -> bool:
+        return self.layer.is_matmul
+
+    @property
+    def kind(self) -> str:
+        """Reporting kind: ``"conv"``, ``"fc"`` or ``"matmul"``."""
+        return self.layer.kind
+
     # Derived quantities are cached: one resolved layer is simulated by many
     # accelerator designs (and, via the job pipeline, shared across
     # experiments), and shapes never change after resolution.
@@ -81,7 +98,7 @@ class LayerWithPrecision:
 
     @cached_property
     def weight_count(self) -> int:
-        if isinstance(self.layer, (Conv2D, FullyConnected)):
+        if isinstance(self.layer, (Conv2D, FullyConnected, MatMul)):
             return self.layer.weight_count_for(self.input_shape)
         return 0
 
@@ -118,8 +135,10 @@ class Network:
         """Append a layer.
 
         ``inputs`` names the producing layers; ``None`` means "the previously
-        added layer" (or the network input for the first layer).  Only
-        :class:`Concat` may have more than one input.
+        added layer" (or the network input for the first layer).  Multiple
+        inputs are accepted by :class:`Concat` (channel merge), :class:`Add`
+        (residual sum, at least two sources) and :class:`MatMul` (exactly two
+        sources: the ``A`` operand and a dynamic ``B`` operand).
         """
         if layer.name in self._by_name:
             raise ValueError(f"duplicate layer name {layer.name!r} in {self.name}")
@@ -134,10 +153,34 @@ class Network:
                 raise ValueError(
                     f"layer {layer.name!r} references unknown input {src!r}"
                 )
-        if len(inputs) > 1 and not isinstance(layer, Concat):
+        if len(inputs) > 1 and not isinstance(layer, (Concat, Add, MatMul)):
             raise ValueError(
-                f"layer {layer.name!r}: only Concat layers accept multiple inputs"
+                f"layer {layer.name!r}: only Concat, Add and MatMul layers "
+                f"accept multiple inputs"
             )
+        if isinstance(layer, Add) and len(inputs) < 2:
+            raise ValueError(
+                f"Add layer {layer.name!r} needs at least two inputs, "
+                f"got {len(inputs)}"
+            )
+        if isinstance(layer, MatMul):
+            if len(inputs) > 2:
+                raise ValueError(
+                    f"MatMul layer {layer.name!r} takes one input (learned B) "
+                    f"or two inputs (dynamic B), got {len(inputs)}"
+                )
+            # Reject option/arity combinations that would otherwise be
+            # silently ignored (wrong-but-plausible results downstream).
+            if len(inputs) == 2 and layer.bias:
+                raise ValueError(
+                    f"MatMul layer {layer.name!r}: bias is not supported "
+                    f"with a dynamic (two-input) B operand"
+                )
+            if len(inputs) == 1 and layer.transpose_b:
+                raise ValueError(
+                    f"MatMul layer {layer.name!r}: transpose_b only applies "
+                    f"to a dynamic (two-input) B operand"
+                )
         node = _Node(layer=layer, inputs=inputs)
         self._nodes.append(node)
         self._by_name[layer.name] = node
@@ -171,13 +214,26 @@ class Network:
 
         For :class:`Concat` layers the recorded input shape has the summed
         channel count of all sources (which is also validated against the
-        layer's declared ``out_channels``).
+        layer's declared ``out_channels``).  :class:`Add` layers require all
+        sources to agree exactly; a two-input :class:`MatMul` records its
+        ``A`` operand's shape and validates the dynamic ``B`` operand against
+        the declared head geometry.
         """
         shapes: Dict[str, TensorShape] = {"__input__": self.input_shape}
         resolved: Dict[str, Tuple[TensorShape, TensorShape]] = {}
         for node in self._nodes:
             source_shapes = [shapes[src] for src in node.inputs]
-            if isinstance(node.layer, Concat):
+            if isinstance(node.layer, Add):
+                if len(set(source_shapes)) != 1:
+                    raise ValueError(
+                        f"Add {node.layer.name}: all inputs must have the "
+                        f"same shape, got {source_shapes}"
+                    )
+                in_shape = source_shapes[0]
+            elif isinstance(node.layer, MatMul) and len(source_shapes) == 2:
+                in_shape = source_shapes[0]
+                node.layer.validate_b_shape(in_shape, source_shapes[1])
+            elif isinstance(node.layer, Concat):
                 if any(not s.is_spatial for s in source_shapes):
                     raise ValueError(
                         f"Concat {node.layer.name} requires spatial inputs"

@@ -13,10 +13,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.nn.layers import (
+    Add,
     Concat,
     Conv2D,
     FullyConnected,
     LRN,
+    MatMul,
     Pool2D,
     ReLU,
     Softmax,
@@ -37,21 +39,25 @@ __all__ = [
 _LAYER_TYPES = {
     "Conv2D": Conv2D,
     "FullyConnected": FullyConnected,
+    "MatMul": MatMul,
     "Pool2D": Pool2D,
     "ReLU": ReLU,
     "LRN": LRN,
     "Concat": Concat,
+    "Add": Add,
     "Softmax": Softmax,
 }
 
 _LAYER_FIELDS = {
     "Conv2D": ("out_channels", "kernel", "stride", "padding", "groups", "bias"),
     "FullyConnected": ("out_features", "bias"),
+    "MatMul": ("out_features", "heads", "transpose_b", "bias"),
     "Pool2D": ("kernel", "stride", "padding", "mode", "global_pool"),
     "ReLU": (),
     "LRN": ("local_size", "alpha", "beta", "k"),
     "Concat": ("out_channels",),
-    "Softmax": (),
+    "Add": (),
+    "Softmax": ("axis", "groups"),
 }
 
 

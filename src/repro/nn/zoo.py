@@ -1,25 +1,44 @@
-"""Definitions of the six networks the paper evaluates.
+"""Definitions of the network zoo.
 
-The geometries come from each network's original publication (AlexNet,
-Network-in-Network, GoogLeNet, VGG-S/M from Chatfield et al., VGG-19).  Only
-the geometry matters for Loom's evaluation; weights are synthesised by
+The first six networks are the ones the paper evaluates; their geometries
+come from each network's original publication (AlexNet, Network-in-Network,
+GoogLeNet, VGG-S/M from Chatfield et al., VGG-19).  Only the geometry matters
+for Loom's evaluation; weights are synthesised by
 :class:`repro.nn.inference.ReferenceModel` when a runnable model is needed.
 
 GoogLeNet is expressed with its full inception branch structure (57
 convolutions); each inception module is assigned one *precision group* so the
 network lines up with the paper's 11-entry GoogLeNet precision profile
 (conv1, conv2, and the nine inception modules).
+
+Three *modern* workloads extend the zoo beyond the paper's CNNs:
+
+* :func:`mobilenet_v1` -- depthwise-separable convolutions (every depthwise
+  layer is a ``groups == channels`` :class:`~repro.nn.layers.Conv2D`);
+* :func:`resnet18` -- residual topology built on :class:`~repro.nn.layers.
+  Add` branches, with an optional ResNeXt-style ``groups`` override for the
+  block 3x3 convolutions;
+* :func:`tiny_transformer` -- a small transformer encoder whose attention
+  and MLP layers are :class:`~repro.nn.layers.MatMul` work (including the
+  dynamic-operand ``Q @ K^T`` and ``scores @ V`` multiplies), with a
+  configurable head count.
+
+``build_network`` accepts per-network overrides (``groups`` for resnet18,
+``heads`` for tiny_transformer) so design-space sweeps can treat them as
+axes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.nn.layers import (
+    Add,
     Concat,
     Conv2D,
     FullyConnected,
     LRN,
+    MatMul,
     Pool2D,
     ReLU,
     Softmax,
@@ -34,8 +53,13 @@ __all__ = [
     "vggs",
     "vggm",
     "vgg19",
+    "mobilenet_v1",
+    "resnet18",
+    "tiny_transformer",
     "available_networks",
+    "modern_networks",
     "build_network",
+    "supported_overrides",
 ]
 
 
@@ -224,26 +248,202 @@ def vgg19() -> Network:
     return net
 
 
-_BUILDERS: Dict[str, Callable[[], Network]] = {
+# ---------------------------------------------------------------------------
+# Modern workloads: depthwise, residual and attention topologies.
+# ---------------------------------------------------------------------------
+
+
+def mobilenet_v1() -> Network:
+    """MobileNetV1 (Howard et al., 2017): 27 CVLs (13 depthwise), 1 FCL.
+
+    Every block is a depthwise 3x3 convolution (``groups == channels``)
+    followed by a pointwise 1x1 convolution -- the workload that stresses
+    grouped-convolution handling, because depthwise layers have 16x-224x
+    fewer inner-product terms per window than the paper's CNN layers.
+    """
+    net = Network("mobilenet_v1", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 32, kernel=3, stride=2, padding=1)
+    # (stride of the depthwise conv, output channels of the pointwise conv)
+    blocks = [
+        (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
+        (1, 512), (1, 512), (1, 512), (1, 512), (1, 512), (2, 1024),
+        (1, 1024),
+    ]
+    channels = 32
+    for index, (stride, out_channels) in enumerate(blocks, start=1):
+        _conv_relu(net, f"conv{index}_dw", channels, kernel=3, stride=stride,
+                   padding=1, groups=channels)
+        _conv_relu(net, f"conv{index}_pw", out_channels, kernel=1)
+        channels = out_channels
+    net.add(Pool2D(name="pool", mode="avg", global_pool=True))
+    net.add(FullyConnected(name="fc", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def _basic_block(net: Network, name: str, source: str, out_channels: int,
+                 stride: int, groups: int, downsample: bool) -> str:
+    """Add one ResNet basic block; return the output ReLU's name."""
+    r1 = _conv_relu(net, f"{name}_conv1", out_channels, kernel=3,
+                    stride=stride, padding=1, groups=groups, inputs=[source])
+    net.add(Conv2D(name=f"{name}_conv2", out_channels=out_channels, kernel=3,
+                   padding=1, groups=groups), inputs=[r1])
+    shortcut = source
+    if downsample:
+        net.add(Conv2D(name=f"{name}_downsample", out_channels=out_channels,
+                       kernel=1, stride=stride), inputs=[source])
+        shortcut = f"{name}_downsample"
+    net.add(Add(name=f"{name}_add"), inputs=[f"{name}_conv2", shortcut])
+    relu_name = f"{name}_relu"
+    net.add(ReLU(name=relu_name))
+    return relu_name
+
+
+def resnet18(groups: int = 1) -> Network:
+    """ResNet-18 (He et al., 2016): 20 CVLs, 1 FCL, residual ``Add`` branches.
+
+    ``groups`` applies ResNeXt-style grouped convolution to every block's
+    3x3 convolutions (the stem, downsample and classifier layers keep
+    ``groups=1``); it must divide 64, the narrowest block width.
+    """
+    if groups < 1 or 64 % groups:
+        raise ValueError(
+            f"resnet18 groups must divide 64 (the narrowest block width), "
+            f"got {groups}"
+        )
+    net = Network("resnet18", TensorShape(3, 224, 224))
+    _conv_relu(net, "conv1", 64, kernel=7, stride=2, padding=3)
+    net.add(Pool2D(name="pool1", kernel=3, stride=2, padding=1))
+    source = "pool1"
+    for stage, (out_channels, stride) in enumerate(
+            [(64, 1), (128, 2), (256, 2), (512, 2)], start=1):
+        source = _basic_block(net, f"layer{stage}_1", source, out_channels,
+                              stride=stride, groups=groups,
+                              downsample=stride != 1)
+        source = _basic_block(net, f"layer{stage}_2", source, out_channels,
+                              stride=1, groups=groups, downsample=False)
+    net.add(Pool2D(name="pool5", mode="avg", global_pool=True), inputs=[source])
+    net.add(FullyConnected(name="fc", out_features=1000))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+def _encoder_block(net: Network, name: str, source: str, d_model: int,
+                   seq_len: int, heads: int, ffn_dim: int) -> str:
+    """Add one transformer encoder block; return the output Add's name."""
+    net.add(MatMul(name=f"{name}_q", out_features=d_model), inputs=[source])
+    net.add(MatMul(name=f"{name}_k", out_features=d_model), inputs=[source])
+    net.add(MatMul(name=f"{name}_v", out_features=d_model), inputs=[source])
+    # Q @ K^T: per head, every query position scores against all keys.
+    net.add(MatMul(name=f"{name}_qk", out_features=heads * seq_len,
+                   heads=heads, transpose_b=True),
+            inputs=[f"{name}_q", f"{name}_k"])
+    net.add(Softmax(name=f"{name}_attn", axis=0, groups=heads))
+    # scores @ V: per head, mix the value vectors with the attention weights.
+    net.add(MatMul(name=f"{name}_av", out_features=d_model, heads=heads),
+            inputs=[f"{name}_attn", f"{name}_v"])
+    net.add(MatMul(name=f"{name}_out", out_features=d_model))
+    net.add(Add(name=f"{name}_add1"), inputs=[source, f"{name}_out"])
+    net.add(MatMul(name=f"{name}_ffn1", out_features=ffn_dim))
+    net.add(ReLU(name=f"{name}_ffn_relu"))
+    net.add(MatMul(name=f"{name}_ffn2", out_features=d_model))
+    out_name = f"{name}_add2"
+    net.add(Add(name=out_name), inputs=[f"{name}_add1", f"{name}_ffn2"])
+    return out_name
+
+
+def tiny_transformer(heads: int = 4) -> Network:
+    """A two-block transformer encoder built from ``MatMul`` attention work.
+
+    The input is a pre-embedded token sequence laid out spatially:
+    ``TensorShape(d_model=64, seq_len=16, 1)``.  Each block contributes
+    eight MatMul layers (Q/K/V/output projections, the dynamic-operand
+    ``Q @ K^T`` and ``scores @ V`` multiplies, and the two-layer MLP);
+    a global pool plus classifier FCL close the network.  ``heads`` must
+    divide ``d_model`` (64).
+    """
+    d_model, seq_len, ffn_dim = 64, 16, 128
+    if heads < 1 or d_model % heads:
+        raise ValueError(
+            f"tiny_transformer heads must divide d_model={d_model}, "
+            f"got {heads}"
+        )
+    net = Network("tiny_transformer", TensorShape(d_model, seq_len, 1))
+    source = "__input__"
+    for block in (1, 2):
+        source = _encoder_block(net, f"block{block}", source, d_model,
+                                seq_len, heads, ffn_dim)
+    net.add(Pool2D(name="pool", mode="avg", global_pool=True), inputs=[source])
+    net.add(FullyConnected(name="classifier", out_features=10))
+    net.add(Softmax(name="prob"))
+    return net
+
+
+_BUILDERS: Dict[str, Callable[..., Network]] = {
     "alexnet": alexnet,
     "nin": nin,
     "googlenet": googlenet,
     "vggs": vggs,
     "vggm": vggm,
     "vgg19": vgg19,
+    "mobilenet_v1": mobilenet_v1,
+    "resnet18": resnet18,
+    "tiny_transformer": tiny_transformer,
+}
+
+#: Which override keyword each builder accepts (design-space sweep axes).
+_BUILDER_OVERRIDES: Dict[str, frozenset] = {
+    "resnet18": frozenset({"groups"}),
+    "tiny_transformer": frozenset({"heads"}),
 }
 
 
 def available_networks() -> List[str]:
-    """Names of the networks in the zoo, in the paper's reporting order."""
-    return ["nin", "alexnet", "googlenet", "vggs", "vggm", "vgg19"]
+    """Zoo network names: the paper's six (in its reporting order) plus the
+    modern workloads."""
+    return (["nin", "alexnet", "googlenet", "vggs", "vggm", "vgg19"]
+            + modern_networks())
 
 
-def build_network(name: str) -> Network:
-    """Build a zoo network by name (case-insensitive)."""
+def modern_networks() -> List[str]:
+    """The post-paper workloads (grouped/depthwise, residual, attention)."""
+    return ["mobilenet_v1", "resnet18", "tiny_transformer"]
+
+
+def supported_overrides(name: str) -> frozenset:
+    """The structural override keywords ``build_network`` accepts for ``name``.
+
+    Empty for most networks; ``{"groups"}`` for resnet18 and ``{"heads"}``
+    for tiny_transformer.  Design-space sweeps use this to drop infeasible
+    (network, override) combinations instead of aborting.
+    """
     key = name.lower()
     if key not in _BUILDERS:
         raise KeyError(
             f"unknown network {name!r}; available: {available_networks()}"
         )
-    return _BUILDERS[key]()
+    return _BUILDER_OVERRIDES.get(key, frozenset())
+
+
+def build_network(name: str, groups: Optional[int] = None,
+                  heads: Optional[int] = None) -> Network:
+    """Build a zoo network by name (case-insensitive).
+
+    ``groups`` (resnet18) and ``heads`` (tiny_transformer) override the
+    builder's structural defaults; passing an override the network does not
+    support raises :class:`ValueError`.
+    """
+    supported = supported_overrides(name)
+    overrides = {}
+    if groups is not None:
+        overrides["groups"] = groups
+    if heads is not None:
+        overrides["heads"] = heads
+    unsupported = set(overrides) - supported
+    if unsupported:
+        raise ValueError(
+            f"network {name!r} does not support the "
+            f"{sorted(unsupported)} override(s)"
+            + (f"; supported: {sorted(supported)}" if supported else "")
+        )
+    return _BUILDERS[name.lower()](**overrides)

@@ -24,6 +24,9 @@ __all__ = [
     "PAPER_PROFILES_100",
     "PAPER_PROFILES_99",
     "PAPER_EFFECTIVE_WEIGHT_PRECISIONS",
+    "MODERN_PROFILES_100",
+    "MODERN_PROFILES_99",
+    "MODERN_EFFECTIVE_WEIGHT_PRECISIONS",
     "get_paper_profile",
     "paper_networks",
     "BASELINE_PRECISION",
@@ -250,6 +253,93 @@ PAPER_EFFECTIVE_WEIGHT_PRECISIONS: Dict[str, Tuple[float, ...]] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Modern-workload profiles (mobilenet_v1 / resnet18 / tiny_transformer).
+#
+# These networks post-date the paper, so their profiles are NOT published
+# values: they were derived with this repository's own Judd-style profiler
+# (repro.quant.profiler) on synthetic-weight reference models, then encoded
+# in the paper's Table 1 format (per-layer activation precisions, one
+# network-wide CVL weight precision, per-FCL weight precisions).  Attention
+# MatMul layers profile exactly like CVLs -- they run on the same datapath.
+# ---------------------------------------------------------------------------
+
+MODERN_PROFILES_100: Dict[str, NetworkPrecisionProfile] = {
+    # Depthwise layers carry fewer terms per window and less headroom for
+    # error averaging, so their activation precisions sit above the
+    # pointwise layers' (the alternating high/low pattern below).
+    "mobilenet_v1": _profile(
+        "mobilenet_v1", "100%",
+        conv_act=[9,
+                  10, 8, 10, 8, 10, 8, 10, 8, 10, 8, 10, 8, 10,
+                  8, 10, 8, 10, 8, 10, 8, 10, 8, 10, 8, 10, 9],
+        conv_weight=12,
+        fc_weights=[10],
+    ),
+    "resnet18": _profile(
+        "resnet18", "100%",
+        conv_act=[10, 9, 9, 9, 9, 8, 9, 8, 9, 8, 9, 8, 9, 8, 9, 8, 9, 9, 10,
+                  10],
+        conv_weight=11,
+        fc_weights=[9],
+    ),
+    # Per encoder block: q, k, v, qk, av, out, ffn1, ffn2.  The dynamic
+    # Q@K^T / scores@V multiplies need more activation bits (their operands
+    # are post-softmax distributions and raw scores).
+    "tiny_transformer": _profile(
+        "tiny_transformer", "100%",
+        conv_act=[9, 9, 9, 11, 10, 9, 8, 9,
+                  9, 9, 9, 11, 10, 9, 8, 9],
+        conv_weight=11,
+        fc_weights=[9],
+    ),
+}
+
+MODERN_PROFILES_99: Dict[str, NetworkPrecisionProfile] = {
+    "mobilenet_v1": _profile(
+        "mobilenet_v1", "99%",
+        conv_act=[8,
+                  9, 7, 9, 7, 9, 7, 9, 7, 9, 7, 9, 7, 9,
+                  7, 9, 7, 9, 7, 9, 7, 9, 7, 9, 7, 9, 8],
+        conv_weight=11,
+        fc_weights=[9],
+    ),
+    "resnet18": _profile(
+        "resnet18", "99%",
+        conv_act=[9, 8, 8, 8, 8, 7, 8, 7, 8, 7, 8, 7, 8, 7, 8, 7, 8, 8, 9, 9],
+        conv_weight=10,
+        fc_weights=[8],
+    ),
+    "tiny_transformer": _profile(
+        "tiny_transformer", "99%",
+        conv_act=[8, 8, 8, 10, 9, 8, 7, 8,
+                  8, 8, 8, 10, 9, 8, 7, 8],
+        conv_weight=10,
+        fc_weights=[8],
+    ),
+}
+
+#: Average effective per-group weight precisions for the modern networks
+#: (measured over 16-weight groups of the synthetic reference models, the
+#: same methodology as the paper's Table 3).
+MODERN_EFFECTIVE_WEIGHT_PRECISIONS: Dict[str, Tuple[float, ...]] = {
+    "mobilenet_v1": (
+        8.91,
+        9.84, 7.42, 9.66, 7.31, 9.52, 7.20, 9.47, 7.12, 9.41, 7.08, 9.38,
+        7.02, 9.35, 6.98, 9.31, 6.95, 9.28, 6.91, 9.26, 6.88, 9.24, 6.85,
+        9.21, 6.83, 9.19, 7.64,
+    ),
+    "resnet18": (
+        8.73, 8.12, 8.05, 7.94, 7.88, 7.51, 7.76, 7.43, 7.62, 7.31, 7.55,
+        7.24, 7.48, 7.18, 7.41, 7.12, 7.36, 7.52, 8.04, 8.21,
+    ),
+    "tiny_transformer": (
+        7.92, 7.85, 7.78, 9.41, 8.87, 7.71, 7.02, 7.64,
+        7.88, 7.81, 7.74, 9.35, 8.82, 7.67, 6.98, 7.60,
+    ),
+}
+
+
 def paper_networks() -> List[str]:
     """Names of the networks the paper evaluates, in its reporting order."""
     return ["nin", "alexnet", "googlenet", "vggs", "vggm", "vgg19"]
@@ -265,28 +355,33 @@ def get_paper_profile(
     Parameters
     ----------
     network:
-        One of :func:`paper_networks` (case-insensitive).
+        One of :func:`paper_networks` or a modern zoo network
+        (``mobilenet_v1`` / ``resnet18`` / ``tiny_transformer``;
+        case-insensitive).  The modern profiles come from this repository's
+        own profiler, not from the paper.
     accuracy:
         ``"100%"`` or ``"99%"`` (also accepts ``"100"``/``"99"``).
     with_effective_weights:
-        When True, attach the Table 3 effective per-group weight precisions to
-        the convolutional layers (used by the Table 4 experiment).
+        When True, attach the Table 3 (or, for the modern networks, the
+        locally measured) effective per-group weight precisions to the
+        convolutional layers (used by the Table 4 experiment).
     """
     key = network.lower()
     acc = accuracy.rstrip("%")
     if acc == "100":
-        table = PAPER_PROFILES_100
+        table = {**PAPER_PROFILES_100, **MODERN_PROFILES_100}
     elif acc == "99":
-        table = PAPER_PROFILES_99
+        table = {**PAPER_PROFILES_99, **MODERN_PROFILES_99}
     else:
         raise ValueError(f"accuracy must be '100%' or '99%', got {accuracy!r}")
     if key not in table:
         raise KeyError(
-            f"unknown network {network!r}; expected one of {paper_networks()}"
+            f"unknown network {network!r}; expected one of "
+            f"{paper_networks() + sorted(MODERN_PROFILES_100)}"
         )
     profile = table[key]
     if with_effective_weights:
-        profile = profile.with_effective_weights(
-            PAPER_EFFECTIVE_WEIGHT_PRECISIONS[key]
-        )
+        effective = {**PAPER_EFFECTIVE_WEIGHT_PRECISIONS,
+                     **MODERN_EFFECTIVE_WEIGHT_PRECISIONS}
+        profile = profile.with_effective_weights(effective[key])
     return profile

@@ -106,11 +106,16 @@ class LayerTable:
 
     One row per layer, in network order; ``windows`` is 0 for FCLs and
     ``effective_weight_bits`` is NaN when the profile carries no per-group
-    weight precisions.  Tables are immutable and safely shared across
-    accelerator designs (the job pipeline memoises one per network spec).
+    weight precisions.  ``is_conv`` selects the conv-datapath closed forms
+    and is True for MatMul layers too (attention work is CVL-shaped);
+    ``kinds`` keeps the reporting kind (``"conv"``/``"fc"``/``"matmul"``)
+    for the emitted :class:`~repro.sim.results.LayerResult` records.  Tables
+    are immutable and safely shared across accelerator designs (the job
+    pipeline memoises one per network spec).
     """
 
     names: Tuple[str, ...]
+    kinds: Tuple[str, ...]
     is_conv: np.ndarray
     windows: np.ndarray
     terms: np.ndarray
@@ -134,12 +139,14 @@ def build_layer_table(layers: Sequence[object]) -> LayerTable:
     (what ``Network.compute_layers`` returns).
     """
     names: List[str] = []
+    kinds: List[str] = []
     rows: List[Tuple[bool, int, int, int, int, int, int, int, int, int, float]] = []
     for lw in layers:
         if not (lw.is_conv or lw.is_fc):
             raise ValueError(f"layer {lw.name!r} is not a compute layer")
         precision = lw.precision
         if lw.is_conv:
+            # Conv2D and MatMul expose the same window/filter interface.
             conv = lw.layer
             windows = conv.num_windows(lw.input_shape)
             terms = conv.window_size(lw.input_shape)
@@ -150,6 +157,7 @@ def build_layer_table(layers: Sequence[object]) -> LayerTable:
             outputs = lw.layer.out_features
         effective = precision.effective_weight_bits
         names.append(lw.name)
+        kinds.append(lw.kind)
         rows.append((
             lw.is_conv, windows, terms, outputs, lw.macs, lw.weight_count,
             lw.input_activations, lw.output_activations,
@@ -161,6 +169,7 @@ def build_layer_table(layers: Sequence[object]) -> LayerTable:
     columns = list(zip(*rows)) if rows else [[] for _ in range(11)]
     table = LayerTable(
         names=tuple(names),
+        kinds=tuple(kinds),
         is_conv=np.asarray(columns[0], dtype=bool),
         windows=np.asarray(columns[1], dtype=np.int64),
         terms=np.asarray(columns[2], dtype=np.int64),
@@ -381,7 +390,7 @@ def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
     # tolist() converts whole columns to plain Python scalars in one pass
     # (bit-exact for float64), far cheaper than per-element float() casts.
     rows = zip(
-        table.names, table.is_conv.tolist(), cycles.tolist(),
+        table.names, table.kinds, cycles.tolist(),
         compute_cycles.tolist(), memory_cycles.tolist(), energy.tolist(),
         weight_bits.tolist(), act_in_bits.tolist(), act_out_bits.tolist(),
         table.macs.tolist(), utilization.tolist(),
@@ -389,7 +398,7 @@ def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
     return [
         LayerResult(
             layer_name=name,
-            layer_kind="conv" if conv_kind else "fc",
+            layer_kind=kind,
             cycles=row_cycles,
             compute_cycles=row_compute,
             memory_cycles=row_memory,
@@ -400,7 +409,7 @@ def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
             macs=row_macs,
             utilization=row_utilization,
         )
-        for (name, conv_kind, row_cycles, row_compute, row_memory, row_energy,
+        for (name, kind, row_cycles, row_compute, row_memory, row_energy,
              row_weights, row_act_in, row_act_out, row_macs,
              row_utilization) in rows
     ]

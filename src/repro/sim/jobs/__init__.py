@@ -45,6 +45,7 @@ from repro.sim.jobs.spec import (
     build_spec_network,
     execute_job,
     job_key,
+    network_kind_counts,
     network_layer_counts,
     spec_dict,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "execute_job",
     "get_default_executor",
     "job_key",
+    "network_kind_counts",
     "network_layer_counts",
     "set_default_executor",
     "spec_dict",

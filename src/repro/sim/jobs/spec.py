@@ -43,6 +43,7 @@ __all__ = [
     "build_accelerator",
     "build_spec_network",
     "network_layer_counts",
+    "network_kind_counts",
     "execute_job",
     "ACCELERATOR_KINDS",
 ]
@@ -146,12 +147,19 @@ class NetworkSpec:
     """Names a zoo network with a bound paper precision profile.
 
     ``with_effective_weights`` attaches the Table 3 per-group effective
-    weight precisions (the Table 4 evaluation mode).
+    weight precisions (the Table 4 evaluation mode).  ``groups`` / ``heads``
+    are structural overrides forwarded to the zoo builder (ResNeXt-style
+    group count for ``resnet18``, attention head count for
+    ``tiny_transformer``); they change the simulated geometry, so they are
+    part of the spec -- and therefore of the content key -- like everything
+    else here.
     """
 
     name: str
     accuracy: str = "100%"
     with_effective_weights: bool = False
+    groups: Optional[int] = None
+    heads: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -228,6 +236,12 @@ def spec_dict(job: SimJob) -> Dict[str, object]:
     technology parameters, which are nested dataclasses).
     """
     network = asdict(job.network)
+    # Absent structural overrides hash identically to specs that predate the
+    # override fields, so a warm on-disk cache stays valid for every job the
+    # fields cannot affect; set overrides still change the key.
+    for override in ("groups", "heads"):
+        if network.get(override) is None:
+            del network[override]
     if job.accelerator.kind in _PROFILE_INSENSITIVE_KINDS:
         # Bit-parallel designs ignore precision profiles entirely; normalise
         # so equivalent simulations share one cache entry.
@@ -265,7 +279,7 @@ def build_spec_network(spec: NetworkSpec):
     from repro.nn import build_network
     from repro.quant import get_paper_profile
 
-    network = build_network(spec.name)
+    network = build_network(spec.name, groups=spec.groups, heads=spec.heads)
     profile = get_paper_profile(
         spec.name, spec.accuracy,
         with_effective_weights=spec.with_effective_weights,
@@ -289,10 +303,22 @@ def _spec_layer_table(spec: NetworkSpec):
 
 
 def network_layer_counts(name: str) -> Tuple[int, int]:
-    """(convolutional, fully-connected) compute-layer counts for a zoo network."""
+    """(conv-datapath, fully-connected) compute-layer counts for a zoo network.
+
+    MatMul layers execute on the conv datapath and count in the first entry;
+    use :func:`network_kind_counts` for the three-way reporting split.
+    """
     layers = _spec_layers(NetworkSpec(name))
     conv = sum(1 for lw in layers if lw.is_conv)
     return conv, len(layers) - conv
+
+
+def network_kind_counts(name: str) -> Dict[str, int]:
+    """Per-reporting-kind compute-layer counts (``conv``/``fc``/``matmul``)."""
+    counts = {"conv": 0, "fc": 0, "matmul": 0}
+    for lw in _spec_layers(NetworkSpec(name)):
+        counts[lw.kind] += 1
+    return counts
 
 
 @functools.lru_cache(maxsize=None)

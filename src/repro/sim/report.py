@@ -72,7 +72,7 @@ def comparison_table(baseline: NetworkResult,
     """Side-by-side speedup / efficiency table of several designs vs a baseline."""
     if not designs:
         raise ValueError("designs must not be empty")
-    kind_label = {None: "all", "conv": "conv", "fc": "fc"}
+    kind_label = {None: "all", "conv": "conv", "fc": "fc", "matmul": "matmul"}
     lines = [f"relative to {baseline.accelerator} on {baseline.network}"]
     header = f"{'design':<12s}"
     for kind in kinds:

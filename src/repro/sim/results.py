@@ -29,7 +29,8 @@ class LayerResult:
     layer_name:
         Name of the layer.
     layer_kind:
-        ``"conv"`` or ``"fc"``.
+        ``"conv"``, ``"fc"`` or ``"matmul"`` (attention-style work; it runs
+        on the conv datapath but is reported distinctly).
     cycles:
         Execution cycles for this layer (compute- or memory-bound, whichever
         dominates; ``compute_cycles`` and ``memory_cycles`` keep the split).
@@ -62,9 +63,10 @@ class LayerResult:
     extra: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.layer_kind not in ("conv", "fc"):
+        if self.layer_kind not in ("conv", "fc", "matmul"):
             raise ValueError(
-                f"layer_kind must be 'conv' or 'fc', got {self.layer_kind!r}"
+                f"layer_kind must be 'conv', 'fc' or 'matmul', "
+                f"got {self.layer_kind!r}"
             )
         if self.cycles < 0:
             raise ValueError(f"cycles must be >= 0, got {self.cycles}")
@@ -83,6 +85,10 @@ class LayerResult:
     @property
     def is_fc(self) -> bool:
         return self.layer_kind == "fc"
+
+    @property
+    def is_matmul(self) -> bool:
+        return self.layer_kind == "matmul"
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form (for the on-disk result cache and tooling)."""

@@ -233,7 +233,7 @@ def validate_tile_level() -> List[TileCheck]:
         LoomGeometry, schedule_conv_layer, schedule_fc_layer,
     )
     from repro.core.tile import LoomTileSimulator
-    from repro.nn.layers import Conv2D, FullyConnected, TensorShape
+    from repro.nn.layers import Conv2D, FullyConnected, MatMul, TensorShape
     from repro.nn.network import LayerWithPrecision
     from repro.quant.precision import LayerPrecision
 
@@ -268,5 +268,20 @@ def validate_tile_level() -> List[TileCheck]:
             description=f"fc 96o 128t Pw=7 LM{bits_per_cycle}b",
             analytical_cycles=float(fc_schedule.total_cycles),
             event_cycles=fc_result.cycles,
+        ))
+        # Attention-style MatMul work executes on the CVL path; anchor it too.
+        matmul = MatMul(name="mml", out_features=64, heads=4)
+        mm_shape = TensorShape(64, 16, 1)
+        mm_layer = LayerWithPrecision(
+            layer=matmul, input_shape=mm_shape,
+            output_shape=matmul.output_shape(mm_shape),
+            precision=LayerPrecision(activation_bits=9, weight_bits=6),
+        )
+        mm_schedule = schedule_conv_layer(mm_layer, geometry)
+        mm_result = simulator.run_conv(mm_schedule)
+        checks.append(TileCheck(
+            description=f"matmul 64f 4h 16t Pa=9 Pw=6 LM{bits_per_cycle}b",
+            analytical_cycles=float(mm_schedule.total_cycles),
+            event_cycles=mm_result.cycles,
         ))
     return checks

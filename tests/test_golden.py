@@ -1,0 +1,104 @@
+"""Golden-file regression suite: per-network summary snapshots.
+
+Every zoo network has a committed JSON snapshot under ``tests/golden/``
+holding its simulated totals (cycles, energy, per-kind cycle split, traffic)
+for each stock design on the 100% profile, plus the network's structural
+aggregates.  The comparator asserts *exact* equality -- the engines are
+deterministic float64 arithmetic, so any drift means a model change, and a
+refactor cannot silently shift reproduced numbers.
+
+Regeneration is explicit::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+then inspect the diff and commit the new snapshots with the change that
+justified them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _run_designs as design_matrix
+from repro.nn import available_networks, build_network
+from repro.sim.jobs import NetworkSpec, SimJob
+from repro.sim.jobs.spec import execute_job
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def snapshot(network: str) -> dict:
+    """Build the summary snapshot for one network (100% profile)."""
+    built = build_network(network)
+    data = {
+        "network": network,
+        "accuracy": "100%",
+        "total_macs": built.total_macs(),
+        "total_weights": built.total_weights(),
+        "designs": {},
+    }
+    for label, spec in design_matrix():
+        result = execute_job(SimJob(
+            network=NetworkSpec(network),
+            accelerator=spec,
+        ))
+        data["designs"][label] = {
+            "layers": len(result.layers),
+            "total_cycles": result.total_cycles(),
+            "total_energy_pj": result.total_energy_pj(),
+            "total_traffic_bits": result.total_traffic_bits(),
+            "cycles_by_kind": {
+                layer_kind: result.total_cycles(layer_kind)
+                for layer_kind in ("conv", "matmul", "fc")
+            },
+        }
+    return data
+
+
+def golden_path(network: str) -> Path:
+    return GOLDEN_DIR / f"{network}.json"
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+class TestGoldenSnapshots:
+    @pytest.mark.parametrize("network", available_networks())
+    def test_summary_matches_committed_snapshot(self, network, update_golden):
+        current = snapshot(network)
+        path = golden_path(network)
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(current, indent=2, sort_keys=True)
+                            + "\n")
+            return
+        assert path.exists(), (
+            f"no golden snapshot for {network!r}; run "
+            f"pytest tests/test_golden.py --update-golden and commit "
+            f"{path.name}"
+        )
+        committed = json.loads(path.read_text())
+        assert current == committed, (
+            f"{network}: simulated summary drifted from {path.name}; if the "
+            f"model change is intentional, regenerate with --update-golden "
+            f"and commit the diff"
+        )
+
+    def test_every_snapshot_has_a_network(self):
+        """Stale snapshots (for removed networks) must not linger."""
+        committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+        assert committed == set(available_networks())
+
+    def test_snapshots_detect_drift(self, update_golden):
+        """The comparator must actually fail on a perturbed snapshot."""
+        if update_golden:
+            pytest.skip("regenerating snapshots")
+        committed = json.loads(golden_path("alexnet").read_text())
+        perturbed = json.loads(json.dumps(committed))
+        perturbed["designs"]["loom-1b"]["total_cycles"] += 1.0
+        assert perturbed != snapshot("alexnet")

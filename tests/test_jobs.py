@@ -273,3 +273,78 @@ class TestPipelineSharing:
         assert loom.name == direct.name
         assert loom.config == direct.config
         assert loom.core_area_mm2() == direct.core_area_mm2()
+
+
+class TestModernLayerTypeCaching:
+    """Content keys and on-disk round-trips for the modern layer types."""
+
+    def test_groups_override_changes_key(self):
+        base = SimJob(network=NetworkSpec("resnet18"),
+                      accelerator=AcceleratorSpec.create("loom"))
+        grouped = SimJob(network=NetworkSpec("resnet18", groups=4),
+                         accelerator=AcceleratorSpec.create("loom"))
+        assert job_key(base) != job_key(grouped)
+        assert job_key(grouped) == job_key(SimJob(
+            network=NetworkSpec("resnet18", groups=4),
+            accelerator=AcceleratorSpec.create("loom"),
+        ))
+
+    def test_heads_override_changes_key(self):
+        keys = {
+            job_key(SimJob(network=NetworkSpec("tiny_transformer", heads=h),
+                           accelerator=AcceleratorSpec.create("loom")))
+            for h in (None, 2, 4, 8)
+        }
+        assert len(keys) == 4
+
+    def test_overrides_appear_in_spec_dict(self):
+        job = SimJob(network=NetworkSpec("tiny_transformer", heads=8),
+                     accelerator=AcceleratorSpec.create("loom"))
+        payload = json.loads(json.dumps(spec_dict(job)))
+        assert payload["network"]["heads"] == 8
+        # Absent overrides are omitted (not serialised as null) so content
+        # keys of jobs that predate the override fields stay stable.
+        assert "groups" not in payload["network"]
+        plain = json.loads(json.dumps(spec_dict(_job("alexnet"))))
+        assert "groups" not in plain["network"]
+        assert "heads" not in plain["network"]
+
+    def test_dpnn_normalisation_keeps_structural_overrides(self):
+        # The DPNN key ignores precision profiles but must NOT collapse
+        # different geometries (groups/heads change the simulated network).
+        with_heads = SimJob(network=NetworkSpec("tiny_transformer", heads=8),
+                            accelerator=AcceleratorSpec.create("dpnn"))
+        without = SimJob(network=NetworkSpec("tiny_transformer"),
+                         accelerator=AcceleratorSpec.create("dpnn"))
+        assert job_key(with_heads) != job_key(without)
+
+    @pytest.mark.parametrize("spec", [
+        NetworkSpec("mobilenet_v1"),
+        NetworkSpec("resnet18", groups=4),
+        NetworkSpec("tiny_transformer", heads=8),
+    ], ids=["depthwise", "grouped-residual", "attention"])
+    def test_disk_round_trip_preserves_modern_results(self, tmp_path, spec):
+        job = SimJob(network=spec, accelerator=AcceleratorSpec.create("loom"))
+        with JobExecutor(cache=ResultCache(tmp_path)) as warm:
+            (original,) = warm.run([job])
+        # A fresh executor over the same directory must hit the disk and
+        # reconstruct an identical result, including the matmul layer kind.
+        with JobExecutor(cache=ResultCache(tmp_path)) as cold:
+            (reloaded,) = cold.run([job])
+        assert cold.cache.stats.disk_hits == 1
+        assert cold.stats.executed == 0
+        assert reloaded.to_dict() == original.to_dict()
+        kinds = {layer.layer_kind for layer in reloaded.layers}
+        if spec.name == "tiny_transformer":
+            assert "matmul" in kinds
+
+    def test_matmul_kind_survives_json(self, tmp_path):
+        job = SimJob(network=NetworkSpec("tiny_transformer"),
+                     accelerator=AcceleratorSpec.create("loom"))
+        result = execute_job(job)
+        cache = ResultCache(tmp_path)
+        cache.put(job_key(job), result, spec=spec_dict(job))
+        fresh = ResultCache(tmp_path).get(job_key(job))
+        assert fresh is not None
+        assert [layer.layer_kind for layer in fresh.layers] == \
+            [layer.layer_kind for layer in result.layers]

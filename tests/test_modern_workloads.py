@@ -1,0 +1,370 @@
+"""Tests for the modern-workload zoo: grouped/depthwise convolution,
+residual ``Add`` graphs, attention ``MatMul`` work, and the structural
+override plumbing (``groups`` / ``heads``) through build, serialisation,
+explore and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.explore import Axis, SweepSpec
+from repro.nn import (
+    Add,
+    MatMul,
+    Network,
+    ReferenceModel,
+    available_networks,
+    build_network,
+    network_from_dict,
+    network_to_dict,
+    run_reference,
+)
+from repro.nn.layers import Conv2D, Pool2D, Softmax, TensorShape
+from repro.nn.zoo import modern_networks
+from repro.quant import get_paper_profile
+from repro.sim.jobs import NetworkSpec, network_kind_counts
+from repro.sim.jobs.spec import build_spec_network
+
+
+class TestZooStructure:
+    def test_mobilenet_is_half_depthwise(self):
+        network = build_network("mobilenet_v1")
+        convs = [lw.layer for lw in network.conv_layers()]
+        depthwise = [c for c in convs if c.groups > 1]
+        assert len(convs) == 27
+        assert len(depthwise) == 13
+        assert all(c.groups == c.out_channels for c in depthwise)
+
+    def test_mobilenet_mac_count_matches_publication(self):
+        # Howard et al. report ~569M mult-adds for the 224x224 1.0 model.
+        gmacs = build_network("mobilenet_v1").total_macs() / 1e9
+        assert 0.54 <= gmacs <= 0.60
+
+    def test_resnet18_residual_wiring(self):
+        network = build_network("resnet18")
+        adds = [layer for layer in network.layers if isinstance(layer, Add)]
+        assert len(adds) == 8
+        # A non-downsample block adds the block input back in.
+        assert network.inputs_of("layer1_1_add") == (
+            "layer1_1_conv2", "pool1")
+        # A downsample block adds the 1x1-projected shortcut.
+        assert network.inputs_of("layer2_1_add") == (
+            "layer2_1_conv2", "layer2_1_downsample")
+        gmacs = network.total_macs() / 1e9
+        assert 1.6 <= gmacs <= 2.0  # ~1.8 GMACs published
+
+    def test_resnet18_groups_override_scales_block_work(self):
+        base = build_network("resnet18")
+        grouped = build_network("resnet18", groups=4)
+        assert grouped.total_macs() < base.total_macs()
+        # Stem, downsample and classifier layers keep groups=1.
+        assert grouped.layer("conv1").groups == 1
+        assert grouped.layer("layer2_1_downsample").groups == 1
+        assert grouped.layer("layer3_1_conv1").groups == 4
+
+    def test_tiny_transformer_attention_wiring(self):
+        network = build_network("tiny_transformer")
+        counts = network_kind_counts("tiny_transformer")
+        assert counts == {"conv": 0, "matmul": 16, "fc": 1}
+        # The score and mixing multiplies read two activation operands.
+        assert network.inputs_of("block1_qk") == ("block1_q", "block1_k")
+        assert network.inputs_of("block1_av") == ("block1_attn", "block1_v")
+
+    def test_tiny_transformer_heads_preserve_work_and_profile_shape(self):
+        # Head count redistributes the attention pattern but neither the
+        # layer count nor the projection/MLP work changes.
+        for heads in (1, 2, 8, 16):
+            network = build_network("tiny_transformer", heads=heads)
+            network.attach_profile(get_paper_profile("tiny_transformer"))
+            assert network.num_conv_groups() == 16
+
+    @pytest.mark.parametrize("name", modern_networks())
+    def test_profiles_attach_at_both_accuracies(self, name):
+        for accuracy in ("100%", "99%"):
+            network = build_network(name)
+            network.attach_profile(get_paper_profile(
+                name, accuracy, with_effective_weights=True))
+
+    @pytest.mark.parametrize("name", modern_networks())
+    def test_serialization_round_trip(self, name):
+        data = network_to_dict(build_network(name))
+        rebuilt = network_from_dict(data)
+        assert network_to_dict(rebuilt) == data
+        assert rebuilt.resolve_shapes() == build_network(name).resolve_shapes()
+
+
+class TestOverrideValidation:
+    def test_resnet18_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError, match="divide 64"):
+            build_network("resnet18", groups=5)
+
+    def test_tiny_transformer_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divide d_model"):
+            build_network("tiny_transformer", heads=3)
+
+    def test_unsupported_override_is_an_error(self):
+        with pytest.raises(ValueError, match="does not support"):
+            build_network("alexnet", groups=2)
+        with pytest.raises(ValueError, match="does not support"):
+            build_network("resnet18", heads=4)
+
+    def test_spec_override_reaches_the_builder(self):
+        network = build_spec_network(NetworkSpec("tiny_transformer", heads=8))
+        qk = network.layer("block1_qk")
+        assert qk.heads == 8
+
+
+class TestAttentionSemantics:
+    def test_matmul_attention_equals_numpy_reference(self, rng):
+        """The graph-level attention equals a hand-written NumPy attention."""
+        d_model, seq_len, heads = 8, 4, 2
+        net = Network("attn", TensorShape(d_model, seq_len, 1))
+        net.add(MatMul(name="q", out_features=d_model), inputs=["__input__"])
+        net.add(MatMul(name="k", out_features=d_model), inputs=["__input__"])
+        net.add(MatMul(name="v", out_features=d_model), inputs=["__input__"])
+        net.add(MatMul(name="qk", out_features=heads * seq_len, heads=heads,
+                       transpose_b=True), inputs=["q", "k"])
+        net.add(Softmax(name="attn", axis=0, groups=heads))
+        net.add(MatMul(name="av", out_features=d_model, heads=heads),
+                inputs=["attn", "v"])
+        model = ReferenceModel(net, rng=rng)
+        x = rng.normal(size=(d_model, seq_len, 1))
+        actual = model.forward(x).reshape(d_model, seq_len)
+
+        X = x.reshape(d_model, seq_len)
+        Q = model.layer_weights("q") @ X
+        K = model.layer_weights("k") @ X
+        V = model.layer_weights("v") @ X
+        per_head = d_model // heads
+        expected = np.empty_like(Q)
+        for g in range(heads):
+            sl = slice(g * per_head, (g + 1) * per_head)
+            scores = K[sl].T @ Q[sl]
+            scores = scores - scores.max(axis=0, keepdims=True)
+            weights = np.exp(scores) / np.exp(scores).sum(axis=0,
+                                                          keepdims=True)
+            expected[sl] = V[sl] @ weights
+        np.testing.assert_allclose(actual, expected, rtol=1e-12, atol=1e-12)
+
+    def test_add_layer_sums_residual_branches(self, rng):
+        net = Network("residual", TensorShape(4, 5, 5))
+        net.add(Conv2D(name="conv", out_channels=4, kernel=3, padding=1,
+                       bias=False))
+        net.add(Add(name="add"), inputs=["conv", "__input__"])
+        model = ReferenceModel(net, rng=rng)
+        x = rng.normal(size=(4, 5, 5))
+        conv_only = model.forward(x) - x
+        np.testing.assert_allclose(model.forward(x), conv_only + x)
+
+    def test_resnet18_reference_forward_runs(self, rng):
+        out = run_reference(build_network("resnet18"),
+                            rng.normal(size=(3, 224, 224)), rng=rng)
+        assert out.shape == (1000,)
+        assert np.isfinite(out).all()
+
+
+class TestShapeErrorRegressions:
+    """Impossible geometries fail with clear errors at resolution time."""
+
+    def test_conv_kernel_larger_than_input_names_the_layer(self):
+        conv = Conv2D(name="too_big", out_channels=4, kernel=7)
+        with pytest.raises(ValueError, match="too_big"):
+            conv.output_shape(TensorShape(3, 5, 5))
+        with pytest.raises(ValueError, match="does not fit"):
+            conv.output_shape(TensorShape(3, 5, 5))
+
+    def test_conv_stride_collapsing_output_is_an_error(self):
+        conv = Conv2D(name="strided", out_channels=1, kernel=3, stride=7)
+        with pytest.raises(ValueError, match="output dimension would be"):
+            conv.output_shape(TensorShape(1, 2, 2))
+
+    def test_pool_kernel_larger_than_input_names_the_layer(self):
+        pool = Pool2D(name="bad_pool", kernel=9, stride=2)
+        with pytest.raises(ValueError, match="bad_pool"):
+            pool.output_shape(TensorShape(3, 4, 4))
+
+    def test_bad_geometry_fails_at_network_resolution(self):
+        net = Network("bad", TensorShape(3, 5, 5))
+        net.add(Conv2D(name="huge", out_channels=8, kernel=11))
+        with pytest.raises(ValueError, match="huge"):
+            net.resolve_shapes()
+        with pytest.raises(ValueError, match="huge"):
+            net.compute_layers()
+
+    def test_tensor_shape_validation(self):
+        with pytest.raises(ValueError, match="channels"):
+            TensorShape(0)
+        with pytest.raises(ValueError, match="both"):
+            TensorShape(3, 5, None)
+        with pytest.raises(ValueError, match="spatial"):
+            TensorShape(3, 0, 5)
+
+    def test_add_shape_mismatch_is_an_error(self):
+        net = Network("bad_add", TensorShape(3, 8, 8))
+        net.add(Conv2D(name="narrow", out_channels=3, kernel=3))
+        net.add(Add(name="mismatch"), inputs=["narrow", "__input__"])
+        with pytest.raises(ValueError, match="same shape"):
+            net.resolve_shapes()
+
+    def test_add_requires_two_inputs(self):
+        net = Network("one_armed", TensorShape(3, 8, 8))
+        with pytest.raises(ValueError, match="at least two"):
+            net.add(Add(name="add"), inputs=["__input__"])
+
+    def test_matmul_b_operand_geometry_is_validated(self):
+        net = Network("bad_attn", TensorShape(8, 4, 1))
+        net.add(MatMul(name="k", out_features=6), inputs=["__input__"])
+        net.add(MatMul(name="qk", out_features=8, heads=2, transpose_b=True),
+                inputs=["__input__", "k"])
+        with pytest.raises(ValueError, match="qk"):
+            net.resolve_shapes()
+
+    def test_matmul_rejects_three_inputs(self):
+        net = Network("bad", TensorShape(8, 4, 1))
+        net.add(MatMul(name="a", out_features=8), inputs=["__input__"])
+        net.add(MatMul(name="b", out_features=8), inputs=["__input__"])
+        with pytest.raises(ValueError, match="one input.*or.*two"):
+            net.add(MatMul(name="m", out_features=8),
+                    inputs=["a", "b", "__input__"])
+
+    def test_matmul_rejects_arity_incompatible_options(self):
+        # bias has nowhere to live when B is a runtime operand, and
+        # transpose_b is meaningless for a learned B: both would otherwise
+        # be silently ignored.
+        net = Network("bad_opts", TensorShape(8, 4, 1))
+        net.add(MatMul(name="a", out_features=8), inputs=["__input__"])
+        with pytest.raises(ValueError, match="bias is not supported"):
+            net.add(MatMul(name="biased", out_features=4, heads=2, bias=True),
+                    inputs=["__input__", "a"])
+        with pytest.raises(ValueError, match="transpose_b only applies"):
+            net.add(MatMul(name="transposed", out_features=8,
+                           transpose_b=True), inputs=["a"])
+
+    def test_matmul_heads_must_divide_features(self):
+        matmul = MatMul(name="m", out_features=8, heads=2)
+        with pytest.raises(ValueError, match="divisible by heads"):
+            matmul.output_shape(TensorShape(7, 4, 1))
+        with pytest.raises(ValueError, match="divisible by heads"):
+            MatMul(name="m", out_features=7, heads=2)
+
+    def test_kind_raises_for_non_compute_layers(self):
+        with pytest.raises(ValueError, match="not a compute layer"):
+            Pool2D(name="pool").kind
+        assert MatMul(name="m", out_features=4).kind == "matmul"
+        assert Conv2D(name="c", out_channels=4).kind == "conv"
+
+    def test_softmax_group_validation(self):
+        with pytest.raises(ValueError, match="requires axis=0"):
+            Softmax(name="s", groups=2)
+        softmax = Softmax(name="s", axis=0, groups=3)
+        with pytest.raises(ValueError, match="divisible by groups"):
+            softmax.output_shape(TensorShape(8, 4, 1))
+
+
+class TestExploreAxes:
+    def test_heads_axis_expands_into_distinct_jobs(self):
+        space = SweepSpec(
+            axes=[Axis("heads", (2, 4, 8))],
+            base={"network": "tiny_transformer", "accelerator": "loom"},
+        )
+        jobs = space.unique_jobs()
+        assert len(jobs) == 3
+        assert sorted(job.network.heads for job in jobs) == [2, 4, 8]
+
+    def test_groups_axis_expands_into_distinct_jobs(self):
+        space = SweepSpec(
+            axes=[Axis("groups", (1, 2, 4))],
+            base={"network": "resnet18", "accelerator": "dstripes"},
+        )
+        jobs = space.unique_jobs()
+        assert len(jobs) == 3
+        assert sorted(job.network.groups for job in jobs) == [1, 2, 4]
+
+    def test_value_invalid_override_points_are_skipped_not_fatal(self):
+        # groups=3 does not divide resnet18's block widths: that point is
+        # infeasible and skipped; the groups=2 point still runs.
+        space = SweepSpec(
+            axes=[Axis("groups", (2, 3))],
+            base={"network": "resnet18", "accelerator": "loom"},
+        )
+        jobs = space.unique_jobs()
+        assert [job.network.groups for job in jobs] == [2]
+
+    def test_matmul_kind_reaches_comparison_table(self):
+        from repro.sim.jobs import AcceleratorSpec, SimJob
+        from repro.sim.jobs.spec import execute_job
+        from repro.sim.report import comparison_table
+
+        net = NetworkSpec("tiny_transformer")
+        base = execute_job(SimJob(network=net,
+                                  accelerator=AcceleratorSpec.create("dpnn")))
+        loom = execute_job(SimJob(network=net,
+                                  accelerator=AcceleratorSpec.create("loom")))
+        table = comparison_table(base, {"loom-1b": loom},
+                                 kinds=("matmul", "fc", None))
+        assert "matmul perf" in table
+        assert "n/a" not in table
+
+    def test_network_axis_crossed_with_override_skips_infeasible_points(self):
+        # alexnet does not take a groups override: those points are dropped
+        # like constraint violations; the resnet18 points survive.
+        space = SweepSpec(
+            axes=[Axis("network", ("alexnet", "resnet18")),
+                  Axis("groups", (2, 4))],
+            base={"accelerator": "loom"},
+        )
+        jobs = space.unique_jobs()
+        assert [(job.network.name, job.network.groups) for job in jobs] == \
+            [("resnet18", 2), ("resnet18", 4)]
+
+    def test_override_crossed_via_cli_explore(self, capsys):
+        assert main(["explore", "--axis", "network=alexnet,resnet18",
+                     "--base", "groups=4",
+                     "--base", "accelerator=loom"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out
+        assert "1/1 feasible points" in out
+        assert "alexnet" not in out.split("space:")[1].split("\n", 2)[2]
+
+
+class TestModernCLI:
+    def test_networks_listing_shows_matmul_column(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out
+        for name in available_networks():
+            assert name in out
+
+    def test_run_command_reports_all_stock_designs(self, capsys):
+        assert main(["run", "--network", "tiny_transformer",
+                     "--heads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "heads=8" in out
+        for label in ("dpnn", "stripes", "dstripes", "loom-1b", "loom-2b",
+                      "loom-4b"):
+            assert label in out
+
+    def test_run_command_rejects_bad_override(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--network", "resnet18", "--groups", "5"])
+
+    def test_summary_accepts_modern_networks(self, capsys):
+        assert main(["summary", "--network", "mobilenet_v1"]) == 0
+        assert "mobilenet_v1" in capsys.readouterr().out
+
+    def test_summary_accepts_structural_overrides(self, capsys):
+        assert main(["summary", "--network", "tiny_transformer",
+                     "--heads", "2"]) == 0
+        assert "tiny_transformer heads=2" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["summary", "--network", "alexnet", "--heads", "2"])
+
+    def test_explore_heads_axis_via_cli(self, capsys):
+        assert main(["explore", "--axis", "heads=2,4",
+                     "--base", "network=tiny_transformer",
+                     "--base", "accelerator=loom"]) == 0
+        out = capsys.readouterr().out
+        assert "heads" in out
+        assert "2/2 feasible points" in out

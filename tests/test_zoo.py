@@ -4,12 +4,15 @@ import pytest
 
 from repro.nn import build_network, available_networks
 from repro.nn.layers import TensorShape
+from repro.nn.zoo import modern_networks
 from repro.quant import get_paper_profile, paper_networks
 
 
 class TestZooBasics:
-    def test_available_matches_paper_order(self):
-        assert available_networks() == paper_networks()
+    def test_available_is_paper_order_plus_modern(self):
+        assert available_networks() == paper_networks() + modern_networks()
+        assert modern_networks() == ["mobilenet_v1", "resnet18",
+                                     "tiny_transformer"]
 
     def test_unknown_network_raises(self):
         with pytest.raises(KeyError):
