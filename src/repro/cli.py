@@ -22,6 +22,10 @@ Usage::
     loom-repro --verbose all           # report executor/cache statistics
     loom-repro --engine event all      # per-layer reference engine
     loom-repro validate [--quick]      # prove the engines agree cycle-exactly
+    loom-repro serve --port 8100 --store .loom-serve.db   # long-running service
+    loom-repro submit --url http://127.0.0.1:8100 --network alexnet
+    loom-repro stats --remote http://127.0.0.1:8100
+    loom-repro explore --remote http://127.0.0.1:8100 --axis ...
 
 Every simulation goes through one shared :class:`~repro.sim.jobs.JobExecutor`
 per invocation, so ``loom-repro all`` simulates each unique
@@ -48,12 +52,22 @@ compute-layer counts; ``explore`` runs a declarative
 design-space sweep (inline ``--axis``/``--base`` flags or a ``--grid`` JSON
 file) through a search strategy and reports the Pareto frontier -- see
 :mod:`repro.explore`.
+
+``serve`` turns the whole pipeline into a long-running batching service
+(:mod:`repro.serve`): a threaded HTTP JSON API over one shared executor and
+a persistent SQLite result store, with request coalescing and bounded-queue
+backpressure.  ``submit`` sends one job to a running server, ``stats
+--remote`` inspects its live counters (``stats --store`` inspects a store
+database offline), and ``explore --remote URL`` executes a sweep's
+simulations on the server so every client shares one warm store.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from typing import List, Optional, Tuple
 
@@ -83,6 +97,7 @@ from repro.explore import (
     sweep_to_csv,
 )
 from repro.nn import available_networks, modern_networks
+from repro.serve.client import ServeError
 from repro.sim.fastpath import ENGINES, use_engine
 from repro.sim.jobs import (
     AcceleratorSpec,
@@ -99,9 +114,23 @@ __all__ = ["main", "build_parser", "build_executor"]
 
 
 def _positive_int(value: str) -> int:
-    number = int(value)
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _port_number(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if not 0 <= number <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"must be a port number 0-65535 (0 = OS-assigned), got {number}")
     return number
 
 
@@ -239,6 +268,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true",
         help="emit the sweep table as GitHub-flavoured markdown",
     )
+    explore_cmd.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="execute the sweep's simulations on a running `loom-repro "
+             "serve` endpoint (shared warm store) instead of in-process",
+    )
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the batching simulation service (HTTP JSON API over one "
+             "shared executor and a persistent SQLite result store)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=_port_number, default=8100,
+                           help="bind port; 0 asks the OS for a free one "
+                                "(default: 8100)")
+    store_group = serve_cmd.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store", default=".loom-serve.db", metavar="PATH",
+        help="SQLite result store path (default: .loom-serve.db); shared "
+             "safely between service threads and other processes",
+    )
+    store_group.add_argument(
+        "--no-store", action="store_true",
+        help="keep results in memory only (nothing persisted)",
+    )
+    serve_cmd.add_argument(
+        "--max-entries", type=_positive_int, default=None, metavar="N",
+        help="LRU bound on stored results (default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--max-memory-entries", type=_positive_int, default=512, metavar="N",
+        help="LRU bound on the in-memory result cache (default: 512)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=_positive_int, default=8, metavar="N",
+        help="max distinct in-flight jobs before submissions get 429 + "
+             "Retry-After (default: 8; coalesced duplicates never count)",
+    )
+    serve_cmd.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the bound URL to PATH once listening (for scripts "
+             "that start the service in the background)",
+    )
+    submit_cmd = sub.add_parser(
+        "submit", help="submit one simulation to a running serve endpoint")
+    submit_cmd.add_argument("--url", required=True,
+                            help="serve endpoint, e.g. http://127.0.0.1:8100")
+    submit_cmd.add_argument("--network", default="alexnet",
+                            choices=available_networks(),
+                            help="network to simulate")
+    submit_cmd.add_argument("--accuracy", default="100%",
+                            choices=["100%", "99%"],
+                            help="precision profile to use")
+    submit_cmd.add_argument(
+        "--accelerator", default="loom", metavar="SPEC",
+        help="accelerator design, explore-axis syntax (e.g. dpnn, "
+             "loom:bits_per_cycle=2; default: loom)",
+    )
+    submit_cmd.add_argument("--groups", type=_positive_int, default=None,
+                            help="structural override: ResNeXt-style group "
+                                 "count (resnet18 only)")
+    submit_cmd.add_argument("--heads", type=_positive_int, default=None,
+                            help="structural override: attention head count "
+                                 "(tiny_transformer only)")
+    submit_cmd.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="set a config knob, e.g. equivalent_macs=256 or "
+             "dram=lpddr4-4267 (repeatable)",
+    )
+    submit_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the full result as JSON instead of a summary",
+    )
+    stats_cmd = sub.add_parser(
+        "stats", help="inspect a running service (or a store database)")
+    stats_source = stats_cmd.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="live /stats of a running serve endpoint",
+    )
+    stats_source.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="offline statistics of a SQLite result store",
+    )
     return parser
 
 
@@ -363,6 +476,9 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
         options = {"samples": args.samples, "seed": args.seed}
     elif args.strategy == "coordinate":
         options = {"seed": args.seed}
+    if args.remote is not None:
+        from repro.serve import RemoteExecutor
+        executor = RemoteExecutor(args.remote)
     result = explore(
         space,
         strategy=resolve_strategy(args.strategy, **options),
@@ -379,7 +495,106 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
             handle.write(sweep_to_csv(result))
         parts.append(f"sweep CSV ({len(result.evaluated)} points) written to "
                      f"{args.csv}")
+    if args.remote is not None:
+        stats = executor.stats
+        parts.append(
+            f"remote: {stats.submitted} jobs submitted to {args.remote} "
+            f"({stats.executed} executed there, {stats.cache_hits} answered "
+            f"from its warm store)"
+        )
     return "\n\n".join(parts)
+
+
+def _serve(args: argparse.Namespace) -> str:
+    """Run the batching service until a signal or POST /shutdown stops it."""
+    import signal
+
+    from repro.serve import SimulationService, SQLiteResultStore
+
+    backend = None
+    if not args.no_store:
+        backend = SQLiteResultStore(args.store, max_entries=args.max_entries)
+    executor = JobExecutor(
+        workers=args.jobs,
+        cache=ResultCache(backend=backend,
+                          max_memory_entries=args.max_memory_entries),
+    )
+    service = SimulationService(
+        executor=executor,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+    )
+    url = service.start()
+    store_label = backend.describe() if backend is not None else "memory only"
+    print(f"loom-repro serve: listening on {url} ({store_label}, "
+          f"queue limit {args.queue_limit})", file=sys.stderr, flush=True)
+    if args.ready_file is not None:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(url + "\n")
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: service.request_stop())
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            break
+    try:
+        service.wait_until_stopped()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return (f"serve: stopped after "
+            f"{service.stats.requests} requests "
+            f"({service.stats.submitted_points} points submitted, "
+            f"{service.stats.coalesced} coalesced, "
+            f"{service.stats.rejected} rejected)")
+
+
+def _submit(args: argparse.Namespace) -> str:
+    """Submit one job to a running service and report the served result."""
+    from repro.serve import ServeClient
+
+    point = {"network": args.network, "accelerator": args.accelerator}
+    if args.accuracy != "100%":
+        point["accuracy"] = args.accuracy
+    for override in ("groups", "heads"):
+        value = getattr(args, override)
+        if value is not None:
+            point[override] = value
+    for token in args.set:
+        name, sep, raw = token.partition("=")
+        if not sep or not name:
+            raise ValueError(f"bad --set {token!r}; expected NAME=VALUE")
+        point[name] = parse_value(raw)
+    done = ServeClient(args.url).submit(point)
+    if args.json:
+        return json.dumps({"key": done.key, "status": done.status,
+                           "result": done.result.to_dict()},
+                          indent=2, sort_keys=True)
+    result = done.result
+    return "\n".join([
+        f"== served: {result.network} on {result.accelerator} "
+        f"({done.status}) ==",
+        f"key:         {done.key}",
+        f"cycles:      {result.total_cycles():,.0f}",
+        f"energy (uJ): {result.total_energy_pj() / 1e6:.2f}",
+        f"fps:         {result.frames_per_second():,.1f}",
+    ])
+
+
+def _stats(args: argparse.Namespace) -> str:
+    """Live /stats of a running service, or offline stats of a store file."""
+    if args.remote is not None:
+        from repro.serve import ServeClient
+        payload = ServeClient(args.remote).stats()
+    else:
+        from repro.serve import SQLiteResultStore
+        if not os.path.exists(args.store):
+            raise ValueError(f"no store database at {args.store}")
+        # Read-only inspection: never repairs/wipes the way opening a store
+        # for service use would.
+        payload = SQLiteResultStore.inspect(args.store)
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _run_designs() -> List[Tuple[str, AcceleratorSpec]]:
@@ -457,15 +672,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
+    if command == "serve" and (args.no_cache or args.cache_dir is not None):
+        parser.error("serve keeps its own persistent store; use "
+                     "--store/--no-store instead of --cache-dir/--no-cache")
+    # Remote-side commands execute on the server, so the local pipeline
+    # flags would be silent no-ops -- reject them rather than mislead.
+    if command in ("submit", "stats") or \
+            (command == "explore" and args.remote is not None):
+        ignored = [flag for flag, is_set in (
+            ("--engine", args.engine != "fast"),
+            ("--jobs", args.jobs != 1),
+            ("--no-cache", args.no_cache),
+            ("--cache-dir", args.cache_dir is not None),
+        ) if is_set]
+        if ignored:
+            parser.error(
+                f"{'/'.join(ignored)} have no effect on {command}: execution "
+                f"happens on the server (configure `loom-repro serve`'s own "
+                f"flags instead)")
     outputs: List[str] = []
     exit_code = 0
-    try:
-        executor = build_executor(args)
-    except OSError as error:
-        parser.error(f"--cache-dir: {error}")
+    # serve builds its own store-backed executor; submit/stats/remote
+    # explore execute on the server -- none of them should build (or later
+    # report statistics for) a local pipeline executor.
+    uses_local_executor = args.command not in ("serve", "submit", "stats") \
+        and not (args.command == "explore" and args.remote is not None)
+    executor = None
+    if uses_local_executor:
+        try:
+            executor = build_executor(args)
+        except OSError as error:
+            parser.error(f"--cache-dir: {error}")
     # use_engine (not set_default_engine): in-process callers of main() must
     # get the previous engine default back when the invocation finishes.
-    with use_engine(args.engine), executor:
+    with use_engine(args.engine), \
+            (executor if executor is not None else contextlib.nullcontext()):
         if command in ("table1", "all"):
             outputs.append(table1.format_table())
         if command in ("table2", "all"):
@@ -511,9 +752,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         if command == "explore":
             try:
                 outputs.append(_explore(args, executor))
-            except (OSError, ValueError, argparse.ArgumentTypeError) as error:
+            except (OSError, ValueError, argparse.ArgumentTypeError,
+                    ServeError) as error:
                 parser.error(str(error))
-    if args.verbose:
+        if command == "serve":
+            try:
+                outputs.append(_serve(args))
+            except OSError as error:
+                parser.error(str(error))
+        if command == "submit":
+            try:
+                outputs.append(_submit(args))
+            except (OSError, ValueError, ServeError) as error:
+                parser.error(str(error))
+        if command == "stats":
+            try:
+                outputs.append(_stats(args))
+            except (OSError, ValueError, ServeError) as error:
+                parser.error(str(error))
+    if args.verbose and executor is not None:
         print(executor.stats.summary(cache=executor.cache), file=sys.stderr)
     print("\n\n".join(outputs))
     return exit_code

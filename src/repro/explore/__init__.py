@@ -77,6 +77,9 @@ from repro.explore.space import (
     DesignPoint,
     SweepSpec,
     am_fits_working_set,
+    canonical_point,
+    encode_parameter,
+    job_to_point,
     named_constraint,
     parse_accelerator,
     parse_value,
@@ -102,10 +105,13 @@ __all__ = [
     "SearchStrategy",
     "SweepSpec",
     "am_fits_working_set",
+    "canonical_point",
     "dominance_ranks",
     "dominates",
+    "encode_parameter",
     "explore",
     "frontier_table",
+    "job_to_point",
     "named_constraint",
     "pareto_frontier",
     "parse_accelerator",

@@ -51,6 +51,17 @@ class EvaluatedPoint:
     def metric(self, key: str) -> float:
         return self.metrics[key]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (the ``loom-repro serve`` /explore wire format)."""
+        from repro.explore.space import encode_parameter
+
+        return {
+            "point": {name: encode_parameter(name, value)
+                      for name, value in self.point.items()},
+            "baseline": self.baseline,
+            "metrics": dict(self.metrics),
+        }
+
 
 class PointEvaluator:
     """Evaluates design points through a shared executor, with memoisation.
@@ -143,6 +154,21 @@ class ExplorationResult:
             raise ValueError("no evaluated points")
         chooser = max if resolved.maximize else min
         return chooser(self.evaluated, key=lambda ep: resolved.value(ep.metrics))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (the ``loom-repro serve`` /explore wire format).
+
+        ``evaluated`` and ``ranks`` stay aligned 1:1; the frontier is the
+        rank-0 subset, so clients can reconstruct it without a second field.
+        """
+        return {
+            "space": self.space.to_dict(),
+            "strategy": self.strategy,
+            "objectives": [objective.name for objective in self.objectives],
+            "evaluated": [ep.to_dict() for ep in self.evaluated],
+            "ranks": list(self.ranks),
+            "space_points": self.space_points,
+        }
 
 
 def explore(

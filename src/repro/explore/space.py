@@ -51,7 +51,10 @@ __all__ = [
     "NETWORK_PARAMETERS",
     "CONFIG_PARAMETERS",
     "am_fits_working_set",
+    "canonical_point",
+    "encode_parameter",
     "format_parameter",
+    "job_to_point",
     "named_constraint",
     "parse_accelerator",
     "parse_value",
@@ -310,6 +313,96 @@ def named_constraint(name: str) -> Constraint:
 # -- point -> job --------------------------------------------------------------
 
 
+def canonical_point(values: Mapping[str, object]) -> DesignPoint:
+    """Canonicalise a raw parameter mapping into a :class:`DesignPoint`.
+
+    This is the entry point for externally supplied points (JSON request
+    bodies, config files): parameter names are validated against the known
+    sweep parameters and values are normalised exactly the way axis/base
+    values are -- accelerator strings/mappings become
+    :class:`~repro.sim.jobs.AcceleratorSpec`\\ s, DRAM channel names become
+    channel objects -- so ``point_to_job(canonical_point(data))`` accepts
+    everything a sweep axis would.
+    """
+    unknown = set(values) - set(_KNOWN_PARAMETERS)
+    if unknown:
+        raise ValueError(
+            f"unknown point parameter(s) {sorted(unknown)}; known parameters: "
+            f"{sorted(_KNOWN_PARAMETERS)}"
+        )
+    return DesignPoint(
+        tuple((name, _canonical_parameter(name, value))
+              for name, value in values.items())
+    )
+
+
+def encode_parameter(name: str, value: object) -> object:
+    """JSON-encode one canonical parameter value (inverse of canonicalising).
+
+    Accelerator specs become ``{"kind": ..., **options}`` mappings, DRAM
+    channels their registry names; everything else passes through.  This is
+    the one shared wire encoding used by :meth:`SweepSpec.to_dict`, the
+    service protocol and :func:`job_to_point`.
+    """
+    if name == "accelerator":
+        spec = parse_accelerator(value)
+        return {"kind": spec.kind, **_jsonable_options(spec.options_dict())}
+    if isinstance(value, DRAMChannel):
+        for channel_name, channel in DRAM_CHANNELS.items():
+            if channel == value:
+                return channel_name
+        raise ValueError(
+            f"DRAM channel {value.name!r} has no registry name; only "
+            f"{sorted(n for n in DRAM_CHANNELS if DRAM_CHANNELS[n])} can be "
+            f"encoded for remote execution"
+        )
+    return value
+
+
+def _jsonable_options(options: Mapping[str, object]) -> Dict[str, object]:
+    """Canonical accelerator options (nested tuples) as JSON-friendly lists."""
+    def convert(value):
+        if isinstance(value, tuple):
+            return [convert(v) for v in value]
+        return value
+
+    return {name: convert(value) for name, value in options.items()}
+
+
+def job_to_point(job: SimJob) -> Dict[str, object]:
+    """Encode a :class:`SimJob` as a JSON-able point mapping (wire format).
+
+    The inverse of ``point_to_job(canonical_point(...))``: round-tripping a
+    job through ``job_to_point`` and back preserves its content key, which
+    is what lets :class:`repro.serve.RemoteExecutor` ship jobs to a
+    ``loom-repro serve`` process.  Only defaulted or registry-known nested
+    values can cross the wire: a custom ``tech`` parameter set or an
+    unregistered DRAM channel raises ``ValueError``.
+    """
+    point: Dict[str, object] = {"network": job.network.name}
+    if job.network.accuracy != "100%":
+        point["accuracy"] = job.network.accuracy
+    if job.network.with_effective_weights:
+        point["with_effective_weights"] = True
+    for override in ("groups", "heads"):
+        value = getattr(job.network, override)
+        if value is not None:
+            point[override] = value
+    point["accelerator"] = encode_parameter("accelerator", job.accelerator)
+    defaults = AcceleratorConfig()
+    for field in dataclasses.fields(AcceleratorConfig):
+        value = getattr(job.config, field.name)
+        if value == getattr(defaults, field.name):
+            continue
+        if field.name == "tech":
+            raise ValueError(
+                "jobs with a non-default technology parameter set cannot be "
+                "encoded for remote execution"
+            )
+        point[field.name] = encode_parameter(field.name, value)
+    return point
+
+
 def point_to_job(point: Mapping) -> SimJob:
     """Translate one design point into its declarative :class:`SimJob`."""
     if "network" not in point:
@@ -463,21 +556,15 @@ class SweepSpec:
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form of the spec (the ``--grid`` JSON file format)."""
-        def encode(name, value):
-            if name == "accelerator":
-                spec = parse_accelerator(value)
-                return {"kind": spec.kind, **spec.options_dict()}
-            if isinstance(value, DRAMChannel):
-                return value.name.lower()
-            return value
-
         return {
             "axes": {
-                axis.name: [encode(axis.name, v) for v in axis.values]
+                axis.name: [encode_parameter(axis.name, v)
+                            for v in axis.values]
                 for axis in self.axes
             },
             "base": {
-                name: encode(name, value) for name, value in self.base.items()
+                name: encode_parameter(name, value)
+                for name, value in self.base.items()
             },
             "constraints": [c.name for c in self.constraints],
         }

@@ -1,0 +1,55 @@
+"""``repro.serve``: a batching simulation service with a persistent store.
+
+Every ``loom-repro`` subcommand is a one-shot batch process: it pays
+interpreter start, imports, profiled-network construction and cache warm-up
+on every invocation, and the ``--cache-dir`` JSON store cannot be shared
+safely between concurrent clients.  This package keeps those ingredients
+*hot* in one long-running process:
+
+* :class:`~repro.serve.store.SQLiteResultStore` -- a
+  :class:`~repro.sim.jobs.CacheBackend` holding every simulated result in a
+  single WAL-mode SQLite database: concurrent readers, schema versioning,
+  and an optional LRU entry bound.
+* :class:`~repro.serve.service.SimulationService` -- a threaded HTTP JSON
+  API (``POST /jobs``, ``GET /jobs/<key>``, ``POST /explore``,
+  ``GET /networks``, ``GET /healthz``, ``GET /stats``) with request
+  coalescing (N concurrent identical submissions simulate once), a bounded
+  in-flight queue with 429 + ``Retry-After`` backpressure, and graceful
+  shutdown.  Started by ``loom-repro serve``.
+* :class:`~repro.serve.client.ServeClient` -- a dependency-free client
+  (``loom-repro submit`` / ``loom-repro stats --remote``).
+* :class:`~repro.serve.remote.RemoteExecutor` -- a
+  :class:`~repro.sim.jobs.JobExecutor`-shaped facade so design-space sweeps
+  (``loom-repro explore --remote URL``) execute against the shared warm
+  store.
+
+Quick tour::
+
+    from repro.serve import ServeClient, SimulationService
+
+    with SimulationService() as service:          # port 0 = OS-assigned
+        client = ServeClient(service.url)
+        done = client.submit(network="alexnet", accelerator="loom")
+        assert done.result.total_cycles() > 0
+
+The served results are **bit-identical** to in-process
+:func:`~repro.sim.jobs.execute_job` runs -- the same field-for-field
+equality the engine validator enforces -- and a job's wire form is the same
+design-point parameter namespace as ``loom-repro explore`` axes.
+"""
+
+from repro.serve.client import ServeClient, ServeError, SubmittedJob
+from repro.serve.remote import RemoteExecutor
+from repro.serve.service import Backpressure, ServiceStats, SimulationService
+from repro.serve.store import SQLiteResultStore
+
+__all__ = [
+    "Backpressure",
+    "RemoteExecutor",
+    "SQLiteResultStore",
+    "ServeClient",
+    "ServeError",
+    "ServiceStats",
+    "SimulationService",
+    "SubmittedJob",
+]

@@ -1,0 +1,153 @@
+"""Thin stdlib HTTP client for the ``loom-repro serve`` service.
+
+:class:`ServeClient` speaks the JSON protocol of
+:mod:`repro.serve.service` with nothing but ``urllib`` -- no dependencies,
+so any Python process (another CLI invocation, a notebook, a CI smoke
+script) can submit simulations to a warm server.  Server-side failures are
+raised as :class:`ServeError` carrying the HTTP status and, for 429
+backpressure responses, the ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.results import NetworkResult
+
+__all__ = ["ServeClient", "ServeError", "SubmittedJob"]
+
+
+class ServeError(Exception):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[int] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class SubmittedJob:
+    """One submitted point's resolution, as the server reported it.
+
+    ``status`` is ``"cached"`` (answered from the warm store),
+    ``"executed"`` (this request ran the simulation) or ``"coalesced"``
+    (another concurrent request ran it and this one shared the result).
+    """
+
+    key: str
+    status: str
+    result: NetworkResult
+
+
+class ServeClient:
+    """Client for one ``loom-repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout_s: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(json.dumps(payload).encode("utf-8")
+                  if payload is not None else None),
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            retry_after: Optional[int] = None
+            header = error.headers.get("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = int(header)
+                except ValueError:
+                    retry_after = None
+            try:
+                message = json.loads(error.read().decode("utf-8"))["error"]
+            except (ValueError, KeyError):
+                message = error.reason
+            raise ServeError(error.code, message,
+                             retry_after_s=retry_after) from None
+
+    @staticmethod
+    def _submitted(entry: Mapping[str, object]) -> SubmittedJob:
+        return SubmittedJob(
+            key=entry["key"],
+            status=entry["status"],
+            result=NetworkResult.from_dict(entry["result"]),
+        )
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def networks(self) -> List[dict]:
+        return self._request("GET", "/networks")["networks"]
+
+    def submit(self, point: Optional[Mapping[str, object]] = None,
+               **params: object) -> SubmittedJob:
+        """Submit one design point (mapping and/or keyword parameters)."""
+        merged: Dict[str, object] = dict(point or {})
+        merged.update(params)
+        return self._submitted(self._request("POST", "/jobs",
+                                             {"point": merged}))
+
+    def submit_points(self, points: Sequence[Mapping[str, object]]
+                      ) -> List[SubmittedJob]:
+        """Submit a batch of points; resolutions come back in order."""
+        response = self._request("POST", "/jobs",
+                                 {"points": [dict(p) for p in points]})
+        return [self._submitted(entry) for entry in response["results"]]
+
+    def result(self, key: str) -> Optional[NetworkResult]:
+        """Fetch a finished result by content key (``None`` if unknown).
+
+        A key that is currently executing (HTTP 202) also returns ``None``;
+        use :meth:`lookup` to distinguish the two.
+        """
+        status, result = self.lookup(key)
+        return result if status == "done" else None
+
+    def lookup(self, key: str) -> tuple:
+        """(status, result) for a key: ('done', NetworkResult),
+        ('pending', None) or ('unknown', None)."""
+        try:
+            payload = self._request("GET", f"/jobs/{key}")
+        except ServeError as error:
+            if error.status == 404:
+                return "unknown", None
+            raise
+        if payload["status"] == "pending":
+            return "pending", None
+        return "done", NetworkResult.from_dict(payload["result"])
+
+    def explore(self, space: Mapping[str, object], **options: object) -> dict:
+        """Run a sweep on the server (``space`` is a SweepSpec dict).
+
+        Options: ``strategy``, ``samples``, ``seed``, ``objectives``,
+        ``baseline`` -- the same knobs as :func:`repro.explore.explore`.
+        """
+        return self._request("POST", "/explore",
+                             {"space": dict(space), **options})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop gracefully."""
+        return self._request("POST", "/shutdown")

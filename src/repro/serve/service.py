@@ -1,0 +1,631 @@
+"""Threaded HTTP JSON simulation service with request coalescing.
+
+:class:`SimulationService` wraps one shared :class:`~repro.sim.jobs.
+JobExecutor` (backed by a persistent :class:`~repro.serve.store.
+SQLiteResultStore` by default) behind a small HTTP API, so the expensive
+per-invocation costs -- interpreter start, imports, profiled-network
+construction, cache warm-up -- are paid once and amortised over every
+subsequent request:
+
+========  =============  ====================================================
+method    path           behaviour
+========  =============  ====================================================
+POST      /jobs          simulate one point (or ``{"points": [...]}`` batch);
+                         blocks until the result is ready
+GET       /jobs/<key>    look a finished result up by content key
+POST      /explore       run a design-space sweep against the warm store
+GET       /networks      the zoo with per-kind layer counts
+GET       /healthz       liveness probe
+GET       /stats         service / executor / cache / store counters
+POST      /shutdown      graceful stop (finishes in-flight work first)
+========  =============  ====================================================
+
+**Coalescing.** N concurrent submissions of the same content key execute the
+simulation exactly once: the first request becomes the *owner* and runs the
+job; the rest subscribe to the owner's in-flight entry and are handed the
+same result when it lands (``ExecutorStats.max_executions_per_key`` stays at
+1, which the test suite asserts).
+
+**Backpressure.** The number of concurrently *admitted* submissions that
+need an execution (batches holding or waiting for the execution slot) is
+bounded (``queue_limit``); a submission that would exceed the bound is
+refused with HTTP 429 and a ``Retry-After`` header instead of queueing
+unboundedly.  A batch counts as one unit regardless of how many jobs it
+carries -- it becomes one executor batch -- so arbitrarily large sweeps
+submit fine; coalesced waiters and store-answered submissions never count.
+
+**Shutdown.** ``stop()`` (or ``POST /shutdown``) stops accepting new
+connections, lets in-flight handlers finish, then closes the executor, its
+worker pool and the store.
+
+The wire format for a job is a design-*point* mapping -- the same parameter
+namespace as ``loom-repro explore`` axes (``network`` / ``accuracy`` /
+``accelerator`` / every ``AcceleratorConfig`` knob), canonicalised by
+:func:`repro.explore.space.canonical_point`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.explore.engine import explore
+from repro.explore.search import resolve_strategy
+from repro.explore.space import SweepSpec, canonical_point, point_to_job
+from repro.sim.jobs import JobExecutor, ResultCache, job_key
+from repro.sim.results import NetworkResult
+
+__all__ = ["Backpressure", "ServiceStats", "SimulationService"]
+
+#: Largest request body the service accepts (a sweep spec is tiny; anything
+#: bigger than this is a client bug, not a workload).
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class Backpressure(Exception):
+    """Raised when the in-flight job bound is reached (maps to HTTP 429)."""
+
+    def __init__(self, pending: int, limit: int, retry_after_s: int) -> None:
+        super().__init__(
+            f"job queue is full ({pending} in flight, limit {limit}); "
+            f"retry in {retry_after_s}s"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class ServiceStats:
+    """Request-level counters (everything execution-level lives in the
+    executor/cache stats the service also reports)."""
+
+    requests: int = 0
+    submitted_points: int = 0
+    store_answers: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    errors: int = 0
+    explores: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "submitted_points": self.submitted_points,
+            "store_answers": self.store_answers,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "explores": self.explores,
+        }
+
+
+class _Inflight:
+    """One in-flight execution other submissions of the same key can join."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[NetworkResult] = None
+        self.error: Optional[BaseException] = None
+
+
+@dataclass
+class _Submitted:
+    """Resolution of one submitted point."""
+
+    key: str
+    status: str  # "cached", "executed" or "coalesced"
+    result: NetworkResult
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "status": self.status,
+            "result": self.result.to_dict(),
+        }
+
+
+class SimulationService:
+    """The batching simulation service behind ``loom-repro serve``.
+
+    Parameters
+    ----------
+    executor:
+        The shared :class:`JobExecutor` (and, through it, the result cache /
+        persistent store) every request executes against.  The service owns
+        it: ``stop()`` closes it.
+    host / port:
+        Bind address; ``port=0`` asks the OS for a free port (the bound
+        port is available as ``service.port`` after ``start()``).
+    queue_limit:
+        Bound on concurrently admitted execution batches before submissions
+        are refused with 429 (one batch = one unit, however many jobs it
+        carries; coalesced duplicates and store answers never count).
+    retry_after_s:
+        The ``Retry-After`` hint sent with 429 responses.
+    wait_timeout_s:
+        How long a coalesced waiter polls an owner's execution before
+        giving up (a safety net; owners always publish, even on error).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[JobExecutor] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 8,
+        retry_after_s: int = 1,
+        wait_timeout_s: float = 600.0,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.executor = executor if executor is not None else JobExecutor(
+            cache=ResultCache(max_memory_entries=512))
+        self.host = host
+        self.port = port
+        self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+        self.wait_timeout_s = wait_timeout_s
+        self.stats = ServiceStats()
+        self.started_at: Optional[float] = None
+        self._inflight: Dict[str, _Inflight] = {}
+        self._pending_batches = 0
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._execute_lock = threading.Lock()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+
+    # -- core submission path (HTTP-independent, used by tests directly) -----
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.executor.cache
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        """Race-free ServiceStats increment (handlers run concurrently)."""
+        with self._stats_lock:
+            setattr(self.stats, counter,
+                    getattr(self.stats, counter) + amount)
+
+    @contextlib.contextmanager
+    def _admit_batch(self):
+        """Claim one execution-batch admission slot (429 when full).
+
+        Both execution-bearing routes (/jobs owner batches and /explore
+        sweeps) pass through this bound, so neither can queue unboundedly
+        on the execution lock.
+        """
+        with self._lock:
+            if self._pending_batches >= self.queue_limit:
+                self._bump("rejected")
+                raise Backpressure(
+                    pending=self._pending_batches,
+                    limit=self.queue_limit,
+                    retry_after_s=self.retry_after_s,
+                )
+            self._pending_batches += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._pending_batches -= 1
+
+    def submit_points(self, raw_points: Sequence[Mapping[str, object]],
+                      timeout_s: Optional[float] = None) -> List[_Submitted]:
+        """Resolve a batch of raw point mappings into results.
+
+        Point order is preserved.  Already-stored keys are answered from the
+        cache (no lock, no admission needed); keys another request is
+        currently executing are joined (coalesced); the rest are executed
+        here as one executor batch -- which counts as *one* unit against the
+        ``queue_limit`` admission bound, however many jobs it carries.
+        Raises :class:`Backpressure` when the service already has
+        ``queue_limit`` admitted batches, and ``ValueError`` for malformed
+        points.
+        """
+        timeout_s = timeout_s if timeout_s is not None else self.wait_timeout_s
+        entries: List[Tuple[object, str]] = []
+        for raw in raw_points:
+            if not isinstance(raw, Mapping):
+                raise ValueError(
+                    f"a job point must be a JSON object, got {type(raw).__name__}"
+                )
+            job = point_to_job(canonical_point(raw))
+            entries.append((job, job_key(job)))
+
+        statuses: Dict[str, str] = {}
+        resolved: Dict[str, NetworkResult] = {}
+        # Pass 1, no service lock: warm keys resolve straight from the
+        # (internally locked) cache, so warm traffic never serialises behind
+        # another request's admission or bookkeeping.  peek(), not get():
+        # cold keys get their authoritative (counted) lookup inside
+        # executor.run, so misses are not double-counted in /stats.
+        for _, key in entries:
+            if key in statuses:
+                continue
+            cached = self.cache.peek(key) if self.cache is not None else None
+            if cached is not None:
+                statuses[key] = "cached"
+                resolved[key] = cached
+
+        waits: Dict[str, _Inflight] = {}
+        own: List[Tuple[object, str]] = []
+        coalesced = 0
+        if len(resolved) < len({key for _, key in entries}):
+            with self._lock:
+                for job, key in entries:
+                    if key in statuses:
+                        continue
+                    inflight = self._inflight.get(key)
+                    if inflight is not None:
+                        statuses[key] = "coalesced"
+                        waits[key] = inflight
+                        coalesced += 1
+                        continue
+                    statuses[key] = "executed"
+                    own.append((job, key))
+                if own:
+                    if self._pending_batches >= self.queue_limit:
+                        self._bump("rejected")
+                        raise Backpressure(
+                            pending=self._pending_batches,
+                            limit=self.queue_limit,
+                            retry_after_s=self.retry_after_s,
+                        )
+                    self._pending_batches += 1
+                    for _, key in own:
+                        self._inflight[key] = _Inflight()
+        # Admission succeeded: commit the request-level counters.
+        self._bump("submitted_points", len(entries))
+        self._bump("store_answers",
+                   sum(1 for s in statuses.values() if s == "cached"))
+        self._bump("coalesced", coalesced)
+
+        if own:
+            error: Optional[BaseException] = None
+            results: List[NetworkResult] = []
+            try:
+                with self._execute_lock:
+                    results = self.executor.run([job for job, _ in own])
+            except BaseException as exc:  # always publish, even on error
+                error = exc
+            finally:
+                with self._lock:
+                    self._pending_batches -= 1
+                    for index, (_, key) in enumerate(own):
+                        inflight = self._inflight.pop(key)
+                        if error is None:
+                            inflight.result = results[index]
+                            resolved[key] = results[index]
+                        else:
+                            inflight.error = error
+                        inflight.event.set()
+            if error is not None:
+                raise error
+
+        for key, inflight in waits.items():
+            if not inflight.event.wait(timeout_s):
+                raise TimeoutError(
+                    f"timed out after {timeout_s}s waiting for in-flight "
+                    f"job {key}"
+                )
+            if inflight.error is not None:
+                raise RuntimeError(
+                    f"coalesced job {key} failed in its owning request: "
+                    f"{inflight.error}"
+                )
+            resolved[key] = inflight.result
+
+        return [
+            _Submitted(key=key, status=statuses[key], result=resolved[key])
+            for _, key in entries
+        ]
+
+    def lookup(self, key: str) -> Tuple[str, Optional[NetworkResult]]:
+        """Look a content key up: ('done', result), ('pending', None) or
+        ('unknown', None)."""
+        result = self.cache.peek(key) if self.cache is not None else None
+        if result is not None:
+            return "done", result
+        with self._lock:
+            if key in self._inflight:
+                return "pending", None
+        return "unknown", None
+
+    def run_explore(self, request: Mapping[str, object]) -> Dict[str, object]:
+        """Run one design-space sweep against the warm store.
+
+        ``request`` is ``{"space": <SweepSpec dict>, "strategy": name,
+        "samples": N, "seed": S, "objectives": [...], "baseline": kind}``
+        with everything but ``space`` optional.
+        """
+        if "space" not in request:
+            raise ValueError("explore request needs a 'space' sweep spec")
+        unknown = set(request) - {"space", "strategy", "samples", "seed",
+                                  "objectives", "baseline"}
+        if unknown:
+            raise ValueError(f"unknown explore request keys: {sorted(unknown)}")
+        space = SweepSpec.from_dict(request["space"])
+        strategy_name = request.get("strategy", "grid")
+        options = {}
+        if strategy_name == "random":
+            options = {"samples": int(request.get("samples", 16)),
+                       "seed": int(request.get("seed", 0))}
+        elif strategy_name == "coordinate":
+            options = {"seed": int(request.get("seed", 0))}
+        strategy = resolve_strategy(strategy_name, **options)
+        self._bump("explores")
+        with self._admit_batch(), self._execute_lock:
+            result = explore(
+                space,
+                strategy=strategy,
+                objectives=request.get(
+                    "objectives", ("speedup", "energy_efficiency", "area")),
+                executor=self.executor,
+                baseline=request.get("baseline", "dpnn"),
+            )
+        return result.to_dict()
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Everything /stats reports, as plain data."""
+        payload: Dict[str, object] = {
+            "uptime_s": (time.time() - self.started_at
+                         if self.started_at is not None else 0.0),
+            "queue_limit": self.queue_limit,
+            "pending_batches": self._pending_batches,
+            "inflight": len(self._inflight),
+            "service": self.stats.to_dict(),
+            "executor": self.executor.stats.to_dict(),
+        }
+        if self.cache is not None:
+            payload["cache"] = dict(self.cache.stats.to_dict(),
+                                    memory_entries=len(self.cache))
+            backend = self.cache.backend
+            if backend is not None:
+                payload["store"] = (
+                    backend.stats_dict() if hasattr(backend, "stats_dict")
+                    else {"backend": backend.describe(),
+                          "entries": len(backend)}
+                )
+        return payload
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind and start serving in a background thread; returns the URL."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = _ServiceServer((self.host, self.port), _Handler, self)
+        self.port = self._server.server_address[1]
+        self.started_at = time.time()
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever, name="loom-serve",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self.url
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to stop (safe to call from handler threads)."""
+        self._stop_requested.set()
+
+    def wait_until_stopped(self, poll_s: float = 0.5) -> None:
+        """Block until ``request_stop`` is called (the CLI's serve loop)."""
+        while not self._stop_requested.wait(poll_s):
+            pass
+
+    def stop(self, drain_timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: drain in-flight work, then release resources.
+
+        ``server.shutdown()`` only stops *accepting* connections -- handler
+        threads are daemons and are not joined -- so the executor and store
+        must stay open until every admitted batch has published its result;
+        otherwise a request racing the shutdown would hit a closed SQLite
+        connection and lose its computed result.
+        """
+        self._stop_requested.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=10.0)
+            self._server = None
+            self._server_thread = None
+        deadline = time.time() + drain_timeout_s
+        while time.time() < deadline:
+            with self._lock:
+                idle = self._pending_batches == 0 and not self._inflight
+            if idle:
+                break
+            time.sleep(0.02)
+        # The execute lock guarantees no executor.run (and therefore no
+        # store write) is mid-flight when the resources close.
+        with self._execute_lock:
+            self.executor.close()
+            if self.cache is not None:
+                self.cache.close()
+
+    def __enter__(self) -> "SimulationService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that hands its handlers the service instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, service: SimulationService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ServiceServer
+    #: Human-readable server tag (no version leak in error pages).
+    server_version = "loom-serve"
+    sys_version = ""
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the CLI's --verbose concern, not stderr spam
+
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
+        self.service._bump("errors")
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _drain_body(self) -> bytes:
+        """Read the request body up front.
+
+        Persistent (HTTP/1.1) connections require the body to be consumed
+        before *any* response -- including errors -- or the unread bytes get
+        parsed as the next request on the connection.  Oversized bodies are
+        not drained; the connection is closed instead.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ValueError(
+                f"request body too large ({length} bytes, "
+                f"limit {_MAX_BODY_BYTES})"
+            )
+        return self.rfile.read(length) if length else b""
+
+    @staticmethod
+    def _parse_body(raw: bytes) -> Dict[str, object]:
+        if not raw:
+            raise ValueError("request body must be a JSON object")
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self.service._bump("requests")
+        path = self.path.rstrip("/") or "/"
+        try:
+            self._drain_body()  # keep-alive safety for GETs sent with bodies
+            if path == "/healthz":
+                self._send_json(200, {
+                    "ok": True,
+                    "uptime_s": time.time() - (self.service.started_at or
+                                               time.time()),
+                })
+            elif path == "/stats":
+                self._send_json(200, self.service.stats_dict())
+            elif path == "/networks":
+                self._send_json(200, {"networks": _networks_payload()})
+            elif path.startswith("/jobs/"):
+                key = path[len("/jobs/"):]
+                status, result = self.service.lookup(key)
+                if status == "done":
+                    self._send_json(200, {"key": key, "status": "done",
+                                          "result": result.to_dict()})
+                elif status == "pending":
+                    self._send_json(202, {"key": key, "status": "pending"})
+                else:
+                    self._send_error(404, f"no result for key {key!r}")
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except ValueError as error:
+            self._send_error(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self.service._bump("requests")
+        path = self.path.rstrip("/")
+        try:
+            # Drain before routing so every response -- 404s included --
+            # leaves the persistent connection in a parseable state.
+            raw = self._drain_body()
+            if path == "/jobs":
+                self._handle_jobs(self._parse_body(raw))
+            elif path == "/explore":
+                self._send_json(
+                    200, self.service.run_explore(self._parse_body(raw)))
+            elif path == "/shutdown":
+                self._send_json(200, {"ok": True, "stopping": True})
+                # Stop the serve loop from outside this handler thread: the
+                # owning CLI loop (or .stop() caller) tears the server down.
+                self.service.request_stop()
+                threading.Thread(target=self.server.shutdown,
+                                 daemon=True).start()
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except Backpressure as bp:
+            self._send_error(429, str(bp),
+                             headers={"Retry-After": str(bp.retry_after_s)})
+        except (ValueError, KeyError, TypeError) as error:
+            self._send_error(400, f"{type(error).__name__}: {error}")
+        except TimeoutError as error:
+            self._send_error(504, str(error))
+        except Exception as error:
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+    def _handle_jobs(self, payload: Dict[str, object]) -> None:
+        if "points" in payload:
+            points = payload["points"]
+            if not isinstance(points, list) or not points:
+                raise ValueError("'points' must be a non-empty JSON array")
+            submitted = self.service.submit_points(points)
+            self._send_json(200, {
+                "results": [entry.to_dict() for entry in submitted],
+            })
+            return
+        point = payload.get("point", payload)
+        if not isinstance(point, dict) or not point:
+            raise ValueError(
+                "POST /jobs expects a point object, {'point': {...}} or "
+                "{'points': [...]}"
+            )
+        (submitted,) = self.service.submit_points([point])
+        self._send_json(200, submitted.to_dict())
+
+
+def _networks_payload() -> List[Dict[str, object]]:
+    from repro.nn import available_networks
+    from repro.sim.jobs import network_kind_counts
+
+    payload = []
+    for name in available_networks():
+        kinds = network_kind_counts(name)
+        payload.append({"name": name, **kinds,
+                        "total": sum(kinds.values())})
+    return payload

@@ -1,0 +1,276 @@
+"""SQLite-backed simulation result store (a :class:`CacheBackend`).
+
+The ``--cache-dir`` JSON store is fine for one process at a time, but the
+service needs a result store that many threads *and* many client processes
+can share safely.  :class:`SQLiteResultStore` keeps every result in one
+SQLite database:
+
+* **WAL mode** -- readers never block the (single) writer and vice versa, so
+  a warm ``loom-repro serve`` process can answer lookups while a store is in
+  flight, and several CLI invocations pointed at the same database
+  (``--store``) coexist without corrupting each other.
+* **Schema versioning** -- the database records its schema version in
+  ``PRAGMA user_version``; opening a store written by an incompatible
+  version wipes and recreates it (cache entries are always recomputable, so
+  a version bump costs re-simulation, never an error).  A database file that
+  is not SQLite at all is likewise replaced.
+* **LRU size bound** -- an optional ``max_entries`` cap: stores beyond the
+  bound evict the least-recently-*used* entries (loads refresh recency), so
+  a long-running service's store converges on its hot set instead of growing
+  forever.
+
+Payload rows carry the same ``format`` tag as the JSON backend; a row whose
+payload does not parse or whose format/key mismatch is deleted, counted in
+``invalid_entries`` and treated as a miss.
+
+All operations are serialised behind one internal lock (SQLite connections
+are not thread-safe by themselves); cross-process serialisation is SQLite's
+own locking with a generous busy timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.sim.jobs.cache import CacheBackend, _FORMAT
+from repro.sim.results import NetworkResult
+
+__all__ = ["SQLiteResultStore", "SCHEMA_VERSION"]
+
+#: Database schema version (``PRAGMA user_version``); bump on layout changes.
+SCHEMA_VERSION = 1
+
+_CREATE_RESULTS = """
+CREATE TABLE IF NOT EXISTS results (
+    key          TEXT PRIMARY KEY,
+    format       INTEGER NOT NULL,
+    spec         TEXT,
+    result       TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    last_used_at REAL NOT NULL,
+    hits         INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+_CREATE_LRU_INDEX = """
+CREATE INDEX IF NOT EXISTS results_last_used ON results (last_used_at)
+"""
+
+
+class SQLiteResultStore(CacheBackend):
+    """Concurrent-access persistent result store in one SQLite database."""
+
+    name = "sqlite store"
+
+    def __init__(self, path: os.PathLike,
+                 max_entries: Optional[int] = None,
+                 timeout_s: float = 30.0) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 (or None for unbounded), "
+                f"got {max_entries}"
+            )
+        self.path = Path(path).expanduser()
+        self.max_entries = max_entries
+        self.timeout_s = timeout_s
+        #: Times the store was wiped for a schema/file-format mismatch.
+        self.schema_resets = 0
+        #: LRU evictions performed by the ``max_entries`` bound.
+        self.evictions = 0
+        self._lock = threading.RLock()
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = self._open()
+
+    # -- connection / schema -------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout_s,
+                               check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = None
+        try:
+            conn = self._connect()
+            self._ensure_schema(conn)
+            return conn
+        except sqlite3.OperationalError:
+            # Transient ("database is locked", disk I/O, unopenable path):
+            # NEVER treat as corruption -- another process may be using a
+            # perfectly valid store.  Surface the error to the caller.
+            if conn is not None:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+            raise
+        except sqlite3.DatabaseError:
+            # Genuinely not a SQLite database (bad header, malformed image):
+            # a cache is always recomputable, so replace the file.
+            if conn is not None:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+            self.schema_resets += 1
+            self.path.unlink(missing_ok=True)
+            conn = self._connect()
+            self._ensure_schema(conn)
+            return conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        (version,) = conn.execute("PRAGMA user_version").fetchone()
+        if version not in (0, SCHEMA_VERSION):
+            # Written by an incompatible schema: wipe and recreate.
+            self.schema_resets += 1
+            conn.execute("DROP TABLE IF EXISTS results")
+        with conn:
+            conn.execute(_CREATE_RESULTS)
+            conn.execute(_CREATE_LRU_INDEX)
+            conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    # -- CacheBackend protocol -----------------------------------------------
+
+    def load(self, key: str) -> Optional[NetworkResult]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT format, result FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                return None
+            row_format, payload = row
+            try:
+                if row_format != _FORMAT:
+                    raise ValueError("row format mismatch")
+                result = NetworkResult.from_dict(json.loads(payload))
+            except (ValueError, KeyError, TypeError):
+                # Damaged row: drop it, count it, recompute upstream.
+                self.invalid_entries += 1
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE key = ?", (key,))
+                return None
+            if self.max_entries is not None:
+                # Recency only matters when the LRU bound can evict; an
+                # unbounded store skips the write transaction per read.
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE results SET last_used_at = ?, hits = hits + 1 "
+                        "WHERE key = ?",
+                        (time.time(), key),
+                    )
+            return result
+
+    def store(self, key: str, result: NetworkResult,
+              spec: Optional[dict] = None) -> None:
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, format, spec, result, created_at, last_used_at, hits) "
+                "VALUES (?, ?, ?, ?, ?, ?, 0)",
+                (key, _FORMAT,
+                 json.dumps(spec) if spec is not None else None,
+                 json.dumps(result.to_dict()), now, now),
+            )
+            if self.max_entries is not None:
+                (count,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()
+                excess = count - self.max_entries
+                if excess > 0:
+                    cursor = self._conn.execute(
+                        "DELETE FROM results WHERE key IN ("
+                        "  SELECT key FROM results "
+                        "  ORDER BY last_used_at ASC, rowid ASC LIMIT ?)",
+                        (excess,),
+                    )
+                    self.evictions += cursor.rowcount
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()
+            return count
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.path})"
+
+    @classmethod
+    def inspect(cls, path: os.PathLike) -> Dict[str, object]:
+        """Read-only statistics for a store database.
+
+        Unlike constructing a store (which *repairs* incompatible databases
+        by wiping them), inspection never writes: an incompatible or foreign
+        file is reported, not destroyed.  Raises ``ValueError`` when ``path``
+        is not a SQLite database at all.
+        """
+        path = Path(path).expanduser()
+        conn = None
+        try:
+            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            (version,) = conn.execute("PRAGMA user_version").fetchone()
+            payload: Dict[str, object] = {
+                "backend": "sqlite",
+                "path": str(path),
+                "schema_version": version,
+                "compatible": version == SCHEMA_VERSION,
+                "size_bytes": path.stat().st_size,
+            }
+            if version == SCHEMA_VERSION:
+                (payload["entries"],) = conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()
+                (payload["lifetime_hits"],) = conn.execute(
+                    "SELECT COALESCE(SUM(hits), 0) FROM results").fetchone()
+            return payload
+        except sqlite3.Error as error:
+            raise ValueError(f"{path} is not a result-store database: "
+                             f"{error}") from None
+        finally:
+            if conn is not None:
+                conn.close()
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Store-level counters (the service's /stats ``store`` section)."""
+        with self._lock:
+            (entries,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()
+            (total_hits,) = self._conn.execute(
+                "SELECT COALESCE(SUM(hits), 0) FROM results").fetchone()
+        try:
+            size_bytes = self.path.stat().st_size
+        except OSError:
+            size_bytes = 0
+        return {
+            "backend": "sqlite",
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "size_bytes": size_bytes,
+            "lifetime_hits": total_hits,
+            "evictions": self.evictions,
+            "invalid_entries": self.invalid_entries,
+            "schema_resets": self.schema_resets,
+        }

@@ -27,7 +27,12 @@ Quick tour::
 every unique job exactly once across all of its tables and figures.
 """
 
-from repro.sim.jobs.cache import CacheStats, ResultCache
+from repro.sim.jobs.cache import (
+    CacheBackend,
+    CacheStats,
+    JsonDirBackend,
+    ResultCache,
+)
 from repro.sim.jobs.executor import (
     ExecutorStats,
     JobEvent,
@@ -53,10 +58,12 @@ from repro.sim.jobs.spec import (
 __all__ = [
     "ACCELERATOR_KINDS",
     "AcceleratorSpec",
+    "CacheBackend",
     "CacheStats",
     "ExecutorStats",
     "JobEvent",
     "JobExecutor",
+    "JsonDirBackend",
     "NetworkSpec",
     "ResultCache",
     "SimJob",

@@ -2,45 +2,69 @@
 
 The cache maps a :func:`~repro.sim.jobs.spec.job_key` content hash to the
 :class:`~repro.sim.results.NetworkResult` the job produced.  Lookups go
-through an in-memory dict first; an optional on-disk store (one JSON file per
-key under ``directory``) makes results survive across processes and
-invocations, which is what lets a repeated ``loom-repro all`` skip every
-simulation it has already done.
+through an in-memory dict first; an optional persistent :class:`CacheBackend`
+makes results survive across processes and invocations, which is what lets a
+repeated ``loom-repro all`` -- or a long-running ``loom-repro serve`` process
+-- skip every simulation it has already done.
 
-Disk entries are written atomically (tmp file + rename) and validated on
-load; an unreadable, truncated or mismatched entry is counted in
-``stats.invalid_disk_entries`` and treated as a miss rather than crashing the
-run -- it will simply be recomputed and overwritten.
+Two backends ship with the repository:
+
+* :class:`JsonDirBackend` (this module) -- one JSON file per key under a
+  directory; what ``loom-repro --cache-dir`` installs.  Entries are written
+  atomically (tmp file + rename) and validated on load; an unreadable,
+  truncated or mismatched entry is counted in ``stats.invalid_disk_entries``
+  and treated as a miss rather than crashing the run.
+* :class:`repro.serve.store.SQLiteResultStore` -- a single SQLite database in
+  WAL mode, safe for concurrent readers and multiple client processes, with
+  schema versioning and an optional LRU entry bound; what the
+  ``loom-repro serve`` service uses.
+
+The in-memory layer can itself be bounded (``max_memory_entries``): entries
+beyond the bound are evicted least-recently-used and counted in
+``stats.evictions``.  The default is unbounded, which is right for one-shot
+CLI runs; long-running processes (the service) set a bound so the dict cannot
+grow without limit.  All ``ResultCache`` operations are thread-safe.
 
 Cached results are shared objects: treat them as read-only.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.sim.results import NetworkResult
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheBackend", "CacheStats", "JsonDirBackend", "ResultCache"]
 
-#: On-disk entry schema version; bump when the payload layout changes.
+#: Persistent entry schema version; bump when the payload layout changes.
 _FORMAT = 1
 
 
 @dataclass
 class CacheStats:
-    """Counters describing what the cache did for a run."""
+    """Counters describing what the cache did for a run.
+
+    ``disk_hits`` counts lookups answered by the persistent backend
+    (whatever its storage medium); ``invalid_disk_entries`` counts backend
+    entries that were unreadable or mismatched and therefore treated as
+    misses; ``evictions`` counts in-memory entries dropped by the
+    ``max_memory_entries`` LRU bound.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
     invalid_disk_entries: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -50,67 +74,79 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-data form (what ``loom-repro serve`` reports on /stats)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid_disk_entries": self.invalid_disk_entries,
+            "evictions": self.evictions,
+        }
 
-class ResultCache:
-    """In-memory (plus optional on-disk JSON) store of job results by key."""
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
-        self._memory: Dict[str, NetworkResult] = {}
-        self.directory = (Path(directory).expanduser()
-                          if directory is not None else None)
-        self.stats = CacheStats()
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
+class CacheBackend(abc.ABC):
+    """Persistent key -> :class:`NetworkResult` store behind a ResultCache.
 
-    # -- lookup --------------------------------------------------------------
+    Implementations must be tolerant of damaged storage: :meth:`load` returns
+    ``None`` for entries that are missing *or* unreadable (counting the
+    latter in ``invalid_entries``) and never raises for bad data -- a cache
+    entry is always recomputable, so corruption is a miss, not an error.
+    Implementations must also be safe to call from multiple threads.
+    """
 
-    def get(self, key: str) -> Optional[NetworkResult]:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
-        result = self._memory.get(key)
-        if result is not None:
-            self.stats.memory_hits += 1
-            return result
-        result = self._load_disk(key)
-        if result is not None:
-            self._memory[key] = result
-            self.stats.disk_hits += 1
-            return result
-        self.stats.misses += 1
-        return None
+    #: Display name used in executor summaries (e.g. ``"disk cache"``).
+    name: str = "backend"
 
-    def __contains__(self, key: str) -> bool:
-        return key in self._memory or (
-            self.directory is not None and self._path(key).exists()
-        )
+    #: Whether :meth:`store` wants the audit ``spec`` dict.  Executors skip
+    #: computing it for backends that discard it.
+    keeps_spec: bool = True
 
+    def __init__(self) -> None:
+        #: Entries that were present but unreadable/mismatched on load.
+        self.invalid_entries = 0
+
+    @abc.abstractmethod
+    def load(self, key: str) -> Optional[NetworkResult]:
+        """Return the stored result for ``key``, or ``None`` if absent/bad."""
+
+    @abc.abstractmethod
+    def store(self, key: str, result: NetworkResult,
+              spec: Optional[dict] = None) -> None:
+        """Persist ``result`` under ``key`` (``spec`` kept for audit)."""
+
+    @abc.abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` exists (without loading it)."""
+
+    @abc.abstractmethod
     def __len__(self) -> int:
-        return len(self._memory)
+        """Number of persisted entries."""
 
-    # -- store ---------------------------------------------------------------
+    def close(self) -> None:
+        """Release any held resources (connections, handles)."""
 
-    def put(self, key: str, result: NetworkResult,
-            spec: Optional[dict] = None) -> None:
-        """Store ``result`` under ``key``; ``spec`` is kept on disk for audit."""
-        self._memory[key] = result
-        self.stats.stores += 1
-        if self.directory is not None:
-            self._store_disk(key, result, spec)
+    def describe(self) -> str:
+        return self.name
 
-    def clear(self) -> None:
-        """Drop the in-memory entries (on-disk entries are left alone)."""
-        self._memory.clear()
 
-    # -- on-disk store -------------------------------------------------------
+class JsonDirBackend(CacheBackend):
+    """One JSON file per key under ``directory`` (the ``--cache-dir`` store)."""
+
+    name = "disk cache"
+
+    def __init__(self, directory: os.PathLike) -> None:
+        super().__init__()
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def _load_disk(self, key: str) -> Optional[NetworkResult]:
-        if self.directory is None:
-            return None
-        path = self._path(key)
+    def load(self, key: str) -> Optional[NetworkResult]:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if payload.get("format") != _FORMAT or payload.get("key") != key:
                 raise ValueError("cache entry format/key mismatch")
@@ -119,11 +155,11 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted / stale entry: ignore it, recompute, overwrite.
-            self.stats.invalid_disk_entries += 1
+            self.invalid_entries += 1
             return None
 
-    def _store_disk(self, key: str, result: NetworkResult,
-                    spec: Optional[dict]) -> None:
+    def store(self, key: str, result: NetworkResult,
+              spec: Optional[dict] = None) -> None:
         payload = {
             "format": _FORMAT,
             "key": key,
@@ -143,3 +179,133 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+class ResultCache:
+    """In-memory (plus optional persistent-backend) store of results by key.
+
+    Parameters
+    ----------
+    directory:
+        Convenience shorthand for ``backend=JsonDirBackend(directory)``
+        (the historical constructor signature; exclusive with ``backend``).
+    backend:
+        Optional persistent :class:`CacheBackend` behind the memory layer.
+    max_memory_entries:
+        Optional LRU bound on the in-memory dict.  ``None`` (the default)
+        keeps every result for the life of the process -- fine for one-shot
+        CLI invocations, unbounded growth for long-running services, which
+        is why ``loom-repro serve`` always sets a bound.  Evicted entries
+        are counted in ``stats.evictions`` and, when a backend is attached,
+        remain loadable from it.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 backend: Optional[CacheBackend] = None,
+                 max_memory_entries: Optional[int] = None) -> None:
+        if directory is not None and backend is not None:
+            raise ValueError("pass either directory or backend, not both")
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1 (or None for unbounded), "
+                f"got {max_memory_entries}"
+            )
+        self.backend = (JsonDirBackend(directory) if directory is not None
+                        else backend)
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, NetworkResult]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The JSON store directory, if the backend is directory-based."""
+        return getattr(self.backend, "directory", None)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[NetworkResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        return self._lookup(key, count_miss=True)
+
+    def peek(self, key: str) -> Optional[NetworkResult]:
+        """Like :meth:`get`, but a miss is not counted in the statistics.
+
+        For probe-style lookups (the service's pre-admission pass, result
+        lookups by key) that are followed by an authoritative :meth:`get`
+        -- or by nothing at all -- so hit-rate statistics stay meaningful.
+        """
+        return self._lookup(key, count_miss=False)
+
+    def _lookup(self, key: str,
+                count_miss: bool) -> Optional[NetworkResult]:
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return result
+        # Backend I/O runs outside the cache-wide lock (the backend carries
+        # its own), so warm memory hits never serialise behind another
+        # thread's disk/SQLite access.  Concurrent same-key loads are
+        # idempotent: both threads remember the same stored result.
+        if self.backend is not None:
+            result = self.backend.load(key)
+            with self._lock:
+                self.stats.invalid_disk_entries = self.backend.invalid_entries
+                if result is not None:
+                    self._remember(key, result)
+                    self.stats.disk_hits += 1
+                    return result
+                if count_miss:
+                    self.stats.misses += 1
+                return None
+        if count_miss:
+            with self._lock:
+                self.stats.misses += 1
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self.backend is not None and self.backend.contains(key)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- store ---------------------------------------------------------------
+
+    def put(self, key: str, result: NetworkResult,
+            spec: Optional[dict] = None) -> None:
+        """Store ``result`` under ``key``; ``spec`` is kept on disk for audit."""
+        with self._lock:
+            self._remember(key, result)
+            self.stats.stores += 1
+        if self.backend is not None:
+            # Outside the lock: persisting must not block memory lookups.
+            self.backend.store(key, result, spec)
+
+    def _remember(self, key: str, result: NetworkResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        if self.max_memory_entries is not None:
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (persistent entries are left alone)."""
+        with self._lock:
+            self._memory.clear()
+
+    def close(self) -> None:
+        """Close the persistent backend, if any."""
+        if self.backend is not None:
+            self.backend.close()

@@ -61,13 +61,25 @@ class ExecutorStats:
             return 0
         return max(self.executed_key_counts.values())
 
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-data form (what ``loom-repro serve`` reports on /stats)."""
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "dedup_hits": self.dedup_hits,
+            "unique_keys_executed": len(self.executed_key_counts),
+            "max_executions_per_key": self.max_executions_per_key,
+        }
+
     def summary(self, cache=None) -> str:
         """One-line human-readable account (the CLI's ``--verbose`` output)."""
         line = (f"pipeline: {self.submitted} jobs submitted, "
                 f"{self.executed} simulated, {self.cache_hits} cache hits, "
                 f"{self.dedup_hits} dedup hits")
-        if cache is not None and cache.directory is not None:
-            line += (f" (disk cache: {cache.stats.disk_hits} hits, "
+        if cache is not None and cache.backend is not None:
+            line += (f" ({cache.backend.describe()}: "
+                     f"{cache.stats.disk_hits} hits, "
                      f"{cache.stats.stores} stores)")
         return line
 
@@ -203,9 +215,10 @@ class JobExecutor:
                     f"simulating {len(pending)} of {total} jobs "
                     f"({total - len(pending)} cached/deduplicated)"
                 )
-            # The audit spec on disk entries is only worth computing when
-            # there is a disk store to write it to.
-            keep_spec = self.cache.directory is not None
+            # The audit spec on persistent entries is only worth computing
+            # when there is a backend that stores it.
+            keep_spec = (self.cache.backend is not None
+                         and self.cache.backend.keeps_spec)
 
             def on_result(position, result):
                 job, key = pending[position], pending_keys[position]

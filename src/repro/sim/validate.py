@@ -33,6 +33,7 @@ __all__ = [
     "ValidationCase",
     "ValidationReport",
     "TileCheck",
+    "compare_layer_results",
     "default_accelerator_matrix",
     "validate_job",
     "validate_zoo",
@@ -111,8 +112,15 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-def _compare_layers(fast: Sequence[LayerResult],
-                    event: Sequence[LayerResult]) -> List[FieldMismatch]:
+def compare_layer_results(fast: Sequence[LayerResult],
+                          event: Sequence[LayerResult]) -> List[FieldMismatch]:
+    """Field-for-field exact comparison of two per-layer result sequences.
+
+    Returns one :class:`FieldMismatch` per disagreeing field (empty list =
+    bit-identical).  This is the equality the engine validator enforces, and
+    the same comparator the ``loom-repro serve`` contract uses: a served
+    result must be indistinguishable from an in-process ``execute_job`` run.
+    """
     mismatches: List[FieldMismatch] = []
     if len(fast) != len(event):
         mismatches.append(FieldMismatch(
@@ -142,7 +150,7 @@ def validate_job(job: SimJob) -> ValidationCase:
         with_effective_weights=job.network.with_effective_weights,
         accelerator=event.accelerator,
         layers_compared=len(event.layers),
-        mismatches=tuple(_compare_layers(fast.layers, event.layers)),
+        mismatches=tuple(compare_layer_results(fast.layers, event.layers)),
     )
 
 

@@ -78,6 +78,225 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explore", "--strategy", "genetic"])
 
+    def test_explore_remote_flag(self):
+        args = build_parser().parse_args(
+            ["explore", "--remote", "http://127.0.0.1:8100"])
+        assert args.remote == "http://127.0.0.1:8100"
+        assert build_parser().parse_args(["explore"]).remote is None
+
+
+class TestJobsValidation:
+    """--jobs must be rejected up front with a clear message, never allowed
+    to fail deep inside the multiprocessing pool constructor."""
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_jobs_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--jobs", bad, "all"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--jobs" in message and "must be >= 1" in message
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "many", "all"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_main_rejects_bad_jobs_before_any_simulation(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--jobs", "0", "table2"])
+        assert excinfo.value.code == 2
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8100
+        assert args.store == ".loom-serve.db" and args.no_store is False
+        assert args.queue_limit == 8
+        assert args.max_entries is None and args.max_memory_entries == 512
+        assert args.ready_file is None
+
+    def test_serve_port_zero_is_allowed(self):
+        assert build_parser().parse_args(["serve", "--port", "0"]).port == 0
+
+    def test_serve_rejects_bad_ports(self, capsys):
+        for bad in ("-1", "70000", "http"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--port", bad])
+
+    def test_serve_store_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--store", "/tmp/x.db", "--no-store"])
+
+    def test_serve_conflicts_with_global_cache_flags(self, capsys):
+        for flags in (["--no-cache"], ["--cache-dir", "/tmp/c"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(flags + ["serve"])
+            assert excinfo.value.code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_remote_commands_reject_local_pipeline_flags(self, capsys):
+        # Regression: --engine/--jobs/--cache flags would be silent no-ops
+        # on commands that execute on the server; they must error instead.
+        cases = [
+            ["--engine", "event", "submit", "--url", "http://x"],
+            ["--jobs", "4", "stats", "--remote", "http://x"],
+            ["--no-cache", "submit", "--url", "http://x"],
+            ["--cache-dir", "/tmp/c", "explore", "--remote", "http://x"],
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no effect" in err and "server" in err
+        # Local explore still accepts them all.
+        args = build_parser().parse_args(
+            ["--engine", "event", "--jobs", "2", "explore"])
+        assert args.remote is None
+
+    def test_submit_arguments(self):
+        args = build_parser().parse_args([
+            "submit", "--url", "http://127.0.0.1:8100",
+            "--network", "nin", "--accelerator", "loom:bits_per_cycle=2",
+            "--set", "equivalent_macs=256", "--json",
+        ])
+        assert args.url == "http://127.0.0.1:8100"
+        assert args.network == "nin"
+        assert args.accelerator == "loom:bits_per_cycle=2"
+        assert args.set == ["equivalent_macs=256"]
+        assert args.json is True
+
+    def test_submit_requires_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_stats_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stats", "--remote", "http://x", "--store", "/tmp/x.db"])
+        args = build_parser().parse_args(["stats", "--remote", "http://x"])
+        assert args.remote == "http://x"
+
+
+class TestServeMain:
+    def test_submit_to_unreachable_server_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "--url", "http://127.0.0.1:1", "--network",
+                  "alexnet"])
+        assert excinfo.value.code == 2
+
+    def test_submit_rejects_bad_set_tokens(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["submit", "--url", "http://127.0.0.1:1",
+                  "--set", "equivalent_macs"])
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_stats_on_missing_store_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats", "--store", "/nonexistent/store.db"])
+        assert "no store database" in capsys.readouterr().err
+
+    def test_stats_on_a_directory_is_a_clean_error(self, tmp_path, capsys):
+        # Regression: a connect-time SQLite failure (e.g. pointing --store
+        # at a directory) must be a parser error, not a raw traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "--store", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "not a result-store database" in capsys.readouterr().err
+
+    def test_stats_never_wipes_an_incompatible_store(self, tmp_path, capsys):
+        import sqlite3
+
+        from repro.serve import SQLiteResultStore
+        from repro.serve.store import SCHEMA_VERSION
+
+        path = tmp_path / "s.db"
+        store = SQLiteResultStore(path)
+        store.close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        before = path.read_bytes()
+        assert main(["stats", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert '"compatible": false' in out
+        assert path.read_bytes() == before  # untouched
+
+    def test_stats_reads_a_store_offline(self, tmp_path, capsys):
+        from repro.serve import SQLiteResultStore
+        store = SQLiteResultStore(tmp_path / "s.db")
+        store.close()
+        assert main(["stats", "--store", str(tmp_path / "s.db")]) == 0
+        out = capsys.readouterr().out
+        assert '"backend": "sqlite"' in out and '"entries": 0' in out
+
+    def test_serve_and_submit_round_trip(self, tmp_path, capsys):
+        # One in-process service; the CLI submit path runs against it.
+        from repro.serve import SimulationService
+
+        with SimulationService() as service:
+            assert main(["submit", "--url", service.url,
+                         "--network", "alexnet", "--accelerator", "dpnn"]) == 0
+            out = capsys.readouterr().out
+            assert "served: alexnet on DPNN" in out
+            assert "cycles" in out
+
+    def test_explore_remote_round_trip(self, tmp_path, capsys):
+        from repro.serve import SimulationService
+
+        with SimulationService() as service:
+            assert main([
+                "explore", "--remote", service.url,
+                "--axis", "equivalent_macs=32,64",
+                "--axis", "accelerator=loom,dpnn",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "Pareto frontier" in out
+            assert f"remote: 8 jobs submitted to {service.url}" in out
+
+    def test_serve_command_full_lifecycle(self, tmp_path, capsys):
+        # The `loom-repro serve` loop itself, in-process: binds port 0,
+        # writes the ready file, serves a submission, stops on /shutdown.
+        import threading
+
+        from repro.serve import ServeClient
+
+        ready = tmp_path / "url.txt"
+        exit_codes = []
+
+        def run_server():
+            exit_codes.append(main([
+                "serve", "--port", "0", "--store", str(tmp_path / "s.db"),
+                "--queue-limit", "2", "--ready-file", str(ready),
+            ]))
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        try:
+            for _ in range(200):
+                if ready.exists() and ready.read_text().strip():
+                    break
+                thread.join(timeout=0.05)
+            url = ready.read_text().strip()
+            client = ServeClient(url)
+            done = client.submit(network="alexnet", accelerator="dpnn")
+            assert done.status == "executed"
+            client.shutdown()
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "serve: stopped after" in out
+        assert "1 points submitted" in out
+
 
 class TestBuildExecutor:
     def test_default_executor_has_memory_cache(self):

@@ -48,3 +48,9 @@ class TestExamples:
         assert "Pareto frontier" in out
         assert "coordinate descent" in out
         assert "am_fits_working_set" in out
+
+    def test_serve_quickstart(self):
+        out = run_example("serve_quickstart.py")
+        assert "bit-identical to in-process fast path" in out
+        assert "max executions per key = 1" in out
+        assert "shut down gracefully" in out

@@ -17,8 +17,12 @@ from repro.explore import (
     RandomSearch,
     SweepSpec,
     am_fits_working_set,
+    canonical_point,
     dominance_ranks,
+    encode_parameter,
     explore,
+    job_to_point,
+    point_to_job,
     frontier_table,
     pareto_frontier,
     parse_accelerator,
@@ -500,3 +504,96 @@ class TestExploreIntegration:
         assert result.frontier
         ranks = dominance_ranks(result.evaluated, result.objectives)
         assert all(rank >= 0 for rank in ranks)
+
+
+class TestWireFormat:
+    """canonical_point / job_to_point: the serve subsystem's wire format."""
+
+    def test_canonical_point_accepts_explore_style_values(self):
+        point = canonical_point({
+            "network": "alexnet",
+            "accelerator": "loom:bits_per_cycle=2",
+            "dram": "lpddr4-4267",
+            "equivalent_macs": 256,
+        })
+        job = point_to_job(point)
+        assert job.accelerator == AcceleratorSpec.create("loom",
+                                                         bits_per_cycle=2)
+        assert job.config.equivalent_macs == 256
+        assert job.config.dram == LPDDR4_4267
+
+    def test_canonical_point_rejects_unknown_parameters(self):
+        with pytest.raises(ValueError, match="flux"):
+            canonical_point({"network": "alexnet", "flux": 88})
+
+    @pytest.mark.parametrize("job", [
+        SimJob(network=NetworkSpec("alexnet"),
+               accelerator=AcceleratorSpec.create("dpnn")),
+        SimJob(network=NetworkSpec("nin", "99%"),
+               accelerator=AcceleratorSpec.create("loom", bits_per_cycle=2)),
+        SimJob(network=NetworkSpec("resnet18", groups=4),
+               accelerator=AcceleratorSpec.create("dstripes"),
+               config=AcceleratorConfig(equivalent_macs=256,
+                                        dram=LPDDR4_4267)),
+        SimJob(network=NetworkSpec("vggm", with_effective_weights=True,
+                                   accuracy="99%"),
+               accelerator=AcceleratorSpec.create(
+                   "loom", use_effective_weight_precision=True)),
+        SimJob(network=NetworkSpec("tiny_transformer", heads=8),
+               accelerator=AcceleratorSpec.create("loom"),
+               config=AcceleratorConfig(am_capacity_bytes=512 * 1024,
+                                        charge_offchip_energy=False)),
+    ], ids=["plain", "options", "dram-scaled", "effective-weights",
+            "structural-override"])
+    def test_job_round_trips_through_json_preserving_its_key(self, job):
+        wire = json.loads(json.dumps(job_to_point(job)))
+        rebuilt = point_to_job(canonical_point(wire))
+        assert job_key(rebuilt) == job_key(job)
+
+    def test_job_to_point_omits_defaults(self):
+        wire = job_to_point(SimJob(network=NetworkSpec("alexnet"),
+                                   accelerator=AcceleratorSpec.create("dpnn")))
+        assert wire == {"network": "alexnet", "accelerator": {"kind": "dpnn"}}
+
+    def test_job_to_point_refuses_unencodable_values(self):
+        import dataclasses
+
+        from repro.energy.tech import TSMC_65NM
+
+        exotic_tech = SimJob(
+            network=NetworkSpec("alexnet"),
+            accelerator=AcceleratorSpec.create("dpnn"),
+            config=AcceleratorConfig(
+                tech=dataclasses.replace(TSMC_65NM, name="exotic-7nm")),
+        )
+        with pytest.raises(ValueError, match="technology"):
+            job_to_point(exotic_tech)
+
+    def test_encode_parameter_round_trips_sweep_specs(self):
+        assert encode_parameter("accelerator",
+                                "loom:bits_per_cycle=2") == \
+            {"kind": "loom", "bits_per_cycle": 2}
+        assert encode_parameter("dram", LPDDR4_4267) == "lpddr4-4267"
+        assert encode_parameter("equivalent_macs", 64) == 64
+        space = SweepSpec(
+            axes=[Axis("equivalent_macs", (32, 64)),
+                  Axis("accelerator", ("loom", "loom:bits_per_cycle=2"))],
+            base={"network": "alexnet", "dram": "lpddr4-4267"},
+        )
+        round_tripped = SweepSpec.from_dict(
+            json.loads(json.dumps(space.to_dict())))
+        assert round_tripped.to_dict() == space.to_dict()
+        assert [job_key(j) for j in round_tripped.unique_jobs()] == \
+            [job_key(j) for j in space.unique_jobs()]
+
+    def test_exploration_result_to_dict_is_json_serialisable(self):
+        space = SweepSpec(axes=[Axis("accelerator", ("loom", "dpnn"))],
+                          base={"network": "alexnet"})
+        result = explore(space, executor=JobExecutor())
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["strategy"] == "grid"
+        assert len(payload["evaluated"]) == 2
+        assert payload["ranks"] == result.ranks
+        assert payload["evaluated"][0]["metrics"]["speedup"] == \
+            result.evaluated[0].metrics["speedup"]
+        assert payload["space"]["base"]["network"] == "alexnet"

@@ -234,6 +234,98 @@ class TestDiskCache:
         assert fresh.stats.invalid_disk_entries == 1
 
 
+class TestMemoryBound:
+    """The optional LRU bound on the in-memory result dict (long-running
+    processes must not grow without limit)."""
+
+    @staticmethod
+    def _fake_result(tag):
+        from repro.sim.results import LayerResult, NetworkResult
+        result = NetworkResult(network=tag, accelerator="AccX")
+        result.add(LayerResult(layer_name="l", layer_kind="conv", cycles=1.0))
+        return result
+
+    def test_default_is_unbounded(self):
+        cache = ResultCache()
+        for index in range(100):
+            cache.put(f"key{index}", self._fake_result(f"net{index}"))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_lru_bound_evicts_least_recently_used(self):
+        cache = ResultCache(max_memory_entries=3)
+        for index in range(3):
+            cache.put(f"key{index}", self._fake_result(f"net{index}"))
+        assert cache.get("key0") is not None  # key1 is now the LRU entry
+        cache.put("key3", self._fake_result("net3"))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert cache.get("key1") is None
+        assert cache.get("key0") is not None
+
+    def test_evictions_fall_back_to_the_backend(self, tmp_path):
+        # A bounded memory layer over a persistent backend: evicted entries
+        # remain loadable (they come back as disk hits, not misses).
+        cache = ResultCache(directory=tmp_path, max_memory_entries=1)
+        cache.put("key0", self._fake_result("net0"))
+        cache.put("key1", self._fake_result("net1"))  # evicts key0 from memory
+        assert cache.stats.evictions == 1
+        revived = cache.get("key0")
+        assert revived is not None
+        assert revived.network == "net0"
+        assert cache.stats.disk_hits == 1
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_memory_entries"):
+            ResultCache(max_memory_entries=0)
+
+    def test_directory_and_backend_are_exclusive(self, tmp_path):
+        from repro.sim.jobs import JsonDirBackend
+        with pytest.raises(ValueError, match="not both"):
+            ResultCache(tmp_path, backend=JsonDirBackend(tmp_path))
+
+    def test_stats_to_dict_round_trips_every_counter(self):
+        cache = ResultCache(max_memory_entries=1)
+        cache.put("a", self._fake_result("a"))
+        cache.put("b", self._fake_result("b"))
+        cache.get("b")
+        cache.get("missing")
+        stats = cache.stats.to_dict()
+        assert stats["stores"] == 2
+        assert stats["evictions"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_threads_racing_one_cache_stay_consistent(self, tmp_path):
+        # Two threads hammering the same key through one ResultCache (the
+        # service's exact sharing pattern) must never corrupt an entry.
+        import threading
+
+        cache = ResultCache(directory=tmp_path, max_memory_entries=4)
+        expected = self._fake_result("raced").to_dict()
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    cache.put("raced", self._fake_result("raced"))
+                    loaded = cache.get("raced")
+                    if loaded is not None and loaded.to_dict() != expected:
+                        errors.append("corrupt entry")
+            except Exception as error:  # pragma: no cover
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.get("raced").to_dict() == expected
+
+
 class TestPipelineSharing:
     def test_all_experiments_simulate_each_unique_job_exactly_once(self):
         """The ``loom-repro all`` guarantee: one shared executor, no repeats.

@@ -1,0 +1,589 @@
+"""Tests for the batching simulation service (repro.serve).
+
+The acceptance contract of the serve ISSUE, verified over real HTTP against
+in-process servers:
+
+* a served job result is **bit-identical** (field-for-field ``LayerResult``
+  equality, the validator's comparator) to the same job run in-process via
+  ``execute_job``;
+* N concurrent submissions of one key execute the simulation exactly once
+  (``ExecutorStats.max_executions_per_key == 1``), the rest coalescing onto
+  the winner;
+* a full in-flight queue answers 429 with a ``Retry-After`` hint instead of
+  queueing without bound;
+* sweeps can execute through the service (``RemoteExecutor`` + POST
+  /explore) with results identical to local execution.
+"""
+
+import contextlib
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.explore import Axis, SweepSpec, canonical_point, explore, point_to_job
+from repro.serve import (
+    Backpressure,
+    RemoteExecutor,
+    SQLiteResultStore,
+    ServeClient,
+    ServeError,
+    SimulationService,
+)
+from repro.serve.service import _Inflight
+from repro.sim.jobs import (
+    AcceleratorSpec,
+    JobExecutor,
+    NetworkSpec,
+    ResultCache,
+    SimJob,
+    execute_job,
+    job_key,
+)
+from repro.sim.validate import compare_layer_results
+
+POINT = {"network": "alexnet", "accelerator": "loom"}
+
+
+@contextlib.contextmanager
+def serving(tmp_path=None, **service_kwargs):
+    """A started service + client; SQLite-backed when tmp_path is given."""
+    if tmp_path is not None and "executor" not in service_kwargs:
+        store = SQLiteResultStore(tmp_path / "serve.db")
+        service_kwargs["executor"] = JobExecutor(
+            cache=ResultCache(backend=store, max_memory_entries=64))
+    service = SimulationService(**service_kwargs)
+    service.start()
+    try:
+        yield service, ServeClient(service.url, timeout_s=60.0)
+    finally:
+        service.stop()
+
+
+def _slow(service, delay_s=0.25):
+    """Wrap the service executor so executions overlap deterministically."""
+    original = service.executor.run
+
+    def run(jobs):
+        time.sleep(delay_s)
+        return original(jobs)
+
+    service.executor.run = run
+    return original
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        with serving() as (_, client):
+            payload = client.healthz()
+            assert payload["ok"] is True
+            assert payload["uptime_s"] >= 0
+
+    def test_networks_lists_the_zoo(self):
+        from repro.nn import available_networks
+
+        with serving() as (_, client):
+            networks = client.networks()
+            assert [n["name"] for n in networks] == available_networks()
+            alexnet = next(n for n in networks if n["name"] == "alexnet")
+            assert alexnet["conv"] == 5 and alexnet["fc"] == 3
+
+    def test_unknown_path_is_404(self):
+        with serving() as (_, client):
+            with pytest.raises(ServeError) as excinfo:
+                client._request("GET", "/nope")
+            assert excinfo.value.status == 404
+
+    def test_stats_reports_every_section(self, tmp_path):
+        with serving(tmp_path) as (_, client):
+            client.submit(POINT)
+            stats = client.stats()
+            assert stats["service"]["submitted_points"] == 1
+            assert stats["executor"]["executed"] == 1
+            assert stats["cache"]["stores"] == 1
+            assert stats["store"]["backend"] == "sqlite"
+            assert stats["store"]["entries"] == 1
+            assert stats["queue_limit"] >= 1
+
+
+class TestServedResults:
+    def test_served_result_bit_identical_to_in_process(self):
+        local = execute_job(point_to_job(canonical_point(POINT)))
+        with serving() as (_, client):
+            served = client.submit(POINT)
+        assert served.status == "executed"
+        assert served.key == job_key(point_to_job(canonical_point(POINT)))
+        # The acceptance comparator: the validator's field-for-field equality.
+        assert compare_layer_results(served.result.layers, local.layers) == []
+        assert served.result.to_dict() == local.to_dict()
+
+    def test_repeat_submission_is_answered_from_the_store(self):
+        with serving() as (service, client):
+            first = client.submit(POINT)
+            second = client.submit(POINT)
+            assert first.status == "executed"
+            assert second.status == "cached"
+            assert second.result.to_dict() == first.result.to_dict()
+            assert service.executor.stats.max_executions_per_key == 1
+
+    def test_store_survives_service_restarts(self, tmp_path):
+        with serving(tmp_path) as (_, client):
+            first = client.submit(POINT)
+        store = SQLiteResultStore(tmp_path / "serve.db")
+        with serving(executor=JobExecutor(cache=ResultCache(
+                backend=store))) as (service, client):
+            revived = client.submit(POINT)
+            assert revived.status == "cached"
+            assert revived.result.to_dict() == first.result.to_dict()
+            assert service.executor.stats.executed == 0
+
+    def test_batch_points_resolve_in_order_with_dedup(self):
+        points = [
+            POINT,
+            {"network": "alexnet", "accelerator": "dpnn"},
+            POINT,  # duplicate of the first
+        ]
+        with serving() as (service, client):
+            entries = client.submit_points(points)
+            assert [e.status for e in entries] == \
+                ["executed", "executed", "executed"]
+            assert entries[0].key == entries[2].key
+            assert entries[0].result.to_dict() == entries[2].result.to_dict()
+            # The duplicate never reached a second simulation.
+            assert service.executor.stats.max_executions_per_key == 1
+
+    def test_lookup_by_key(self):
+        with serving() as (_, client):
+            done = client.submit(POINT)
+            fetched = client.result(done.key)
+            assert fetched is not None
+            assert fetched.to_dict() == done.result.to_dict()
+            assert client.result("0" * 64) is None
+            assert client.lookup("0" * 64) == ("unknown", None)
+
+    def test_lookup_reports_pending_for_inflight_keys(self):
+        with serving() as (service, client):
+            inflight = _Inflight()
+            service._inflight["busykey"] = inflight
+            try:
+                assert client.lookup("busykey") == ("pending", None)
+            finally:
+                service._inflight.pop("busykey")
+                inflight.event.set()
+
+    def test_config_knobs_ride_the_wire(self):
+        point = {"network": "nin", "accelerator": "loom:bits_per_cycle=2",
+                 "equivalent_macs": 256, "dram": "lpddr4-4267"}
+        local = execute_job(point_to_job(canonical_point(point)))
+        with serving() as (_, client):
+            served = client.submit(point)
+        assert compare_layer_results(served.result.layers, local.layers) == []
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_execute_once(self):
+        workers = 6
+        with serving() as (service, client):
+            _slow(service)
+            barrier = threading.Barrier(workers)
+            outcomes = []
+
+            def submit():
+                barrier.wait()
+                outcomes.append(client.submit(POINT))
+
+            threads = [threading.Thread(target=submit)
+                       for _ in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert len(outcomes) == workers
+            # Exactly one execution; everyone saw the identical result.
+            assert service.executor.stats.max_executions_per_key == 1
+            statuses = sorted(entry.status for entry in outcomes)
+            assert statuses.count("executed") == 1
+            assert set(statuses) <= {"executed", "coalesced", "cached"}
+            assert service.stats.coalesced >= 1
+            reference = outcomes[0].result.to_dict()
+            assert all(entry.result.to_dict() == reference
+                       for entry in outcomes)
+
+    def test_coalesced_waiter_sees_owner_error(self):
+        # Owner's execution fails -> the waiter must get an error too (and
+        # never hang), with the in-flight entry cleaned up afterwards.
+        service = SimulationService()
+        try:
+            release = threading.Event()
+
+            def exploding_run(jobs):
+                release.wait(5)
+                raise RuntimeError("simulator exploded")
+
+            service.executor.run = exploding_run
+            errors = {}
+
+            def owner():
+                try:
+                    service.submit_points([POINT])
+                except RuntimeError as error:
+                    errors["owner"] = str(error)
+
+            def waiter():
+                # Wait until the owner registered its in-flight entry, then
+                # submit the same point so we coalesce onto it.
+                for _ in range(100):
+                    if service._inflight:
+                        break
+                    time.sleep(0.01)
+                release.set()
+                try:
+                    service.submit_points([POINT])
+                except RuntimeError as error:
+                    errors["waiter"] = str(error)
+
+            threads = [threading.Thread(target=owner),
+                       threading.Thread(target=waiter)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert "simulator exploded" in errors["owner"]
+            assert "simulator exploded" in errors["waiter"]
+            assert service._inflight == {}
+        finally:
+            service.stop()
+
+
+class TestBackpressure:
+    def test_full_queue_is_refused_with_429_retry_after(self):
+        with serving(queue_limit=1, retry_after_s=3) as (service, client):
+            service._pending_batches = 1  # another admitted batch is running
+            try:
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit(POINT)
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after_s == 3
+                assert service.stats.rejected == 1
+                # A rejected batch must not leak into the admission counters.
+                assert service.stats.submitted_points == 0
+            finally:
+                service._pending_batches = 0
+            # Once the queue drains, the same submission succeeds.
+            assert client.submit(POINT).status == "executed"
+
+    def test_batch_counts_as_one_admission_unit(self):
+        # Regression: a single batch larger than queue_limit must be
+        # admitted -- it becomes ONE executor batch, so it costs one slot,
+        # not one per distinct key (otherwise any cold sweep wider than the
+        # queue could never run).
+        points = [
+            {"network": "alexnet", "accelerator": "dpnn",
+             "equivalent_macs": macs}
+            for macs in (32, 48, 64, 80, 96)
+        ]
+        with serving(queue_limit=1) as (service, client):
+            entries = client.submit_points(points)
+            assert [e.status for e in entries] == ["executed"] * 5
+            assert len({e.key for e in entries}) == 5
+            assert service.stats.rejected == 0
+
+    def test_remote_sweep_wider_than_the_queue_succeeds(self):
+        # The README's own flow: explore --remote against a small queue.
+        space = SweepSpec(
+            axes=[Axis("equivalent_macs", (32, 64, 128)),
+                  Axis("accelerator", ("loom", "dstripes"))],
+            base={"network": "alexnet"},
+        )
+        with serving(queue_limit=1) as (service, client):
+            result = explore(space, executor=RemoteExecutor(client))
+        assert len(result.evaluated) == 6  # 12 jobs incl. baselines, 1 queue
+
+    def test_remote_executor_retries_on_backpressure(self):
+        with serving(queue_limit=1, retry_after_s=1) as (service, client):
+            service._pending_batches = 1  # queue full...
+
+            def drain():
+                time.sleep(0.5)
+                service._pending_batches = 0  # ...until it drains
+
+            thread = threading.Thread(target=drain)
+            thread.start()
+            remote = RemoteExecutor(client, max_retries=5)
+            jobs = [SimJob(network=NetworkSpec("alexnet"),
+                           accelerator=AcceleratorSpec.create("dpnn"))]
+            results = remote.run(jobs)
+            thread.join()
+            assert len(results) == 1
+            assert remote.backpressure_retries >= 1
+
+    def test_remote_executor_gives_up_after_max_retries(self):
+        with serving(queue_limit=1) as (service, client):
+            service._pending_batches = 1
+            try:
+                remote = RemoteExecutor(client, max_retries=0)
+                jobs = [SimJob(network=NetworkSpec("alexnet"),
+                               accelerator=AcceleratorSpec.create("dpnn"))]
+                with pytest.raises(ServeError) as excinfo:
+                    remote.run(jobs)
+                assert excinfo.value.status == 429
+            finally:
+                service._pending_batches = 0
+
+    def test_coalesced_duplicates_do_not_count_against_the_queue(self):
+        with serving(queue_limit=1) as (service, client):
+            _slow(service)
+            barrier = threading.Barrier(3)
+            outcomes, errors = [], []
+
+            def submit():
+                barrier.wait()
+                try:
+                    outcomes.append(client.submit(POINT))
+                except ServeError as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=submit) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # All three fit through a queue of one: one owner, two riders.
+            assert errors == []
+            assert len(outcomes) == 3
+            assert service.executor.stats.max_executions_per_key == 1
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="queue_limit"):
+            SimulationService(queue_limit=0)
+
+
+class TestValidation:
+    def test_unknown_network_is_a_400(self):
+        with serving() as (_, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(network="resnet999", accelerator="loom")
+            assert excinfo.value.status == 400
+
+    def test_unknown_parameter_is_a_400(self):
+        with serving() as (_, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(network="alexnet", accelerator="loom",
+                              flux_capacitance=88)
+            assert excinfo.value.status == 400
+            assert "flux_capacitance" in excinfo.value.message
+
+    def test_empty_body_is_a_400(self):
+        with serving() as (service, _):
+            request = urllib.request.Request(
+                service.url + "/jobs", data=b"", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_submit_points_rejects_non_mappings(self):
+        service = SimulationService()
+        try:
+            with pytest.raises(ValueError, match="JSON object"):
+                service.submit_points(["not-a-mapping"])
+        finally:
+            service.stop()
+
+    def test_backpressure_is_an_informative_exception(self):
+        error = Backpressure(pending=8, limit=8, retry_after_s=2)
+        assert "8" in str(error) and "retry" in str(error).lower()
+
+    def test_error_responses_keep_the_connection_parseable(self):
+        # Regression: HTTP/1.1 keep-alive means an error response sent
+        # without draining the request body leaves the unread bytes to be
+        # parsed as the next request on the same connection.
+        import http.client
+
+        with serving() as (service, _):
+            conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                              timeout=10)
+            try:
+                conn.request("POST", "/nope", body=b'{"foo": "bar"}',
+                             headers={"Content-Type": "application/json"})
+                first = conn.getresponse()
+                assert first.status == 404
+                first.read()
+                # Same socket: the next request must parse cleanly.
+                conn.request("GET", "/healthz")
+                second = conn.getresponse()
+                assert second.status == 200
+                assert b'"ok": true' in second.read()
+            finally:
+                conn.close()
+
+    def test_oversized_body_is_refused_and_connection_closed(self):
+        import http.client
+
+        from repro.serve.service import _MAX_BODY_BYTES
+
+        with serving() as (service, _):
+            conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                              timeout=10)
+            try:
+                conn.putrequest("POST", "/jobs")
+                conn.putheader("Content-Length", str(_MAX_BODY_BYTES + 1))
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 400
+                assert b"too large" in response.read()
+            finally:
+                conn.close()
+
+
+class TestExploreThroughTheService:
+    SPACE = SweepSpec(
+        axes=[Axis("equivalent_macs", (32, 64)),
+              Axis("accelerator", ("loom", "dstripes"))],
+        base={"network": "alexnet"},
+    )
+
+    def test_post_explore_matches_local_execution(self):
+        local = explore(self.SPACE, executor=JobExecutor())
+        with serving() as (_, client):
+            remote = client.explore(self.SPACE.to_dict())
+        assert len(remote["evaluated"]) == len(local.evaluated)
+        assert remote["ranks"] == local.ranks
+        for wire, local_point in zip(remote["evaluated"], local.evaluated):
+            assert wire["metrics"] == pytest.approx(local_point.metrics)
+
+    def test_remote_executor_sweep_matches_local(self, tmp_path):
+        local = explore(self.SPACE, executor=JobExecutor())
+        with serving(tmp_path) as (_, client):
+            remote = explore(self.SPACE, executor=RemoteExecutor(client))
+        assert [ep.metrics for ep in remote.evaluated] == \
+            [ep.metrics for ep in local.evaluated]
+        assert remote.ranks == local.ranks
+
+    def test_second_sweep_is_fully_answered_from_the_warm_store(self, tmp_path):
+        with serving(tmp_path) as (service, client):
+            explore(self.SPACE, executor=RemoteExecutor(client))
+            executed_before = service.executor.stats.executed
+            second = RemoteExecutor(client)
+            explore(self.SPACE, executor=second)
+            assert service.executor.stats.executed == executed_before
+            assert second.stats.executed == 0
+            assert second.stats.cache_hits > 0
+
+    def test_bad_explore_request_is_a_400(self):
+        with serving() as (_, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.explore({"axes": {}})
+            assert excinfo.value.status == 400
+
+    def test_explore_respects_the_admission_bound(self):
+        # Regression: sweeps must pass the same 429 backpressure gate as
+        # /jobs batches instead of queueing unboundedly on the execute lock.
+        with serving(queue_limit=1, retry_after_s=2) as (service, client):
+            service._pending_batches = 1
+            try:
+                with pytest.raises(ServeError) as excinfo:
+                    client.explore(self.SPACE.to_dict())
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after_s == 2
+            finally:
+                service._pending_batches = 0
+            # Drained queue: the identical sweep is admitted.
+            assert len(client.explore(self.SPACE.to_dict())["evaluated"]) == 4
+
+
+class TestShutdown:
+    def test_post_shutdown_stops_the_server_gracefully(self):
+        service = SimulationService()
+        service.start()
+        client = ServeClient(service.url, timeout_s=30.0)
+        assert client.submit(POINT).status == "executed"
+        assert client.shutdown() == {"ok": True, "stopping": True}
+        service._stop_requested.wait(10)
+        service.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(service.url + "/healthz", timeout=2)
+
+    def test_stop_closes_the_store(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "serve.db")
+        executor = JobExecutor(cache=ResultCache(backend=store))
+        service = SimulationService(executor=executor)
+        service.start()
+        service.stop()
+        import sqlite3
+        with pytest.raises(sqlite3.ProgrammingError):
+            store._conn.execute("SELECT 1")
+
+    def test_stop_waits_for_inflight_work_before_closing(self, tmp_path):
+        # Regression: handler threads are daemons, so stop() must drain
+        # admitted work before closing the executor/store, or a racing
+        # submission loses its result to a closed SQLite connection.
+        store = SQLiteResultStore(tmp_path / "serve.db")
+        executor = JobExecutor(cache=ResultCache(backend=store))
+        service = SimulationService(executor=executor)
+        service.start()
+        _slow(service, delay_s=0.3)
+        outcome = {}
+
+        def submit():
+            try:
+                (entry,) = service.submit_points([POINT])
+                outcome["status"] = entry.status
+            except Exception as error:  # pragma: no cover
+                outcome["error"] = repr(error)
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        for _ in range(100):  # wait until the batch is admitted
+            if service._pending_batches:
+                break
+            time.sleep(0.01)
+        service.stop()
+        thread.join(timeout=10)
+        assert outcome == {"status": "executed"}
+        # ... and the racing result made it into the (now closed) store.
+        reopened = SQLiteResultStore(tmp_path / "serve.db")
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_cold_submission_counts_one_miss(self):
+        # Regression: the pre-admission probe must not double-count misses.
+        with serving() as (service, client):
+            client.submit(POINT)
+            assert service.cache.stats.misses == 1
+            client.submit(POINT)  # warm: no further misses
+            assert service.cache.stats.misses == 1
+
+    def test_context_manager_starts_and_stops(self):
+        with SimulationService() as service:
+            assert service.port != 0
+            url = service.url
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                assert resp.status == 200
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+
+
+class TestRemoteExecutorProtocol:
+    def test_results_in_submission_order_with_duplicates(self):
+        jobs = [
+            SimJob(network=NetworkSpec("alexnet"),
+                   accelerator=AcceleratorSpec.create("dpnn")),
+            SimJob(network=NetworkSpec("alexnet"),
+                   accelerator=AcceleratorSpec.create("loom")),
+            SimJob(network=NetworkSpec("alexnet"),
+                   accelerator=AcceleratorSpec.create("dpnn")),
+        ]
+        expected = [execute_job(job) for job in jobs]
+        with serving() as (_, client):
+            with RemoteExecutor(client, batch_size=2) as remote:
+                results = remote.run(jobs)
+        assert [r.accelerator for r in results] == ["DPNN", "Loom-1b", "DPNN"]
+        for served, local in zip(results, expected):
+            assert served.to_dict() == local.to_dict()
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            RemoteExecutor("http://localhost:1", batch_size=0)

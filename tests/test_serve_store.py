@@ -1,0 +1,350 @@
+"""Tests for the SQLite result store and the pluggable cache backends.
+
+Covers the ISSUE-mandated behaviours: WAL-mode concurrent access, schema
+versioning (incompatible databases are wiped, not fatal), the LRU entry
+bound, corrupt rows/files being treated as misses, and -- for BOTH persistent
+backends -- threads and processes racing the same key without corrupting an
+entry or changing the result.
+"""
+
+import json
+import multiprocessing
+import sqlite3
+import threading
+
+import pytest
+
+from repro.serve.store import SCHEMA_VERSION, SQLiteResultStore
+from repro.sim.jobs import JobExecutor, JsonDirBackend, ResultCache, job_key
+from repro.sim.jobs.cache import CacheBackend
+from repro.sim.results import LayerResult, NetworkResult
+
+
+def _result(cycles=100.0, network="netA", accelerator="AccX"):
+    """A tiny synthetic NetworkResult (store tests need no real simulation)."""
+    result = NetworkResult(network=network, accelerator=accelerator,
+                           clock_ghz=1.0)
+    result.add(LayerResult(layer_name="conv1", layer_kind="conv",
+                           cycles=cycles, energy_pj=5.5, macs=10))
+    result.add(LayerResult(layer_name="fc1", layer_kind="fc",
+                           cycles=cycles / 2, energy_pj=2.25, macs=4))
+    return result
+
+
+KEY = "k" * 64
+
+
+class TestSQLiteStoreBasics:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db")
+        original = _result()
+        store.store(KEY, original, spec={"network": {"name": "netA"}})
+        loaded = store.load(KEY)
+        assert loaded is not None
+        assert loaded.to_dict() == original.to_dict()
+        assert store.contains(KEY)
+        assert len(store) == 1
+        store.close()
+
+    def test_missing_key_is_a_clean_miss(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db")
+        assert store.load("absent") is None
+        assert not store.contains("absent")
+        assert store.invalid_entries == 0
+
+    def test_wal_mode_is_active(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db")
+        (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode.lower() == "wal"
+
+    def test_results_survive_across_instances(self, tmp_path):
+        path = tmp_path / "cache.db"
+        first = SQLiteResultStore(path)
+        first.store(KEY, _result())
+        first.close()
+        second = SQLiteResultStore(path)
+        assert second.load(KEY).to_dict() == _result().to_dict()
+        second.close()
+
+    def test_is_a_cache_backend(self, tmp_path):
+        assert isinstance(SQLiteResultStore(tmp_path / "cache.db"),
+                          CacheBackend)
+
+    def test_stats_dict_reports_store_state(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db", max_entries=10)
+        store.store(KEY, _result())
+        store.load(KEY)
+        stats = store.stats_dict()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 10
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["lifetime_hits"] == 1
+        assert stats["size_bytes"] > 0
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            SQLiteResultStore(tmp_path / "cache.db", max_entries=0)
+
+
+class TestSchemaVersioning:
+    def test_incompatible_schema_version_wipes_the_store(self, tmp_path):
+        path = tmp_path / "cache.db"
+        store = SQLiteResultStore(path)
+        store.store(KEY, _result())
+        store.close()
+        # Simulate a database written by a future incompatible version.
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 7}")
+        conn.commit()
+        conn.close()
+        reopened = SQLiteResultStore(path)
+        assert reopened.schema_resets == 1
+        assert reopened.load(KEY) is None  # wiped, not crashed
+        reopened.store(KEY, _result())  # and fully usable again
+        assert reopened.contains(KEY)
+
+    def test_non_sqlite_file_is_replaced(self, tmp_path):
+        path = tmp_path / "cache.db"
+        path.write_text("this is not a sqlite database at all")
+        store = SQLiteResultStore(path)
+        assert store.schema_resets == 1
+        store.store(KEY, _result())
+        assert store.load(KEY) is not None
+
+    def test_transient_lock_errors_never_wipe_the_store(self, tmp_path):
+        # Regression: "database is locked" (another process mid-write) is
+        # NOT corruption; opening must fail loudly, not delete shared data.
+        path = tmp_path / "cache.db"
+        store = SQLiteResultStore(path)
+        store.store(KEY, _result())
+        store.close()
+        locker = sqlite3.connect(str(path))
+        locker.execute("BEGIN EXCLUSIVE")
+        try:
+            with pytest.raises(sqlite3.OperationalError):
+                SQLiteResultStore(path, timeout_s=0.1)
+        finally:
+            locker.rollback()
+            locker.close()
+        survivor = SQLiteResultStore(path)
+        assert survivor.load(KEY) is not None  # data intact
+        assert survivor.schema_resets == 0
+        survivor.close()
+
+    def test_inspect_is_read_only_even_on_version_mismatch(self, tmp_path):
+        # Regression: `stats --store` must NEVER repair-by-wiping the way
+        # opening a store for service use does.
+        path = tmp_path / "cache.db"
+        store = SQLiteResultStore(path)
+        store.store(KEY, _result())
+        store.close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 7}")
+        conn.commit()
+        conn.close()
+        report = SQLiteResultStore.inspect(path)
+        assert report["compatible"] is False
+        assert report["schema_version"] == SCHEMA_VERSION + 7
+        assert "entries" not in report  # unknown layout: not queried
+        # The data is still there: a compatible reader would see it if the
+        # version were restored.
+        conn = sqlite3.connect(str(path))
+        (count,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        conn.close()
+        assert count == 1
+
+    def test_inspect_reports_compatible_stores(self, tmp_path):
+        path = tmp_path / "cache.db"
+        store = SQLiteResultStore(path, max_entries=5)
+        store.store(KEY, _result())
+        store.load(KEY)
+        store.close()
+        report = SQLiteResultStore.inspect(path)
+        assert report["compatible"] is True
+        assert report["entries"] == 1
+        assert report["lifetime_hits"] == 1
+
+    def test_inspect_rejects_non_sqlite_files(self, tmp_path):
+        path = tmp_path / "not-a-db.txt"
+        path.write_text("plain text")
+        with pytest.raises(ValueError, match="not a result-store database"):
+            SQLiteResultStore.inspect(path)
+        assert path.read_text() == "plain text"  # untouched
+
+
+class TestCorruptRows:
+    def test_unparseable_payload_is_a_counted_miss(self, tmp_path):
+        path = tmp_path / "cache.db"
+        store = SQLiteResultStore(path)
+        store.store(KEY, _result())
+        store._conn.execute(
+            "UPDATE results SET result = '{truncated' WHERE key = ?", (KEY,))
+        store._conn.commit()
+        assert store.load(KEY) is None
+        assert store.invalid_entries == 1
+        # The damaged row was deleted so it cannot poison later lookups.
+        assert not store.contains(KEY)
+
+    def test_format_mismatch_is_a_counted_miss(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db")
+        store.store(KEY, _result())
+        store._conn.execute(
+            "UPDATE results SET format = 999 WHERE key = ?", (KEY,))
+        store._conn.commit()
+        assert store.load(KEY) is None
+        assert store.invalid_entries == 1
+
+
+class TestLRUBound:
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db", max_entries=3)
+        for index in range(3):
+            store.store(f"key{index}", _result(cycles=float(index + 1)))
+        # Touch key0 so key1 becomes the least recently used.
+        assert store.load("key0") is not None
+        store.store("key3", _result(cycles=4.0))
+        assert len(store) == 3
+        assert store.evictions == 1
+        assert not store.contains("key1")
+        assert store.contains("key0")
+        assert store.contains("key3")
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "cache.db")
+        for index in range(10):
+            store.store(f"key{index}", _result())
+        assert len(store) == 10
+        assert store.evictions == 0
+
+
+class TestResultCacheIntegration:
+    """The SQLite store as a ResultCache backend behind a JobExecutor."""
+
+    def _job(self):
+        from repro.sim.jobs import AcceleratorSpec, NetworkSpec, SimJob
+        return SimJob(network=NetworkSpec("alexnet"),
+                      accelerator=AcceleratorSpec.create("loom"))
+
+    def test_executor_results_survive_to_sqlite(self, tmp_path):
+        path = tmp_path / "cache.db"
+        job = self._job()
+        with JobExecutor(cache=ResultCache(
+                backend=SQLiteResultStore(path))) as warm:
+            expected = warm.run([job])[0]
+        cold_cache = ResultCache(backend=SQLiteResultStore(path))
+        fresh = JobExecutor(cache=cold_cache)
+        result = fresh.run([job])[0]
+        assert fresh.stats.executed == 0
+        assert cold_cache.stats.disk_hits == 1
+        assert result.to_dict() == expected.to_dict()
+        cold_cache.close()
+
+    def test_spec_is_stored_for_audit(self, tmp_path):
+        path = tmp_path / "cache.db"
+        job = self._job()
+        cache = ResultCache(backend=SQLiteResultStore(path))
+        with JobExecutor(cache=cache) as executor:
+            executor.run([job])
+        row = cache.backend._conn.execute(
+            "SELECT spec FROM results WHERE key = ?",
+            (job_key(job),)).fetchone()
+        assert row is not None
+        assert json.loads(row[0])["network"]["name"] == "alexnet"
+        cache.close()
+
+
+def _thread_race(backend_factory, workers=8, rounds=10):
+    """Hammer one key from many threads; return the backend and errors."""
+    backend = backend_factory()
+    payload = _result()
+    errors = []
+    barrier = threading.Barrier(workers)
+
+    def worker():
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                backend.store(KEY, payload)
+                loaded = backend.load(KEY)
+                if loaded is not None and \
+                        loaded.to_dict() != payload.to_dict():
+                    errors.append("corrupt read")
+        except Exception as error:  # pragma: no cover - the assertion target
+            errors.append(repr(error))
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return backend, errors
+
+
+def _process_worker(backend_kind, path, rounds):
+    """Race body run in a separate process (module-level: must pickle)."""
+    backend = (SQLiteResultStore(path) if backend_kind == "sqlite"
+               else JsonDirBackend(path))
+    payload = _result()
+    for _ in range(rounds):
+        backend.store(KEY, payload)
+        loaded = backend.load(KEY)
+        assert loaded is None or loaded.to_dict() == payload.to_dict()
+    backend.close()
+
+
+class TestConcurrentAccess:
+    """Two threads/processes racing one key must yield one
+    execution-equivalent result and no corrupt entries -- on both backends."""
+
+    @pytest.mark.parametrize("backend_kind", ["sqlite", "json"])
+    def test_threads_racing_same_key(self, tmp_path, backend_kind):
+        def factory():
+            if backend_kind == "sqlite":
+                return SQLiteResultStore(tmp_path / "cache.db")
+            return JsonDirBackend(tmp_path / "jsondir")
+
+        backend, errors = _thread_race(factory)
+        assert errors == []
+        final = backend.load(KEY)
+        assert final is not None
+        assert final.to_dict() == _result().to_dict()
+        assert backend.invalid_entries == 0
+        backend.close()
+
+    @pytest.mark.parametrize("backend_kind", ["sqlite", "json"])
+    def test_processes_racing_same_key(self, tmp_path, backend_kind):
+        path = (tmp_path / "cache.db" if backend_kind == "sqlite"
+                else tmp_path / "jsondir")
+        context = multiprocessing.get_context()
+        procs = [
+            context.Process(target=_process_worker,
+                            args=(backend_kind, str(path), 10))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # The survivor entry must be a perfectly valid, equivalent result.
+        backend = (SQLiteResultStore(path) if backend_kind == "sqlite"
+                   else JsonDirBackend(path))
+        final = backend.load(KEY)
+        assert final is not None
+        assert final.to_dict() == _result().to_dict()
+        assert backend.invalid_entries == 0
+        assert len(backend) == 1
+        backend.close()
+
+    def test_concurrent_readers_share_one_database(self, tmp_path):
+        # WAL's concrete promise: a second connection reads while the first
+        # stays open for writing.
+        path = tmp_path / "cache.db"
+        writer = SQLiteResultStore(path)
+        writer.store(KEY, _result())
+        reader = SQLiteResultStore(path)
+        assert reader.load(KEY) is not None
+        writer.store("other", _result(cycles=7.0))
+        assert reader.load("other") is not None
+        writer.close()
+        reader.close()
