@@ -1,0 +1,194 @@
+"""Benchmark: the batched sweep engine vs the per-job fast path.
+
+A design-space sweep evaluates hundreds of jobs that share a handful of
+network tables but differ in accelerator design point.  The per-job fast
+path (:mod:`repro.sim.fastpath`) pays a full closed-form pass -- a few dozen
+NumPy calls over arrays with only 8..60 rows -- per job; the batched engine
+(:mod:`repro.sim.batched`) merges structurally compatible designs into one
+(design x job x layer) plane and pays that cost once per plane.
+
+Script mode is the CI benchmark gate::
+
+    python benchmarks/bench_batched.py \
+        --output BENCH_batched.json \
+        --check benchmarks/BENCH_baseline_batched.json
+
+measures the batched-vs-per-job speedup over a 240-point Loom design sweep
+(scale x activation-memory x clock, AlexNet), writes the results as JSON,
+asserts the >= 10x ISSUE target, and -- when given a committed baseline --
+fails if the measured speedup regressed by more than 20%.  Like the
+simulator gate, the comparison is on the *dimensionless speedup ratio*, so
+runner speed does not matter.  Every benchmark run first asserts the two
+engines produced bit-identical results over the whole sweep, so a run
+doubles as a validation run.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # script mode; pytest gets this from conftest.py
+    sys.path.insert(0, _SRC)
+
+from repro.accelerators.base import AcceleratorConfig
+from repro.sim.batched import simulate_jobs_batched
+from repro.sim.jobs.spec import (
+    AcceleratorSpec,
+    NetworkSpec,
+    SimJob,
+    execute_job,
+)
+
+#: Minimum acceptable batched-vs-per-job sweep speedup (the ISSUE's
+#: acceptance criterion); the CI gate also compares against the committed
+#: baseline with a 20% tolerance.
+SPEEDUP_FLOOR = 10.0
+
+#: Fraction of the baseline speedup the measured speedup may lose before the
+#: regression gate fails (0.20 = "fails on >20% slowdown").
+REGRESSION_TOLERANCE = 0.20
+
+
+def _sweep_jobs():
+    """The benchmark sweep: 240 Loom design points (10 scales x 4 activation
+    memories x 6 clocks) on AlexNet -- the shape of a ``bench_explore``-scale
+    scaling study, and large enough that per-design grouping alone would not
+    clear the floor (cross-design plane merging is what is being measured).
+    """
+    network = NetworkSpec("alexnet", "100%")
+    spec = AcceleratorSpec.create("loom")
+    jobs = []
+    for macs in (32, 48, 64, 96, 128, 192, 256, 384, 512, 768):
+        for am_bytes in (512 * 1024, 1024 * 1024, 2 * 1024 * 1024,
+                         4 * 1024 * 1024):
+            for clock_ghz in (0.8, 0.9, 1.0, 1.1, 1.2, 1.4):
+                jobs.append(SimJob(
+                    network=network,
+                    accelerator=spec,
+                    config=AcceleratorConfig(equivalent_macs=macs,
+                                             am_capacity_bytes=am_bytes,
+                                             clock_ghz=clock_ghz),
+                ))
+    return jobs
+
+
+def _best_of(repeats, task):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        task()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_batched(repeats: int = 5) -> dict:
+    """Time the batched engine vs a per-job fast-path loop over the sweep.
+
+    Both sides run once untimed first: that warms the shared memos (layer
+    tables, accelerator instances, design planes) so the timed passes
+    compare steady-state engines, and the warm-up results are asserted
+    bit-identical field for field.
+    """
+    jobs = _sweep_jobs()
+    batched = simulate_jobs_batched(jobs)
+    per_job = [execute_job(job, engine="fast") for job in jobs]
+    for index, (b, p) in enumerate(zip(batched, per_job)):
+        if b != p:
+            raise AssertionError(
+                f"engines disagree on job {index} "
+                f"({jobs[index].network.name}); run "
+                f"`loom-repro validate --engine batched`"
+            )
+    per_job_s = _best_of(repeats, lambda: [
+        execute_job(job, engine="fast") for job in jobs
+    ])
+    batched_s = _best_of(repeats, lambda: simulate_jobs_batched(jobs))
+    return {
+        "benchmark": "batched-sweep-engine",
+        "network": "alexnet",
+        "design_points": len(jobs),
+        "layers_simulated": sum(len(r.layers) for r in batched),
+        "repeats": repeats,
+        "per_job_s": per_job_s,
+        "batched_s": batched_s,
+        "speedup": per_job_s / batched_s,
+    }
+
+
+def format_batched(measured: dict) -> str:
+    return "\n".join([
+        "== sweep simulation: batched engine vs per-job fast path ==",
+        f"{measured['design_points']} design points, "
+        f"{measured['layers_simulated']} layers "
+        f"(best of {measured['repeats']})",
+        f"per-job: {measured['per_job_s'] * 1e3:>8.3f} ms   "
+        f"batched: {measured['batched_s'] * 1e3:>8.3f} ms   "
+        f"{measured['speedup']:>6.2f}x",
+    ])
+
+
+def check_against_baseline(measured: dict, baseline: dict,
+                           tolerance: float = REGRESSION_TOLERANCE) -> str:
+    """Raise if the measured speedup regressed > ``tolerance`` vs baseline."""
+    baseline_speedup = baseline["speedup"]
+    measured_speedup = measured["speedup"]
+    floor = baseline_speedup * (1.0 - tolerance)
+    verdict = (
+        f"baseline speedup {baseline_speedup:.2f}x, measured "
+        f"{measured_speedup:.2f}x (gate: >= {floor:.2f}x)"
+    )
+    if measured_speedup < floor:
+        raise AssertionError(f"benchmark regression: {verdict}")
+    return verdict
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_bench_batched_speedup(artefacts):
+    measured = measure_batched(repeats=3)
+    artefacts["batched-sweep"] = format_batched(measured)
+    assert measured["speedup"] >= SPEEDUP_FLOOR, (
+        f"batched sweep speedup {measured['speedup']:.2f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x target"
+    )
+
+
+# -- script mode (the CI gate) -------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of repetitions per timed side (default: 5)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the measurements as JSON to PATH")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if the speedup regressed more than "
+                             f"{REGRESSION_TOLERANCE:.0%} vs BASELINE (JSON)")
+    args = parser.parse_args(argv)
+    measured = measure_batched(repeats=args.repeats)
+    print(format_batched(measured))
+    if measured["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup {measured['speedup']:.2f}x is below the "
+              f"{SPEEDUP_FLOOR:.0f}x floor", file=sys.stderr)
+        return 1
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"measurements written to {args.output}")
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        print("regression gate:",
+              check_against_baseline(measured, baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

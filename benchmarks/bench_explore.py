@@ -14,9 +14,21 @@ Run under pytest (``python -m pytest benchmarks/bench_explore.py``) for the
 measured artefact, or as a script (``python benchmarks/bench_explore.py
 [--quick]``) for the CI smoke check, which asserts the simulation counts
 rather than wall-clock so it is robust on noisy runners.
+
+Script mode is also the CI regression gate::
+
+    python benchmarks/bench_explore.py \
+        --output BENCH_explore.json \
+        --check benchmarks/BENCH_baseline_explore.json
+
+which gates the *simulation-reduction ratio* (naive / cache-aware executed
+counts -- fully deterministic) against the committed baseline: any change
+that makes the shared executor re-simulate points it used to answer from
+the cache fails the gate.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -106,16 +118,42 @@ def measure(quick: bool = False):
         f"{naive_executed}; caching saved nothing"
     )
     return {
+        "benchmark": "explore-cache-reuse",
+        "quick": quick,
         "points": len(space.points()),
         "naive_executed": naive_executed,
         "cached_executed": cached_executed,
+        "simulation_reduction": naive_executed / cached_executed,
         "naive_wall": naive_wall,
         "cached_wall": cached_wall,
     }
 
 
+#: Fraction of the baseline simulation-reduction ratio the measured ratio
+#: may lose before the regression gate fails.  The counts are deterministic,
+#: so any loss at all is a real behaviour change; the tolerance only leaves
+#: room for intentional small workload adjustments to land with a baseline
+#: refresh in the same change.
+REGRESSION_TOLERANCE = 0.20
+
+
+def check_against_baseline(measured, baseline,
+                           tolerance: float = REGRESSION_TOLERANCE) -> str:
+    """Raise if the simulation-reduction ratio regressed vs ``baseline``."""
+    baseline_ratio = baseline["simulation_reduction"]
+    measured_ratio = measured["simulation_reduction"]
+    floor = baseline_ratio * (1.0 - tolerance)
+    verdict = (
+        f"baseline reduction {baseline_ratio:.2f}x, measured "
+        f"{measured_ratio:.2f}x (gate: >= {floor:.2f}x)"
+    )
+    if measured_ratio < floor:
+        raise AssertionError(f"benchmark regression: {verdict}")
+    return verdict
+
+
 def _format(measured) -> str:
-    ratio = measured["naive_executed"] / measured["cached_executed"]
+    ratio = measured["simulation_reduction"]
     return (
         "== repro.explore: cache-aware sweep vs naive re-simulation ==\n"
         f"{measured['points']}-point space, grid sweep + coordinate descent\n"
@@ -140,8 +178,29 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="tiny sweep for CI smoke runs")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the measurements as JSON to PATH")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if the simulation-reduction ratio "
+                             f"regressed more than {REGRESSION_TOLERANCE:.0%} "
+                             "vs BASELINE (JSON)")
     args = parser.parse_args(argv)
-    print(_format(measure(quick=args.quick)))
+    measured = measure(quick=args.quick)
+    print(_format(measured))
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"measurements written to {args.output}")
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if baseline.get("quick", False) != args.quick:
+            raise AssertionError(
+                "baseline was measured with a different --quick setting; "
+                "the simulation counts are not comparable"
+            )
+        print("regression gate:", check_against_baseline(measured, baseline))
     return 0
 
 

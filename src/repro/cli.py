@@ -39,8 +39,11 @@ and dedup hits) to stderr so sweep users can confirm reuse is working.
 
 Every simulation runs on the vectorized fast-path engine by default;
 ``--engine event`` selects the per-layer reference path (the one anchored to
-the event-driven tile simulator), and ``validate`` differentially checks that
-the two agree bit for bit over the network zoo (non-zero exit on mismatch).
+the event-driven tile simulator), ``--engine batched`` the batched sweep
+engine (whole design groups in one tensor pass), and ``validate``
+differentially checks the chosen candidate engine against the event
+reference bit for bit over the network zoo (non-zero exit on mismatch) --
+``loom-repro validate --engine batched`` proves the batched scatter path.
 
 ``summary`` prints a per-layer breakdown for one network on DPNN and Loom
 (``--csv`` exports the same rows machine-readably); ``run`` simulates one
@@ -148,8 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=list(ENGINES), default="fast",
         help="simulation engine: 'fast' (vectorized closed forms, the "
-             "default) or 'event' (per-layer reference path anchored to the "
-             "event-driven tile simulator); results are bit-identical",
+             "default), 'event' (per-layer reference path anchored to the "
+             "event-driven tile simulator) or 'batched' (whole design "
+             "groups in one tensor pass); results are bit-identical",
     )
     parser.add_argument(
         "--verbose", "-v", action="store_true",
@@ -188,6 +192,14 @@ def build_parser() -> argparse.ArgumentParser:
     validate_cmd.add_argument(
         "--quick", action="store_true",
         help="small subset (alexnet/nin, 100%% profile) for smoke runs",
+    )
+    validate_cmd.add_argument(
+        "--engine", dest="validate_engine", choices=list(ENGINES),
+        default=None, metavar="ENGINE",
+        help="candidate engine to validate against the event reference "
+             f"({'/'.join(ENGINES)}; default: the global --engine, i.e. "
+             "'fast'); 'batched' runs the whole matrix through one "
+             "batched-sweep pass",
     )
     summary = sub.add_parser("summary", help="per-layer breakdown for one network")
     summary.add_argument("--network", default="alexnet",
@@ -649,15 +661,20 @@ def _validate(args: argparse.Namespace) -> Tuple[str, bool]:
     """Run the differential engine validation; returns (report, ok)."""
     from repro.sim.validate import validate_tile_level, validate_zoo
 
+    # The subcommand's --engine names the candidate engine explicitly;
+    # otherwise the global --engine is the candidate (its historic meaning).
+    engine = args.validate_engine if args.validate_engine is not None \
+        else args.engine
     if args.quick:
         # Two paper networks plus every modern workload (grouped/depthwise,
         # residual, attention): the smoke set still crosses each layer type
         # with the full accelerator matrix.
         report = validate_zoo(networks=["alexnet", "nin"] + modern_networks(),
                               accuracies=["100%"],
-                              include_effective_weights=False)
+                              include_effective_weights=False,
+                              engine=engine)
     else:
-        report = validate_zoo()
+        report = validate_zoo(engine=engine)
     tile_checks = validate_tile_level()
     lines = [report.summary(verbose=args.verbose)]
     lines.append("== event-engine anchor: analytical schedules executed "

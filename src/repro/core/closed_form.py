@@ -33,6 +33,8 @@ performs the full set of range checks once per table.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.accelerators.base import LANES_PER_UNIT
@@ -44,6 +46,7 @@ __all__ = [
     "effective_activation_bits_array",
     "effective_weight_bits_array",
     "steps_for_activation_bits_array",
+    "PlaneGeometry",
     "loom_conv_cycles_array",
     "loom_fc_cycles_array",
     "dpnn_conv_cycles_array",
@@ -127,6 +130,48 @@ def steps_for_activation_bits_array(activation_bits, bits_per_cycle: int):
     return np.where(integral, exact, activation_bits / bits_per_cycle)
 
 
+@dataclass(frozen=True, eq=False)
+class PlaneGeometry:
+    """Array-valued :class:`~repro.core.scheduler.LoomGeometry`: one SIP grid
+    shape per plane row.
+
+    The Loom cycle kernels below consume geometry fields exclusively through
+    elementwise ufunc arithmetic, so a geometry whose ``filter_rows`` /
+    ``window_columns`` / ``num_sips`` are per-row arrays broadcasts through
+    them unchanged -- each row is costed against its own design's grid, bit
+    for bit as if the matching scalar geometry had been passed row by row.
+    This is what lets :mod:`repro.sim.batched` evaluate *many accelerator
+    design points* in a single closed-form pass.
+
+    ``lanes`` and ``bits_per_cycle`` stay scalar: lanes is the architectural
+    constant ``LANES_PER_UNIT`` for every Loom configuration, and designs
+    with different activation bits-per-cycle go into separate planes (the
+    serial-step selection branches on it at the Python level).
+    """
+
+    filter_rows: np.ndarray
+    window_columns: np.ndarray
+    num_sips: np.ndarray
+    bits_per_cycle: int = 1
+    lanes: int = LANES_PER_UNIT
+
+    def take(self, indices) -> "PlaneGeometry":
+        """The geometry rows selected by ``indices`` (conv/fc gathers)."""
+        return PlaneGeometry(
+            filter_rows=self.filter_rows[indices],
+            window_columns=self.window_columns[indices],
+            num_sips=self.num_sips[indices],
+            bits_per_cycle=self.bits_per_cycle,
+            lanes=self.lanes,
+        )
+
+    def steps_for_activation_bits(self, activation_bits: float) -> float:
+        """Scalar delegate (``bits_per_cycle`` is uniform across the plane)."""
+        return LoomGeometry(
+            bits_per_cycle=self.bits_per_cycle
+        ).steps_for_activation_bits(activation_bits)
+
+
 def loom_conv_cycles_array(
     windows,
     terms,
@@ -138,7 +183,10 @@ def loom_conv_cycles_array(
 ) -> np.ndarray:
     """Total Loom CVL cycles: mirrors ``ConvSchedule.total_cycles`` on the
     schedule that ``schedule_conv_layer`` builds (including the filter
-    replication mapping and the exposed weight-load fill cycle)."""
+    replication mapping and the exposed weight-load fill cycle).
+
+    ``geometry`` may be a scalar :class:`LoomGeometry` or an array-valued
+    :class:`PlaneGeometry` (one grid shape per row)."""
     windows = np.asarray(windows, dtype=np.int64)
     terms = np.asarray(terms, dtype=np.int64)
     filters = np.asarray(filters, dtype=np.int64)
@@ -172,7 +220,10 @@ def loom_fc_cycles_array(
 ) -> np.ndarray:
     """Total Loom FCL cycles: mirrors ``FCSchedule.total_cycles`` on the
     schedule ``schedule_fc_layer`` builds (cascade slicing, column stagger
-    and the cascade-reduction tail)."""
+    and the cascade-reduction tail).
+
+    ``geometry`` may be a scalar :class:`LoomGeometry` or an array-valued
+    :class:`PlaneGeometry` (one grid shape per row)."""
     outputs = np.asarray(outputs, dtype=np.int64)
     terms = np.asarray(terms, dtype=np.int64)
     weight_bits = np.asarray(weight_serial_bits, dtype=np.float64)

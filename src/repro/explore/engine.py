@@ -72,10 +72,11 @@ class PointEvaluator:
     """
 
     def __init__(self, space: SweepSpec, executor=None,
-                 baseline: str = "dpnn") -> None:
+                 baseline: str = "dpnn", engine: str = None) -> None:
         self.space = space
         self.executor = executor if executor is not None else get_default_executor()
         self.baseline_spec = AcceleratorSpec.create(baseline)
+        self.engine = engine
         self._memo: Dict[DesignPoint, EvaluatedPoint] = {}
 
     @property
@@ -98,7 +99,7 @@ class PointEvaluator:
                 jobs.append(SimJob(network=job.network,
                                    accelerator=self.baseline_spec,
                                    config=job.config))
-            results = self.executor.run(jobs)
+            results = self.executor.run(jobs, engine=self.engine)
             for index, point in enumerate(fresh):
                 design_result = results[2 * index]
                 baseline_result = results[2 * index + 1]
@@ -178,6 +179,7 @@ def explore(
         ("speedup", "energy_efficiency", "area"),
     executor=None,
     baseline: str = "dpnn",
+    engine: str = None,
 ) -> ExplorationResult:
     """Run one design-space exploration end to end.
 
@@ -196,12 +198,20 @@ def explore(
         process-wide one.
     baseline:
         Accelerator kind the relative metrics are measured against.
+    engine:
+        Simulation engine each candidate batch is dispatched with
+        (``"fast"``, ``"event"`` or ``"batched"``); ``None`` keeps the
+        executor's own setting.  ``"batched"`` hands every strategy round's
+        candidate set (and the deduplicated baselines) to
+        :func:`repro.sim.batched.simulate_jobs_batched` as whole design
+        groups -- same results, one tensor pass.
     """
     from repro.explore.search import resolve_strategy
 
     resolved_objectives = resolve_objectives(objectives)
     resolved_strategy = resolve_strategy(strategy)
-    evaluator = PointEvaluator(space, executor=executor, baseline=baseline)
+    evaluator = PointEvaluator(space, executor=executor, baseline=baseline,
+                               engine=engine)
     evaluated = resolved_strategy.run(space, evaluator, resolved_objectives)
     ranks = dominance_ranks(evaluated, resolved_objectives)
     return ExplorationResult(

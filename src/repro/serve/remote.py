@@ -20,7 +20,7 @@ as a cache hit here, because this process never simulated anything.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.serve.client import ServeClient, ServeError
 from repro.sim.jobs import ExecutorStats
@@ -65,8 +65,14 @@ class RemoteExecutor:
                 time.sleep(error.retry_after_s
                            if error.retry_after_s is not None else 1)
 
-    def run(self, jobs: Iterable[object]) -> List[NetworkResult]:
-        """Submit ``jobs`` to the server; results in submission order."""
+    def run(self, jobs: Iterable[object],
+            engine: Optional[str] = None) -> List[NetworkResult]:
+        """Submit ``jobs`` to the server; results in submission order.
+
+        ``engine`` is accepted for executor-protocol parity and ignored:
+        the server executes with its own engine setting, and every engine
+        is bit-identical by contract, so results are unaffected.
+        """
         from repro.explore.space import job_to_point
 
         jobs = list(jobs)

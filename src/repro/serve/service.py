@@ -153,6 +153,14 @@ class SimulationService:
     wait_timeout_s:
         How long a coalesced waiter polls an owner's execution before
         giving up (a safety net; owners always publish, even on error).
+    engine:
+        Simulation engine for the cache-miss sets the service executes
+        (default ``"batched"``: each owner batch -- and each /explore
+        round -- runs as whole design groups through
+        :func:`repro.sim.batched.simulate_jobs_batched`, falling back per
+        job for designs without a vector kernel).  ``None`` follows the
+        executor's own setting.  All engines are bit-identical, so served
+        results are unaffected by the choice.
     """
 
     def __init__(
@@ -163,6 +171,7 @@ class SimulationService:
         queue_limit: int = 8,
         retry_after_s: int = 1,
         wait_timeout_s: float = 600.0,
+        engine: Optional[str] = "batched",
     ) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -173,6 +182,11 @@ class SimulationService:
         self.queue_limit = queue_limit
         self.retry_after_s = retry_after_s
         self.wait_timeout_s = wait_timeout_s
+        if engine is not None:
+            from repro.sim.fastpath import resolve_engine
+
+            resolve_engine(engine)  # fail fast on unknown names
+        self.engine = engine
         self.stats = ServiceStats()
         self.started_at: Optional[float] = None
         self._inflight: Dict[str, _Inflight] = {}
@@ -295,7 +309,8 @@ class SimulationService:
             results: List[NetworkResult] = []
             try:
                 with self._execute_lock:
-                    results = self.executor.run([job for job, _ in own])
+                    results = self.executor.run([job for job, _ in own],
+                                                engine=self.engine)
             except BaseException as exc:  # always publish, even on error
                 error = exc
             finally:
@@ -372,6 +387,7 @@ class SimulationService:
                     "objectives", ("speedup", "energy_efficiency", "area")),
                 executor=self.executor,
                 baseline=request.get("baseline", "dpnn"),
+                engine=self.engine,
             )
         return result.to_dict()
 

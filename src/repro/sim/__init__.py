@@ -14,6 +14,9 @@
   harnesses run on.
 * :mod:`repro.sim.fastpath` -- the vectorized closed-form engine (the default
   ``--engine fast``), bit-identical to the per-layer reference path.
+* :mod:`repro.sim.batched` -- the batched sweep engine (``--engine
+  batched``): whole groups of jobs stacked into one (job x layer) tensor
+  pass per accelerator design group, bit-identical to the other engines.
 * :mod:`repro.sim.validate` -- the differential harness asserting that the
   two engines agree cycle for cycle (and that Loom's analytical schedules
   match the event-driven tile simulator).
@@ -39,6 +42,11 @@ from repro.sim.jobs import (
     job_key,
     set_default_executor,
     use_executor,
+)
+from repro.sim.batched import (
+    BatchedLayerTable,
+    simulate_jobs_batched,
+    stack_layer_tables,
 )
 from repro.sim.fastpath import (
     ENGINES,
@@ -83,6 +91,9 @@ __all__ = [
     "job_key",
     "set_default_executor",
     "use_executor",
+    "BatchedLayerTable",
+    "simulate_jobs_batched",
+    "stack_layer_tables",
     "ENGINES",
     "LayerTable",
     "build_layer_table",

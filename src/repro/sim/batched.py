@@ -1,0 +1,743 @@
+"""Batched sweep engine: many design points in one tensor pass.
+
+A ``bench_explore``-scale sweep evaluates hundreds of :class:`~repro.sim.
+jobs.spec.SimJob`\\ s that differ only in which network (or which precision
+profile) runs on which of a handful of accelerator designs.  The per-job fast
+path (:mod:`repro.sim.fastpath`) already vectorises *within* a job, but every
+job still pays the fixed cost of a full closed-form pass -- a few dozen NumPy
+calls over arrays with only 8..60 rows.  This module amortises that cost:
+
+1. jobs are grouped by accelerator design -- the ``(AcceleratorSpec,
+   AcceleratorConfig)`` pair, both frozen and hashable;
+2. each group's per-layer :class:`~repro.sim.fastpath.LayerTable` columns are
+   stacked into one ragged-padded 2-D :class:`BatchedLayerTable` of shape
+   (jobs x max_layers);
+3. the closed forms of :mod:`repro.core.closed_form` are evaluated **once per
+   group** over the whole flattened (job x layer) plane, via the same
+   :func:`repro.sim.fastpath._evaluate_plane` pass the per-job engine uses;
+4. the valid rows are scattered back into per-job
+   :class:`~repro.sim.results.LayerResult` / :class:`~repro.sim.results.
+   NetworkResult` objects.
+
+Bit-exactness falls out of IEEE float64 arithmetic being elementwise in the
+plane pass: evaluating row ``i`` next to a thousand other rows produces the
+same bits as evaluating it alone, so the scattered results are field-for-field
+identical to the per-job fast path (and therefore to the event engine) --
+:mod:`repro.sim.validate` asserts this over the full 216-job matrix.
+
+Jobs whose accelerator is not one of the four stock designs fall back to
+:func:`~repro.sim.jobs.spec.execute_job` automatically, exactly like the
+per-job fast path does, so batches mixing exotic ``Accelerator`` subclasses
+with stock designs still come back in submission order.
+
+Padding uses values that keep every closed form finite (``windows=0``,
+``terms=0``, ``outputs=1``, ``act_bits=weight_bits=1``); padded rows are
+excluded from the conv/fc index sets and never scattered into results.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.fastpath import (
+    LayerTable,
+    _evaluate_plane,
+    _stock_kinds,
+    supports_fast_path,
+)
+from repro.sim.results import LayerResult, NetworkResult
+
+__all__ = [
+    "BatchedLayerTable",
+    "stack_layer_tables",
+    "simulate_tables_batched",
+    "simulate_jobs_batched",
+]
+
+
+@dataclass(frozen=True)
+class BatchedLayerTable:
+    """Ragged-padded stack of per-job layer tables for one accelerator design.
+
+    Every numeric column is a (jobs x width) array where ``width`` is the
+    widest member table; ``lengths[j]`` gives job ``j``'s true layer count
+    and ``mask`` flags the valid cells.  ``names`` / ``kinds`` stay ragged
+    (tuples of per-job tuples) -- they are only needed at scatter time.
+
+    ``flat`` is the table's *dense* flat view -- the masked rows of the
+    ragged plane compacted into one (sum(lengths))-row :class:`LayerTable`
+    with the real names/kinds -- and ``conv`` / ``fc`` are its precomputed
+    datapath index sets.  Since padded rows contribute nothing, evaluating
+    the dense view is bit-identical to evaluating the padded plane and then
+    discarding the masked-out rows; the engine evaluates ``flat`` so the
+    (memoised) stack pays the gather once instead of every sweep.
+    """
+
+    names: Tuple[Tuple[str, ...], ...]
+    kinds: Tuple[Tuple[str, ...], ...]
+    lengths: Tuple[int, ...]
+    mask: np.ndarray
+    is_conv: np.ndarray
+    windows: np.ndarray
+    terms: np.ndarray
+    outputs: np.ndarray
+    macs: np.ndarray
+    weight_count: np.ndarray
+    input_activations: np.ndarray
+    output_activations: np.ndarray
+    act_bits: np.ndarray
+    weight_bits: np.ndarray
+    effective_weight_bits: np.ndarray
+    flat: LayerTable
+    conv: np.ndarray
+    fc: np.ndarray
+
+    @property
+    def jobs(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def width(self) -> int:
+        return int(self.mask.shape[1])
+
+    def flat_table(self) -> LayerTable:
+        """The (jobs * width)-row padded flat view (ravelled 2-D columns).
+
+        ``names`` / ``kinds`` of padded rows are empty strings.  The engine
+        itself consumes the dense ``flat`` attribute; this view exists for
+        tests and tooling that want the plane with padding in place.
+        """
+        flat_names = ("",) * (self.jobs * self.width)
+        return LayerTable(
+            names=flat_names,
+            kinds=flat_names,
+            is_conv=self.is_conv.ravel(),
+            windows=self.windows.ravel(),
+            terms=self.terms.ravel(),
+            outputs=self.outputs.ravel(),
+            macs=self.macs.ravel(),
+            weight_count=self.weight_count.ravel(),
+            input_activations=self.input_activations.ravel(),
+            output_activations=self.output_activations.ravel(),
+            act_bits=self.act_bits.ravel(),
+            weight_bits=self.weight_bits.ravel(),
+            effective_weight_bits=self.effective_weight_bits.ravel(),
+        )
+
+
+#: (column name, dtype, pad value).  Pads keep every closed form finite:
+#: ``outputs=1`` and unit precisions avoid divide-by-zero / log-of-zero in
+#: the cycle kernels, zero counts make traffic and energy exactly 0.0, and
+#: ``is_conv=False`` keeps pads out of the conv-datapath index set.
+_STACK_COLUMNS = (
+    ("is_conv", bool, False),
+    ("windows", np.int64, 0),
+    ("terms", np.int64, 0),
+    ("outputs", np.int64, 1),
+    ("macs", np.int64, 0),
+    ("weight_count", np.int64, 0),
+    ("input_activations", np.int64, 0),
+    ("output_activations", np.int64, 0),
+    ("act_bits", np.int64, 1),
+    ("weight_bits", np.int64, 1),
+    ("effective_weight_bits", np.float64, np.nan),
+)
+
+
+def stack_layer_tables(tables: Sequence[LayerTable]) -> BatchedLayerTable:
+    """Stack per-job layer tables into one ragged-padded 2-D table.
+
+    Also precomputes the dense ``flat`` view (the padded plane with the
+    masked rows gathered out -- equivalently, the member columns
+    concatenated end to end) and its conv/fc index sets, so the engine's
+    per-sweep work reduces to the closed-form pass plus the scatter.
+    """
+    jobs = len(tables)
+    width = max((len(t) for t in tables), default=0)
+    lengths = tuple(len(t) for t in tables)
+    mask = np.zeros((jobs, width), dtype=bool)
+    for j, length in enumerate(lengths):
+        mask[j, :length] = True
+    stacked: Dict[str, np.ndarray] = {}
+    for column, dtype, pad in _STACK_COLUMNS:
+        out = np.full((jobs, width), pad, dtype=dtype)
+        for j, table in enumerate(tables):
+            out[j, : lengths[j]] = getattr(table, column)
+        stacked[column] = out
+    valid = mask.ravel()
+    flat = LayerTable(
+        names=tuple(n for t in tables for n in t.names),
+        kinds=tuple(k for t in tables for k in t.kinds),
+        **{column: stacked[column].ravel()[valid]
+           for column, _, _ in _STACK_COLUMNS},
+    )
+    return BatchedLayerTable(
+        names=tuple(t.names for t in tables),
+        kinds=tuple(t.kinds for t in tables),
+        lengths=lengths,
+        mask=mask,
+        flat=flat,
+        conv=np.flatnonzero(flat.is_conv),
+        fc=np.flatnonzero(~flat.is_conv),
+        **stacked,
+    )
+
+
+# A sweep revisits the same network mix for every design in the space, so the
+# stacked table for a given tuple of network specs is rebuilt identically per
+# design group.  Memoise it (the member LayerTables are themselves memoised
+# per spec, so equal spec tuples always yield the same stack).  Like the other
+# spec->object memo caches this is per process and read-only once built.
+@functools.lru_cache(maxsize=256)
+def _stacked_tables_for_specs(network_specs: tuple) -> BatchedLayerTable:
+    from repro.sim.jobs.spec import _spec_layer_table
+
+    return stack_layer_tables([_spec_layer_table(s) for s in network_specs])
+
+
+def _scatter_layer_results(flat: LayerTable,
+                           columns: Tuple[np.ndarray, ...]) -> List[LayerResult]:
+    """Scatter evaluated plane columns back into ``LayerResult`` objects.
+
+    One flat pass over all (job, layer) rows, constructing LayerResults via
+    ``__new__`` + a ``__dict__`` literal.  This skips dataclass
+    ``__init__``/``__post_init__`` (whose validation is vacuous here: kinds
+    come from built tables and cycles from the closed forms) and is a large
+    part of the batched engine's speedup over the per-job path.  Field
+    layout, ``__eq__`` and ``asdict()`` semantics are identical to
+    normally-constructed instances.  ``tolist()`` converts whole columns to
+    plain Python scalars in one C pass (bit-exact for float64).
+    """
+    (cycles, compute_cycles, memory_cycles, energy, weight_bits,
+     act_in_bits, act_out_bits, utilization) = columns
+    new = LayerResult.__new__
+    results_flat: List[LayerResult] = []
+    append = results_flat.append
+    for (name, kind, row_cycles, row_compute, row_memory, row_energy,
+         row_weights, row_act_in, row_act_out, row_macs,
+         row_utilization) in zip(
+        flat.names, flat.kinds, cycles.tolist(), compute_cycles.tolist(),
+        memory_cycles.tolist(), energy.tolist(), weight_bits.tolist(),
+        act_in_bits.tolist(), act_out_bits.tolist(), flat.macs.tolist(),
+        utilization.tolist(),
+    ):
+        result = new(LayerResult)
+        result.__dict__ = {
+            "layer_name": name,
+            "layer_kind": kind,
+            "cycles": row_cycles,
+            "compute_cycles": row_compute,
+            "memory_cycles": row_memory,
+            "energy_pj": row_energy,
+            "weight_bits_read": row_weights,
+            "activation_bits_read": row_act_in,
+            "activation_bits_written": row_act_out,
+            "macs": row_macs,
+            "utilization": row_utilization,
+            "extra": {},
+        }
+        append(result)
+    return results_flat
+
+
+def simulate_tables_batched(accelerator,
+                            tables: Sequence[LayerTable],
+                            batched: Optional[BatchedLayerTable] = None,
+                            ) -> List[List[LayerResult]]:
+    """Simulate every table in ``tables`` on ``accelerator`` in one pass.
+
+    Returns one ``LayerResult`` list per input table, bit-identical to
+    calling :func:`~repro.sim.fastpath.simulate_layers_fast` per table.
+    ``batched`` lets callers pass a pre-stacked table (the job entry point
+    memoises stacks across design groups).
+    """
+    if batched is None:
+        batched = stack_layer_tables(list(tables))
+    if batched.jobs == 0:
+        return []
+    flat = batched.flat
+    if len(flat) == 0:
+        return [[] for _ in range(batched.jobs)]
+    columns = _evaluate_plane(accelerator, flat, batched.conv, batched.fc)
+    results_flat = _scatter_layer_results(flat, columns)
+
+    # Carve the flat result list back into per-job lists.
+    out: List[List[LayerResult]] = []
+    cursor = 0
+    for length in batched.lengths:
+        out.append(results_flat[cursor:cursor + length])
+        cursor += length
+    return out
+
+
+# -- cross-design planes -------------------------------------------------------
+#
+# A design-space sweep inverts the batch shape: hundreds of *designs* over a
+# handful of networks, so per-design groups hold only a few jobs each and the
+# closed-form pass stops amortising.  Designs of the same class whose only
+# differences are numeric (grid shape, memory sizes, clock, energy
+# coefficients) can share one plane: every per-design scalar becomes a
+# per-row array (np.repeat over each design's row count) and broadcasts
+# through the same elementwise closed forms, bit-identically.  Designs are
+# mergeable when their *structural* signature matches -- the Python-level
+# branches of the evaluation (class dispatch, DRAM/transposer presence,
+# layout types, Loom's scheduling flags and bits-per-cycle).
+
+
+_DESIGN_SIGNATURES: Dict[object, tuple] = {}
+
+
+def _design_signature(accelerator) -> tuple:
+    """Structural key: designs merge into one plane iff signatures match.
+
+    Everything that selects a Python-level branch in the plane evaluation is
+    in the key; everything numeric is promoted to per-row arrays instead.
+    Cached per accelerator instance (stock designs are immutable in every
+    field the signature reads).
+    """
+    cached = _DESIGN_SIGNATURES.get(accelerator)
+    if cached is not None:
+        return cached
+    loom_cls, _, stripes_cls, _ = _stock_kinds()
+    hierarchy = accelerator.hierarchy
+    signature = (
+        type(accelerator),
+        hierarchy.dram is None,
+        hierarchy.charge_offchip_energy,
+        hierarchy.transposer is None,
+        type(hierarchy.activation_layout), hierarchy.activation_layout.word_bits,
+        type(hierarchy.weight_layout), hierarchy.weight_layout.word_bits,
+    )
+    if isinstance(accelerator, loom_cls):
+        signature += (
+            accelerator.bits_per_cycle,
+            accelerator.replicate_filters,
+            accelerator.use_cascading,
+            accelerator.use_effective_weight_precision,
+            accelerator.dynamic_precision.enabled,
+        )
+    elif isinstance(accelerator, stripes_cls):
+        signature += (accelerator.dynamic_precision.enabled,)
+    if len(_DESIGN_SIGNATURES) >= _DESIGN_PARAMS_CAP:
+        _DESIGN_SIGNATURES.clear()
+    _DESIGN_SIGNATURES[accelerator] = signature
+    return signature
+
+
+# Per-design numeric parameters, keyed by accelerator identity.  Accelerator
+# instances hash by id and the cache holds a strong reference (which also
+# keeps the id stable); build_accelerator memoises instances per (spec,
+# config) so the population is bounded by the design space, not the job
+# count.  Cleared wholesale if it ever grows past the cap.
+_DESIGN_PARAMS: Dict[object, Dict[str, float]] = {}
+_DESIGN_PARAMS_CAP = 4096
+
+
+def _design_params(accelerator) -> Dict[str, float]:
+    """The per-design scalars the plane evaluation promotes to row arrays.
+
+    Energy coefficients are kept as the *separate* factors the scalar models
+    multiply (base x size_factor x tech_factor, in that order) so the array
+    expressions round identically to the scalar ones.
+    """
+    params = _DESIGN_PARAMS.get(accelerator)
+    if params is not None:
+        return params
+    loom_cls, dpnn_cls, stripes_cls, _ = _stock_kinds()
+    hierarchy = accelerator.hierarchy
+    am, wm = hierarchy.activation_memory, hierarchy.weight_memory
+    abin, about = hierarchy.abin, hierarchy.about
+    params = {
+        "am_capacity_bits": am.capacity_bits,
+        "am_base": am._BASE_ACCESS_ENERGY_PJ_PER_BIT,
+        "am_size": am._size_factor(),
+        "am_tech": am._tech_factor(),
+        "wm_capacity_bits": wm.capacity_bits,
+        "wm_base": wm._BASE_ACCESS_ENERGY_PJ_PER_BIT,
+        "wm_size": wm._size_factor(),
+        "wm_tech": wm._tech_factor(),
+        "abin_base": abin._BASE_READ_ENERGY_PJ_PER_BIT,
+        "abin_size": abin._size_factor(),
+        "abin_tech": abin._tech_factor(),
+        "about_base": about._BASE_WRITE_ENERGY_PJ_PER_BIT,
+        "about_size": about._size_factor(),
+        "about_tech": about._tech_factor(),
+        "transposer_pj": (0.0 if hierarchy.transposer is None
+                          else hierarchy.transposer.energy_pj_per_value),
+        "dram_bits_per_cycle": (
+            1.0 if hierarchy.dram is None
+            else hierarchy.dram.bits_per_cycle(hierarchy.clock_ghz)),
+        "dram_energy_pj_per_bit": (
+            0.0 if hierarchy.dram is None
+            else hierarchy.dram.energy_pj_per_bit),
+        "datapath_pj": accelerator.datapath_pj_per_cycle(),
+        "equivalent_macs": accelerator.config.equivalent_macs,
+    }
+    if isinstance(accelerator, loom_cls):
+        geometry = accelerator.geometry
+        params.update(
+            filter_rows=geometry.filter_rows,
+            window_columns=geometry.window_columns,
+            num_sips=geometry.num_sips,
+            activation_reduction=accelerator.dynamic_precision.activation_reduction,
+        )
+    elif isinstance(accelerator, stripes_cls):
+        params.update(
+            filter_lanes=accelerator.filter_lanes,
+            fc_ip_units=accelerator._dpnn.num_ip_units,
+            activation_reduction=accelerator.dynamic_precision.activation_reduction,
+        )
+    elif isinstance(accelerator, dpnn_cls):
+        params.update(num_ip_units=accelerator.num_ip_units)
+    if len(_DESIGN_PARAMS) >= _DESIGN_PARAMS_CAP:
+        _DESIGN_PARAMS.clear()
+    _DESIGN_PARAMS[accelerator] = params
+    return params
+
+
+@dataclass(frozen=True, eq=False)
+class _DesignPlane:
+    """One mergeable group of designs flattened into a single (row) plane.
+
+    ``accelerators``/``tables`` hold strong references to the members (which
+    also pins the ids the plane cache is keyed by); ``flat`` concatenates the
+    members' dense layer tables end to end, and ``arrays`` carries each
+    per-design scalar repeated over that design's rows.
+    """
+
+    accelerators: Tuple[object, ...]
+    tables: Tuple[BatchedLayerTable, ...]
+    flat: LayerTable
+    conv: np.ndarray
+    fc: np.ndarray
+    arrays: Dict[str, np.ndarray]
+
+
+_INT_PARAMS = frozenset({
+    "am_capacity_bits", "wm_capacity_bits", "equivalent_macs",
+    "filter_rows", "window_columns", "num_sips",
+    "filter_lanes", "fc_ip_units", "num_ip_units",
+})
+
+# Built _DesignPlane objects keyed by the member (accelerator, table) id
+# pairs; values reference the members, keeping the keys valid.  Sweeps
+# re-evaluate the same design x network mix repeatedly (explore rounds,
+# serve batches), so the concatenation + np.repeat work is paid once.
+_PLANE_CACHE: Dict[Tuple[Tuple[int, int], ...], _DesignPlane] = {}
+_PLANE_CACHE_CAP = 128
+
+
+def _build_design_plane(
+    members: Sequence[Tuple[object, BatchedLayerTable]],
+) -> _DesignPlane:
+    """Concatenate member tables and promote design scalars to row arrays."""
+    key = tuple((id(a), id(t)) for a, t in members)
+    plane = _PLANE_CACHE.get(key)
+    if plane is not None:
+        return plane
+    flats = [table.flat for _, table in members]
+    names: List[str] = []
+    kinds: List[str] = []
+    for flat in flats:
+        names.extend(flat.names)
+        kinds.extend(flat.kinds)
+    columns = {
+        column: np.concatenate([getattr(flat, column) for flat in flats])
+        for column, _, _ in _STACK_COLUMNS
+    }
+    flat = LayerTable(names=tuple(names), kinds=tuple(kinds), **columns)
+    counts = np.asarray([len(f) for f in flats], dtype=np.int64)
+    member_params = [_design_params(a) for a, _ in members]
+    arrays = {
+        name: np.repeat(
+            np.asarray([p[name] for p in member_params],
+                       dtype=(np.int64 if name in _INT_PARAMS
+                              else np.float64)),
+            counts,
+        )
+        for name in member_params[0]
+    }
+    plane = _DesignPlane(
+        accelerators=tuple(a for a, _ in members),
+        tables=tuple(t for _, t in members),
+        flat=flat,
+        conv=np.flatnonzero(flat.is_conv),
+        fc=np.flatnonzero(~flat.is_conv),
+        arrays=arrays,
+    )
+    if len(_PLANE_CACHE) >= _PLANE_CACHE_CAP:
+        _PLANE_CACHE.clear()
+    _PLANE_CACHE[key] = plane
+    return plane
+
+
+def _plane_compute_cycles(plane: _DesignPlane) -> np.ndarray:
+    """Datapath cycles for every plane row (multi-design mirror of
+    :func:`repro.sim.fastpath._compute_cycles`).
+
+    Scalar design parameters are replaced by the per-row arrays of
+    ``plane.arrays``; the Python-level branches (class dispatch, Loom
+    scheduling flags) are uniform across the plane by construction
+    (:func:`_design_signature`).
+    """
+    from repro.core.closed_form import (
+        PlaneGeometry,
+        dpnn_conv_cycles_array,
+        dpnn_fc_cycles_array,
+        effective_activation_bits_array,
+        loom_conv_cycles_array,
+        loom_fc_cycles_array,
+        steps_for_activation_bits_array,
+        stripes_conv_cycles_array,
+    )
+    from repro.sim.fastpath import _loom_weight_serial_bits
+
+    loom_cls, dpnn_cls, stripes_cls, _ = _stock_kinds()
+    table, conv, fc = plane.flat, plane.conv, plane.fc
+    arrays = plane.arrays
+    first = plane.accelerators[0]
+    cycles = np.zeros(len(table), dtype=np.float64)
+    if isinstance(first, loom_cls):
+        geometry = PlaneGeometry(
+            filter_rows=arrays["filter_rows"],
+            window_columns=arrays["window_columns"],
+            num_sips=arrays["num_sips"],
+            bits_per_cycle=first.bits_per_cycle,
+        )
+        dynamic_enabled = first.dynamic_precision.enabled
+        if conv.size:
+            act_bits = effective_activation_bits_array(
+                table.act_bits[conv], dynamic_enabled,
+                arrays["activation_reduction"][conv], geometry.bits_per_cycle,
+            )
+            steps = steps_for_activation_bits_array(
+                act_bits, geometry.bits_per_cycle
+            )
+            cycles[conv] = loom_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                steps, _loom_weight_serial_bits(first, table, conv),
+                geometry.take(conv), first.replicate_filters,
+            )
+        if fc.size:
+            cycles[fc] = loom_fc_cycles_array(
+                table.outputs[fc], table.terms[fc],
+                _loom_weight_serial_bits(first, table, fc),
+                geometry.take(fc), first.use_cascading,
+            )
+        return cycles
+    if isinstance(first, stripes_cls):  # covers DStripes
+        if conv.size:
+            serial_bits = effective_activation_bits_array(
+                table.act_bits[conv], first.dynamic_precision.enabled,
+                arrays["activation_reduction"][conv], bits_per_cycle=1,
+            )
+            cycles[conv] = stripes_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                serial_bits, arrays["filter_lanes"][conv],
+                stripes_cls.WINDOW_LANES,
+            )
+        if fc.size:
+            cycles[fc] = dpnn_fc_cycles_array(
+                table.terms[fc], table.outputs[fc],
+                arrays["fc_ip_units"][fc],
+            )
+        return cycles
+    if isinstance(first, dpnn_cls):
+        if conv.size:
+            cycles[conv] = dpnn_conv_cycles_array(
+                table.windows[conv], table.terms[conv], table.outputs[conv],
+                arrays["num_ip_units"][conv],
+            )
+        if fc.size:
+            cycles[fc] = dpnn_fc_cycles_array(
+                table.terms[fc], table.outputs[fc], arrays["num_ip_units"][fc],
+            )
+        return cycles
+    raise TypeError(f"no plane kernel for {type(first).__name__}")
+
+
+def _evaluate_design_plane(plane: _DesignPlane) -> Tuple[np.ndarray, ...]:
+    """Multi-design mirror of :func:`repro.sim.fastpath._evaluate_plane`.
+
+    Identical arithmetic, with every per-design scalar (memory capacities and
+    energy factors, DRAM bandwidth, datapath power, peak MACs) replaced by
+    the matching per-row array -- each expression stays elementwise, so each
+    row's bits equal what the single-design plane produces for that design.
+    """
+    from repro.sim.fastpath import _traffic_bits
+
+    table = plane.flat
+    arrays = plane.arrays
+    first = plane.accelerators[0]
+    hierarchy = first.hierarchy
+    n = len(table)
+    compute_cycles = _plane_compute_cycles(plane)
+
+    # Storage precisions follow the (signature-uniform) layout pattern; the
+    # layout *objects* of the first member stand in for the whole plane (the
+    # signature pins their types and word widths).
+    loom_cls, _, stripes_cls, _ = _stock_kinds()
+    if isinstance(first, loom_cls):
+        weight_store, act_store = table.weight_bits, table.act_bits
+    elif isinstance(first, stripes_cls):
+        full = np.full(n, 16, dtype=np.int64)
+        weight_store, act_store = full, table.act_bits
+    else:
+        full = np.full(n, 16, dtype=np.int64)
+        weight_store, act_store = full, full
+    weight_bits = _traffic_bits(hierarchy.weight_layout,
+                                table.weight_count, weight_store)
+    act_in_bits = _traffic_bits(hierarchy.activation_layout,
+                                table.input_activations, act_store)
+    act_out_bits = _traffic_bits(hierarchy.activation_layout,
+                                 table.output_activations, act_store)
+    act_footprint = act_in_bits + act_out_bits
+    activations_fit = act_footprint <= arrays["am_capacity_bits"]
+    weights_fit = (weight_bits <= arrays["wm_capacity_bits"]) & table.is_conv
+    offchip_bits = weight_bits + np.where(activations_fit, 0.0, act_footprint)
+
+    if hierarchy.dram is None:
+        memory_cycles = np.zeros(n, dtype=np.float64)
+    else:
+        memory_cycles = offchip_bits / arrays["dram_bits_per_cycle"]
+    cycles = np.maximum(compute_cycles, memory_cycles)
+
+    stall_cycles = np.maximum(0.0, cycles - compute_cycles)
+    datapath_pj = arrays["datapath_pj"]
+    datapath_energy = (compute_cycles * datapath_pj
+                       + stall_cycles * datapath_pj * 0.25)
+
+    # Memory energy, term by term in MemoryHierarchy.memory_energy_pj order,
+    # with each model's base * bits * size_factor * tech_factor kept in the
+    # scalar models' multiplication order.
+    energy = np.where(
+        weights_fit,
+        arrays["wm_base"] * weight_bits * arrays["wm_size"] * arrays["wm_tech"],
+        (arrays["abin_base"] * weight_bits
+         * arrays["abin_size"] * arrays["abin_tech"]) * 0.15,
+    )
+    energy = energy + (arrays["am_base"] * (act_in_bits + act_out_bits)
+                       * arrays["am_size"] * arrays["am_tech"])
+    energy = energy + (arrays["abin_base"] * act_in_bits
+                       * arrays["abin_size"] * arrays["abin_tech"])
+    energy = energy + (arrays["about_base"] * act_out_bits
+                       * arrays["about_size"] * arrays["about_tech"])
+    if hierarchy.transposer is not None:
+        energy = energy + table.output_activations * arrays["transposer_pj"]
+    if hierarchy.dram is not None and hierarchy.charge_offchip_energy:
+        energy = energy + offchip_bits * arrays["dram_energy_pj_per_bit"]
+    energy = datapath_energy + energy
+
+    safe_cycles = np.where(compute_cycles <= 0, 1.0, compute_cycles)
+    ideal = table.macs / arrays["equivalent_macs"]
+    utilization = np.where(compute_cycles <= 0, 1.0,
+                           np.minimum(1.0, ideal / safe_cycles))
+    return (cycles, compute_cycles, memory_cycles, energy,
+            weight_bits, act_in_bits, act_out_bits, utilization)
+
+
+# -- the batch entry point -----------------------------------------------------
+
+
+def simulate_jobs_batched(jobs: Iterable["SimJob"]) -> List[NetworkResult]:
+    """Execute a batch of jobs, one closed-form pass per design-plane group.
+
+    The batched counterpart of calling :func:`~repro.sim.jobs.spec.
+    execute_job` per job: results come back in submission order and are
+    bit-identical to both the per-job fast path and the event engine.  Jobs
+    whose accelerator has no vector kernel (exotic ``Accelerator``
+    subclasses) fall back to ``execute_job`` individually; everything else
+    is grouped by ``(AcceleratorSpec, AcceleratorConfig)``, structurally
+    compatible designs are merged into cross-design planes
+    (:func:`_design_signature`), and each plane is evaluated in one
+    (design x job x layer) pass.  An empty batch returns ``[]``.
+    """
+    from repro.sim.jobs.spec import build_accelerator, execute_job
+
+    jobs = list(jobs)
+    results: List[Optional[NetworkResult]] = [None] * len(jobs)
+    # build_accelerator memoises per (spec, config), so the instance's
+    # identity *is* the design-group key -- grouping by id() skips re-hashing
+    # the nested frozen dataclasses for every job.  Sweeps typically reuse
+    # the same spec/config *objects* across jobs, so the id-keyed lookup
+    # (valid while ``jobs`` keeps the spec objects alive) short-circuits
+    # even the memo-cache hash for all but the first job of each design.
+    by_spec_ids: Dict[Tuple[int, int], object] = {}
+    groups: Dict[int, Tuple[object, List[int]]] = {}
+    for index, job in enumerate(jobs):
+        spec_ids = (id(job.accelerator), id(job.config))
+        accelerator = by_spec_ids.get(spec_ids)
+        if accelerator is None:
+            accelerator = build_accelerator(job.accelerator, job.config)
+            by_spec_ids[spec_ids] = accelerator
+        if supports_fast_path(accelerator):
+            group = groups.get(id(accelerator))
+            if group is None:
+                groups[id(accelerator)] = (accelerator, [index])
+            else:
+                group[1].append(index)
+        else:
+            # No vector kernel: the per-job path picks the right engine
+            # (it falls back to the event reference for exotic designs).
+            results[index] = execute_job(job, engine="fast")
+
+    # Merge structurally compatible design groups into shared planes.
+    merged: Dict[tuple, List[Tuple[object, List[int]]]] = {}
+    for accelerator, indices in groups.values():
+        merged.setdefault(_design_signature(accelerator), []).append(
+            (accelerator, indices)
+        )
+
+    new = NetworkResult.__new__
+    for members in merged.values():
+        if len(members) == 1:
+            # Single design: evaluate through the real accelerator object.
+            accelerator, indices = members[0]
+            network_specs = tuple(jobs[i].network for i in indices)
+            batched_table = _stacked_tables_for_specs(network_specs)
+            layer_lists = simulate_tables_batched(accelerator, (),
+                                                  batched=batched_table)
+            name = accelerator.name
+            clock_ghz = accelerator.config.clock_ghz
+            for index, layers in zip(indices, layer_lists):
+                result = new(NetworkResult)
+                result.__dict__ = {
+                    "network": jobs[index].network.name,
+                    "accelerator": name,
+                    "layers": layers,
+                    "clock_ghz": clock_ghz,
+                }
+                results[index] = result
+            continue
+        # Many designs, one plane.
+        tables = [
+            (accelerator,
+             _stacked_tables_for_specs(tuple(jobs[i].network for i in indices)))
+            for accelerator, indices in members
+        ]
+        plane = _build_design_plane(tables)
+        if len(plane.flat):
+            results_flat = _scatter_layer_results(
+                plane.flat, _evaluate_design_plane(plane)
+            )
+        else:
+            results_flat = []
+        cursor = 0
+        for (accelerator, indices), (_, batched_table) in zip(members, tables):
+            name = accelerator.name
+            clock_ghz = accelerator.config.clock_ghz
+            for index, length in zip(indices, batched_table.lengths):
+                result = new(NetworkResult)
+                result.__dict__ = {
+                    "network": jobs[index].network.name,
+                    "accelerator": name,
+                    "layers": results_flat[cursor:cursor + length],
+                    "clock_ghz": clock_ghz,
+                }
+                results[index] = result
+                cursor += length
+    return results

@@ -9,10 +9,13 @@ for *all* layers of a network at once with the NumPy closed forms of
 :mod:`repro.core.closed_form`, producing bit-identical
 :class:`~repro.sim.results.LayerResult` records an order of magnitude faster.
 
-The two engines are interchangeable by contract: ``loom-repro --engine
-{fast,event}`` selects one for the whole invocation, the result cache keys do
-not record the engine, and :mod:`repro.sim.validate` (plus
+The engines are interchangeable by contract: ``loom-repro --engine
+{fast,event,batched}`` selects one for the whole invocation, the result cache
+keys do not record the engine, and :mod:`repro.sim.validate` (plus
 ``tests/test_fastpath.py``) asserts exact equality over the full network zoo.
+The ``batched`` engine (:mod:`repro.sim.batched`) shares this module's
+:func:`_evaluate_plane` numeric pass but amortises it over whole groups of
+jobs stacked into one (job x layer) plane.
 
 Only the four stock designs (DPNN, Stripes, DStripes, Loom) have vector
 kernels; exotic subclasses fall back to the reference engine automatically
@@ -22,6 +25,7 @@ kernels; exotic subclasses fall back to the reference engine automatically
 from __future__ import annotations
 
 import contextlib
+import functools
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -47,9 +51,11 @@ __all__ = [
     "simulate_network_fast",
 ]
 
-#: The selectable simulation engines: the vectorized fast path and the
-#: per-layer reference path anchored to the event-driven tile simulator.
-ENGINES = ("fast", "event")
+#: The selectable simulation engines: the vectorized fast path, the per-layer
+#: reference path anchored to the event-driven tile simulator, and the batched
+#: sweep engine (:mod:`repro.sim.batched`) that evaluates whole groups of jobs
+#: in one tensor pass.  All three produce bit-identical results.
+ENGINES = ("fast", "event", "batched")
 
 _default_engine = "fast"
 
@@ -191,6 +197,7 @@ def build_layer_table(layers: Sequence[object]) -> LayerTable:
 # -- per-design vector kernels -------------------------------------------------
 
 
+@functools.lru_cache(maxsize=1)
 def _stock_kinds():
     """Exact classes with a vector kernel (imported lazily: no package cycles)."""
     from repro.accelerators.dpnn import DPNN
@@ -320,19 +327,21 @@ def _traffic_bits(layout, count: np.ndarray, precision: np.ndarray) -> np.ndarra
 # -- the engine ----------------------------------------------------------------
 
 
-def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
-    """Simulate every layer of ``table`` on ``accelerator`` in one vector pass.
+def _evaluate_plane(accelerator, table: LayerTable, conv: np.ndarray,
+                    fc: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Evaluate the closed forms over every row of ``table`` at once.
 
-    Produces exactly what per-layer ``Accelerator.simulate_layer`` calls
-    would: the same cycles/compute/stall split, traffic, energy and
-    utilization, bit for bit (each array expression mirrors the scalar
-    arithmetic's operation order).
+    ``conv`` / ``fc`` are the row indices to treat as conv-datapath and
+    fully-connected work; rows in neither set (the batched engine's ragged
+    padding) come out with zero cycles/traffic/energy and utilization 1.0
+    and are simply never scattered into results.  Returns the result columns
+    ``(cycles, compute_cycles, memory_cycles, energy, weight_bits,
+    act_in_bits, act_out_bits, utilization)``.  Shared verbatim by the
+    per-job fast engine and :mod:`repro.sim.batched`: IEEE float64
+    arithmetic is elementwise here, so evaluating many jobs' rows in one
+    plane is bit-identical to evaluating them one table at a time.
     """
     n = len(table)
-    if n == 0:
-        return []
-    conv = np.flatnonzero(table.is_conv)
-    fc = np.flatnonzero(~table.is_conv)
     compute_cycles = _compute_cycles(accelerator, table, conv, fc)
 
     hierarchy = accelerator.hierarchy
@@ -386,6 +395,25 @@ def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
     ideal = table.macs / equivalent_macs
     utilization = np.where(compute_cycles <= 0, 1.0,
                            np.minimum(1.0, ideal / safe_cycles))
+    return (cycles, compute_cycles, memory_cycles, energy,
+            weight_bits, act_in_bits, act_out_bits, utilization)
+
+
+def simulate_layers_fast(accelerator, table: LayerTable) -> List[LayerResult]:
+    """Simulate every layer of ``table`` on ``accelerator`` in one vector pass.
+
+    Produces exactly what per-layer ``Accelerator.simulate_layer`` calls
+    would: the same cycles/compute/stall split, traffic, energy and
+    utilization, bit for bit (each array expression mirrors the scalar
+    arithmetic's operation order).
+    """
+    if len(table) == 0:
+        return []
+    conv = np.flatnonzero(table.is_conv)
+    fc = np.flatnonzero(~table.is_conv)
+    (cycles, compute_cycles, memory_cycles, energy, weight_bits,
+     act_in_bits, act_out_bits, utilization) = _evaluate_plane(
+        accelerator, table, conv, fc)
 
     # tolist() converts whole columns to plain Python scalars in one pass
     # (bit-exact for float64), far cheaper than per-element float() casts.

@@ -49,6 +49,8 @@ class ExecutorStats:
     executed: int = 0
     cache_hits: int = 0
     dedup_hits: int = 0
+    batched_jobs: int = 0
+    shm_transports: int = 0
     executed_key_counts: Dict[str, int] = field(default_factory=dict)
 
     def record_execution(self, key: str) -> None:
@@ -62,12 +64,25 @@ class ExecutorStats:
         return max(self.executed_key_counts.values())
 
     def to_dict(self) -> Dict[str, int]:
-        """Plain-data form (what ``loom-repro serve`` reports on /stats)."""
+        """Plain-data form (what ``loom-repro serve`` reports on /stats).
+
+        ``layer_table_hits`` / ``layer_table_builds`` surface the process-wide
+        layer-table memo (:func:`repro.sim.jobs.spec.layer_table_cache_info`):
+        a sweep that revisits the same networks should show hits climbing
+        while builds stay flat.
+        """
+        from repro.sim.jobs.spec import layer_table_cache_info
+
+        table_info = layer_table_cache_info()
         return {
             "submitted": self.submitted,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "dedup_hits": self.dedup_hits,
+            "batched_jobs": self.batched_jobs,
+            "shm_transports": self.shm_transports,
+            "layer_table_hits": table_info["hits"],
+            "layer_table_builds": table_info["builds"],
             "unique_keys_executed": len(self.executed_key_counts),
             "max_executions_per_key": self.max_executions_per_key,
         }
@@ -115,6 +130,13 @@ class JobExecutor:
         Optional hook called with a :class:`JobEvent` as each job resolves.
     log:
         Optional ``callable(str)`` for human-readable progress lines.
+    engine:
+        Simulation engine for this executor's jobs (``"fast"``, ``"event"``
+        or ``"batched"``); ``None`` follows the process default at each
+        ``run()``.  With ``"batched"``, cache-missing jobs are dispatched to
+        :func:`repro.sim.batched.simulate_jobs_batched` in whole groups
+        (jobs whose accelerator lacks a vector kernel fall back per job
+        automatically).  All engines return bit-identical results.
     """
 
     def __init__(
@@ -123,7 +145,10 @@ class JobExecutor:
         cache=_FRESH_CACHE,
         progress: Optional[Callable[[JobEvent], None]] = None,
         log: Optional[Callable[[str], None]] = None,
+        engine: Optional[str] = None,
     ) -> None:
+        from repro.sim.fastpath import resolve_engine
+
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -132,6 +157,9 @@ class JobExecutor:
         )
         self.progress = progress
         self.log = log
+        if engine is not None:
+            resolve_engine(engine)  # fail fast on unknown names
+        self.engine = engine
         self.stats = ExecutorStats()
         self._pool = None
 
@@ -162,7 +190,8 @@ class JobExecutor:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, jobs: Iterable[SimJob]) -> List[NetworkResult]:
+    def run(self, jobs: Iterable[SimJob],
+            engine: Optional[str] = None) -> List[NetworkResult]:
         """Execute ``jobs`` and return their results in submission order.
 
         Within the batch, jobs with identical content keys are simulated
@@ -171,8 +200,18 @@ class JobExecutor:
         resolves (cache lookups and executions as they happen; batch
         duplicates once the job they piggyback on has resolved).  Returned
         results are shared with the cache -- treat them as read-only.
+
+        ``engine`` overrides the executor's engine for this batch; all
+        engines are bit-identical by contract, so the cache keys do not
+        record it.
         """
         jobs = list(jobs)
+        if engine is None:
+            engine = self.engine
+        else:
+            from repro.sim.fastpath import resolve_engine
+
+            resolve_engine(engine)
         keys = [job_key(job) for job in jobs]
         total = len(jobs)
         self.stats.submitted += total
@@ -188,7 +227,7 @@ class JobExecutor:
                 self.stats.record_execution(keys[index])
                 emit(jobs[index], keys[index], "executed", index)
 
-            return self._execute(jobs, on_result)
+            return self._execute(jobs, on_result, engine=engine)
 
         resolved: Dict[str, NetworkResult] = {}
         statuses: Dict[str, str] = {}
@@ -228,7 +267,7 @@ class JobExecutor:
                 resolved[key] = result
                 emit(job, key, "executed", first_index[key])
 
-            self._execute(pending, on_result)
+            self._execute(pending, on_result, engine=engine)
 
         # Account and emit the remaining submissions: repeats of a cached key
         # are further cache hits; repeats of an executed key are dedup hits.
@@ -242,8 +281,8 @@ class JobExecutor:
                 emit(job, key, "deduplicated", index)
         return [resolved[key] for key in keys]
 
-    def _execute(self, jobs: Sequence[SimJob],
-                 on_result=None) -> List[NetworkResult]:
+    def _execute(self, jobs: Sequence[SimJob], on_result=None,
+                 engine: Optional[str] = None) -> List[NetworkResult]:
         """Run ``jobs`` in order, invoking ``on_result(index, result)`` as
         each finishes (parallel execution streams ordered results back)."""
         import functools
@@ -253,19 +292,83 @@ class JobExecutor:
         # Pin the submit-time engine explicitly so pool workers honour it
         # even on platforms where the pool falls back to spawn (a spawned
         # worker re-imports with the engine default reset to "fast").
-        run_job = functools.partial(execute_job, engine=get_default_engine())
+        if engine is None:
+            engine = get_default_engine()
+        if engine == "batched":
+            return self._execute_batched(jobs, on_result)
         results: List[NetworkResult] = []
         if self.workers == 1 or len(jobs) < 2:
+            run_job = functools.partial(execute_job, engine=engine)
             iterator = (run_job(job) for job in jobs)
         else:
+            # Workers pack their chunk's numeric result columns into shared
+            # memory (transport module) so only metadata crosses the pipe.
             pool = self._get_pool()
             chunksize = max(1, len(jobs) // (self.workers * 4))
-            iterator = pool.imap(run_job, jobs, chunksize=chunksize)
+            chunks = [jobs[start:start + chunksize]
+                      for start in range(0, len(jobs), chunksize)]
+            run_chunk = functools.partial(_run_jobs_packed, engine=engine)
+            iterator = self._unpack_payloads(pool.imap(run_chunk, chunks))
         for index, result in enumerate(iterator):
             if on_result is not None:
                 on_result(index, result)
             results.append(result)
         return results
+
+    def _execute_batched(self, jobs: Sequence[SimJob],
+                         on_result=None) -> List[NetworkResult]:
+        """Dispatch whole groups to the batched engine (one tensor pass per
+        design group) instead of simulating job by job."""
+        from repro.sim.batched import simulate_jobs_batched
+
+        jobs = list(jobs)
+        self.stats.batched_jobs += len(jobs)
+        if self.workers == 1 or len(jobs) < 2:
+            results = simulate_jobs_batched(jobs)
+        else:
+            pool = self._get_pool()
+            chunksize = -(-len(jobs) // self.workers)
+            chunks = [jobs[start:start + chunksize]
+                      for start in range(0, len(jobs), chunksize)]
+            results = list(
+                self._unpack_payloads(pool.imap(_run_jobs_batched_packed,
+                                                chunks))
+            )
+        if on_result is not None:
+            for index, result in enumerate(results):
+                on_result(index, result)
+        return results
+
+    def _unpack_payloads(self, payloads):
+        """Flatten packed chunk payloads back into an ordered result stream."""
+        from repro.sim.jobs.transport import unpack_results
+
+        for payload in payloads:
+            results, used_shm = unpack_results(payload)
+            if used_shm:
+                self.stats.shm_transports += 1
+            yield from results
+
+
+# -- pool worker entry points --------------------------------------------------
+#
+# Module-level so they pickle by reference into pool workers.  Both pack their
+# chunk's results through the shared-memory transport; the parent's
+# ``_unpack_payloads`` rebuilds the stream (and the transport degrades to
+# inline pickling wherever shared memory is unavailable).
+
+
+def _run_jobs_packed(jobs: Sequence[SimJob], engine: str):
+    from repro.sim.jobs.transport import pack_results
+
+    return pack_results([execute_job(job, engine=engine) for job in jobs])
+
+
+def _run_jobs_batched_packed(jobs: Sequence[SimJob]):
+    from repro.sim.batched import simulate_jobs_batched
+    from repro.sim.jobs.transport import pack_results
+
+    return pack_results(simulate_jobs_batched(jobs))
 
 
 # -- process-wide default executor --------------------------------------------

@@ -44,6 +44,7 @@ __all__ = [
     "build_spec_network",
     "network_layer_counts",
     "network_kind_counts",
+    "layer_table_cache_info",
     "execute_job",
     "ACCELERATOR_KINDS",
 ]
@@ -302,6 +303,20 @@ def _spec_layer_table(spec: NetworkSpec):
     return build_layer_table(_spec_layers(spec))
 
 
+def layer_table_cache_info() -> Dict[str, int]:
+    """Hit/build counters of the per-(network, profile) layer-table memo.
+
+    ``hits`` counts table requests answered without reconstruction;
+    ``builds`` counts actual :func:`~repro.sim.fastpath.build_layer_table`
+    runs.  The counters are process-wide (the memo is shared by every
+    executor and engine in the process) and cumulative since process start;
+    :meth:`~repro.sim.jobs.executor.ExecutorStats.to_dict` surfaces them so
+    sweep services can confirm repeated sweeps skip table reconstruction.
+    """
+    info = _spec_layer_table.cache_info()
+    return {"hits": info.hits, "builds": info.misses}
+
+
 def network_layer_counts(name: str) -> Tuple[int, int]:
     """(conv-datapath, fully-connected) compute-layer counts for a zoo network.
 
@@ -338,17 +353,19 @@ def execute_job(job: SimJob, engine: Optional[str] = None) -> NetworkResult:
     per process.
 
     ``engine`` selects the simulation engine (``"fast"`` -- the vectorized
-    closed-form path -- or ``"event"``, the per-layer reference path); the
-    default follows :func:`repro.sim.fastpath.get_default_engine`.  The two
-    engines produce bit-identical results (enforced by
-    :mod:`repro.sim.validate`), which is why the engine is *not* part of the
-    job's cache key.
+    closed-form path -- ``"event"``, the per-layer reference path, or
+    ``"batched"``, which for a single job is the fast path: batching only
+    differs for whole groups, see
+    :func:`repro.sim.batched.simulate_jobs_batched`); the default follows
+    :func:`repro.sim.fastpath.get_default_engine`.  All engines produce
+    bit-identical results (enforced by :mod:`repro.sim.validate`), which is
+    why the engine is *not* part of the job's cache key.
     """
     from repro.sim import fastpath
 
     accelerator = build_accelerator(job.accelerator, job.config)
     engine = fastpath.resolve_engine(engine)
-    if engine == "fast" and fastpath.supports_fast_path(accelerator):
+    if engine in ("fast", "batched") and fastpath.supports_fast_path(accelerator):
         return fastpath.simulate_network_fast(
             accelerator,
             _spec_layer_table(job.network),

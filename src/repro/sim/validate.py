@@ -36,6 +36,7 @@ __all__ = [
     "compare_layer_results",
     "default_accelerator_matrix",
     "validate_job",
+    "validate_jobs",
     "validate_zoo",
     "validate_tile_level",
 ]
@@ -140,9 +141,10 @@ def compare_layer_results(fast: Sequence[LayerResult],
     return mismatches
 
 
-def validate_job(job: SimJob) -> ValidationCase:
-    """Run ``job`` through both engines and compare every layer exactly."""
-    fast = execute_job(job, engine="fast")
+def validate_job(job: SimJob, engine: str = "fast") -> ValidationCase:
+    """Run ``job`` through ``engine`` and the event-engine reference and
+    compare every layer exactly."""
+    candidate = execute_job(job, engine=engine)
     event = execute_job(job, engine="event")
     return ValidationCase(
         network=job.network.name,
@@ -150,8 +152,41 @@ def validate_job(job: SimJob) -> ValidationCase:
         with_effective_weights=job.network.with_effective_weights,
         accelerator=event.accelerator,
         layers_compared=len(event.layers),
-        mismatches=tuple(compare_layer_results(fast.layers, event.layers)),
+        mismatches=tuple(compare_layer_results(candidate.layers, event.layers)),
     )
+
+
+def validate_jobs(jobs: Sequence[SimJob],
+                  engine: str = "fast") -> ValidationReport:
+    """Differentially validate ``jobs``: ``engine`` vs the event reference.
+
+    With ``engine="batched"`` the whole candidate side runs as one
+    :func:`repro.sim.batched.simulate_jobs_batched` call -- exactly the code
+    path the batched sweep engine uses in production -- while the reference
+    side still executes job by job, so batching/scattering bugs cannot cancel
+    out.
+    """
+    jobs = list(jobs)
+    if engine == "batched":
+        from repro.sim.batched import simulate_jobs_batched
+
+        candidates = simulate_jobs_batched(jobs)
+    else:
+        candidates = [execute_job(job, engine=engine) for job in jobs]
+    cases = []
+    for job, candidate in zip(jobs, candidates):
+        event = execute_job(job, engine="event")
+        cases.append(ValidationCase(
+            network=job.network.name,
+            accuracy=job.network.accuracy,
+            with_effective_weights=job.network.with_effective_weights,
+            accelerator=event.accelerator,
+            layers_compared=len(event.layers),
+            mismatches=tuple(
+                compare_layer_results(candidate.layers, event.layers)
+            ),
+        ))
+    return ValidationReport(cases=cases)
 
 
 def default_accelerator_matrix() -> List[AcceleratorSpec]:
@@ -175,12 +210,16 @@ def validate_zoo(
     accelerators: Optional[Iterable[AcceleratorSpec]] = None,
     include_effective_weights: bool = True,
     config=None,
+    engine: str = "fast",
 ) -> ValidationReport:
     """Differentially validate every (network, accelerator, profile) job.
 
     ``networks`` defaults to the full zoo; ``config`` optionally overrides the
     :class:`~repro.accelerators.base.AcceleratorConfig` of every job (used to
-    cover DRAM-attached and scaled configurations).
+    cover DRAM-attached and scaled configurations).  ``engine`` selects the
+    candidate engine compared against the event reference -- ``"batched"``
+    validates the whole matrix through one batched pass (see
+    :func:`validate_jobs`).
     """
     from repro.nn import available_networks
 
@@ -196,15 +235,16 @@ def validate_zoo(
             network_specs.append(
                 NetworkSpec(name, "100%", with_effective_weights=True)
             )
-    cases = []
+    jobs: List[SimJob] = []
     for network_spec in network_specs:
         for accelerator_spec in accelerator_specs:
-            job = (SimJob(network=network_spec, accelerator=accelerator_spec)
-                   if config is None else
-                   SimJob(network=network_spec, accelerator=accelerator_spec,
-                          config=config))
-            cases.append(validate_job(job))
-    return ValidationReport(cases=cases)
+            jobs.append(
+                SimJob(network=network_spec, accelerator=accelerator_spec)
+                if config is None else
+                SimJob(network=network_spec, accelerator=accelerator_spec,
+                       config=config)
+            )
+    return validate_jobs(jobs, engine=engine)
 
 
 # -- analytical vs event-driven tile simulation --------------------------------

@@ -166,7 +166,7 @@ class TestEdgeCases:
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("fast", "event")
+        assert ENGINES == ("fast", "event", "batched")
         assert get_default_engine() in ENGINES
 
     def test_set_and_restore(self):

@@ -66,9 +66,9 @@ def _slow(service, delay_s=0.25):
     """Wrap the service executor so executions overlap deterministically."""
     original = service.executor.run
 
-    def run(jobs):
+    def run(jobs, **kwargs):
         time.sleep(delay_s)
-        return original(jobs)
+        return original(jobs, **kwargs)
 
     service.executor.run = run
     return original
@@ -219,7 +219,7 @@ class TestCoalescing:
         try:
             release = threading.Event()
 
-            def exploding_run(jobs):
+            def exploding_run(jobs, **kwargs):
                 release.wait(5)
                 raise RuntimeError("simulator exploded")
 
