@@ -283,7 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument(
         "--remote", default=None, metavar="URL",
         help="execute the sweep's simulations on a running `loom-repro "
-             "serve` endpoint (shared warm store) instead of in-process",
+             "serve` or `loom-repro cluster` endpoint (shared warm store) "
+             "instead of in-process",
+    )
+    explore_cmd.add_argument(
+        "--stream", action="store_true",
+        help="with --remote: consume results as the server resolves them "
+             "(NDJSON against a cluster coordinator; plain servers degrade "
+             "to a single response transparently)",
     )
     serve_cmd = sub.add_parser(
         "serve",
@@ -322,6 +329,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None, metavar="PATH",
         help="write the bound URL to PATH once listening (for scripts "
              "that start the service in the background)",
+    )
+    cluster_cmd = sub.add_parser(
+        "cluster",
+        help="run a sharded serve cluster: a consistent-hash coordinator "
+             "plus N local worker processes, each with its own store",
+    )
+    cluster_cmd.add_argument("--workers", type=_positive_int, default=2,
+                             metavar="N",
+                             help="worker processes to spawn (default: 2)")
+    cluster_cmd.add_argument("--host", default="127.0.0.1",
+                             help="coordinator bind address "
+                                  "(default: 127.0.0.1)")
+    cluster_cmd.add_argument("--port", type=_port_number, default=8200,
+                             help="coordinator bind port; 0 asks the OS for "
+                                  "a free one (default: 8200)")
+    cluster_store = cluster_cmd.add_mutually_exclusive_group()
+    cluster_store.add_argument(
+        "--store-dir", default=".loom-cluster", metavar="DIR",
+        help="directory for the per-worker SQLite stores "
+             "(default: .loom-cluster; worker-<i>.db inside it)",
+    )
+    cluster_store.add_argument(
+        "--no-store", action="store_true",
+        help="keep worker results in memory only (nothing persisted)",
+    )
+    cluster_cmd.add_argument(
+        "--queue-limit", type=_positive_int, default=8, metavar="N",
+        help="per-worker bound on in-flight batches before 429 "
+             "backpressure (default: 8)",
+    )
+    cluster_cmd.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="per-client sustained requests/second at the coordinator "
+             "(default: unlimited)",
+    )
+    cluster_cmd.add_argument(
+        "--burst", type=_positive_int, default=100, metavar="N",
+        help="per-client burst capacity when --rate is set (default: 100)",
+    )
+    cluster_cmd.add_argument(
+        "--quota", type=_positive_int, default=None, metavar="N",
+        help="per-client lifetime request quota (default: unlimited)",
+    )
+    cluster_cmd.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the coordinator URL to PATH once every node is up",
     )
     submit_cmd = sub.add_parser(
         "submit", help="submit one simulation to a running serve endpoint")
@@ -482,6 +535,9 @@ def _build_space(args: argparse.Namespace) -> SweepSpec:
 
 
 def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
+    if args.stream and args.remote is None:
+        raise ValueError("--stream requires --remote (streaming is a wire "
+                         "feature; in-process sweeps already stream)")
     space = _build_space(args)
     options = {}
     if args.strategy == "random":
@@ -490,7 +546,7 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
         options = {"seed": args.seed}
     if args.remote is not None:
         from repro.serve import RemoteExecutor
-        executor = RemoteExecutor(args.remote)
+        executor = RemoteExecutor(args.remote, stream=args.stream)
     result = explore(
         space,
         strategy=resolve_strategy(args.strategy, **options),
@@ -560,6 +616,99 @@ def _serve(args: argparse.Namespace) -> str:
             f"({service.stats.submitted_points} points submitted, "
             f"{service.stats.coalesced} coalesced, "
             f"{service.stats.rejected} rejected)")
+
+
+def _cluster(args: argparse.Namespace) -> str:
+    """Run a coordinator plus N worker processes until stopped."""
+    import multiprocessing
+    import signal
+    from pathlib import Path
+
+    from repro.cluster import ClusterCoordinator, RateLimiter
+    from repro.cluster.worker import worker_process_main
+    from repro.serve import ServeClient
+
+    ctx = multiprocessing.get_context("spawn")
+    ready: multiprocessing.Queue = ctx.Queue()
+    store_dir = None if args.no_store else Path(args.store_dir)
+    if store_dir is not None:
+        store_dir.mkdir(parents=True, exist_ok=True)
+    processes = []
+    for index in range(args.workers):
+        store_path = (str(store_dir / f"worker-{index}.db")
+                      if store_dir is not None else None)
+        process = ctx.Process(
+            target=worker_process_main,
+            args=(ready, store_path, args.queue_limit),
+            name=f"loom-cluster-worker-{index}",
+        )
+        process.start()
+        processes.append(process)
+
+    def _reap() -> None:
+        for process in processes:
+            process.join(timeout=15)
+            if process.is_alive():  # pragma: no cover - unresponsive child
+                process.terminate()
+                process.join(timeout=5)
+
+    worker_urls = []
+    try:
+        for _ in processes:
+            worker_urls.append(ready.get(timeout=120))
+    except Exception:
+        for process in processes:
+            process.terminate()
+        _reap()
+        raise OSError("a cluster worker failed to start") from None
+
+    rate_limiter = None
+    if args.rate is not None or args.quota is not None:
+        rate_limiter = RateLimiter(
+            rate=args.rate if args.rate is not None else 50.0,
+            burst=args.burst, quota=args.quota)
+    coordinator = ClusterCoordinator(worker_urls, host=args.host,
+                                     port=args.port,
+                                     rate_limiter=rate_limiter)
+    try:
+        url = coordinator.start()
+    except OSError:
+        for worker_url in worker_urls:
+            try:
+                ServeClient(worker_url, timeout_s=10).shutdown()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        _reap()
+        raise
+    print(f"loom-repro cluster: coordinator on {url}, "
+          f"{len(worker_urls)} workers "
+          f"({', '.join(worker_urls)})", file=sys.stderr, flush=True)
+    if args.ready_file is not None:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(url + "\n")
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: coordinator.request_stop())
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            break
+    try:
+        coordinator.wait_until_stopped()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+        for worker_url in worker_urls:
+            try:
+                ServeClient(worker_url, timeout_s=10).shutdown()
+            except Exception:  # noqa: BLE001 - worker may already be gone
+                pass
+        _reap()
+    stats = coordinator.stats
+    return (f"cluster: stopped after {stats.requests} requests "
+            f"({stats.submitted_points} points submitted, "
+            f"{stats.routed_points} routed, "
+            f"{stats.shard_retries} re-routed, "
+            f"{stats.rate_limited} rate-limited)")
 
 
 def _submit(args: argparse.Namespace) -> str:
@@ -689,9 +838,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
-    if command == "serve" and (args.no_cache or args.cache_dir is not None):
-        parser.error("serve keeps its own persistent store; use "
-                     "--store/--no-store instead of --cache-dir/--no-cache")
+    if command in ("serve", "cluster") and \
+            (args.no_cache or args.cache_dir is not None):
+        parser.error(f"{command} keeps its own persistent store; use "
+                     f"--store/--no-store instead of --cache-dir/--no-cache")
     # Remote-side commands execute on the server, so the local pipeline
     # flags would be silent no-ops -- reject them rather than mislead.
     if command in ("submit", "stats") or \
@@ -712,7 +862,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # serve builds its own store-backed executor; submit/stats/remote
     # explore execute on the server -- none of them should build (or later
     # report statistics for) a local pipeline executor.
-    uses_local_executor = args.command not in ("serve", "submit", "stats") \
+    uses_local_executor = args.command not in ("serve", "cluster", "submit",
+                                               "stats") \
         and not (args.command == "explore" and args.remote is not None)
     executor = None
     if uses_local_executor:
@@ -775,6 +926,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if command == "serve":
             try:
                 outputs.append(_serve(args))
+            except OSError as error:
+                parser.error(str(error))
+        if command == "cluster":
+            try:
+                outputs.append(_cluster(args))
             except OSError as error:
                 parser.error(str(error))
         if command == "submit":

@@ -1,0 +1,843 @@
+"""Cluster coordinator: the async front door that shards work across workers.
+
+The coordinator owns no executor and simulates nothing.  It routes every
+job by content key over a :class:`~repro.cluster.ring.ConsistentHashRing`
+of workers, fans batches out concurrently, merges shard answers back in
+**submission order** (so a cluster answer is bit-identical to an in-process
+run), and layers on the operational surface one box never needed:
+
+* **Sharding** -- all submissions of one (network, accelerator, config)
+  land on the same worker's warm executor and store, whoever sends them;
+* **Failover** -- a worker that dies mid-batch has its keys re-routed to
+  the surviving shards (ring exclusion, not mutation: the worker regains
+  its keyspace the moment a health check sees it again);
+* **Backpressure politeness** -- shard 429s are retried with capped
+  exponential backoff honouring ``Retry-After``;
+* **Rate limiting** -- per-client token buckets and quotas at the door
+  (clients are keyed by ``X-Client-Id``, falling back to peer address);
+* **Streaming** -- ``POST /jobs`` can answer NDJSON (one result line per
+  resolved point, flushed in submission order as shards answer) and
+  ``POST /explore`` can answer SSE (progress events per strategy round,
+  then the full result), so clients stop blocking on whole batches;
+* **Observability** -- Prometheus ``/metrics`` with request counts and
+  latencies, routed-point and retry counters, and per-shard health gauges.
+
+========  =============  ====================================================
+method    path           behaviour
+========  =============  ====================================================
+POST      /jobs          route a point batch across shards (JSON, or NDJSON
+                         stream with ``Accept: application/x-ndjson``)
+POST      /explore       run a sweep through the shards (JSON, or SSE with
+                         ``"stream": true`` / ``Accept: text/event-stream``)
+GET       /jobs/<key>    proxy a key lookup to its owning shard
+GET       /networks      the zoo with per-kind layer counts
+GET       /healthz       coordinator + per-shard health
+GET       /stats         coordinator counters, shard table, rate limiter
+GET       /metrics       Prometheus text format
+POST      /shutdown      graceful stop (in-flight streams get a clean end)
+========  =============  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.aio import (
+    AsyncHTTPServer,
+    HTTPRequest,
+    HTTPResponder,
+    RequestError,
+    fetch,
+    fetch_json,
+)
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.ratelimit import RateLimiter
+from repro.cluster.ring import ConsistentHashRing
+from repro.serve.client import compute_backoff
+from repro.sim.jobs import ExecutorStats
+from repro.sim.results import NetworkResult
+
+__all__ = ["ClusterCoordinator", "ShardState"]
+
+
+@dataclass
+class ShardState:
+    """What the coordinator believes about one worker."""
+
+    url: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_error: Optional[str] = None
+    last_check: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass
+class CoordinatorStats:
+    """Front-door counters (shard-level work is counted on the shards)."""
+
+    requests: int = 0
+    submitted_points: int = 0
+    routed_points: int = 0
+    shard_retries: int = 0
+    rate_limited: int = 0
+    errors: int = 0
+    explores: int = 0
+    streams: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in (
+            "requests", "submitted_points", "routed_points", "shard_retries",
+            "rate_limited", "errors", "explores", "streams")}
+
+
+@dataclass
+class _Pending:
+    """One submitted point travelling through the fan-out."""
+
+    index: int
+    point: Mapping[str, object]
+    key: str
+    entry: Optional[Dict[str, object]] = None
+    attempts: int = 0
+
+
+@dataclass(eq=False)  # identity-hashed: handles live in a set
+class _StreamHandle:
+    """An active SSE stream shutdown must terminate cleanly."""
+
+    queue: "asyncio.Queue"
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class ClusterCoordinator:
+    """The sharded front door behind ``loom-repro cluster``.
+
+    Parameters
+    ----------
+    workers:
+        Worker base URLs (``http://host:port``).  The ring is built over
+        these; health checks may mark members down and back up, but
+        membership itself is fixed for the coordinator's lifetime.
+    host / port:
+        Bind address; ``port=0`` asks the OS for a free port.
+    replicas:
+        Virtual nodes per worker on the hash ring.
+    rate_limiter:
+        Optional :class:`RateLimiter` applied to execution-bearing routes
+        (``/jobs``, ``/explore``).  ``None`` disables rate limiting.
+    health_interval_s:
+        Seconds between background health sweeps (workers marked dead by a
+        failed request are re-probed and can recover).
+    shard_timeout_s:
+        Deadline for one shard batch (covers a cold sweep's simulations).
+    shard_backpressure_retries:
+        How many times a shard 429 is retried (with capped exponential
+        backoff honouring ``Retry-After``) before failing the request.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 64,
+        rate_limiter: Optional[RateLimiter] = None,
+        health_interval_s: float = 2.0,
+        shard_timeout_s: float = 600.0,
+        shard_backpressure_retries: int = 8,
+    ) -> None:
+        if not workers:
+            raise ValueError("a cluster needs at least one worker URL")
+        self.shards: Dict[str, ShardState] = {
+            url.rstrip("/"): ShardState(url=url.rstrip("/"))
+            for url in workers
+        }
+        if len(self.shards) != len(workers):
+            raise ValueError(f"duplicate worker URLs in {list(workers)}")
+        self.ring = ConsistentHashRing(self.shards, replicas=replicas)
+        self.rate_limiter = rate_limiter
+        self.health_interval_s = health_interval_s
+        self.shard_timeout_s = shard_timeout_s
+        self.shard_backpressure_retries = shard_backpressure_retries
+        self.stats = CoordinatorStats()
+        self.started_at: Optional[float] = None
+        self._server = AsyncHTTPServer(self._handle, host=host, port=port,
+                                       server_tag="loom-cluster-coordinator")
+        self._stats_lock = threading.Lock()
+        self._stop_lock = threading.Lock()
+        self._stopping = False
+        self._stopped = False
+        self._health_task: Optional[asyncio.Task] = None
+        self._streams: set = set()
+        self._explore_threads: set = set()
+
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "loom_coordinator_requests_total",
+            "HTTP requests handled, by path and status.",
+            labelnames=("path", "status"))
+        self._request_seconds = self.metrics.histogram(
+            "loom_coordinator_request_seconds",
+            "Request latency in seconds, by path.",
+            labelnames=("path",))
+        self._routed_total = self.metrics.counter(
+            "loom_coordinator_points_routed_total",
+            "Design points routed, by shard.", labelnames=("shard",))
+        self._retries_total = self.metrics.counter(
+            "loom_coordinator_shard_retries_total",
+            "Point re-routes after a shard failed mid-batch.")
+        self._ratelimited_total = self.metrics.counter(
+            "loom_coordinator_ratelimited_total",
+            "Requests refused by the per-client rate limiter.")
+        self._stream_events_total = self.metrics.counter(
+            "loom_coordinator_stream_events_total",
+            "Chunks/events written on streaming responses.")
+        self._shard_healthy = self.metrics.gauge(
+            "loom_coordinator_shard_healthy",
+            "1 when the shard answered its last health check, else 0.",
+            labelnames=("shard",))
+        self.metrics.gauge(
+            "loom_coordinator_active_streams",
+            "Streaming responses currently open.",
+            collect=lambda: len(self._streams))
+        for url in self.shards:
+            self._shard_healthy.set(1, shard=url)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    @property
+    def loop(self) -> Optional[asyncio.AbstractEventLoop]:
+        return self._server.loop
+
+    def start(self) -> str:
+        url = self._server.start()
+        self.started_at = time.time()
+
+        async def _install_health_loop() -> None:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop())
+
+        self._server.run_coroutine(_install_health_loop()).result(timeout=5.0)
+        return url
+
+    def stop(self, drain_timeout_s: float = 15.0) -> None:
+        """Graceful stop: end streams cleanly, drain handlers, stop the loop.
+
+        Active SSE streams receive a terminal
+        ``end {"complete": false, "reason": "shutdown"}`` event before the
+        connection closes, so a client watching a long sweep sees a clean
+        end-of-stream instead of a hung socket.
+        """
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        if self._server.loop is None:
+            return
+        self._stopping = True
+        loop = self._server.loop
+        for handle in list(self._streams):
+            loop.call_soon_threadsafe(
+                handle.queue.put_nowait,
+                ("end", {"complete": False, "reason": "shutdown"}))
+        if self._health_task is not None:
+            loop.call_soon_threadsafe(self._health_task.cancel)
+            self._health_task = None
+        # Sweeps running on explore threads notice _stopping at their next
+        # batch and unwind; give them (and the streams they feed) a moment.
+        for thread in list(self._explore_threads):
+            thread.join(timeout=drain_timeout_s)
+        self._server.stop(drain_timeout_s=drain_timeout_s)
+
+    def request_stop(self) -> None:
+        """Trigger a graceful stop without blocking (signal-handler safe)."""
+        threading.Thread(target=self.stop, daemon=True,
+                         name="loom-coordinator-stop").start()
+
+    def wait_until_stopped(self, poll_s: float = 0.5) -> None:
+        """Block until the coordinator has stopped (the CLI's main loop)."""
+        while not self._stopped or self._server.loop is not None:
+            time.sleep(poll_s)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter,
+                    getattr(self.stats, counter) + amount)
+
+    # -- health ---------------------------------------------------------------
+
+    def healthy_shards(self) -> List[str]:
+        return [url for url, shard in self.shards.items() if shard.healthy]
+
+    def _mark_shard(self, url: str, healthy: bool,
+                    error: Optional[str] = None) -> None:
+        shard = self.shards[url]
+        shard.healthy = healthy
+        shard.last_check = time.time()
+        if healthy:
+            shard.consecutive_failures = 0
+            shard.last_error = None
+        else:
+            shard.consecutive_failures += 1
+            shard.last_error = error
+        self._shard_healthy.set(1 if healthy else 0, shard=url)
+
+    async def _probe_shard(self, url: str) -> bool:
+        try:
+            payload = await fetch_json(url, "GET", "/healthz", timeout_s=5.0)
+            ok = bool(payload.get("ok"))
+            self._mark_shard(url, ok,
+                            None if ok else "healthz reported not ok")
+            return ok
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                RequestError, ValueError) as error:
+            self._mark_shard(url, False, f"{type(error).__name__}: {error}")
+            return False
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            await asyncio.gather(*(self._probe_shard(url)
+                                   for url in self.shards))
+
+    # -- fan-out --------------------------------------------------------------
+
+    async def _keys_for(self, points: Sequence[Mapping[str, object]]
+                        ) -> List[str]:
+        """Content keys for ``points`` (validates them as a side effect)."""
+
+        def _compute() -> List[str]:
+            from repro.explore.space import canonical_point, point_to_job
+            from repro.sim.jobs import job_key
+
+            keys = []
+            for raw in points:
+                if not isinstance(raw, Mapping):
+                    raise RequestError(
+                        400, f"a job point must be a JSON object, "
+                             f"got {type(raw).__name__}")
+                try:
+                    keys.append(job_key(point_to_job(canonical_point(raw))))
+                except (ValueError, KeyError, TypeError) as error:
+                    raise RequestError(
+                        400, f"{type(error).__name__}: {error}") from None
+            return keys
+
+        return await asyncio.get_running_loop().run_in_executor(None,
+                                                                _compute)
+
+    async def _submit_to_shard(self, url: str,
+                               points: List[Mapping[str, object]]
+                               ) -> List[Dict[str, object]]:
+        """One shard batch, retrying 429 backpressure politely.
+
+        Raises ``ConnectionError``/``asyncio.TimeoutError`` when the shard
+        is unreachable (the caller's failover path) and ``RequestError``
+        for anything the shard itself rejected (a client bug, not a shard
+        death -- never failed over).
+        """
+        for attempt in range(self.shard_backpressure_retries + 1):
+            reply = await fetch(url, "POST", "/jobs",
+                                payload={"points": list(points)},
+                                timeout_s=self.shard_timeout_s)
+            if reply.status == 429 and \
+                    attempt < self.shard_backpressure_retries:
+                retry_after: Optional[float] = None
+                header = reply.headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                await asyncio.sleep(compute_backoff(
+                    attempt, retry_after_s=retry_after, cap_s=5.0))
+                continue
+            if not 200 <= reply.status < 300:
+                try:
+                    message = str(reply.json().get("error", reply.status))
+                except ValueError:
+                    message = f"shard answered HTTP {reply.status}"
+                raise RequestError(reply.status, message)
+            payload = reply.json()
+            results = payload.get("results")
+            if not isinstance(results, list) or len(results) != len(points):
+                raise ConnectionError(
+                    f"{url} answered {len(results) if isinstance(results, list) else 'no'} "
+                    f"results for {len(points)} points")
+            return results
+        raise RequestError(429, f"shard {url} still overloaded after "
+                                f"{self.shard_backpressure_retries} retries")
+
+    async def _submit_points(self, points: Sequence[Mapping[str, object]],
+                             emit=None) -> List[Dict[str, object]]:
+        """Route ``points`` across shards; merged entries in submission order.
+
+        ``emit(index, entry)`` (async) is called for every resolved point in
+        submission order, as soon as every earlier point has resolved -- the
+        NDJSON streaming hook.  A shard that fails mid-batch is marked
+        unhealthy and its points re-routed across the survivors; only when
+        no healthy shard remains does the request fail (503).
+        """
+        if self._stopping:
+            raise RequestError(503, "coordinator is shutting down")
+        keys = await self._keys_for(points)
+        pending = [_Pending(index=index, point=point, key=key)
+                   for index, (point, key) in enumerate(zip(points, keys))]
+        slots: List[Optional[Dict[str, object]]] = [None] * len(pending)
+        self._bump("submitted_points", len(pending))
+        flushed = 0
+
+        async def _flush() -> int:
+            nonlocal flushed
+            while flushed < len(slots) and slots[flushed] is not None:
+                if emit is not None:
+                    await emit(flushed, slots[flushed])
+                flushed += 1
+            return flushed
+
+        # Start from the shards already known dead so their keys route
+        # around them immediately; a request-time failure adds to this set.
+        dead = {url for url, shard in self.shards.items()
+                if not shard.healthy}
+        remaining = pending
+        max_rounds = len(self.shards) + 1
+        for _round in range(max_rounds):
+            if not remaining:
+                break
+            groups: Dict[str, List[_Pending]] = {}
+            for item in remaining:
+                owner = self.ring.node_for(item.key, exclude=dead)
+                if owner is None:
+                    raise RequestError(
+                        503, f"no healthy workers left for key {item.key} "
+                             f"({len(self.shards)} total, all down)")
+                groups.setdefault(owner, []).append(item)
+
+            async def _run_group(url: str, items: List[_Pending]):
+                try:
+                    entries = await self._submit_to_shard(
+                        url, [item.point for item in items])
+                except (ConnectionError, OSError,
+                        asyncio.TimeoutError) as error:
+                    return url, items, error
+                # Fill and flush as THIS shard answers -- a fast shard's
+                # prefix streams out while slower shards are still
+                # simulating.  (Handlers run on one event loop; fills and
+                # flushes never interleave mid-statement.)
+                self._bump("routed_points", len(items))
+                self._routed_total.inc(len(items), shard=url)
+                for item, entry in zip(items, entries):
+                    slots[item.index] = entry
+                await _flush()
+                return url, items, None
+
+            outcomes = await asyncio.gather(
+                *(_run_group(url, items) for url, items in groups.items()))
+            remaining = []
+            for url, items, error in outcomes:
+                if error is not None:
+                    # Shard died mid-batch: exclude it and re-route its
+                    # points.  (A client-level RequestError propagates out
+                    # of gather above -- a 400 is the caller's bug on every
+                    # shard alike, not a failover case.)
+                    self._mark_shard(url, False,
+                                     f"{type(error).__name__}: {error}")
+                    dead.add(url)
+                    self._bump("shard_retries", len(items))
+                    self._retries_total.inc(len(items))
+                    remaining.extend(items)
+            await _flush()
+        if remaining:  # pragma: no cover - every round kills >= 1 shard
+            raise RequestError(503, "cluster failed to place every point")
+        return [entry for entry in slots if entry is not None]
+
+    # -- explore (strategies local, simulations sharded) ----------------------
+
+    def _explore_request(self, payload: Mapping[str, object]):
+        """Validate an explore payload; returns (space, strategy, options)."""
+        from repro.explore.search import resolve_strategy
+        from repro.explore.space import SweepSpec
+
+        if "space" not in payload:
+            raise RequestError(400, "explore request needs a 'space' sweep "
+                                    "spec")
+        unknown = set(payload) - {"space", "strategy", "samples", "seed",
+                                  "objectives", "baseline", "stream"}
+        if unknown:
+            raise RequestError(
+                400, f"unknown explore request keys: {sorted(unknown)}")
+        try:
+            space = SweepSpec.from_dict(payload["space"])
+            strategy_name = payload.get("strategy", "grid")
+            options = {}
+            if strategy_name == "random":
+                options = {"samples": int(payload.get("samples", 16)),
+                           "seed": int(payload.get("seed", 0))}
+            elif strategy_name == "coordinate":
+                options = {"seed": int(payload.get("seed", 0))}
+            strategy = resolve_strategy(strategy_name, **options)
+        except (ValueError, KeyError, TypeError) as error:
+            raise RequestError(
+                400, f"{type(error).__name__}: {error}") from None
+        return space, strategy
+
+    def _run_explore(self, payload: Mapping[str, object],
+                     emit=None) -> Dict[str, object]:
+        """Run one sweep with simulations fanned out to the shards.
+
+        Blocking (runs on an explore thread); ``emit(event, data)`` fires
+        per executor batch with brief per-job results -- the SSE hook.
+        """
+        from repro.explore.engine import explore
+
+        space, strategy = self._explore_request(payload)
+        self._bump("explores")
+        executor = _ShardedExecutor(self, emit=emit)
+        result = explore(
+            space,
+            strategy=strategy,
+            objectives=payload.get(
+                "objectives", ("speedup", "energy_efficiency", "area")),
+            executor=executor,
+            baseline=payload.get("baseline", "dpnn"),
+        )
+        return result.to_dict()
+
+    # -- request handling -----------------------------------------------------
+
+    def _client_id(self, request: HTTPRequest) -> str:
+        header = request.headers.get("x-client-id")
+        if header:
+            return header
+        return request.client.rsplit(":", 1)[0]
+
+    def _check_rate(self, request: HTTPRequest) -> None:
+        if self.rate_limiter is None:
+            return
+        decision = self.rate_limiter.check(self._client_id(request))
+        if decision.allowed:
+            return
+        self._bump("rate_limited")
+        self._ratelimited_total.inc()
+        headers = {}
+        if decision.retry_after_s is not None:
+            headers["Retry-After"] = str(max(1, int(decision.retry_after_s
+                                                    + 0.999)))
+        message = ("client quota exhausted" if decision.reason == "quota"
+                   else "rate limit exceeded")
+        raise _RateLimited(message, headers)
+
+    async def _handle(self, request: HTTPRequest,
+                      responder: HTTPResponder) -> None:
+        started = time.monotonic()
+        path = request.path.rstrip("/") or "/"
+        label = "/jobs/<key>" if path.startswith("/jobs/") else path
+        self._bump("requests")
+        try:
+            await self._route(request, responder, path)
+        except _RateLimited as limited:
+            await responder.send_json(429, {"error": limited.message},
+                                      headers=limited.headers)
+        except RequestError as error:
+            self._bump("errors")
+            if not responder.responded:
+                await responder.send_json(error.status,
+                                          {"error": error.message})
+            else:
+                raise
+        finally:
+            status = responder.status if responder.status is not None else 500
+            self._requests_total.inc(path=label, status=str(status))
+            self._request_seconds.observe(time.monotonic() - started,
+                                          path=label)
+
+    async def _route(self, request: HTTPRequest, responder: HTTPResponder,
+                     path: str) -> None:
+        method = request.method
+        if method == "GET" and path == "/healthz":
+            healthy = self.healthy_shards()
+            await responder.send_json(200 if healthy else 503, {
+                "ok": bool(healthy),
+                "role": "coordinator",
+                "uptime_s": time.time() - (self.started_at or time.time()),
+                "shards": {url: shard.healthy
+                           for url, shard in self.shards.items()},
+            })
+        elif method == "GET" and path == "/stats":
+            await responder.send_json(200, await self._stats_payload())
+        elif method == "GET" and path == "/metrics":
+            await responder.send_text(200, self.metrics.render())
+        elif method == "GET" and path == "/networks":
+            from repro.serve.service import _networks_payload
+
+            payload = await asyncio.get_running_loop().run_in_executor(
+                None, _networks_payload)
+            await responder.send_json(200, {"networks": payload})
+        elif method == "GET" and path.startswith("/jobs/"):
+            await self._proxy_lookup(path[len("/jobs/"):], responder)
+        elif method == "POST" and path == "/jobs":
+            self._check_rate(request)
+            await self._handle_jobs(request, responder)
+        elif method == "POST" and path == "/explore":
+            self._check_rate(request)
+            await self._handle_explore(request, responder)
+        elif method == "POST" and path == "/shutdown":
+            await responder.send_json(200, {"ok": True, "stopping": True})
+            responder.close_after = True
+            threading.Thread(target=self.stop, daemon=True).start()
+        else:
+            self._bump("errors")
+            await responder.send_json(404, {"error": f"unknown path "
+                                                     f"{request.path!r}"})
+
+    async def _stats_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "role": "coordinator",
+            "uptime_s": time.time() - (self.started_at or time.time()),
+            "service": self.stats.to_dict(),
+            "shards": {url: shard.to_dict()
+                       for url, shard in self.shards.items()},
+            "ring": {"replicas": self.ring.replicas,
+                     "nodes": list(self.ring.nodes)},
+        }
+        if self.rate_limiter is not None:
+            payload["rate_limiter"] = self.rate_limiter.stats_dict()
+
+        async def _shard_stats(url: str):
+            try:
+                return url, await fetch_json(url, "GET", "/stats",
+                                             timeout_s=5.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    RequestError, ValueError):
+                return url, None
+        gathered = await asyncio.gather(
+            *(_shard_stats(url) for url in self.healthy_shards()))
+        payload["workers"] = {url: stats for url, stats in gathered
+                              if stats is not None}
+        return payload
+
+    async def _proxy_lookup(self, key: str,
+                            responder: HTTPResponder) -> None:
+        owner = self.ring.node_for(
+            key, exclude={url for url, shard in self.shards.items()
+                          if not shard.healthy})
+        if owner is None:
+            raise RequestError(503, "no healthy workers")
+        try:
+            reply = await fetch(owner, "GET", f"/jobs/{key}", timeout_s=30.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+            self._mark_shard(owner, False, f"{type(error).__name__}: {error}")
+            raise RequestError(503, f"shard {owner} is unreachable") from None
+        try:
+            payload = reply.json()
+        except ValueError:
+            raise RequestError(502, f"shard {owner} answered malformed "
+                                    f"JSON") from None
+        await responder.send_json(reply.status, payload)
+
+    async def _handle_jobs(self, request: HTTPRequest,
+                           responder: HTTPResponder) -> None:
+        payload = request.json()
+        single = "points" not in payload
+        if single:
+            point = payload.get("point", payload)
+            if not isinstance(point, dict) or not point:
+                raise RequestError(
+                    400, "POST /jobs expects a point object, "
+                         "{'point': {...}} or {'points': [...]}")
+            points: List[Mapping[str, object]] = [point]
+        else:
+            points = payload["points"]
+            if not isinstance(points, list) or not points:
+                raise RequestError(400,
+                                   "'points' must be a non-empty JSON array")
+        if single or not request.wants("application/x-ndjson"):
+            entries = await self._submit_points(points)
+            if single:
+                await responder.send_json(200, entries[0])
+            else:
+                await responder.send_json(200, {"results": entries})
+            return
+        # NDJSON stream: one line per resolved point, submission order,
+        # flushed as shard answers land -- then a terminal summary line.
+        self._bump("streams")
+        await responder.start_stream("application/x-ndjson")
+
+        async def _emit(index: int, entry: Dict[str, object]) -> None:
+            self._stream_events_total.inc()
+            await responder.write_chunk(
+                (json.dumps({"index": index, **entry}) + "\n")
+                .encode("utf-8"))
+
+        try:
+            entries = await self._submit_points(points, emit=_emit)
+        except RequestError as error:
+            await responder.write_chunk(
+                (json.dumps({"error": error.message,
+                             "status": error.status}) + "\n").encode("utf-8"))
+            await responder.finish_stream()
+            responder.close_after = True
+            return
+        await responder.write_chunk(
+            (json.dumps({"done": True, "count": len(entries)}) + "\n")
+            .encode("utf-8"))
+        await responder.finish_stream()
+
+    async def _handle_explore(self, request: HTTPRequest,
+                              responder: HTTPResponder) -> None:
+        payload = request.json()
+        stream = bool(payload.get("stream")) or \
+            request.wants("text/event-stream")
+        loop = asyncio.get_running_loop()
+        if not stream:
+            result = await loop.run_in_executor(None, self._run_explore,
+                                                payload)
+            await responder.send_json(200, result)
+            return
+
+        # Validate up front so a bad request is a plain 400, not a stream.
+        space, _strategy = self._explore_request(payload)
+        self._bump("streams")
+        handle = _StreamHandle(queue=asyncio.Queue())
+        self._streams.add(handle)
+
+        def _push(event: str, data: Dict[str, object]) -> None:
+            if self._server.loop is not None and not handle.done.is_set():
+                self._server.loop.call_soon_threadsafe(
+                    handle.queue.put_nowait, (event, data))
+
+        def _explore_thread() -> None:
+            try:
+                result = self._run_explore(payload, emit=_push)
+                _push("result", result)
+                _push("end", {"complete": True})
+            except RequestError as error:
+                _push("error", {"error": error.message,
+                                "status": error.status})
+                _push("end", {"complete": False, "reason": "error"})
+            except Exception as error:  # noqa: BLE001 - stream must terminate
+                _push("error",
+                      {"error": f"{type(error).__name__}: {error}"})
+                _push("end", {"complete": False, "reason": "error"})
+            finally:
+                self._explore_threads.discard(threading.current_thread())
+
+        await responder.start_stream("text/event-stream")
+        await responder.write_event("start", {
+            "strategy": payload.get("strategy", "grid"),
+            "space_points": space.size,
+        })
+        self._stream_events_total.inc()
+        thread = threading.Thread(target=_explore_thread, daemon=True,
+                                  name="loom-explore-stream")
+        self._explore_threads.add(thread)
+        thread.start()
+        try:
+            while True:
+                event, data = await handle.queue.get()
+                self._stream_events_total.inc()
+                await responder.write_event(event, data)
+                if event == "end":
+                    break
+            await responder.finish_stream()
+        finally:
+            handle.done.set()
+            self._streams.discard(handle)
+        responder.close_after = True
+
+
+class _RateLimited(Exception):
+    """Internal: a rate-limiter refusal with its response headers."""
+
+    def __init__(self, message: str, headers: Dict[str, str]) -> None:
+        super().__init__(message)
+        self.message = message
+        self.headers = headers
+
+
+class _ShardedExecutor:
+    """JobExecutor facade whose ``run`` fans out through the coordinator.
+
+    Drives :func:`repro.explore.engine.explore` from an explore thread:
+    every batch becomes one sharded ``_submit_points`` round trip on the
+    coordinator's event loop, and ``emit`` (when streaming) receives one
+    ``progress`` event per batch with brief per-job results -- which is how
+    a streamed ``/explore`` delivers results while later strategy rounds
+    are still simulating.
+    """
+
+    def __init__(self, coordinator: ClusterCoordinator, emit=None) -> None:
+        self.coordinator = coordinator
+        self.emit = emit
+        self.stats = ExecutorStats()
+        self.cache = None
+        self._completed = 0
+
+    def run(self, jobs, engine=None) -> List[NetworkResult]:
+        from repro.explore.space import job_to_point
+
+        if self.coordinator._stopping:
+            raise RuntimeError("coordinator is shutting down")
+        loop = self.coordinator.loop
+        if loop is None:
+            raise RuntimeError("coordinator is not running")
+        jobs = list(jobs)
+        points = [job_to_point(job) for job in jobs]
+        self.stats.submitted += len(jobs)
+        future = asyncio.run_coroutine_threadsafe(
+            self.coordinator._submit_points(points), loop)
+        entries = future.result(timeout=self.coordinator.shard_timeout_s)
+        results = []
+        brief = []
+        for entry in entries:
+            if entry["status"] == "executed":
+                self.stats.record_execution(entry["key"])
+            else:  # "cached" or "coalesced": a shard reused a result
+                self.stats.cache_hits += 1
+            result = NetworkResult.from_dict(entry["result"])
+            results.append(result)
+            brief.append({"key": entry["key"], "status": entry["status"],
+                          "network": result.network,
+                          "accelerator": result.accelerator,
+                          "cycles": result.total_cycles()})
+        self._completed += len(results)
+        if self.emit is not None:
+            self.emit("progress", {"batch_jobs": len(jobs),
+                                   "completed": self._completed,
+                                   "results": brief})
+        return results
+
+    def close(self) -> None:
+        """Executor-protocol parity; nothing is held locally."""

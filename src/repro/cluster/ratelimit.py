@@ -1,0 +1,136 @@
+"""Per-client token-bucket rate limiting and quotas for the coordinator.
+
+The single-box service bounds *concurrency* (the admission queue); a
+cluster front door also needs to bound *request rate per client*, so one
+greedy sweep loop cannot starve every other tenant.  The classic
+token-bucket does this with two knobs:
+
+* ``rate``  -- sustained requests/second a client may issue;
+* ``burst`` -- bucket capacity: how many requests may arrive back-to-back
+  after an idle period before the rate starts biting.
+
+Each client (the coordinator keys clients by the ``X-Client-Id`` header,
+falling back to the peer address) gets its own lazily-created bucket, plus
+an optional lifetime ``quota`` -- a hard cap on total admitted requests,
+after which every request is refused.
+
+Refusals carry a ``retry_after_s`` hint: the time until the bucket next
+holds a full token (quota exhaustion hints ``None`` -- waiting will not
+help).  The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["RateLimitDecision", "RateLimiter", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """Outcome of one admission attempt."""
+
+    allowed: bool
+    #: Seconds until a retry can succeed; ``None`` when retrying is futile
+    #: (lifetime quota exhausted) or the request was allowed.
+    retry_after_s: Optional[float] = None
+    #: Why the request was refused ("rate" or "quota"); ``None`` if allowed.
+    reason: Optional[str] = None
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> RateLimitDecision:
+        """Take ``tokens`` if available; otherwise refuse with a retry hint."""
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return RateLimitDecision(allowed=True)
+        deficit = tokens - self._tokens
+        return RateLimitDecision(allowed=False,
+                                 retry_after_s=deficit / self.rate,
+                                 reason="rate")
+
+
+class RateLimiter:
+    """Per-client buckets plus an optional lifetime quota.
+
+    Parameters
+    ----------
+    rate / burst:
+        Token-bucket knobs applied to every client independently.
+    quota:
+        Optional hard cap on *admitted* requests per client over the
+        limiter's lifetime (refused requests do not count).  ``None``
+        disables quotas.
+    clock:
+        Injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(self, rate: float = 50.0, burst: int = 100,
+                 quota: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if quota is not None and quota < 1:
+            raise ValueError(f"quota must be >= 1 (or None), got {quota}")
+        self.rate = rate
+        self.burst = burst
+        self.quota = quota
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._admitted: Dict[str, int] = {}
+        self._refused = 0
+        self._lock = threading.Lock()
+
+    @property
+    def refused(self) -> int:
+        """Total refusals across all clients (the /metrics counter source)."""
+        return self._refused
+
+    def check(self, client: str, tokens: float = 1.0) -> RateLimitDecision:
+        """Admit or refuse one request from ``client``."""
+        with self._lock:
+            if self.quota is not None and \
+                    self._admitted.get(client, 0) >= self.quota:
+                self._refused += 1
+                return RateLimitDecision(allowed=False, retry_after_s=None,
+                                         reason="quota")
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[client] = bucket
+            decision = bucket.try_acquire(tokens)
+            if decision.allowed:
+                self._admitted[client] = self._admitted.get(client, 0) + 1
+            else:
+                self._refused += 1
+            return decision
+
+    def stats_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "quota": self.quota,
+                "clients": len(self._buckets),
+                "admitted": sum(self._admitted.values()),
+                "refused": self._refused,
+            }

@@ -1,0 +1,307 @@
+"""Cluster worker: one shard's asyncio service around a warm ServiceCore.
+
+A worker is the cluster's unit of capacity: it owns one
+:class:`~repro.serve.core.ServiceCore` -- and through it one warm
+:class:`~repro.sim.jobs.JobExecutor` and (typically) one private
+:class:`~repro.serve.store.SQLiteResultStore` -- and answers the shard-facing
+subset of the serve API over an :class:`~repro.cluster.aio.AsyncHTTPServer`:
+
+========  =============  ====================================================
+method    path           behaviour
+========  =============  ====================================================
+POST      /jobs          resolve a point batch (same wire format as serve)
+GET       /jobs/<key>    look a finished result up by content key
+GET       /healthz       liveness probe (the coordinator's health checks)
+GET       /stats         core / executor / cache / store counters
+GET       /metrics       Prometheus text format
+POST      /shutdown      graceful stop (finishes in-flight work first)
+========  =============  ====================================================
+
+The event loop only parses and routes; executions run on a small thread
+pool (``asyncio.to_thread``-style) because a simulation batch is seconds of
+blocking NumPy work, and the core's locks already serialise what must be
+serialised.  Request coalescing, bounded-admission 429 backpressure and the
+warm-store fast path all come from the shared core -- a shard answers
+bit-identically to the single-box ``loom-repro serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from repro.cluster.aio import AsyncHTTPServer, HTTPRequest, HTTPResponder
+from repro.cluster.metrics import MetricsRegistry
+from repro.serve.core import Backpressure, ServiceCore
+
+__all__ = ["ClusterWorker"]
+
+
+class ClusterWorker:
+    """One shard: an asyncio front over a warm :class:`ServiceCore`.
+
+    Parameters
+    ----------
+    core:
+        The shard's :class:`ServiceCore` (owning the executor and store);
+        a fresh in-memory-cached core is built when omitted.  The worker
+        owns it: ``stop()`` closes it.
+    host / port:
+        Bind address; ``port=0`` asks the OS for a free port.
+    name:
+        Label for logs and the coordinator's ``/stats`` shard table
+        (defaults to ``worker-<port>`` once bound).
+    request_threads:
+        Threads servicing blocking core calls.  More threads = more batches
+        admitted concurrently (up to the core's ``queue_limit``).
+    """
+
+    def __init__(self, core: Optional[ServiceCore] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 name: Optional[str] = None,
+                 request_threads: int = 8) -> None:
+        if request_threads < 1:
+            raise ValueError(
+                f"request_threads must be >= 1, got {request_threads}")
+        self.core = core if core is not None else ServiceCore()
+        self.name = name
+        self._server = AsyncHTTPServer(self._handle, host=host, port=port,
+                                       server_tag="loom-cluster-worker")
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._request_threads = request_threads
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "loom_worker_requests_total",
+            "HTTP requests handled, by path and status.",
+            labelnames=("path", "status"))
+        self._request_seconds = self.metrics.histogram(
+            "loom_worker_request_seconds",
+            "Request latency in seconds, by path.",
+            labelnames=("path",))
+        self.metrics.gauge(
+            "loom_worker_queue_depth",
+            "Execution batches currently admitted (queue_limit bounds this).",
+            collect=lambda: self.core._pending_batches)
+        self.metrics.gauge(
+            "loom_worker_inflight_keys",
+            "Content keys currently executing (coalescing targets).",
+            collect=lambda: len(self.core._inflight))
+        self.metrics.gauge(
+            "loom_worker_cache_hit_ratio",
+            "Fraction of submitted jobs answered without a simulation.",
+            collect=self.core.cache_hit_ratio)
+        self.metrics.gauge(
+            "loom_worker_jobs_executed_total",
+            "Simulations actually run by this shard's executor.",
+            collect=lambda: self.core.executor.stats.executed)
+        self.metrics.gauge(
+            "loom_worker_store_answers_total",
+            "Submissions answered straight from the warm store.",
+            collect=lambda: self.core.stats.store_answers)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    def start(self) -> str:
+        url = self._server.start()
+        if self.name is None:
+            self.name = f"worker-{self.port}"
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._request_threads,
+            thread_name_prefix=f"{self.name}-exec")
+        self.core.started_at = time.time()
+        return url
+
+    def stop(self, drain_timeout_s: float = 30.0) -> None:
+        """Stop accepting, drain in-flight batches, close executor + store."""
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._server.stop(drain_timeout_s=min(drain_timeout_s, 10.0))
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.core.close(drain_timeout_s)
+
+    def request_stop(self) -> None:
+        """Trigger a graceful stop without blocking (signal-handler safe)."""
+        threading.Thread(target=self.stop, daemon=True,
+                         name=f"{self.name}-stop").start()
+
+    def wait_until_stopped(self, poll_s: float = 0.5) -> None:
+        """Block until the worker has stopped (the CLI child's main loop)."""
+        while not self._stopped or self._server.loop is not None:
+            time.sleep(poll_s)
+
+    def __enter__(self) -> "ClusterWorker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request handling -----------------------------------------------------
+
+    async def _in_thread(self, fn, *args):
+        """Run a blocking core call on the worker pool."""
+        if self._pool is None:
+            raise RuntimeError("worker is not running")
+        loop = self._server.loop
+        return await loop.run_in_executor(self._pool, fn, *args)
+
+    async def _handle(self, request: HTTPRequest,
+                      responder: HTTPResponder) -> None:
+        started = time.monotonic()
+        path = request.path.rstrip("/") or "/"
+        label = "/jobs/<key>" if path.startswith("/jobs/") else path
+        try:
+            await self._route(request, responder, path)
+        finally:
+            status = responder.status if responder.status is not None else 500
+            self._requests_total.inc(path=label, status=str(status))
+            self._request_seconds.observe(time.monotonic() - started,
+                                          path=label)
+
+    async def _route(self, request: HTTPRequest, responder: HTTPResponder,
+                     path: str) -> None:
+        method = request.method
+        if method == "GET" and path == "/healthz":
+            await responder.send_json(200, {
+                "ok": True,
+                "role": "worker",
+                "name": self.name,
+                "uptime_s": time.time() - (self.core.started_at or
+                                           time.time()),
+            })
+        elif method == "GET" and path == "/stats":
+            payload = await self._in_thread(self.core.stats_dict)
+            payload["role"] = "worker"
+            payload["name"] = self.name
+            await responder.send_json(200, payload)
+        elif method == "GET" and path == "/metrics":
+            await responder.send_text(200, self.metrics.render())
+        elif method == "GET" and path.startswith("/jobs/"):
+            key = path[len("/jobs/"):]
+            status, result = await self._in_thread(self.core.lookup, key)
+            if status == "done":
+                await responder.send_json(200, {"key": key, "status": "done",
+                                                "result": result.to_dict()})
+            elif status == "pending":
+                await responder.send_json(202, {"key": key,
+                                                "status": "pending"})
+            else:
+                self.core._bump("errors")
+                await responder.send_json(404,
+                                          {"error": f"no result for key "
+                                                    f"{key!r}"})
+        elif method == "POST" and path == "/jobs":
+            await self._handle_jobs(request, responder)
+        elif method == "POST" and path == "/shutdown":
+            await responder.send_json(200, {"ok": True, "stopping": True})
+            responder.close_after = True
+            # The server cannot tear itself down from inside a handler; a
+            # plain thread does it once this response is on the wire.
+            self.request_stop()
+        else:
+            self.core._bump("errors")
+            await responder.send_json(404,
+                                      {"error": f"unknown path "
+                                                f"{request.path!r}"})
+
+    async def _handle_jobs(self, request: HTTPRequest,
+                           responder: HTTPResponder) -> None:
+        payload = request.json()
+        single = "points" not in payload
+        if single:
+            point = payload.get("point", payload)
+            if not isinstance(point, dict) or not point:
+                raise ValueError(
+                    "POST /jobs expects a point object, {'point': {...}} or "
+                    "{'points': [...]}"
+                )
+            points = [point]
+        else:
+            points = payload["points"]
+            if not isinstance(points, list) or not points:
+                raise ValueError("'points' must be a non-empty JSON array")
+        self.core._bump("requests")
+        try:
+            submitted = await self._in_thread(self.core.submit_points, points)
+        except Backpressure as bp:
+            self.core._bump("errors")
+            await responder.send_json(
+                429, {"error": str(bp)},
+                headers={"Retry-After": str(bp.retry_after_s)})
+            return
+        except (ValueError, KeyError, TypeError) as error:
+            self.core._bump("errors")
+            await responder.send_json(
+                400, {"error": f"{type(error).__name__}: {error}"})
+            return
+        except TimeoutError as error:
+            self.core._bump("errors")
+            await responder.send_json(504, {"error": str(error)})
+            return
+        if single:
+            await responder.send_json(200, submitted[0].to_dict())
+        else:
+            await responder.send_json(200, {
+                "results": [entry.to_dict() for entry in submitted],
+            })
+
+    def stats_dict(self) -> Dict[str, object]:
+        payload = self.core.stats_dict()
+        payload["role"] = "worker"
+        payload["name"] = self.name
+        return payload
+
+
+def worker_process_main(ready_queue, store_path: Optional[str] = None,
+                        queue_limit: int = 8,
+                        max_memory_entries: int = 512,
+                        host: str = "127.0.0.1", port: int = 0) -> None:
+    """Entry point for one ``loom-repro cluster`` worker child process.
+
+    Builds a :class:`ClusterWorker` around a fresh executor (backed by a
+    private SQLite store when ``store_path`` is given), reports the bound
+    URL through ``ready_queue``, and serves until a ``POST /shutdown`` or
+    SIGTERM/SIGINT stops it.  Module-level so ``multiprocessing`` spawn
+    contexts can import it by reference.
+    """
+    import signal
+
+    from repro.serve.store import SQLiteResultStore
+    from repro.sim.jobs import JobExecutor
+    from repro.sim.jobs.cache import ResultCache
+
+    backend = SQLiteResultStore(store_path) if store_path else None
+    executor = JobExecutor(
+        cache=ResultCache(backend=backend,
+                          max_memory_entries=max_memory_entries))
+    worker = ClusterWorker(core=ServiceCore(executor=executor,
+                                            queue_limit=queue_limit),
+                           host=host, port=port)
+    url = worker.start()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: worker.request_stop())
+        except ValueError:  # pragma: no cover - not the main thread
+            break
+    ready_queue.put(url)
+    worker.wait_until_stopped()

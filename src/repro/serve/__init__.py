@@ -39,8 +39,9 @@ design-point parameter namespace as ``loom-repro explore`` axes.
 """
 
 from repro.serve.client import ServeClient, ServeError, SubmittedJob
+from repro.serve.core import Backpressure, ServiceCore, ServiceStats
 from repro.serve.remote import RemoteExecutor
-from repro.serve.service import Backpressure, ServiceStats, SimulationService
+from repro.serve.service import SimulationService
 from repro.serve.store import SQLiteResultStore
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "SQLiteResultStore",
     "ServeClient",
     "ServeError",
+    "ServiceCore",
     "ServiceStats",
     "SimulationService",
     "SubmittedJob",

@@ -11,14 +11,38 @@ backpressure responses, the ``Retry-After`` hint.
 from __future__ import annotations
 
 import json
+import random
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.sim.results import NetworkResult
 
-__all__ = ["ServeClient", "ServeError", "SubmittedJob"]
+__all__ = ["ServeClient", "ServeError", "SubmittedJob", "compute_backoff"]
+
+_BACKOFF_RNG = random.Random()
+
+
+def compute_backoff(attempt: int, retry_after_s: Optional[float] = None,
+                    base_s: float = 0.05, cap_s: float = 5.0,
+                    rng: Optional[random.Random] = None) -> float:
+    """Capped exponential backoff with jitter, honouring ``Retry-After``.
+
+    The delay for retry ``attempt`` (0-based) is
+    ``min(cap_s, base_s * 2**attempt)`` scaled by a jitter factor uniform in
+    ``[0.5, 1.0]`` -- so a burst of clients refused together does not retry
+    in lockstep.  A server-provided ``retry_after_s`` acts as a *floor*:
+    the server knows how long its queue is, and retrying sooner than it
+    asked just earns another refusal.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    delay = min(cap_s, base_s * (2.0 ** attempt))
+    delay *= 0.5 + 0.5 * (rng or _BACKOFF_RNG).random()
+    if retry_after_s is not None:
+        delay = max(delay, float(retry_after_s))
+    return delay
 
 
 class ServeError(Exception):
@@ -55,33 +79,44 @@ class ServeClient:
 
     # -- plumbing -------------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+    def _open(self, method: str, path: str, payload: Optional[dict] = None,
+              accept: Optional[str] = None):
+        """Issue one request and return the raw (streaming) response."""
+        headers = {"Content-Type": "application/json"}
+        if accept is not None:
+            headers["Accept"] = accept
         request = urllib.request.Request(
             self.base_url + path,
             data=(json.dumps(payload).encode("utf-8")
                   if payload is not None else None),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method=method,
         )
+        return urllib.request.urlopen(request, timeout=self.timeout_s)
+
+    @staticmethod
+    def _raise_serve_error(error: urllib.error.HTTPError) -> None:
+        retry_after: Optional[int] = None
+        header = error.headers.get("Retry-After")
+        if header is not None:
+            try:
+                retry_after = int(header)
+            except ValueError:
+                retry_after = None
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout_s) as response:
+            message = json.loads(error.read().decode("utf-8"))["error"]
+        except (ValueError, KeyError):
+            message = error.reason
+        raise ServeError(error.code, message,
+                         retry_after_s=retry_after) from None
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        try:
+            with self._open(method, path, payload) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            retry_after: Optional[int] = None
-            header = error.headers.get("Retry-After")
-            if header is not None:
-                try:
-                    retry_after = int(header)
-                except ValueError:
-                    retry_after = None
-            try:
-                message = json.loads(error.read().decode("utf-8"))["error"]
-            except (ValueError, KeyError):
-                message = error.reason
-            raise ServeError(error.code, message,
-                             retry_after_s=retry_after) from None
+            self._raise_serve_error(error)
 
     @staticmethod
     def _submitted(entry: Mapping[str, object]) -> SubmittedJob:
@@ -139,6 +174,52 @@ class ServeClient:
             return "pending", None
         return "done", NetworkResult.from_dict(payload["result"])
 
+    def submit_points_stream(
+        self, points: Sequence[Mapping[str, object]],
+        on_entry: Optional[Callable[[int, SubmittedJob], None]] = None,
+    ) -> List[SubmittedJob]:
+        """Submit a batch and consume results as the server resolves them.
+
+        Against a cluster coordinator this streams NDJSON: ``on_entry(index,
+        job)`` fires per resolved point (in submission order) while later
+        points are still simulating.  Against a server that does not stream
+        (plain ``loom-repro serve`` answers a single JSON document) the
+        callback still fires per entry, just all at once -- same results
+        either way.
+        """
+        try:
+            response = self._open("POST", "/jobs",
+                                  {"points": [dict(p) for p in points]},
+                                  accept="application/x-ndjson")
+        except urllib.error.HTTPError as error:
+            self._raise_serve_error(error)
+        with response:
+            content_type = (response.headers.get("Content-Type") or "")
+            if "application/x-ndjson" not in content_type:
+                payload = json.loads(response.read().decode("utf-8"))
+                submitted = [self._submitted(entry)
+                             for entry in payload["results"]]
+                if on_entry is not None:
+                    for index, job in enumerate(submitted):
+                        on_entry(index, job)
+                return submitted
+            submitted = []
+            for raw_line in response:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line.decode("utf-8"))
+                if entry.get("done"):
+                    break
+                if "error" in entry:
+                    raise ServeError(int(entry.get("status", 500)),
+                                     str(entry["error"]))
+                job = self._submitted(entry)
+                if on_entry is not None:
+                    on_entry(entry.get("index", len(submitted)), job)
+                submitted.append(job)
+            return submitted
+
     def explore(self, space: Mapping[str, object], **options: object) -> dict:
         """Run a sweep on the server (``space`` is a SweepSpec dict).
 
@@ -147,6 +228,43 @@ class ServeClient:
         """
         return self._request("POST", "/explore",
                              {"space": dict(space), **options})
+
+    def explore_stream(self, space: Mapping[str, object],
+                       **options: object) -> Iterator[tuple]:
+        """Run a sweep and yield ``(event, data)`` pairs as it progresses.
+
+        Against a cluster coordinator this consumes server-sent events:
+        ``start`` (sweep shape), ``progress`` (per executor batch, with
+        brief per-job results), ``result`` (the full exploration result
+        dict) and a terminal ``end`` (``{"complete": true}``, or ``false``
+        with a ``reason`` such as ``"shutdown"``).  Against a server that
+        does not stream, yields a synthetic ``result`` then ``end`` pair
+        from the plain JSON response, so callers need no special-casing.
+        """
+        payload = {"space": dict(space), **options, "stream": True}
+        try:
+            response = self._open("POST", "/explore", payload,
+                                  accept="text/event-stream")
+        except urllib.error.HTTPError as error:
+            self._raise_serve_error(error)
+        with response:
+            content_type = (response.headers.get("Content-Type") or "")
+            if "text/event-stream" not in content_type:
+                result = json.loads(response.read().decode("utf-8"))
+                yield "result", result
+                yield "end", {"complete": True}
+                return
+            event: Optional[str] = None
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:") and event is not None:
+                    data = json.loads(line[len("data:"):].strip())
+                    yield event, data
+                    if event == "end":
+                        return
+                    event = None
 
     def shutdown(self) -> dict:
         """Ask the server to stop gracefully."""

@@ -19,10 +19,11 @@ as a cache hit here, because this process never simulated anything.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Iterable, List, Optional, Union
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, compute_backoff
 from repro.sim.jobs import ExecutorStats
 from repro.sim.results import NetworkResult
 
@@ -32,13 +33,21 @@ __all__ = ["RemoteExecutor"]
 class RemoteExecutor:
     """JobExecutor-shaped facade that submits batches to a serve endpoint.
 
-    429 backpressure responses are retried after the server's ``Retry-After``
-    hint (up to ``max_retries`` per batch), so a sweep run against a busy
-    server queues politely instead of failing.
+    429 backpressure responses are retried with capped exponential backoff
+    plus jitter (:func:`~repro.serve.client.compute_backoff`), honouring the
+    server's ``Retry-After`` hint as a floor, up to ``max_retries`` per
+    batch -- so a sweep run against a busy server queues politely instead of
+    failing, and a crowd of refused clients does not retry in lockstep.
+
+    With ``stream=True`` batches go through
+    :meth:`ServeClient.submit_points_stream`, consuming results as the
+    server resolves them (NDJSON against a cluster coordinator; plain JSON
+    servers degrade transparently).
     """
 
     def __init__(self, client: Union[ServeClient, str],
-                 batch_size: int = 64, max_retries: int = 30) -> None:
+                 batch_size: int = 64, max_retries: int = 30,
+                 stream: bool = False) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_retries < 0:
@@ -47,23 +56,30 @@ class RemoteExecutor:
                        else client)
         self.batch_size = batch_size
         self.max_retries = max_retries
+        self.stream = stream
         self.stats = ExecutorStats()
         #: Times a batch was refused with 429 and retried.
         self.backpressure_retries = 0
         #: The executor protocol executors expose; a remote executor holds no
         #: local result cache (the server's store is the cache).
         self.cache = None
+        # Injectable for deterministic tests.
+        self._sleep = time.sleep
+        self._rng: random.Random = random.Random()
 
     def _submit_with_retry(self, chunk):
+        submit = (self.client.submit_points_stream if self.stream
+                  else self.client.submit_points)
         for attempt in range(self.max_retries + 1):
             try:
-                return self.client.submit_points(chunk)
+                return submit(chunk)
             except ServeError as error:
                 if error.status != 429 or attempt == self.max_retries:
                     raise
                 self.backpressure_retries += 1
-                time.sleep(error.retry_after_s
-                           if error.retry_after_s is not None else 1)
+                self._sleep(compute_backoff(
+                    attempt, retry_after_s=error.retry_after_s,
+                    rng=self._rng))
 
     def run(self, jobs: Iterable[object],
             engine: Optional[str] = None) -> List[NetworkResult]:

@@ -96,6 +96,12 @@ class SQLiteResultStore(CacheBackend):
                                check_same_thread=False)
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
+        # The connect timeout only guards the initial open; busy_timeout
+        # makes every later statement wait out a cross-process writer lock
+        # instead of failing with "database is locked" -- with one store
+        # per cluster shard plus CLI invocations sharing it, brief write
+        # overlap is normal operation, not an error.
+        conn.execute(f"PRAGMA busy_timeout = {int(self.timeout_s * 1000)}")
         return conn
 
     def _open(self) -> sqlite3.Connection:
@@ -218,38 +224,58 @@ class SQLiteResultStore(CacheBackend):
         return f"{self.name} ({self.path})"
 
     @classmethod
-    def inspect(cls, path: os.PathLike) -> Dict[str, object]:
+    def inspect(cls, path: os.PathLike,
+                lock_retries: int = 5,
+                lock_retry_delay_s: float = 0.1) -> Dict[str, object]:
         """Read-only statistics for a store database.
 
         Unlike constructing a store (which *repairs* incompatible databases
         by wiping them), inspection never writes: an incompatible or foreign
         file is reported, not destroyed.  Raises ``ValueError`` when ``path``
         is not a SQLite database at all.
+
+        Inspecting a store a live service is writing to can momentarily hit
+        SQLite's writer lock; those attempts are retried (up to
+        ``lock_retries`` times, ``lock_retry_delay_s`` apart) and the count
+        is surfaced as ``lock_retries`` in the payload -- a non-zero value
+        is itself a useful signal that the store is under write contention.
         """
         path = Path(path).expanduser()
-        conn = None
-        try:
-            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
-            (version,) = conn.execute("PRAGMA user_version").fetchone()
-            payload: Dict[str, object] = {
-                "backend": "sqlite",
-                "path": str(path),
-                "schema_version": version,
-                "compatible": version == SCHEMA_VERSION,
-                "size_bytes": path.stat().st_size,
-            }
-            if version == SCHEMA_VERSION:
-                (payload["entries"],) = conn.execute(
-                    "SELECT COUNT(*) FROM results").fetchone()
-                (payload["lifetime_hits"],) = conn.execute(
-                    "SELECT COALESCE(SUM(hits), 0) FROM results").fetchone()
-            return payload
-        except sqlite3.Error as error:
-            raise ValueError(f"{path} is not a result-store database: "
-                             f"{error}") from None
-        finally:
-            if conn is not None:
-                conn.close()
+        retries = 0
+        while True:
+            conn = None
+            try:
+                conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+                (version,) = conn.execute("PRAGMA user_version").fetchone()
+                payload: Dict[str, object] = {
+                    "backend": "sqlite",
+                    "path": str(path),
+                    "schema_version": version,
+                    "compatible": version == SCHEMA_VERSION,
+                    "size_bytes": path.stat().st_size,
+                    "lock_retries": retries,
+                }
+                if version == SCHEMA_VERSION:
+                    (payload["entries"],) = conn.execute(
+                        "SELECT COUNT(*) FROM results").fetchone()
+                    (payload["lifetime_hits"],) = conn.execute(
+                        "SELECT COALESCE(SUM(hits), 0) FROM results"
+                    ).fetchone()
+                return payload
+            except sqlite3.OperationalError as error:
+                locked = "locked" in str(error) or "busy" in str(error)
+                if locked and retries < lock_retries:
+                    retries += 1
+                    time.sleep(lock_retry_delay_s)
+                    continue
+                raise ValueError(f"{path} is not a result-store database: "
+                                 f"{error}") from None
+            except sqlite3.Error as error:
+                raise ValueError(f"{path} is not a result-store database: "
+                                 f"{error}") from None
+            finally:
+                if conn is not None:
+                    conn.close()
 
     def stats_dict(self) -> Dict[str, object]:
         """Store-level counters (the service's /stats ``store`` section)."""

@@ -51,6 +51,11 @@ class ExecutorStats:
     dedup_hits: int = 0
     batched_jobs: int = 0
     shm_transports: int = 0
+    #: Worker payloads that fell back to inline pickling (shared memory
+    #: unavailable or below the size cutoff); the complement of
+    #: ``shm_transports``.  A high ratio on a box that should support shared
+    #: memory is a deployment smell worth surfacing on /stats.
+    pickle_transports: int = 0
     executed_key_counts: Dict[str, int] = field(default_factory=dict)
 
     def record_execution(self, key: str) -> None:
@@ -81,6 +86,7 @@ class ExecutorStats:
             "dedup_hits": self.dedup_hits,
             "batched_jobs": self.batched_jobs,
             "shm_transports": self.shm_transports,
+            "pickle_transports": self.pickle_transports,
             "layer_table_hits": table_info["hits"],
             "layer_table_builds": table_info["builds"],
             "unique_keys_executed": len(self.executed_key_counts),
@@ -347,6 +353,8 @@ class JobExecutor:
             results, used_shm = unpack_results(payload)
             if used_shm:
                 self.stats.shm_transports += 1
+            else:
+                self.stats.pickle_transports += 1
             yield from results
 
 

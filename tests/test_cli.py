@@ -158,6 +158,39 @@ class TestServeParser:
             ["--engine", "event", "--jobs", "2", "explore"])
         assert args.remote is None
 
+
+class TestClusterParser:
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.command == "cluster"
+        assert args.workers == 2
+        assert args.host == "127.0.0.1" and args.port == 8200
+        assert args.store_dir == ".loom-cluster" and args.no_store is False
+        assert args.queue_limit == 8
+        assert args.rate is None and args.burst == 100 and args.quota is None
+        assert args.ready_file is None
+
+    def test_cluster_port_zero_is_allowed(self):
+        assert build_parser().parse_args(["cluster", "--port", "0"]).port == 0
+
+    def test_cluster_store_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--store-dir", "/tmp/x", "--no-store"])
+
+    def test_cluster_conflicts_with_global_cache_flags(self, capsys):
+        for flags in (["--no-cache"], ["--cache-dir", "/tmp/c"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(flags + ["cluster"])
+            assert excinfo.value.code == 2
+
+    def test_explore_stream_requires_remote(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--stream",
+                  "--axis", "equivalent_macs=32,64"])
+        assert excinfo.value.code == 2
+        assert "--remote" in capsys.readouterr().err
+
     def test_submit_arguments(self):
         args = build_parser().parse_args([
             "submit", "--url", "http://127.0.0.1:8100",

@@ -1,0 +1,453 @@
+"""Integration tests for the sharded serve cluster (repro.cluster).
+
+The acceptance contract of the cluster ISSUE, verified over real HTTP
+against in-process coordinator + worker nodes:
+
+* a 2-worker cluster answers **bit-identically** (the validator's
+  field-for-field comparator) to in-process batched execution for a
+  networks x accelerators matrix;
+* the cluster keeps serving -- with automatic re-routing -- when a worker
+  is killed mid-batch, and the dead shard's keys land on the survivors;
+* ``POST /jobs`` streams NDJSON entries in submission order as shards
+  answer, and ``POST /explore`` streams SSE events while later strategy
+  rounds are still simulating (first event long before the sweep ends);
+* graceful coordinator shutdown terminates in-flight streams with a clean
+  ``end {"complete": false, "reason": "shutdown"}`` event and leaves no
+  worker thread pools or executors behind;
+* every node's ``/metrics`` parses as Prometheus text exposition format;
+* the coordinator's token-bucket rate limiting and quotas answer 429.
+"""
+
+import contextlib
+import json
+import re
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, ClusterWorker, RateLimiter
+from repro.serve import RemoteExecutor, ServeClient, ServeError
+from repro.serve.core import ServiceCore
+from repro.sim.jobs import JobExecutor, job_key
+from repro.sim.validate import compare_layer_results
+
+MATRIX = [{"network": network, "accelerator": accelerator}
+          for network in ("alexnet", "nin")
+          for accelerator in ("loom", "dpnn", "dstripes")]
+
+
+@contextlib.contextmanager
+def cluster(n=2, coordinator_kwargs=None, worker_kwargs=None):
+    """A started coordinator + n workers + client, torn down afterwards."""
+    workers = [ClusterWorker(**(worker_kwargs or {})) for _ in range(n)]
+    for worker in workers:
+        worker.start()
+    coordinator = ClusterCoordinator(
+        [worker.url for worker in workers],
+        health_interval_s=60.0,  # request-path failover only: deterministic
+        **(coordinator_kwargs or {}))
+    coordinator.start()
+    try:
+        yield coordinator, workers, ServeClient(coordinator.url,
+                                                timeout_s=120.0)
+    finally:
+        coordinator.stop()
+        for worker in workers:
+            worker.stop()
+
+
+def _slow(worker, delay_s=0.2):
+    """Delay a worker's executions so requests overlap deterministically."""
+    original = worker.core.executor.run
+
+    def run(jobs, **kwargs):
+        time.sleep(delay_s)
+        return original(jobs, **kwargs)
+
+    worker.core.executor.run = run
+
+
+def _point_routed_to(coordinator, worker):
+    """A design point whose content key routes to ``worker``."""
+    from repro.explore.space import canonical_point, point_to_job
+
+    # equivalent_macs must be a positive multiple of 16; enough probes
+    # that some key routes to each worker for any ephemeral-port ring.
+    for macs in (None, 16, 32, 48, 64, 96, 128, 160, 192,
+                 224, 256, 320, 384, 448, 512):
+        point = {"network": "alexnet", "accelerator": "loom"}
+        if macs is not None:
+            point["equivalent_macs"] = macs
+        key = job_key(point_to_job(canonical_point(point)))
+        if coordinator.ring.node_for(key) == worker.url:
+            return point
+    raise AssertionError("no probe point routed to the target worker")
+
+
+class TestBitIdentity:
+    def test_two_worker_cluster_matches_batched_engine(self):
+        # In-process reference: the batched engine through a JobExecutor.
+        from repro.explore.space import canonical_point, point_to_job
+
+        jobs = [point_to_job(canonical_point(p)) for p in MATRIX]
+        with JobExecutor() as executor:
+            reference = executor.run(jobs, engine="batched")
+        with cluster(n=2) as (coordinator, workers, client):
+            served = client.submit_points(MATRIX)
+            for entry, expected in zip(served, reference):
+                assert entry.result.network == expected.network
+                assert entry.result.accelerator == expected.accelerator
+                assert compare_layer_results(entry.result.layers,
+                                             expected.layers) == []
+            # Every point went through the ring exactly once.  (Whether the
+            # six keys span both shards depends on the ephemeral worker
+            # ports; spread itself is pinned in the ring unit tests.)
+            assert sum(coordinator._routed_total.value(shard=url)
+                       for url in coordinator.shards) == len(MATRIX)
+
+    def test_resubmission_is_answered_from_shard_caches(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            first = client.submit_points(MATRIX)
+            assert {e.status for e in first} == {"executed"}
+            again = client.submit_points(MATRIX)
+            assert {e.status for e in again} == {"cached"}
+            assert [e.key for e in again] == [e.key for e in first]
+
+    def test_key_lookup_proxies_to_the_owning_shard(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            submitted = client.submit(MATRIX[0])
+            status, result = client.lookup(submitted.key)
+            assert status == "done"
+            assert compare_layer_results(result.layers,
+                                         submitted.result.layers) == []
+            assert client.lookup("no-such-key")[0] == "unknown"
+
+
+class TestFailover:
+    def test_worker_killed_mid_batch_reroutes_to_survivor(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            victim = workers[0]
+            _slow(victim, delay_s=0.5)
+            # Kill the victim's HTTP front while the batch is in flight.
+            killer = threading.Timer(0.15, victim._server.stop,
+                                     kwargs={"drain_timeout_s": 0.0})
+            killer.start()
+            try:
+                entries = client.submit_points(MATRIX)
+            finally:
+                killer.join()
+            assert len(entries) == len(MATRIX)
+            assert all(e.result.layers for e in entries)
+            assert not coordinator.shards[victim.url].healthy
+            assert coordinator.stats.shard_retries > 0
+            # The survivors keep answering -- and keys still resolve.
+            again = client.submit_points(MATRIX)
+            assert [e.key for e in again] == [e.key for e in entries]
+
+    def test_all_workers_dead_answers_503(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            workers[0]._server.stop(drain_timeout_s=0.0)
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(MATRIX[0])
+            assert excinfo.value.status == 503
+
+    def test_health_probe_recovers_a_marked_shard(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            url = workers[0].url
+            coordinator._mark_shard(url, False, "test")
+            assert coordinator._shard_healthy.value(shard=url) == 0
+            future = coordinator._server.run_coroutine(
+                coordinator._probe_shard(url))
+            assert future.result(timeout=10.0) is True
+            assert coordinator.shards[url].healthy
+            assert coordinator._shard_healthy.value(shard=url) == 1
+
+
+class TestStreaming:
+    def test_jobs_ndjson_streams_in_submission_order(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            fast, slow = workers
+            _slow(slow, delay_s=0.4)
+            points = [_point_routed_to(coordinator, fast),
+                      _point_routed_to(coordinator, slow)]
+            stamps = []
+            entries = client.submit_points_stream(
+                points,
+                on_entry=lambda i, job: stamps.append((i, time.monotonic())))
+            assert [i for i, _ in stamps] == [0, 1]
+            assert len(entries) == 2
+            # The fast shard's entry was flushed while the slow shard was
+            # still simulating: streaming, not buffer-then-dump.
+            assert stamps[1][1] - stamps[0][1] > 0.2
+
+    def test_explore_sse_streams_before_the_sweep_completes(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            for worker in workers:
+                _slow(worker, delay_s=0.1)
+            space = {"axes": {"equivalent_macs": [32, 64, 128]},
+                     "base": {"network": "alexnet", "accelerator": "loom"}}
+            events = []
+            stamps = {}
+            for event, data in client.explore_stream(space,
+                                                     strategy="coordinate"):
+                events.append((event, data))
+                stamps.setdefault(event, time.monotonic())
+            names = [name for name, _ in events]
+            assert names[0] == "start"
+            assert names[-1] == "end"
+            assert events[-1][1] == {"complete": True}
+            assert "result" in names
+            # The coordinate strategy runs multiple rounds; each round's
+            # batch arrives as its own progress event, well before the end.
+            assert names.count("progress") >= 2
+            assert stamps["start"] < stamps["result"] - 0.15
+            result = dict(events[names.index("result")][1])
+            assert len(result["evaluated"]) >= 3
+
+    def test_plain_explore_still_answers_one_json_document(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            space = {"axes": {"equivalent_macs": [32, 64]},
+                     "base": {"network": "alexnet", "accelerator": "loom"}}
+            result = client.explore(space)
+            assert len(result["evaluated"]) == 2
+            assert coordinator.stats.explores == 1
+
+    def test_explore_stream_validates_before_streaming(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            with pytest.raises(ServeError) as excinfo:
+                list(client.explore_stream({"axes": {}}))
+            assert excinfo.value.status == 400
+
+
+class TestGracefulShutdown:
+    def test_shutdown_mid_stream_sends_clean_terminal_event(self):
+        workers = [ClusterWorker() for _ in range(2)]
+        for worker in workers:
+            worker.start()
+            _slow(worker, delay_s=0.3)
+        coordinator = ClusterCoordinator([w.url for w in workers],
+                                         health_interval_s=60.0)
+        coordinator.start()
+        client = ServeClient(coordinator.url, timeout_s=60.0)
+        space = {"axes": {"equivalent_macs": [32, 64, 128, 256]},
+                 "base": {"network": "alexnet", "accelerator": "loom"}}
+        events = []
+        finished = threading.Event()
+
+        def consume():
+            for event, data in client.explore_stream(space,
+                                                     strategy="coordinate"):
+                events.append((event, data))
+            finished.set()
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        deadline = time.monotonic() + 10.0
+        while not events and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert events, "stream never started"
+        try:
+            coordinator.stop()  # mid-sweep
+            assert finished.wait(timeout=30.0), "stream never terminated"
+            names = [name for name, _ in events]
+            assert names[-1] == "end"
+            end_payload = events[-1][1]
+            if end_payload.get("complete"):
+                # The sweep may win the race on a fast box; the contract
+                # only requires a clean terminal event either way.
+                assert end_payload == {"complete": True}
+            else:
+                assert end_payload["reason"] == "shutdown"
+            # No explore threads left behind on the coordinator.
+            assert not coordinator._explore_threads
+            assert not coordinator._streams
+        finally:
+            for worker in workers:
+                worker.stop()
+        # Workers shut down cleanly afterwards: pools gone, cores closed.
+        for worker in workers:
+            assert worker._pool is None
+
+    def test_worker_shutdown_endpoint_stops_the_worker(self):
+        worker = ClusterWorker()
+        worker.start()
+        client = ServeClient(worker.url, timeout_s=30.0)
+        assert client.shutdown() == {"ok": True, "stopping": True}
+        worker.wait_until_stopped(poll_s=0.05)
+        assert worker._pool is None
+
+
+_SERIES = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|NaN|[+-]Inf)$")
+
+
+def _assert_prometheus_text(text: str) -> None:
+    """Validate Prometheus text exposition: HELP/TYPE then series lines."""
+    assert text.endswith("\n")
+    typed = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            name, kind = line.split(" ")[2:4]
+            assert kind in ("counter", "gauge", "histogram")
+            typed.add(name)
+            continue
+        match = _SERIES.match(line)
+        assert match, f"unparseable series line: {line!r}"
+        name = line.split("{")[0].split(" ")[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, f"untyped series {name}"
+
+
+class TestMetricsEndpoints:
+    def test_every_node_serves_parseable_prometheus_text(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            client.submit_points(MATRIX[:3])
+            for url in [coordinator.url] + [w.url for w in workers]:
+                with urllib.request.urlopen(url + "/metrics",
+                                            timeout=30.0) as response:
+                    assert "text/plain" in response.headers["Content-Type"]
+                    _assert_prometheus_text(
+                        response.read().decode("utf-8"))
+
+    def test_coordinator_counts_requests_and_shard_health(self):
+        with cluster(n=2) as (coordinator, workers, client):
+            client.submit_points(MATRIX[:2])
+            client.healthz()
+            with urllib.request.urlopen(coordinator.url + "/metrics",
+                                        timeout=30.0) as response:
+                text = response.read().decode("utf-8")
+            assert 'loom_coordinator_requests_total{path="/jobs",status="200"} 1' in text
+            for worker in workers:
+                assert (f'loom_coordinator_shard_healthy{{shard="{worker.url}"}} 1'
+                        in text)
+            assert "loom_coordinator_request_seconds_bucket" in text
+
+    def test_worker_exposes_queue_depth_and_cache_ratio(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            client.submit(MATRIX[0])
+            client.submit(MATRIX[0])  # warm-store answer
+            with urllib.request.urlopen(workers[0].url + "/metrics",
+                                        timeout=30.0) as response:
+                text = response.read().decode("utf-8")
+            assert "loom_worker_queue_depth 0" in text
+            assert "loom_worker_cache_hit_ratio 0.5" in text
+            assert "loom_worker_jobs_executed_total 1" in text
+
+
+class TestRateLimiting:
+    def test_burst_exhaustion_answers_429_with_retry_after(self):
+        limiter = RateLimiter(rate=0.001, burst=2)
+        with cluster(n=1, coordinator_kwargs={"rate_limiter": limiter}) \
+                as (coordinator, workers, client):
+            client.submit(MATRIX[0])
+            client.submit(MATRIX[0])
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(MATRIX[0])
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s >= 1
+            assert coordinator.stats.rate_limited == 1
+            # Health and metrics stay reachable for refused clients.
+            assert client.healthz()["ok"] is True
+
+    def test_quota_exhaustion_has_no_retry_hint(self):
+        limiter = RateLimiter(rate=1000.0, burst=1000, quota=1)
+        with cluster(n=1, coordinator_kwargs={"rate_limiter": limiter}) \
+                as (coordinator, workers, client):
+            client.submit(MATRIX[0])
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(MATRIX[0])
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s is None
+
+    def test_rate_limiter_surfaces_in_stats(self):
+        limiter = RateLimiter(rate=1000.0, burst=1000)
+        with cluster(n=1, coordinator_kwargs={"rate_limiter": limiter}) \
+                as (coordinator, workers, client):
+            client.submit(MATRIX[0])
+            stats = client.stats()
+            assert stats["rate_limiter"]["admitted"] == 1
+            assert stats["role"] == "coordinator"
+            assert len(stats["workers"]) == 1
+
+
+class TestRemoteSweep:
+    def test_remote_executor_sweeps_through_the_cluster(self):
+        from repro.explore import Axis, SweepSpec, explore
+
+        space = SweepSpec(
+            axes=[Axis("equivalent_macs", (32, 64)),
+                  Axis("accelerator", ("loom", "dstripes"))],
+            base={"network": "alexnet"},
+        )
+        with cluster(n=2) as (coordinator, workers, client):
+            result = explore(space,
+                             executor=RemoteExecutor(client, stream=True))
+            assert len(result.evaluated) == 4
+            # Reference run, in process, must agree on every metric of
+            # every point (the metrics are pure functions of the layer
+            # results, which the submit-path tests pin bit-identical).
+            with JobExecutor() as executor:
+                local = explore(space, executor=executor, engine="batched")
+            for remote_point, local_point in zip(result.evaluated,
+                                                 local.evaluated):
+                assert remote_point.point == local_point.point
+                assert remote_point.metrics == local_point.metrics
+
+    def test_shared_nothing_stores_stay_per_shard(self, tmp_path):
+        from repro.serve import SQLiteResultStore
+        from repro.sim.jobs import ResultCache
+
+        def store_backed(index):
+            store = SQLiteResultStore(tmp_path / f"worker-{index}.db")
+            executor = JobExecutor(cache=ResultCache(backend=store,
+                                                     max_memory_entries=32))
+            return ClusterWorker(core=ServiceCore(executor=executor))
+
+        workers = [store_backed(0), store_backed(1)]
+        for worker in workers:
+            worker.start()
+        coordinator = ClusterCoordinator([w.url for w in workers],
+                                         health_interval_s=60.0)
+        coordinator.start()
+        try:
+            client = ServeClient(coordinator.url, timeout_s=120.0)
+            client.submit_points(MATRIX)
+            total = sum(
+                SQLiteResultStore.inspect(tmp_path / f"worker-{i}.db"
+                                          )["entries"]
+                for i in range(2))
+            assert total == len(MATRIX)  # disjoint: no key stored twice
+        finally:
+            coordinator.stop()
+            for worker in workers:
+                worker.stop()
+
+
+class TestWireCompat:
+    def test_single_point_submit_matches_serve_wire_format(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            request = urllib.request.Request(
+                coordinator.url + "/jobs",
+                data=json.dumps(MATRIX[0]).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            with urllib.request.urlopen(request, timeout=60.0) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            assert set(payload) == {"key", "status", "result"}
+
+    def test_bad_point_answers_400_with_message(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            with pytest.raises(ServeError) as excinfo:
+                client.submit({"network": "no-such-net",
+                               "accelerator": "loom"})
+            assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            with pytest.raises(ServeError) as excinfo:
+                client._request("GET", "/nope")
+            assert excinfo.value.status == 404

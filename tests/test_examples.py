@@ -54,3 +54,11 @@ class TestExamples:
         assert "bit-identical to in-process fast path" in out
         assert "max executions per key = 1" in out
         assert "shut down gracefully" in out
+
+    def test_cluster_quickstart(self):
+        out = run_example("cluster_quickstart.py")
+        assert "2 healthy workers" in out
+        assert "remote sweep bit-identical to batched engine" in out
+        assert "served layer results bit-identical to batched engine" in out
+        assert "metrics scrape ok" in out
+        assert "cluster shut down gracefully" in out
