@@ -93,6 +93,7 @@ from repro.explore import (
     explore,
     frontier_table,
     named_constraint,
+    parse_strategy_options,
     parse_value,
     resolve_strategy,
     sweep_markdown,
@@ -254,12 +255,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="search strategy (default: grid = exhaustive)",
     )
     explore_cmd.add_argument(
+        "--strategy-opt", action="append", default=[], metavar="KEY=VALUE",
+        help="pass one option to the strategy (repeatable), e.g. "
+             "--strategy-opt samples=32 or --strategy-opt model=gp; values "
+             "are parsed like axis values (int/float/bool/none/string)",
+    )
+    explore_cmd.add_argument(
+        "--budget", type=_positive_int, default=None, metavar="N",
+        help="cap on true simulations the sweep may issue; points already "
+             "measured or warm in the result store stay free (default: "
+             "unlimited)",
+    )
+    explore_cmd.add_argument(
         "--samples", type=_positive_int, default=16, metavar="N",
-        help="points the random strategy draws (default: 16)",
+        help="points the random strategy draws (default: 16; shorthand for "
+             "--strategy-opt samples=N)",
     )
     explore_cmd.add_argument(
         "--seed", type=int, default=0,
-        help="seed for the random/coordinate strategies (default: 0)",
+        help="seed for the random/coordinate/surrogate strategies "
+             "(default: 0; shorthand for --strategy-opt seed=N)",
     )
     explore_cmd.add_argument(
         "--objectives", default="speedup,energy_efficiency,area",
@@ -539,11 +554,11 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
         raise ValueError("--stream requires --remote (streaming is a wire "
                          "feature; in-process sweeps already stream)")
     space = _build_space(args)
-    options = {}
+    options = parse_strategy_options(args.strategy_opt)
     if args.strategy == "random":
-        options = {"samples": args.samples, "seed": args.seed}
-    elif args.strategy == "coordinate":
-        options = {"seed": args.seed}
+        options.setdefault("samples", args.samples)
+    if args.strategy in ("random", "coordinate", "surrogate"):
+        options.setdefault("seed", args.seed)
     if args.remote is not None:
         from repro.serve import RemoteExecutor
         executor = RemoteExecutor(args.remote, stream=args.stream)
@@ -553,6 +568,7 @@ def _explore(args: argparse.Namespace, executor: JobExecutor) -> str:
         objectives=args.objectives,
         executor=executor,
         baseline=args.baseline,
+        budget=args.budget,
     )
     if args.markdown:
         parts = [sweep_markdown(result)]

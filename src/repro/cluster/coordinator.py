@@ -486,32 +486,31 @@ class ClusterCoordinator:
     # -- explore (strategies local, simulations sharded) ----------------------
 
     def _explore_request(self, payload: Mapping[str, object]):
-        """Validate an explore payload; returns (space, strategy, options)."""
-        from repro.explore.search import resolve_strategy
+        """Validate an explore payload; returns (space, strategy, budget).
+
+        ``options`` is the uniform strategy-option mapping and ``budget``
+        the true-simulation cap -- the same dialect as the serve service
+        (legacy top-level ``samples`` / ``seed`` keys keep working).
+        """
+        from repro.explore.search import strategy_from_request
         from repro.explore.space import SweepSpec
 
         if "space" not in payload:
             raise RequestError(400, "explore request needs a 'space' sweep "
                                     "spec")
-        unknown = set(payload) - {"space", "strategy", "samples", "seed",
-                                  "objectives", "baseline", "stream"}
+        unknown = set(payload) - {"space", "strategy", "options", "budget",
+                                  "samples", "seed", "objectives", "baseline",
+                                  "stream"}
         if unknown:
             raise RequestError(
                 400, f"unknown explore request keys: {sorted(unknown)}")
         try:
             space = SweepSpec.from_dict(payload["space"])
-            strategy_name = payload.get("strategy", "grid")
-            options = {}
-            if strategy_name == "random":
-                options = {"samples": int(payload.get("samples", 16)),
-                           "seed": int(payload.get("seed", 0))}
-            elif strategy_name == "coordinate":
-                options = {"seed": int(payload.get("seed", 0))}
-            strategy = resolve_strategy(strategy_name, **options)
+            strategy, budget = strategy_from_request(payload)
         except (ValueError, KeyError, TypeError) as error:
             raise RequestError(
                 400, f"{type(error).__name__}: {error}") from None
-        return space, strategy
+        return space, strategy, budget
 
     def _run_explore(self, payload: Mapping[str, object],
                      emit=None) -> Dict[str, object]:
@@ -522,7 +521,7 @@ class ClusterCoordinator:
         """
         from repro.explore.engine import explore
 
-        space, strategy = self._explore_request(payload)
+        space, strategy, budget = self._explore_request(payload)
         self._bump("explores")
         executor = _ShardedExecutor(self, emit=emit)
         result = explore(
@@ -532,6 +531,7 @@ class ClusterCoordinator:
                 "objectives", ("speedup", "energy_efficiency", "area")),
             executor=executor,
             baseline=payload.get("baseline", "dpnn"),
+            budget=budget,
         )
         return result.to_dict()
 
@@ -728,7 +728,7 @@ class ClusterCoordinator:
             return
 
         # Validate up front so a bad request is a plain 400, not a stream.
-        space, _strategy = self._explore_request(payload)
+        space, _strategy, _budget = self._explore_request(payload)
         self._bump("streams")
         handle = _StreamHandle(queue=asyncio.Queue())
         self._streams.add(handle)

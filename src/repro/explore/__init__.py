@@ -8,10 +8,20 @@ studies declarative instead of hand-rolled:
   networks, accelerator designs and every ``AcceleratorConfig`` knob, with
   constraint predicates; expands deterministically into deduplicated
   :class:`~repro.sim.jobs.SimJob` lists.
-* :mod:`repro.explore.search` -- exhaustive :class:`GridSearch`, seeded
-  :class:`RandomSearch` and adaptive :class:`CoordinateDescentSearch`, all
-  batching their candidates through one shared
-  :class:`~repro.sim.jobs.JobExecutor` so cached results are never re-run.
+* :mod:`repro.explore.search` -- the ask/tell strategy protocol
+  (:meth:`SearchStrategy.propose` / :meth:`SearchStrategy.observe`, driven
+  by :func:`repro.explore.engine.drive_search`), the
+  :func:`register_strategy` registry, and the built-ins: exhaustive
+  :class:`GridSearch`, seeded :class:`RandomSearch` and adaptive
+  :class:`CoordinateDescentSearch`, all batching their candidates through
+  one shared :class:`~repro.sim.jobs.JobExecutor` so cached results are
+  never re-run.
+* :mod:`repro.explore.surrogate` -- surrogate-guided exploration:
+  :class:`Featurizer`, the :class:`SurrogateModel` protocol (dependency-free
+  kernel-ridge/RBF baseline plus optional scikit-learn GP and
+  gradient-boosted-tree backends) and :class:`SurrogateSearch`, a
+  Bayesian-optimisation strategy that simulates only the acquisition
+  function's top candidates each round.
 * :mod:`repro.explore.frontier` -- multi-objective :class:`Objective`\\ s,
   Pareto-dominance tests, frontier extraction and dominance ranking.
 * :mod:`repro.explore.engine` -- :func:`explore`, the one-call entry point,
@@ -43,6 +53,8 @@ from repro.explore.engine import (
     EvaluatedPoint,
     ExplorationResult,
     PointEvaluator,
+    SearchState,
+    drive_search,
     explore,
 )
 from repro.explore.frontier import (
@@ -63,10 +75,28 @@ from repro.explore.report import (
 from repro.explore.search import (
     STRATEGIES,
     CoordinateDescentSearch,
+    GeneratorStrategy,
     GridSearch,
     RandomSearch,
     SearchStrategy,
+    parse_strategy_options,
+    register_strategy,
     resolve_strategy,
+    strategy_from_request,
+)
+from repro.explore.surrogate import (
+    ACQUISITIONS,
+    SURROGATES,
+    Featurizer,
+    GradientBoostedSurrogate,
+    KernelRidgeSurrogate,
+    SklearnGPSurrogate,
+    SurrogateModel,
+    SurrogateSearch,
+    expected_improvement,
+    register_surrogate,
+    resolve_surrogate,
+    upper_confidence_bound,
 )
 from repro.explore.space import (
     CONFIG_PARAMETERS,
@@ -87,6 +117,7 @@ from repro.explore.space import (
 )
 
 __all__ = [
+    "ACQUISITIONS",
     "Axis",
     "CONFIG_PARAMETERS",
     "Constraint",
@@ -95,32 +126,49 @@ __all__ = [
     "DesignPoint",
     "EvaluatedPoint",
     "ExplorationResult",
+    "Featurizer",
+    "GeneratorStrategy",
+    "GradientBoostedSurrogate",
     "GridSearch",
+    "KernelRidgeSurrogate",
     "NETWORK_PARAMETERS",
     "OBJECTIVES",
     "Objective",
     "PointEvaluator",
     "RandomSearch",
     "STRATEGIES",
+    "SURROGATES",
+    "SearchState",
     "SearchStrategy",
+    "SklearnGPSurrogate",
+    "SurrogateModel",
+    "SurrogateSearch",
     "SweepSpec",
     "am_fits_working_set",
     "canonical_point",
     "dominance_ranks",
     "dominates",
+    "drive_search",
     "encode_parameter",
+    "expected_improvement",
     "explore",
     "frontier_table",
     "job_to_point",
     "named_constraint",
     "pareto_frontier",
     "parse_accelerator",
+    "parse_strategy_options",
     "parse_value",
     "point_to_job",
+    "register_strategy",
+    "register_surrogate",
     "resolve_objectives",
     "resolve_strategy",
+    "resolve_surrogate",
     "scalar_score",
+    "strategy_from_request",
     "sweep_markdown",
     "sweep_table",
     "sweep_to_csv",
+    "upper_confidence_bound",
 ]

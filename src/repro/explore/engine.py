@@ -8,15 +8,22 @@ of N points needs at most N + |distinct configs x networks| simulations, the
 baselines dedupe across points, and everything lands in the result cache for
 the next strategy round or the next invocation.
 
+:func:`drive_search` is the single ask/tell driver loop every strategy runs
+under: it owns evaluation (strategies only *propose* candidates and *observe*
+results), the ``budget`` cap on true simulations and trace recording, so
+adaptive strategies, the service's per-round streaming and budget accounting
+all share one code path.
+
 :func:`explore` is the one-call entry point: expand a spec, drive a search
-strategy, rank the evaluated points by Pareto dominance and return an
-:class:`ExplorationResult`.
+strategy through :func:`drive_search`, rank the evaluated points by Pareto
+dominance and return an :class:`ExplorationResult`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.jobs import (
     AcceleratorSpec,
@@ -32,7 +39,14 @@ from repro.explore.frontier import (
 )
 from repro.explore.space import DesignPoint, SweepSpec
 
-__all__ = ["EvaluatedPoint", "PointEvaluator", "ExplorationResult", "explore"]
+__all__ = [
+    "EvaluatedPoint",
+    "PointEvaluator",
+    "SearchState",
+    "drive_search",
+    "ExplorationResult",
+    "explore",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +97,39 @@ class PointEvaluator:
     def evaluated_count(self) -> int:
         return len(self._memo)
 
+    def known(self, point: DesignPoint) -> bool:
+        """Whether ``point`` was already evaluated through this evaluator."""
+        return point in self._memo
+
+    def warm(self, points: Sequence[DesignPoint]) -> List[DesignPoint]:
+        """The subset of ``points`` that cost no true simulation to evaluate.
+
+        A point is *warm* when it is already memoised here, or when both its
+        design job and its baseline job are answered by the executor's result
+        cache (e.g. a previous sweep against the same on-disk store).  The
+        budgeted driver treats warm points as free, and surrogate strategies
+        seed their training set with them -- thousands of store-warm results
+        are a free training corpus.
+        """
+        from repro.sim.jobs import job_key
+
+        cache = getattr(self.executor, "cache", None)
+        warm: List[DesignPoint] = []
+        for point in points:
+            if point in self._memo:
+                warm.append(point)
+                continue
+            if cache is None:
+                continue
+            job = self.space.job(point)
+            baseline = SimJob(network=job.network,
+                              accelerator=self.baseline_spec,
+                              config=job.config)
+            if (cache.peek(job_key(job)) is not None
+                    and cache.peek(job_key(baseline)) is not None):
+                warm.append(point)
+        return warm
+
     def evaluate(self, points: Sequence[DesignPoint]) -> List[EvaluatedPoint]:
         """Evaluate ``points`` (one batch through the executor); ordered 1:1."""
         fresh: List[DesignPoint] = []
@@ -125,6 +172,128 @@ class PointEvaluator:
         }
         return EvaluatedPoint(point=point, baseline=baseline_result.accelerator,
                               metrics=metrics)
+
+
+class SearchState:
+    """What the ask/tell driver shows a strategy between rounds.
+
+    Attributes
+    ----------
+    space / objectives:
+        The sweep being explored and the resolved objective tuple.
+    budget:
+        The cap on true simulations (``None`` = unlimited).
+    spent:
+        True simulations charged against the budget so far (stays 0 when no
+        budget is set).
+    rounds:
+        ``propose()`` batches evaluated so far.
+    trace:
+        Every evaluated point in first-evaluation order, deduplicated -- the
+        exact list :func:`drive_search` will return.  Treat it as read-only.
+    """
+
+    def __init__(self, space: SweepSpec, objectives: Sequence[Objective],
+                 evaluator: PointEvaluator,
+                 budget: Optional[int] = None) -> None:
+        self.space = space
+        self.objectives: Tuple[Objective, ...] = tuple(objectives)
+        self.budget = budget
+        self.spent = 0
+        self.rounds = 0
+        self.trace: List[EvaluatedPoint] = []
+        self._evaluator = evaluator
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """True simulations the budget still allows (``None`` = unlimited)."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.spent)
+
+    def known(self, point: DesignPoint) -> bool:
+        """Whether ``point`` was already evaluated this run (free to revisit)."""
+        return self._evaluator.known(point)
+
+    def warm(self, points: Sequence[DesignPoint]) -> List[DesignPoint]:
+        """Subset of ``points`` that are free (memoised or store-warm)."""
+        return self._evaluator.warm(points)
+
+
+def drive_search(
+    strategy,
+    space: SweepSpec,
+    evaluator: PointEvaluator,
+    objectives: Sequence[Objective],
+    budget: Optional[int] = None,
+) -> List[EvaluatedPoint]:
+    """Run one search strategy through the ask/tell loop; returns the trace.
+
+    The driver owns the propose -> evaluate -> observe loop: each round the
+    strategy's :meth:`~repro.explore.search.SearchStrategy.propose` batch is
+    deduplicated, trimmed to the remaining ``budget`` (points already
+    measured this run and store-warm points stay free), evaluated in one
+    executor batch, recorded into the trace (first-evaluation order,
+    deduplicated) and handed back through ``observe()``.  An empty proposal
+    batch ends the search.
+
+    Legacy strategies that still override ``run()`` are driven through it
+    unchanged -- with a :class:`DeprecationWarning`, and without budget
+    support (a budget on a run()-only strategy raises ``ValueError``).
+    """
+    from repro.explore.search import SearchStrategy
+
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if type(strategy).run is not SearchStrategy.run:
+        warnings.warn(
+            f"{type(strategy).__name__} overrides SearchStrategy.run(), "
+            "which is deprecated: implement propose()/observe() so the "
+            "engine's driver owns evaluation, budgets and trace recording",
+            DeprecationWarning, stacklevel=2,
+        )
+        if budget is not None:
+            raise ValueError(
+                "a simulation budget needs an ask/tell strategy; "
+                f"{type(strategy).__name__} only implements run()"
+            )
+        return list(strategy.run(space, evaluator, objectives))
+
+    state = SearchState(space, objectives, evaluator, budget=budget)
+    strategy.start(state)
+    traced = set()
+    while True:
+        raw = list(strategy.propose(state))
+        if not raw:
+            break
+        state.rounds += 1
+        seen_in_batch = set()
+        proposals = []
+        for point in raw:
+            if point not in seen_in_batch:
+                seen_in_batch.add(point)
+                proposals.append(point)
+        kept, dropped = proposals, False
+        if budget is not None:
+            warm = set(evaluator.warm(proposals))
+            kept = []
+            for point in proposals:
+                if evaluator.known(point) or point in warm:
+                    kept.append(point)
+                elif state.spent < budget:
+                    state.spent += 1
+                    kept.append(point)
+                else:
+                    dropped = True
+        evaluated = evaluator.evaluate(kept)
+        for ep in evaluated:
+            if ep.point not in traced:
+                traced.add(ep.point)
+                state.trace.append(ep)
+        strategy.observe(evaluated)
+        if dropped and not kept:
+            break  # budget exhausted and nothing in the batch was free
+    return list(state.trace)
 
 
 @dataclass
@@ -180,6 +349,7 @@ def explore(
     executor=None,
     baseline: str = "dpnn",
     engine: str = None,
+    budget: Optional[int] = None,
 ) -> ExplorationResult:
     """Run one design-space exploration end to end.
 
@@ -188,11 +358,16 @@ def explore(
     space:
         The sweep specification to explore.
     strategy:
-        A strategy name (``"grid"``, ``"random"``, ``"coordinate"``), a
+        A strategy name (any key of :data:`~repro.explore.search.STRATEGIES`,
+        e.g. ``"grid"``, ``"random"``, ``"coordinate"``, ``"surrogate"``), a
         :class:`~repro.explore.search.SearchStrategy` instance, or ``None``
         for exhaustive grid search.
     objectives:
         Objective names (or instances) to rank the frontier over.
+    budget:
+        Cap on true simulations the whole sweep may issue; points already
+        measured this run or warm in the executor's result cache stay free.
+        ``None`` (the default) means unlimited.
     executor:
         The shared :class:`~repro.sim.jobs.JobExecutor`; defaults to the
         process-wide one.
@@ -212,7 +387,8 @@ def explore(
     resolved_strategy = resolve_strategy(strategy)
     evaluator = PointEvaluator(space, executor=executor, baseline=baseline,
                                engine=engine)
-    evaluated = resolved_strategy.run(space, evaluator, resolved_objectives)
+    evaluated = drive_search(resolved_strategy, space, evaluator,
+                             resolved_objectives, budget=budget)
     ranks = dominance_ranks(evaluated, resolved_objectives)
     return ExplorationResult(
         space=space,

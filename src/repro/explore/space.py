@@ -101,6 +101,19 @@ class Axis:
             raise ValueError(f"axis {self.name!r} has duplicate values")
         object.__setattr__(self, "values", values)
 
+    @property
+    def numeric(self) -> bool:
+        """Whether every value is a real number (bools excluded).
+
+        Numeric axes have a meaningful order and distance, so surrogate
+        featurizers scale them onto one column instead of one-hot encoding
+        the individual values.
+        """
+        return all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in self.values
+        )
+
 
 @dataclass(frozen=True)
 class Constraint:
@@ -489,6 +502,15 @@ class SweepSpec:
         for axis in self.axes:
             product *= len(axis.values)
         return product
+
+    def feature_axes(self) -> Tuple[Axis, ...]:
+        """The informative axes for surrogate featurization.
+
+        Only axes with at least two values can distinguish points;
+        single-value axes and base parameters are constant across the sweep
+        and carry no information, so featurizers skip them.
+        """
+        return tuple(axis for axis in self.axes if len(axis.values) >= 2)
 
     def describe(self) -> str:
         parts = [f"{axis.name}[{len(axis.values)}]" for axis in self.axes]

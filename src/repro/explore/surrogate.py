@@ -1,0 +1,523 @@
+"""Surrogate-guided exploration: learn the simulator, simulate the promising.
+
+Large sweeps pay one true simulation per design point even though the result
+stores hold thousands of ``(design point -> speedup/efficiency/area)``
+answers.  This module closes that gap with the classic
+train-once/answer-many amortisation: a :class:`Featurizer` encodes
+:class:`~repro.explore.space.DesignPoint`\\ s into NumPy matrices (one-hot
+categorical axes, scaled numeric knobs), a :class:`SurrogateModel` learns the
+scalarised objective from every observed and store-warm result, and
+:class:`SurrogateSearch` runs a Bayesian-optimisation loop on top: seed with
+a few random true simulations, fit the surrogate, score the *entire*
+remaining grid with an Expected-Improvement or UCB acquisition (the cheap
+amortised query), and submit only the top candidates to the real simulator
+each round.  Points the search does validate go through the ordinary
+evaluator, so their metrics are bit-identical to what exhaustive grid search
+would report; unpromising points are simply never simulated.
+
+Backends: :class:`KernelRidgeSurrogate` is the dependency-free default
+(kernel-ridge/RBF regression with GP-style predictive uncertainty, pure
+NumPy); :class:`SklearnGPSurrogate` and :class:`GradientBoostedSurrogate`
+use scikit-learn when it is installed and raise a clear ``ImportError``
+pointing back at ``"ridge"`` when it is not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+try:  # pragma: no cover - Protocol fallback for very old typing stacks
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+from repro.explore.frontier import scalar_score
+from repro.explore.search import GeneratorStrategy, register_strategy
+from repro.explore.space import DesignPoint, SweepSpec, format_parameter
+
+__all__ = [
+    "Featurizer",
+    "SurrogateModel",
+    "KernelRidgeSurrogate",
+    "SklearnGPSurrogate",
+    "GradientBoostedSurrogate",
+    "SURROGATES",
+    "register_surrogate",
+    "resolve_surrogate",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "ACQUISITIONS",
+    "SurrogateSearch",
+]
+
+
+# -- featurization -------------------------------------------------------------
+
+
+class Featurizer:
+    """Encode the design points of one sweep into a dense feature matrix.
+
+    Each informative axis (:meth:`~repro.explore.space.SweepSpec.
+    feature_axes`: two or more values) contributes columns:
+
+    * numeric axes (:attr:`~repro.explore.space.Axis.numeric`) map to one
+      column, min-max scaled onto ``[0, 1]``; axes spanning a factor of 8 or
+      more (equivalent MACs, memory capacities) are log2-scaled first, so a
+      doubling is the same step everywhere on the axis;
+    * every other axis is one-hot encoded over its declared values
+      (accelerator designs, networks, DRAM channels, booleans).
+
+    Constant axes and base parameters carry no information and are skipped.
+    The encoding depends only on the spec, never on which points have been
+    observed, so feature vectors are stable across rounds and runs.
+    """
+
+    #: Numeric axes whose max/min ratio reaches this are log2-scaled.
+    LOG_SCALE_RATIO = 8.0
+
+    def __init__(self, space: SweepSpec) -> None:
+        self.space = space
+        self._columns: List[Tuple[str, str, object]] = []
+        names: List[str] = []
+        for axis in space.feature_axes():
+            if axis.numeric:
+                values = [float(value) for value in axis.values]
+                log = (min(values) > 0.0
+                       and max(values) / min(values) >= self.LOG_SCALE_RATIO)
+                if log:
+                    values = [math.log2(value) for value in values]
+                lo, hi = min(values), max(values)
+                self._columns.append((axis.name, "numeric", (log, lo, hi)))
+                names.append(axis.name)
+            else:
+                index = {value: i for i, value in enumerate(axis.values)}
+                self._columns.append((axis.name, "onehot", index))
+                names.extend(
+                    f"{axis.name}={format_parameter(axis.name, value)}"
+                    for value in axis.values
+                )
+        self.feature_names: Tuple[str, ...] = tuple(names)
+
+    @property
+    def width(self) -> int:
+        """Number of feature columns."""
+        return len(self.feature_names)
+
+    def transform(self, points: Sequence[DesignPoint]) -> np.ndarray:
+        """Encode ``points`` as a ``(len(points), width)`` float matrix."""
+        matrix = np.zeros((len(points), self.width), dtype=float)
+        offset = 0
+        for name, kind, payload in self._columns:
+            if kind == "numeric":
+                log, lo, hi = payload
+                raw = np.array([float(point[name]) for point in points])
+                if log:
+                    raw = np.log2(raw)
+                matrix[:, offset] = (raw - lo) / (hi - lo)
+                offset += 1
+            else:
+                index = payload
+                for row, point in enumerate(points):
+                    value = point[name]
+                    if value not in index:
+                        raise ValueError(
+                            f"point value {value!r} for parameter {name!r} is "
+                            f"not on the sweep's axis; featurization only "
+                            f"covers declared axis values"
+                        )
+                    matrix[row, offset + index[value]] = 1.0
+                offset += len(index)
+        return matrix
+
+
+# -- surrogate models ----------------------------------------------------------
+
+
+class SurrogateModel(Protocol):
+    """What :class:`SurrogateSearch` needs from a regression backend."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Train on features ``X`` (n x d) and targets ``y`` (n)."""
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict ``(mean, std)`` for each row of ``X``."""
+
+
+#: Registry of surrogate backends by name (see register_surrogate).
+SURROGATES: Dict[str, type] = {}
+
+
+def register_surrogate(name: str):
+    """Class decorator: register a :class:`SurrogateModel` under ``name``."""
+    def decorate(cls: type) -> type:
+        existing = SURROGATES.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"surrogate name {name!r} is already registered to "
+                f"{existing.__name__}"
+            )
+        SURROGATES[name] = cls
+        return cls
+    return decorate
+
+
+def resolve_surrogate(model: Union[str, SurrogateModel, None],
+                      **options) -> SurrogateModel:
+    """Coerce a backend name (plus options) or an instance into a model."""
+    if model is None:
+        model = "ridge"
+    if not isinstance(model, str):
+        if options:
+            raise ValueError("options only apply when naming a surrogate")
+        return model
+    if model not in SURROGATES:
+        raise ValueError(
+            f"unknown surrogate model {model!r}; known: {sorted(SURROGATES)}"
+        )
+    return SURROGATES[model](**options)
+
+
+@register_surrogate("ridge")
+class KernelRidgeSurrogate:
+    """Dependency-free kernel-ridge / RBF regressor with GP-style uncertainty.
+
+    Pure NumPy: the posterior mean is standard kernel ridge regression with a
+    unit-variance RBF kernel (length scale from the median pairwise-distance
+    heuristic unless given), and the predictive standard deviation is the
+    matching Gaussian-process posterior ``sqrt(k(x,x) - k_x^T (K + noise
+    I)^-1 k_x)``, rescaled by the training targets' spread.  Training cost is
+    one Cholesky factorisation of the observed set -- tiny next to a single
+    true simulation, which is the whole amortisation argument.
+    """
+
+    def __init__(self, length_scale: Optional[float] = None,
+                 noise: float = 1e-6) -> None:
+        if length_scale is not None and length_scale <= 0.0:
+            raise ValueError(f"length_scale must be > 0, got {length_scale}")
+        if noise <= 0.0:
+            raise ValueError(f"noise must be > 0, got {noise}")
+        self.length_scale = length_scale
+        self.noise = float(noise)
+        self._X: Optional[np.ndarray] = None
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        distances = ((A[:, None, :] - B[None, :, :]) ** 2).sum(axis=2)
+        return np.exp(-0.5 * distances / (self._scale * self._scale))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self._y_mean = float(y.mean())
+        spread = float(y.std())
+        self._y_scale = spread if spread > 0.0 else 1.0
+        targets = (y - self._y_mean) / self._y_scale
+        if self.length_scale is not None:
+            self._scale = float(self.length_scale)
+        else:
+            distances = np.sqrt(
+                ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2))
+            positive = distances[distances > 0.0]
+            self._scale = float(np.median(positive)) if positive.size else 1.0
+        K = self._kernel(X, X)
+        jitter = self.noise
+        for _ in range(8):
+            try:
+                L = np.linalg.cholesky(K + jitter * np.eye(len(X)))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10.0
+        else:  # pragma: no cover - unit-diagonal RBF always factors eventually
+            raise np.linalg.LinAlgError("kernel matrix is not positive "
+                                        "definite even with jitter")
+        self._L = L
+        z = np.linalg.solve(L, targets)
+        self._alpha = np.linalg.solve(L.T, z)
+        self._X = X
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self._X is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.asarray(X, dtype=float)
+        Kq = self._kernel(X, self._X)
+        mean = Kq @ self._alpha * self._y_scale + self._y_mean
+        V = np.linalg.solve(self._L, Kq.T)
+        variance = np.clip(1.0 - (V * V).sum(axis=0), 0.0, None)
+        std = np.sqrt(variance) * self._y_scale
+        return mean, std
+
+
+_SKLEARN_HINT = ("install scikit-learn or use the dependency-free 'ridge' "
+                 "backend")
+
+
+@register_surrogate("gp")
+class SklearnGPSurrogate:
+    """scikit-learn Gaussian-process backend (optional dependency).
+
+    An RBF kernel with a learned constant scale and a white-noise term,
+    ``normalize_y`` so metric magnitudes do not matter, and a fixed
+    ``random_state`` so proposals stay deterministic.
+    """
+
+    def __init__(self, restarts: int = 2) -> None:
+        try:
+            from sklearn.gaussian_process import GaussianProcessRegressor
+            from sklearn.gaussian_process.kernels import (
+                RBF, ConstantKernel, WhiteKernel)
+        except ImportError as error:
+            raise ImportError(
+                f"surrogate model 'gp' needs scikit-learn; {_SKLEARN_HINT}"
+            ) from error
+        kernel = (ConstantKernel(1.0) * RBF(length_scale=1.0)
+                  + WhiteKernel(noise_level=1e-6,
+                                noise_level_bounds=(1e-12, 1e-1)))
+        self._gp = GaussianProcessRegressor(
+            kernel=kernel,
+            normalize_y=True,
+            n_restarts_optimizer=restarts,
+            random_state=0,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._gp.fit(np.asarray(X, dtype=float), np.asarray(y, dtype=float))
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        mean, std = self._gp.predict(np.asarray(X, dtype=float),
+                                     return_std=True)
+        return np.asarray(mean, dtype=float), np.asarray(std, dtype=float)
+
+
+@register_surrogate("gbt")
+class GradientBoostedSurrogate:
+    """Gradient-boosted-tree backend (optional scikit-learn dependency).
+
+    The mean comes from a squared-error ensemble; the uncertainty band from
+    two quantile ensembles (16%/84%, one predictive sigma apart under a
+    normal assumption), floored at a small fraction of the target spread so
+    acquisition functions never divide by zero.
+    """
+
+    def __init__(self, estimators: int = 200, max_depth: int = 3) -> None:
+        if estimators < 1:
+            raise ValueError(f"estimators must be >= 1, got {estimators}")
+        try:
+            from sklearn.ensemble import GradientBoostingRegressor
+        except ImportError as error:
+            raise ImportError(
+                f"surrogate model 'gbt' needs scikit-learn; {_SKLEARN_HINT}"
+            ) from error
+
+        def make(**kwargs):
+            return GradientBoostingRegressor(
+                n_estimators=estimators, max_depth=max_depth,
+                random_state=0, **kwargs)
+
+        self._mean = make()
+        self._lo = make(loss="quantile", alpha=0.16)
+        self._hi = make(loss="quantile", alpha=0.84)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        spread = float(y.std())
+        self._floor = max(spread, 1.0) * 1e-3
+        for model in (self._mean, self._lo, self._hi):
+            model.fit(X, y)
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=float)
+        mean = self._mean.predict(X)
+        half_band = (self._hi.predict(X) - self._lo.predict(X)) / 2.0
+        std = np.clip(half_band, self._floor, None)
+        return mean, std
+
+
+# -- acquisition functions -----------------------------------------------------
+
+
+_erf = np.vectorize(math.erf)
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.01) -> np.ndarray:
+    """Expected improvement over ``best`` (maximisation form).
+
+    ``xi`` trades exploration for exploitation: larger values demand more
+    predicted improvement before a certain candidate beats an uncertain one.
+    Zero-uncertainty candidates fall back to their plain improvement.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = mean - best - xi
+    safe_std = np.where(std > 0.0, std, 1.0)
+    z = improvement / safe_std
+    cdf = 0.5 * (1.0 + _erf(z / math.sqrt(2.0)))
+    pdf = np.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+    ei = improvement * cdf + std * pdf
+    return np.where(std > 0.0, ei, np.maximum(improvement, 0.0))
+
+
+def upper_confidence_bound(mean: np.ndarray, std: np.ndarray, best: float,
+                           kappa: float = 1.6) -> np.ndarray:
+    """UCB acquisition: optimism in the face of uncertainty (ignores best)."""
+    return np.asarray(mean, dtype=float) + kappa * np.asarray(std, dtype=float)
+
+
+#: Acquisition functions by --strategy-opt name.
+ACQUISITIONS = {
+    "ei": expected_improvement,
+    "ucb": upper_confidence_bound,
+}
+
+
+# -- the strategy --------------------------------------------------------------
+
+
+@register_strategy("surrogate")
+class SurrogateSearch(GeneratorStrategy):
+    """Bayesian-optimisation search: simulate only what the surrogate likes.
+
+    The loop: collect every store-warm point for free, seed with ``initial``
+    random true simulations, then each round fit the surrogate on everything
+    observed so far (targets are the scalarised objective,
+    :func:`~repro.explore.frontier.scalar_score`), score all still-unobserved
+    grid points with the acquisition function and submit the top ``batch`` to
+    the real simulator.  Observed points are never proposed again, ties break
+    on grid order, and all randomness flows from ``seed``, so the proposal
+    sequence is reproducible.  The driver's ``budget`` is respected both ways:
+    batches shrink to the remaining budget, and the search stops when it runs
+    out.
+
+    Options (all reachable via ``--strategy-opt key=value``):
+
+    * ``seed`` -- RNG seed for the initial design (default 0);
+    * ``initial`` -- random true simulations to seed with (default 8);
+    * ``batch`` -- candidates submitted per round (default 4);
+    * ``rounds`` -- surrogate-guided rounds after seeding (default 8);
+    * ``model`` -- backend name (``"ridge"``, ``"gp"``, ``"gbt"``) or a
+      :class:`SurrogateModel` instance (default ``"ridge"``);
+    * ``acquisition`` -- ``"ei"`` or ``"ucb"``;
+    * ``kappa`` / ``xi`` -- UCB optimism / EI exploration margin.
+    """
+
+    def __init__(self, seed: int = 0, initial: int = 8, batch: int = 4,
+                 rounds: int = 8, model: Union[str, SurrogateModel] = "ridge",
+                 acquisition: str = "ei", kappa: float = 1.6,
+                 xi: float = 0.01) -> None:
+        if initial < 2:
+            raise ValueError(f"initial must be >= 2, got {initial}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        if acquisition not in ACQUISITIONS:
+            raise ValueError(
+                f"unknown acquisition {acquisition!r}; "
+                f"known: {sorted(ACQUISITIONS)}"
+            )
+        if isinstance(model, str) and model not in SURROGATES:
+            raise ValueError(
+                f"unknown surrogate model {model!r}; "
+                f"known: {sorted(SURROGATES)}"
+            )
+        self.seed = seed
+        self.initial = initial
+        self.batch = batch
+        self.rounds_limit = rounds
+        self.model = model
+        self.acquisition = acquisition
+        self.kappa = kappa
+        self.xi = xi
+
+    def _acquire(self, mean: np.ndarray, std: np.ndarray,
+                 best: float) -> np.ndarray:
+        if self.acquisition == "ucb":
+            return upper_confidence_bound(mean, std, best, kappa=self.kappa)
+        return expected_improvement(mean, std, best, xi=self.xi)
+
+    def rounds(self, state):
+        space = state.space
+        points = space.points()
+        if not points:
+            return
+        rng = random.Random(self.seed)
+        featurizer = Featurizer(space)
+        observed: Dict[DesignPoint, "object"] = {}
+
+        def note(evaluated):
+            for ep in evaluated:
+                observed[ep.point] = ep
+
+        def affordable(count: int) -> int:
+            if state.remaining is None:
+                return count
+            return min(count, state.remaining)
+
+        # Round 0: every store-warm result is free training data; top it up
+        # with a seeded random initial design of true simulations.
+        warm = state.warm(points)
+        warm_set = set(warm)
+        unknown = [point for point in points if point not in warm_set]
+        seeds = list(warm)
+        take = affordable(min(self.initial, len(unknown)))
+        if take:
+            seeds += rng.sample(unknown, take)
+        if seeds:
+            note((yield seeds))
+
+        if featurizer.width == 0:
+            # Degenerate sweep (no informative axes): nothing to learn from,
+            # so validate whatever remains and stop.
+            remaining = [p for p in points if p not in observed]
+            if remaining:
+                note((yield remaining))
+            return
+
+        for _ in range(self.rounds_limit):
+            if state.remaining == 0:
+                return
+            candidates = [p for p in points if p not in observed]
+            if not candidates:
+                return
+            train = [p for p in observed]
+            if len(train) < 2:
+                # Not enough observations to fit anything: sample at random.
+                batch = rng.sample(candidates,
+                                   affordable(min(self.batch,
+                                                  len(candidates))))
+                if not batch:
+                    return
+                note((yield batch))
+                continue
+            y = np.array(
+                [scalar_score(observed[p].metrics, state.objectives)
+                 for p in train], dtype=float)
+            finite = np.isfinite(y)
+            if finite.any():
+                # Infeasible-metric points score -inf; pin them just below
+                # the finite range so the fit stays well-conditioned while
+                # the surrogate still learns to avoid the region.
+                span = float(y[finite].max() - y[finite].min())
+                floor = float(y[finite].min()) - max(span, 1.0)
+                y = np.where(finite, y, floor)
+                best = float(y.max())
+            else:
+                y = np.zeros_like(y)
+                best = 0.0
+            model = resolve_surrogate(self.model)
+            model.fit(featurizer.transform(train), y)
+            mean, std = model.predict(featurizer.transform(candidates))
+            scores = self._acquire(np.asarray(mean, dtype=float),
+                                   np.asarray(std, dtype=float), best)
+            take = affordable(min(self.batch, len(candidates)))
+            if not take:
+                return
+            order = np.argsort(-scores, kind="stable")[:take]
+            evaluated = yield [candidates[i] for i in order]
+            if not evaluated:
+                return
+            note(evaluated)

@@ -223,8 +223,11 @@ class ServeClient:
     def explore(self, space: Mapping[str, object], **options: object) -> dict:
         """Run a sweep on the server (``space`` is a SweepSpec dict).
 
-        Options: ``strategy``, ``samples``, ``seed``, ``objectives``,
+        Options: ``strategy``, ``options`` (a mapping of strategy
+        constructor options, e.g. ``{"samples": 32, "seed": 7}``),
+        ``budget`` (cap on fresh true simulations), ``objectives``,
         ``baseline`` -- the same knobs as :func:`repro.explore.explore`.
+        Legacy top-level ``samples`` / ``seed`` keys keep working.
         """
         return self._request("POST", "/explore",
                              {"space": dict(space), **options})

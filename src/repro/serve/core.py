@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.explore.engine import explore
-from repro.explore.search import resolve_strategy
+from repro.explore.search import strategy_from_request
 from repro.explore.space import SweepSpec, canonical_point, point_to_job
 from repro.sim.jobs import JobExecutor, ResultCache, job_key
 from repro.sim.results import NetworkResult
@@ -317,25 +317,23 @@ class ServiceCore:
         """Run one design-space sweep against the warm store.
 
         ``request`` is ``{"space": <SweepSpec dict>, "strategy": name,
-        "samples": N, "seed": S, "objectives": [...], "baseline": kind}``
-        with everything but ``space`` optional.  ``stream`` is accepted (and
-        ignored here) so streaming-capable fronts can share the validation.
+        "options": {key: value}, "budget": N, "objectives": [...],
+        "baseline": kind}`` with everything but ``space`` optional;
+        ``options`` is the uniform strategy-option mapping (``--strategy-opt``
+        on the CLI) and ``budget`` caps true simulations.  Legacy top-level
+        ``samples`` / ``seed`` keys keep working.  ``stream`` is accepted
+        (and ignored here) so streaming-capable fronts can share the
+        validation.
         """
         if "space" not in request:
             raise ValueError("explore request needs a 'space' sweep spec")
-        unknown = set(request) - {"space", "strategy", "samples", "seed",
-                                  "objectives", "baseline", "stream"}
+        unknown = set(request) - {"space", "strategy", "options", "budget",
+                                  "samples", "seed", "objectives", "baseline",
+                                  "stream"}
         if unknown:
             raise ValueError(f"unknown explore request keys: {sorted(unknown)}")
         space = SweepSpec.from_dict(request["space"])
-        strategy_name = request.get("strategy", "grid")
-        options = {}
-        if strategy_name == "random":
-            options = {"samples": int(request.get("samples", 16)),
-                       "seed": int(request.get("seed", 0))}
-        elif strategy_name == "coordinate":
-            options = {"seed": int(request.get("seed", 0))}
-        strategy = resolve_strategy(strategy_name, **options)
+        strategy, budget = strategy_from_request(request)
         self._bump("explores")
         with self._admit_batch(), self._execute_lock:
             result = explore(
@@ -346,6 +344,7 @@ class ServiceCore:
                 executor=self.executor,
                 baseline=request.get("baseline", "dpnn"),
                 engine=self.engine,
+                budget=budget,
             )
         return result.to_dict()
 

@@ -78,6 +78,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explore", "--strategy", "genetic"])
 
+    def test_explore_strategy_opt_and_budget(self):
+        args = build_parser().parse_args([
+            "explore", "--axis", "equivalent_macs=32,64",
+            "--strategy", "surrogate",
+            "--strategy-opt", "initial=4", "--strategy-opt", "model=ridge",
+            "--budget", "12",
+        ])
+        assert args.strategy == "surrogate"
+        assert args.strategy_opt == ["initial=4", "model=ridge"]
+        assert args.budget == 12
+        assert build_parser().parse_args(["explore"]).budget is None
+        assert build_parser().parse_args(["explore"]).strategy_opt == []
+
+    def test_explore_budget_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--budget", "0"])
+
+    def test_explore_bad_strategy_opt_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--axis", "equivalent_macs=32,64",
+                  "--strategy-opt", "initial"])
+        assert excinfo.value.code == 2
+        assert "key=value" in capsys.readouterr().err
+
     def test_explore_remote_flag(self):
         args = build_parser().parse_args(
             ["explore", "--remote", "http://127.0.0.1:8100"])
@@ -481,6 +505,16 @@ class TestExploreCommand:
         assert main(self.ARGS + ["--markdown"]) == 0
         out = capsys.readouterr().out
         assert out.lstrip().startswith("| equivalent_macs |")
+
+    def test_surrogate_strategy_with_options_and_budget(self, capsys):
+        assert main(self.ARGS + [
+            "--strategy", "surrogate", "--seed", "1", "--budget", "3",
+            "--strategy-opt", "initial=2", "--strategy-opt", "batch=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "design-space exploration: surrogate strategy" in out
+        # The budget caps the sweep at 3 of the 4 feasible points.
+        assert "3/4 feasible points" in out
 
     def test_random_strategy_is_reproducible(self, capsys):
         args = self.ARGS + ["--strategy", "random", "--samples", "2",

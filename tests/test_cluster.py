@@ -214,6 +214,22 @@ class TestStreaming:
             assert len(result["evaluated"]) == 2
             assert coordinator.stats.explores == 1
 
+    def test_explore_strategy_options_and_budget_over_the_wire(self):
+        with cluster(n=1) as (coordinator, workers, client):
+            space = {"axes": {"equivalent_macs": [32, 64, 128, 192]},
+                     "base": {"network": "alexnet", "accelerator": "loom"}}
+            result = client.explore(space, strategy="random",
+                                    options={"samples": 3, "seed": 1},
+                                    budget=2)
+            assert result["strategy"] == "random"
+            assert len(result["evaluated"]) == 2  # budget trims the 3 samples
+            with pytest.raises(ServeError) as excinfo:
+                client.explore(space, budget=0)
+            assert excinfo.value.status == 400
+            with pytest.raises(ServeError) as excinfo:
+                client.explore(space, options={"bogus": 1})
+            assert excinfo.value.status == 400
+
     def test_explore_stream_validates_before_streaming(self):
         with cluster(n=1) as (coordinator, workers, client):
             with pytest.raises(ServeError) as excinfo:

@@ -1,13 +1,18 @@
 """Tests for the design-space exploration subsystem (repro.explore)."""
 
 import json
+import random
+import zlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.accelerators import AcceleratorConfig
 from repro.experiments import figure5
 from repro.experiments.common import design_label, loom_spec
 from repro.explore import (
+    STRATEGIES,
     Axis,
     Constraint,
     CoordinateDescentSearch,
@@ -15,21 +20,26 @@ from repro.explore import (
     GridSearch,
     PointEvaluator,
     RandomSearch,
+    SearchStrategy,
     SweepSpec,
     am_fits_working_set,
     canonical_point,
     dominance_ranks,
     encode_parameter,
     explore,
+    drive_search,
     job_to_point,
     point_to_job,
     frontier_table,
     pareto_frontier,
     parse_accelerator,
+    parse_strategy_options,
     parse_value,
+    register_strategy,
     resolve_objectives,
     resolve_strategy,
     scalar_score,
+    strategy_from_request,
     sweep_markdown,
     sweep_table,
     sweep_to_csv,
@@ -597,3 +607,355 @@ class TestWireFormat:
         assert payload["evaluated"][0]["metrics"]["speedup"] == \
             result.evaluated[0].metrics["speedup"]
         assert payload["space"]["base"]["network"] == "alexnet"
+
+
+# -- the ask/tell driver -------------------------------------------------------
+
+
+def _synthetic_metrics(point):
+    """Deterministic, positive fake metrics -- a pure function of the point."""
+    digest = zlib.crc32(point.label().encode("utf-8"))
+    return {
+        "speedup": 1.0 + (digest % 997) / 100.0,
+        "energy_efficiency": 1.0 + ((digest >> 10) % 991) / 100.0,
+        "area_mm2": 1.0 + ((digest >> 20) % 983) / 100.0,
+    }
+
+
+class _StubEvaluator:
+    """PointEvaluator stand-in: no simulator, synthetic metrics, same API."""
+
+    def __init__(self, space):
+        self.space = space
+        self._memo = {}
+
+    def known(self, point):
+        return point in self._memo
+
+    def warm(self, points):
+        return [point for point in points if point in self._memo]
+
+    def evaluate(self, points):
+        for point in points:
+            if point not in self._memo:
+                self._memo[point] = EvaluatedPoint(
+                    point=point, baseline="dpnn",
+                    metrics=_synthetic_metrics(point))
+        return [self._memo[point] for point in points]
+
+
+def _trace_json(trace):
+    return json.dumps([ep.to_dict() for ep in trace], sort_keys=True)
+
+
+_DRIVER_OBJECTIVES = resolve_objectives(("speedup", "energy_efficiency",
+                                         "area"))
+
+
+class TestAskTellDriver:
+    def test_base_run_shim_warns_and_drives(self):
+        space = small_space()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            trace = GridSearch().run(space, _StubEvaluator(space),
+                                     _DRIVER_OBJECTIVES)
+        assert [ep.point for ep in trace] == space.points()
+
+    def test_legacy_run_override_still_driven_with_warning(self):
+        class Legacy(SearchStrategy):
+            name = "legacy"
+
+            def run(self, space, evaluator, objectives):
+                return evaluator.evaluate(space.points()[:2])
+
+        space = small_space()
+        with pytest.warns(DeprecationWarning,
+                          match="overrides SearchStrategy.run"):
+            trace = drive_search(Legacy(), space, _StubEvaluator(space),
+                                 _DRIVER_OBJECTIVES)
+        assert [ep.point for ep in trace] == space.points()[:2]
+
+    def test_budget_with_legacy_strategy_rejected(self):
+        class Legacy(SearchStrategy):
+            def run(self, space, evaluator, objectives):
+                return []
+
+        space = small_space()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="ask/tell"):
+                drive_search(Legacy(), space, _StubEvaluator(space),
+                             _DRIVER_OBJECTIVES, budget=3)
+
+    def test_budget_must_be_positive(self):
+        space = small_space()
+        with pytest.raises(ValueError, match="budget must be >= 1"):
+            drive_search(GridSearch(), space, _StubEvaluator(space),
+                         _DRIVER_OBJECTIVES, budget=0)
+
+    def test_budget_caps_fresh_evaluations(self):
+        space = small_space()
+        trace = drive_search(RandomSearch(samples=4, seed=0), space,
+                             _StubEvaluator(space), _DRIVER_OBJECTIVES,
+                             budget=2)
+        assert len(trace) == 2
+
+    def test_warm_points_do_not_consume_the_budget(self):
+        space = small_space()
+        evaluator = _StubEvaluator(space)
+        evaluator.evaluate(space.points())  # everything warm
+        trace = drive_search(GridSearch(), space, evaluator,
+                             _DRIVER_OBJECTIVES, budget=1)
+        assert len(trace) == len(space.points())
+
+    def test_driver_dedups_batches_and_tracks_state(self):
+        space = small_space()
+
+        class Probe(SearchStrategy):
+            name = "probe"
+
+            def __init__(self):
+                self.observed = []
+                self.state = None
+
+            def propose(self, state):
+                self.state = state
+                if state.rounds:
+                    return []
+                point = state.space.points()[0]
+                return [point, point]  # in-batch duplicate
+
+            def observe(self, evaluated):
+                self.observed.append(list(evaluated))
+
+        probe = Probe()
+        trace = drive_search(probe, space, _StubEvaluator(space),
+                             _DRIVER_OBJECTIVES, budget=5)
+        assert len(trace) == 1
+        assert [len(batch) for batch in probe.observed] == [1]
+        assert probe.state.rounds == 1
+        assert probe.state.spent == 1
+        assert probe.state.remaining == 4
+
+    def test_strategy_without_propose_or_run_rejected(self):
+        space = small_space()
+        with pytest.raises(NotImplementedError, match="neither propose"):
+            drive_search(SearchStrategy(), space, _StubEvaluator(space),
+                         _DRIVER_OBJECTIVES)
+
+
+# Pre-redesign strategy implementations, reproduced verbatim so the property
+# test below can pin that the ask/tell driver yields byte-identical traces.
+
+
+class _LegacyGrid(SearchStrategy):
+    def run(self, space, evaluator, objectives):
+        return evaluator.evaluate(space.points())
+
+
+class _LegacyRandom(SearchStrategy):
+    def __init__(self, samples, seed):
+        self.samples = samples
+        self.seed = seed
+
+    def run(self, space, evaluator, objectives):
+        points = space.points()
+        if len(points) > self.samples:
+            points = random.Random(self.seed).sample(points, self.samples)
+        return evaluator.evaluate(points)
+
+
+class _LegacyCoordinate(SearchStrategy):
+    def __init__(self, seed, starts, max_rounds):
+        self.seed = seed
+        self.starts = starts
+        self.max_rounds = max_rounds
+
+    def run(self, space, evaluator, objectives):
+        points = space.points()
+        if not points:
+            return []
+        axis_names = space.axis_names
+        by_coords = {
+            tuple(point[name] for name in axis_names): point
+            for point in points
+        }
+        rng = random.Random(self.seed)
+        trace = []
+        traced = set()
+
+        def record(evaluated):
+            for ep in evaluated:
+                if ep.point not in traced:
+                    traced.add(ep.point)
+                    trace.append(ep)
+
+        def score_of(ep):
+            return scalar_score(ep.metrics, objectives)
+
+        for _ in range(self.starts):
+            current = rng.choice(points)
+            (current_ep,) = evaluator.evaluate([current])
+            record([current_ep])
+            for _ in range(self.max_rounds):
+                improved = False
+                for index, axis in enumerate(space.axes):
+                    if len(axis.values) < 2:
+                        continue
+                    coords = tuple(current[name] for name in axis_names)
+                    candidates = []
+                    for value in axis.values:
+                        candidate_coords = (coords[:index] + (value,)
+                                            + coords[index + 1:])
+                        candidate = by_coords.get(candidate_coords)
+                        if candidate is not None:
+                            candidates.append(candidate)
+                    evaluated = evaluator.evaluate(candidates)
+                    record(evaluated)
+                    best = max(evaluated, key=score_of)
+                    if best.point != current \
+                            and score_of(best) > score_of(current_ep):
+                        current, current_ep = best.point, best
+                        improved = True
+                if not improved:
+                    break
+        return trace
+
+
+def _equivalence_space():
+    return SweepSpec(
+        axes=[
+            Axis("equivalent_macs", (32, 64, 128)),
+            Axis("accelerator", ("loom", "loom:bits_per_cycle=2",
+                                 "dstripes")),
+            Axis("am_capacity_bytes", (1 << 20, 2 << 20)),
+        ],
+        base={"network": "alexnet"},
+        constraints=[Constraint(
+            "no-big-dstripes",
+            lambda p: not (p["equivalent_macs"] == 128
+                           and p["accelerator"].kind == "dstripes"))],
+    )
+
+
+class TestLegacyTraceEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), samples=st.integers(1, 18),
+           starts=st.integers(1, 3), max_rounds=st.integers(1, 4))
+    def test_driver_reproduces_pre_redesign_traces(self, seed, samples,
+                                                   starts, max_rounds):
+        space = _equivalence_space()
+        pairs = [
+            (GridSearch(), _LegacyGrid()),
+            (RandomSearch(samples=samples, seed=seed),
+             _LegacyRandom(samples, seed)),
+            (CoordinateDescentSearch(seed=seed, starts=starts,
+                                     max_rounds=max_rounds),
+             _LegacyCoordinate(seed, starts, max_rounds)),
+        ]
+        for current, legacy in pairs:
+            new_trace = drive_search(current, space, _StubEvaluator(space),
+                                     _DRIVER_OBJECTIVES)
+            old_trace = legacy.run(space, _StubEvaluator(space),
+                                   _DRIVER_OBJECTIVES)
+            assert _trace_json(new_trace) == _trace_json(old_trace), \
+                f"{type(current).__name__} trace diverged from pre-redesign"
+
+
+class TestCoordinateInfeasibleAxes:
+    def test_axis_with_all_alternatives_infeasible_is_skipped(self):
+        # Feasible set is the diagonal {(32, loom), (64, dstripes)}: from
+        # either point every single-axis alternative is constraint-pruned,
+        # which used to leave the axis sweep with an empty candidate batch
+        # (and `max(evaluated)` with an empty sequence).
+        space = small_space(constraints=[Constraint(
+            "diagonal",
+            lambda p: (p["equivalent_macs"] == 32)
+            == (p["accelerator"].kind == "loom"))])
+        assert len(space.points()) == 2
+        with JobExecutor(cache=None) as executor:
+            result = explore(
+                space, strategy=CoordinateDescentSearch(seed=0, starts=2),
+                executor=executor)
+        assert 1 <= len(result.evaluated) <= 2
+        for ep in result.evaluated:
+            assert (ep.point["equivalent_macs"] == 32) \
+                == (ep.point["accelerator"].kind == "loom")
+
+
+class TestStrategyRegistry:
+    def test_register_strategy_sets_name_and_resolves(self):
+        @register_strategy("registry-probe")
+        class Probe(SearchStrategy):
+            def propose(self, state):
+                return []
+
+        try:
+            assert Probe.name == "registry-probe"
+            assert isinstance(resolve_strategy("registry-probe"), Probe)
+        finally:
+            del STRATEGIES["registry-probe"]
+
+    def test_duplicate_name_for_different_class_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("grid")(RandomSearch)
+
+    def test_reregistering_the_same_class_is_idempotent(self):
+        assert register_strategy("grid")(GridSearch) is GridSearch
+
+    def test_bad_constructor_options_become_value_errors(self):
+        with pytest.raises(ValueError, match="bad option"):
+            resolve_strategy("random", bogus=1)
+
+
+class TestStrategyOptions:
+    def test_parse_strategy_options_types_the_values(self):
+        assert parse_strategy_options(None) == {}
+        assert parse_strategy_options([]) == {}
+        assert parse_strategy_options(
+            ["samples=8", "model=gp", "kappa=1.5"]
+        ) == {"samples": 8, "model": "gp", "kappa": 1.5}
+
+    def test_malformed_and_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_strategy_options(["samples"])
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_strategy_options(["=8"])
+        with pytest.raises(ValueError, match="duplicate strategy option"):
+            parse_strategy_options(["seed=1", "seed=2"])
+
+    def test_strategy_from_request_defaults_to_grid(self):
+        strategy, budget = strategy_from_request({})
+        assert isinstance(strategy, GridSearch)
+        assert budget is None
+
+    def test_strategy_from_request_uniform_form(self):
+        strategy, budget = strategy_from_request({
+            "strategy": "random",
+            "options": {"samples": 3, "seed": 9},
+            "budget": 7,
+        })
+        assert isinstance(strategy, RandomSearch)
+        assert (strategy.samples, strategy.seed) == (3, 9)
+        assert budget == 7
+
+    def test_strategy_from_request_legacy_keys_still_work(self):
+        strategy, budget = strategy_from_request(
+            {"strategy": "random", "samples": 5, "seed": 2})
+        assert (strategy.samples, strategy.seed) == (5, 2)
+        assert budget is None
+        # The uniform options form wins over the legacy top-level keys.
+        strategy, _ = strategy_from_request(
+            {"strategy": "random", "samples": 5, "options": {"samples": 11}})
+        assert strategy.samples == 11
+        # Legacy keys only apply to the strategies that understand them.
+        strategy, _ = strategy_from_request(
+            {"strategy": "coordinate", "samples": 5, "seed": 4})
+        assert isinstance(strategy, CoordinateDescentSearch)
+        assert strategy.seed == 4
+
+    def test_strategy_from_request_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            strategy_from_request({"options": ["samples", 3]})
+        with pytest.raises(ValueError, match="budget must be >= 1"):
+            strategy_from_request({"budget": 0})
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            strategy_from_request({"strategy": "annealing"})

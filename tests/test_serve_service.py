@@ -478,6 +478,29 @@ class TestExploreThroughTheService:
                 client.explore({"axes": {}})
             assert excinfo.value.status == 400
 
+    def test_explore_strategy_options_and_budget_over_the_wire(self):
+        with serving() as (_, client):
+            result = client.explore(
+                self.SPACE.to_dict(), strategy="surrogate",
+                options={"seed": 1, "initial": 2, "batch": 1}, budget=3)
+            assert result["strategy"] == "surrogate"
+            assert len(result["evaluated"]) == 3  # budget-capped below 4
+            # Bad option values come back as a 400, not a 500.
+            with pytest.raises(ServeError) as excinfo:
+                client.explore(self.SPACE.to_dict(), strategy="surrogate",
+                               options={"initial": 1})
+            assert excinfo.value.status == 400
+            with pytest.raises(ServeError) as excinfo:
+                client.explore(self.SPACE.to_dict(), budget=0)
+            assert excinfo.value.status == 400
+
+    def test_explore_legacy_samples_seed_keys_still_work(self):
+        with serving() as (_, client):
+            result = client.explore(self.SPACE.to_dict(), strategy="random",
+                                    samples=2, seed=7)
+            assert result["strategy"] == "random"
+            assert len(result["evaluated"]) == 2
+
     def test_explore_respects_the_admission_bound(self):
         # Regression: sweeps must pass the same 429 backpressure gate as
         # /jobs batches instead of queueing unboundedly on the execute lock.

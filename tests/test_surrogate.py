@@ -1,0 +1,371 @@
+"""Tests for surrogate-guided exploration (repro.explore.surrogate)."""
+
+import importlib.util
+import json
+
+import numpy as np
+import pytest
+
+from repro.explore import (
+    Axis,
+    Featurizer,
+    KernelRidgeSurrogate,
+    SearchStrategy,
+    SurrogateSearch,
+    SweepSpec,
+    expected_improvement,
+    explore,
+    register_surrogate,
+    resolve_strategy,
+    resolve_surrogate,
+    upper_confidence_bound,
+)
+from repro.sim.jobs import JobExecutor
+
+HAVE_SKLEARN = importlib.util.find_spec("sklearn") is not None
+
+needs_sklearn = pytest.mark.skipif(not HAVE_SKLEARN,
+                                   reason="scikit-learn not installed")
+without_sklearn = pytest.mark.skipif(HAVE_SKLEARN,
+                                     reason="scikit-learn is installed")
+
+
+def surrogate_space(**overrides):
+    kwargs = dict(
+        axes=[
+            Axis("equivalent_macs", (32, 64, 128, 256)),
+            Axis("accelerator", ("loom", "loom:bits_per_cycle=2",
+                                 "dstripes")),
+        ],
+        base={"network": "alexnet"},
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def trace_dicts(result):
+    return json.dumps([ep.to_dict() for ep in result.evaluated],
+                      sort_keys=True)
+
+
+class TestFeaturizer:
+    def test_numeric_axis_log_scaled_onto_unit_interval(self):
+        # equivalent_macs spans 256/32 = 8x, which hits LOG_SCALE_RATIO.
+        space = surrogate_space()
+        featurizer = Featurizer(space)
+        points = [p for p in space.points() if p["accelerator"].kind == "loom"
+                  and not p["accelerator"].options]
+        column = featurizer.transform(points)[:, 0]
+        assert column == pytest.approx([0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0])
+
+    def test_numeric_axis_linear_when_span_is_small(self):
+        space = surrogate_space(
+            axes=[Axis("equivalent_macs", (32, 64, 128)),
+                  Axis("accelerator", ("loom", "dstripes"))])
+        featurizer = Featurizer(space)
+        points = [p for p in space.points()
+                  if p["accelerator"].kind == "loom"]
+        column = featurizer.transform(points)[:, 0]
+        # Linear min-max scaling: 64 sits at (64-32)/(128-32), not at 0.5.
+        assert column == pytest.approx([0.0, 32.0 / 96.0, 1.0])
+
+    def test_categorical_axis_one_hot(self):
+        space = surrogate_space()
+        featurizer = Featurizer(space)
+        assert featurizer.width == 1 + 3  # one numeric + 3 accelerators
+        matrix = featurizer.transform(space.points())
+        onehot = matrix[:, 1:]
+        assert np.all(onehot.sum(axis=1) == 1.0)
+        assert set(np.unique(onehot)) == {0.0, 1.0}
+
+    def test_constant_axes_and_base_parameters_are_skipped(self):
+        space = surrogate_space(
+            axes=[Axis("equivalent_macs", (32, 64)),
+                  Axis("accelerator", ("loom",))])
+        featurizer = Featurizer(space)
+        assert featurizer.feature_names == ("equivalent_macs",)
+
+    def test_off_axis_value_rejected(self):
+        space = surrogate_space()
+        other = surrogate_space(
+            axes=[Axis("equivalent_macs", (32, 64, 128, 256)),
+                  Axis("accelerator", ("stripes",))])
+        featurizer = Featurizer(space)
+        with pytest.raises(ValueError, match="not on the sweep's axis"):
+            featurizer.transform(other.points()[:1])
+
+    def test_encoding_depends_only_on_the_spec(self):
+        space = surrogate_space()
+        points = space.points()
+        first = Featurizer(space).transform(points)
+        second = Featurizer(surrogate_space()).transform(points)
+        assert np.array_equal(first, second)
+
+
+class TestKernelRidgeSurrogate:
+    def toy(self):
+        X = np.array([[0.0], [0.25], [0.5], [0.75], [1.0]])
+        y = np.array([0.0, 1.0, 4.0, 9.0, 16.0])
+        return X, y
+
+    def test_near_interpolation_at_training_points(self):
+        X, y = self.toy()
+        model = KernelRidgeSurrogate()
+        model.fit(X, y)
+        mean, std = model.predict(X)
+        assert mean == pytest.approx(y, abs=1e-2)
+        assert np.all(std < 1e-2)
+
+    def test_uncertainty_grows_away_from_training_points(self):
+        X, y = self.toy()
+        model = KernelRidgeSurrogate()
+        model.fit(X, y)
+        _, at_train = model.predict(X[:1])
+        _, far_away = model.predict(np.array([[5.0]]))
+        assert far_away[0] > at_train[0]
+        assert far_away[0] > 0.0
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            KernelRidgeSurrogate().predict(np.zeros((1, 1)))
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError, match="length_scale"):
+            KernelRidgeSurrogate(length_scale=0.0)
+        with pytest.raises(ValueError, match="noise"):
+            KernelRidgeSurrogate(noise=-1.0)
+
+    def test_constant_targets_are_handled(self):
+        X, _ = self.toy()
+        model = KernelRidgeSurrogate()
+        model.fit(X, np.full(len(X), 7.0))
+        mean, _ = model.predict(X)
+        assert mean == pytest.approx(np.full(len(X), 7.0), abs=1e-3)
+
+
+class TestSurrogateRegistry:
+    def test_default_is_the_ridge_backend(self):
+        assert isinstance(resolve_surrogate(None), KernelRidgeSurrogate)
+        assert isinstance(resolve_surrogate("ridge"), KernelRidgeSurrogate)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown surrogate model"):
+            resolve_surrogate("nonsense")
+
+    def test_instance_passes_through_but_rejects_options(self):
+        model = KernelRidgeSurrogate()
+        assert resolve_surrogate(model) is model
+        with pytest.raises(ValueError, match="options only apply"):
+            resolve_surrogate(model, noise=1e-3)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_surrogate("ridge")(object)
+
+    @without_sklearn
+    def test_optional_backends_point_back_at_ridge(self):
+        for name in ("gp", "gbt"):
+            with pytest.raises(ImportError, match="ridge"):
+                resolve_surrogate(name)
+
+
+class TestAcquisitions:
+    def test_expected_improvement_prefers_better_mean(self):
+        ei = expected_improvement(np.array([1.0, 2.0]), np.array([1.0, 1.0]),
+                                  best=1.0)
+        assert ei[1] > ei[0] > 0.0
+
+    def test_expected_improvement_prefers_uncertainty_at_equal_mean(self):
+        ei = expected_improvement(np.array([1.0, 1.0]), np.array([0.1, 1.0]),
+                                  best=1.0)
+        assert ei[1] > ei[0]
+
+    def test_expected_improvement_zero_std_falls_back_to_improvement(self):
+        ei = expected_improvement(np.array([2.0, 0.5]), np.array([0.0, 0.0]),
+                                  best=1.0, xi=0.0)
+        assert ei == pytest.approx([1.0, 0.0])
+
+    def test_upper_confidence_bound(self):
+        ucb = upper_confidence_bound(np.array([1.0]), np.array([2.0]),
+                                     best=123.0, kappa=1.5)
+        assert ucb == pytest.approx([4.0])
+
+
+class _RecordingStrategy(SearchStrategy):
+    """Wraps a strategy to record every proposed batch verbatim."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batches = []
+
+    def start(self, state):
+        self.inner.start(state)
+
+    def propose(self, state):
+        batch = list(self.inner.propose(state))
+        if batch:
+            self.batches.append(batch)
+        return batch
+
+    def observe(self, evaluated):
+        self.inner.observe(evaluated)
+
+
+class TestSurrogateSearch:
+    def options(self, **overrides):
+        kwargs = dict(seed=3, initial=3, batch=2, rounds=3)
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            SurrogateSearch(initial=1)
+        with pytest.raises(ValueError, match="batch"):
+            SurrogateSearch(batch=0)
+        with pytest.raises(ValueError, match="rounds"):
+            SurrogateSearch(rounds=-1)
+        with pytest.raises(ValueError, match="unknown acquisition"):
+            SurrogateSearch(acquisition="pi")
+        with pytest.raises(ValueError, match="unknown surrogate model"):
+            SurrogateSearch(model="nonsense")
+
+    def test_registered_under_its_name(self):
+        strategy = resolve_strategy("surrogate", seed=5)
+        assert isinstance(strategy, SurrogateSearch)
+        assert strategy.name == "surrogate"
+        assert strategy.seed == 5
+
+    def test_same_seed_reproduces_the_trace(self):
+        space = surrogate_space()
+        traces = []
+        for _ in range(2):
+            with JobExecutor(cache=None) as executor:
+                result = explore(space,
+                                 strategy=SurrogateSearch(**self.options()),
+                                 executor=executor)
+            traces.append(trace_dicts(result))
+        assert traces[0] == traces[1]
+
+    def test_different_seeds_change_the_initial_design(self):
+        space = surrogate_space()
+        starts = []
+        for seed in (0, 1):
+            with JobExecutor(cache=None) as executor:
+                result = explore(
+                    space,
+                    strategy=SurrogateSearch(**self.options(seed=seed)),
+                    executor=executor)
+            starts.append(tuple(ep.point for ep in result.evaluated[:3]))
+        assert starts[0] != starts[1]
+
+    def test_observed_points_never_proposed_twice(self):
+        space = surrogate_space()
+        recorder = _RecordingStrategy(SurrogateSearch(**self.options()))
+        with JobExecutor(cache=None) as executor:
+            explore(space, strategy=recorder, executor=executor)
+        seen = set()
+        for batch in recorder.batches:
+            for point in batch:
+                assert point not in seen, (
+                    f"{point.label()} proposed in two batches"
+                )
+                seen.add(point)
+
+    def test_budget_caps_true_simulations(self):
+        space = surrogate_space()
+        with JobExecutor(cache=None) as executor:
+            result = explore(space,
+                             strategy=SurrogateSearch(**self.options()),
+                             executor=executor, budget=5)
+        assert len(result.evaluated) == 5
+
+    def test_validated_points_bit_identical_to_grid(self):
+        space = surrogate_space()
+        with JobExecutor(cache=None) as executor:
+            grid = explore(space, strategy="grid", executor=executor)
+        with JobExecutor(cache=None) as executor:
+            guided = explore(space,
+                             strategy=SurrogateSearch(**self.options()),
+                             executor=executor)
+        reference = {ep.point: ep.metrics for ep in grid.evaluated}
+        assert guided.evaluated
+        for ep in guided.evaluated:
+            assert ep.metrics == reference[ep.point]
+
+    def test_store_warm_results_are_free_training_data(self):
+        space = surrogate_space()
+        with JobExecutor() as executor:
+            explore(space, strategy="grid", executor=executor)
+            executed = executor.stats.executed
+            result = explore(space,
+                             strategy=SurrogateSearch(**self.options()),
+                             executor=executor, budget=1)
+            # The whole grid is warm in the result cache: the surrogate
+            # trains on all of it without issuing a single new simulation,
+            # and the budget of 1 never gets charged.
+            assert executor.stats.executed == executed
+        assert len(result.evaluated) == len(space.points())
+
+    def test_degenerate_space_without_informative_axes(self):
+        space = SweepSpec(axes=[Axis("equivalent_macs", (32,))],
+                          base={"network": "alexnet", "accelerator": "loom"})
+        with JobExecutor(cache=None) as executor:
+            result = explore(space,
+                             strategy=SurrogateSearch(**self.options()),
+                             executor=executor)
+        assert len(result.evaluated) == 1
+
+    def test_ucb_acquisition_runs_end_to_end(self):
+        space = surrogate_space()
+        with JobExecutor(cache=None) as executor:
+            result = explore(
+                space,
+                strategy=SurrogateSearch(**self.options(acquisition="ucb",
+                                                        kappa=2.0)),
+                executor=executor)
+        assert result.evaluated
+
+
+@needs_sklearn
+class TestSklearnBackends:
+    def toy(self):
+        rng = np.random.RandomState(0)
+        X = rng.uniform(size=(30, 2))
+        y = X[:, 0] * 2.0 + np.sin(3.0 * X[:, 1])
+        return X, y
+
+    def test_gp_fit_predict(self):
+        X, y = self.toy()
+        model = resolve_surrogate("gp")
+        model.fit(X, y)
+        mean, std = model.predict(X)
+        assert mean == pytest.approx(y, abs=0.2)
+        assert std.shape == y.shape
+        assert np.all(std >= 0.0)
+
+    def test_gbt_fit_predict(self):
+        X, y = self.toy()
+        model = resolve_surrogate("gbt", estimators=50)
+        model.fit(X, y)
+        mean, std = model.predict(X)
+        assert mean == pytest.approx(y, abs=0.5)
+        assert np.all(std > 0.0)  # floored, never zero
+
+    def test_gbt_bad_options_rejected(self):
+        with pytest.raises(ValueError, match="estimators"):
+            resolve_surrogate("gbt", estimators=0)
+
+    @pytest.mark.parametrize("backend", ["gp", "gbt"])
+    def test_search_with_sklearn_backend_matches_grid_bitwise(self, backend):
+        space = surrogate_space()
+        with JobExecutor(cache=None) as executor:
+            grid = explore(space, strategy="grid", executor=executor)
+        with JobExecutor(cache=None) as executor:
+            guided = explore(
+                space,
+                strategy=SurrogateSearch(seed=3, initial=3, batch=2,
+                                         rounds=2, model=backend),
+                executor=executor)
+        reference = {ep.point: ep.metrics for ep in grid.evaluated}
+        for ep in guided.evaluated:
+            assert ep.metrics == reference[ep.point]
