@@ -127,6 +127,16 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {number}")
+    return number
+
+
 def _port_number(value: str) -> int:
     try:
         number = int(value)
@@ -375,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
              "backpressure (default: 8)",
     )
     cluster_cmd.add_argument(
-        "--rate", type=float, default=None, metavar="R",
+        "--rate", type=_positive_float, default=None, metavar="R",
         help="per-client sustained requests/second at the coordinator "
              "(default: unlimited)",
     )
@@ -386,6 +396,24 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_cmd.add_argument(
         "--quota", type=_positive_int, default=None, metavar="N",
         help="per-client lifetime request quota (default: unlimited)",
+    )
+    peer_group = cluster_cmd.add_mutually_exclusive_group()
+    peer_group.add_argument(
+        "--peer-cache", dest="peer_cache", action="store_true", default=True,
+        help="share each worker's cache across the cluster: local misses "
+             "ask the key's owning peer before simulating, and fresh "
+             "results replicate to the key's failover shard (default: on)",
+    )
+    peer_group.add_argument(
+        "--no-peer-cache", dest="peer_cache", action="store_false",
+        help="keep workers shared-nothing (no peer lookups, no "
+             "write-through replication)",
+    )
+    cluster_cmd.add_argument(
+        "--peer-timeout-ms", type=_positive_float, default=1000.0,
+        metavar="MS",
+        help="strict budget for one peer-cache lookup before falling back "
+             "to local compute (default: 1000)",
     )
     cluster_cmd.add_argument(
         "--ready-file", default=None, metavar="PATH",
@@ -685,7 +713,10 @@ def _cluster(args: argparse.Namespace) -> str:
             burst=args.burst, quota=args.quota)
     coordinator = ClusterCoordinator(worker_urls, host=args.host,
                                      port=args.port,
-                                     rate_limiter=rate_limiter)
+                                     rate_limiter=rate_limiter,
+                                     peer_cache=args.peer_cache,
+                                     peer_timeout_s=args.peer_timeout_ms
+                                     / 1000.0)
     try:
         url = coordinator.start()
     except OSError:

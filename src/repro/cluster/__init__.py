@@ -34,6 +34,7 @@ from repro.cluster.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.cluster.peercache import PeerCacheBackend
 from repro.cluster.ratelimit import RateLimitDecision, RateLimiter, TokenBucket
 from repro.cluster.ring import ConsistentHashRing
 from repro.cluster.worker import ClusterWorker
@@ -50,6 +51,7 @@ __all__ = [
     "HTTPResponder",
     "Histogram",
     "MetricsRegistry",
+    "PeerCacheBackend",
     "RateLimitDecision",
     "RateLimiter",
     "RequestError",

@@ -65,6 +65,10 @@ from repro.sim.results import NetworkResult
 __all__ = ["ClusterCoordinator", "ShardState"]
 
 
+async def _gather_bools(coroutines) -> List[bool]:
+    return await asyncio.gather(*coroutines)
+
+
 @dataclass
 class ShardState:
     """What the coordinator believes about one worker."""
@@ -74,6 +78,9 @@ class ShardState:
     consecutive_failures: int = 0
     last_error: Optional[str] = None
     last_check: Optional[float] = None
+    #: Whether this shard holds current ring membership (pushed at start;
+    #: re-pushed when a restarted shard comes back with empty state).
+    ring_pushed: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -81,6 +88,7 @@ class ShardState:
             "healthy": self.healthy,
             "consecutive_failures": self.consecutive_failures,
             "last_error": self.last_error,
+            "ring_pushed": self.ring_pushed,
         }
 
 
@@ -96,11 +104,15 @@ class CoordinatorStats:
     errors: int = 0
     explores: int = 0
     streams: int = 0
+    #: Dead-shard points answered from a surviving shard's cache tier
+    #: instead of being re-simulated (the failover probe path).
+    peer_cache_answers: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in (
             "requests", "submitted_points", "routed_points", "shard_retries",
-            "rate_limited", "errors", "explores", "streams")}
+            "rate_limited", "errors", "explores", "streams",
+            "peer_cache_answers")}
 
 
 @dataclass
@@ -146,6 +158,18 @@ class ClusterCoordinator:
     shard_backpressure_retries:
         How many times a shard 429 is retried (with capped exponential
         backoff honouring ``Retry-After``) before failing the request.
+    peer_cache:
+        Activate the cluster-shared cache tier: ring membership is pushed
+        to every worker at start (``POST /ring``), workers answer local
+        misses from the key's owning peer, and the coordinator probes
+        surviving shards for a dead shard's results during mid-batch
+        re-routes instead of re-simulating them.
+    peer_timeout_s:
+        Strict budget for one peer-cache lookup (both the workers' peer
+        fetches and the coordinator's failover probes).
+    peer_write_through:
+        Have workers replicate fresh results to the key's failover target
+        so re-routed keys stay warm across shard death.
     """
 
     def __init__(
@@ -158,6 +182,9 @@ class ClusterCoordinator:
         health_interval_s: float = 2.0,
         shard_timeout_s: float = 600.0,
         shard_backpressure_retries: int = 8,
+        peer_cache: bool = True,
+        peer_timeout_s: float = 1.0,
+        peer_write_through: bool = True,
     ) -> None:
         if not workers:
             raise ValueError("a cluster needs at least one worker URL")
@@ -169,6 +196,12 @@ class ClusterCoordinator:
             raise ValueError(f"duplicate worker URLs in {list(workers)}")
         self.ring = ConsistentHashRing(self.shards, replicas=replicas)
         self.rate_limiter = rate_limiter
+        if peer_timeout_s <= 0:
+            raise ValueError(
+                f"peer_timeout_s must be > 0, got {peer_timeout_s}")
+        self.peer_cache = peer_cache
+        self.peer_timeout_s = peer_timeout_s
+        self.peer_write_through = peer_write_through
         self.health_interval_s = health_interval_s
         self.shard_timeout_s = shard_timeout_s
         self.shard_backpressure_retries = shard_backpressure_retries
@@ -205,6 +238,15 @@ class ClusterCoordinator:
         self._stream_events_total = self.metrics.counter(
             "loom_coordinator_stream_events_total",
             "Chunks/events written on streaming responses.")
+        self._peer_cache_hits_total = self.metrics.counter(
+            "loom_coordinator_peer_cache_hits_total",
+            "Dead-shard points answered from a survivor's cache tier.")
+        self._peer_cache_misses_total = self.metrics.counter(
+            "loom_coordinator_peer_cache_misses_total",
+            "Failover probes no surviving shard could answer.")
+        self._peer_probe_seconds = self.metrics.histogram(
+            "loom_coordinator_peer_probe_seconds",
+            "Failover cache-probe latency in seconds, per point.")
         self._shard_healthy = self.metrics.gauge(
             "loom_coordinator_shard_healthy",
             "1 when the shard answered its last health check, else 0.",
@@ -243,6 +285,17 @@ class ClusterCoordinator:
                 self._health_loop())
 
         self._server.run_coroutine(_install_health_loop()).result(timeout=5.0)
+        if self.peer_cache:
+            # Hand every worker the ring so their peer tiers route the
+            # same way this coordinator does.  A worker that cannot take
+            # it (older build, mid-restart) just stays shared-nothing; the
+            # health loop retries once it answers again.
+            self._server.run_coroutine(
+                asyncio.wait_for(
+                    _gather_bools(self._push_ring(shard_url)
+                                  for shard_url in self.shards),
+                    timeout=30.0)
+            ).result(timeout=35.0)
         return url
 
     def stop(self, drain_timeout_s: float = 15.0) -> None:
@@ -312,7 +365,28 @@ class ClusterCoordinator:
         else:
             shard.consecutive_failures += 1
             shard.last_error = error
+            # Whatever replaces this shard (a restarted process with an
+            # empty ring) must get membership pushed again on recovery.
+            shard.ring_pushed = False
         self._shard_healthy.set(1 if healthy else 0, shard=url)
+
+    async def _push_ring(self, url: str) -> bool:
+        """Hand ``url`` the ring membership (and peer-tier knobs)."""
+        payload = {
+            "nodes": list(self.shards),
+            "self": url,
+            "replicas": self.ring.replicas,
+            "timeout_ms": self.peer_timeout_s * 1000.0,
+            "write_through": self.peer_write_through,
+        }
+        try:
+            reply = await fetch(url, "POST", "/ring", payload=payload,
+                                timeout_s=10.0)
+            ok = 200 <= reply.status < 300
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            ok = False
+        self.shards[url].ring_pushed = ok
+        return ok
 
     async def _probe_shard(self, url: str) -> bool:
         try:
@@ -320,6 +394,8 @@ class ClusterCoordinator:
             ok = bool(payload.get("ok"))
             self._mark_shard(url, ok,
                             None if ok else "healthz reported not ok")
+            if ok and self.peer_cache and not self.shards[url].ring_pushed:
+                await self._push_ring(url)
             return ok
         except (ConnectionError, OSError, asyncio.TimeoutError,
                 RequestError, ValueError) as error:
@@ -475,13 +551,63 @@ class ClusterCoordinator:
                     self._mark_shard(url, False,
                                      f"{type(error).__name__}: {error}")
                     dead.add(url)
-                    self._bump("shard_retries", len(items))
-                    self._retries_total.inc(len(items))
-                    remaining.extend(items)
+                    unresolved = items
+                    if self.peer_cache:
+                        # Before re-simulating, ask the survivors: the dead
+                        # shard's finished results were written through to
+                        # their failover targets, so most already-simulated
+                        # keys come back as cache answers.
+                        unresolved = await self._probe_survivors(
+                            items, dead, slots)
+                    self._bump("shard_retries", len(unresolved))
+                    self._retries_total.inc(len(unresolved))
+                    remaining.extend(unresolved)
             await _flush()
         if remaining:  # pragma: no cover - every round kills >= 1 shard
             raise RequestError(503, "cluster failed to place every point")
         return [entry for entry in slots if entry is not None]
+
+    async def _probe_survivors(self, items: List[_Pending],
+                               dead: set,
+                               slots: List[Optional[Dict[str, object]]]
+                               ) -> List[_Pending]:
+        """Hunt a dead shard's results in the survivors' cache tiers.
+
+        For each re-routed point, ask the surviving shards' ``GET
+        /cache/<key>`` endpoints in ring-preference order (the first entry
+        is exactly where write-through replicated the key).  A hit fills
+        the point's slot with status ``"cached"`` -- no re-simulation; the
+        returned list is the points no survivor could answer.
+        """
+
+        async def _probe(item: _Pending) -> Optional[_Pending]:
+            started = time.monotonic()
+            for url in self.ring.preference(item.key, exclude=dead):
+                try:
+                    reply = await fetch(
+                        url, "GET", f"/cache/{item.key}",
+                        timeout_s=self.peer_timeout_s)
+                    if reply.status != 200:
+                        continue
+                    payload = reply.json()
+                    result = payload["result"]
+                    if not isinstance(result, Mapping):
+                        continue
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        ValueError, KeyError):
+                    continue
+                slots[item.index] = {"key": item.key, "status": "cached",
+                                     "result": dict(result)}
+                self._bump("peer_cache_answers")
+                self._peer_cache_hits_total.inc()
+                self._peer_probe_seconds.observe(time.monotonic() - started)
+                return None
+            self._peer_cache_misses_total.inc()
+            self._peer_probe_seconds.observe(time.monotonic() - started)
+            return item
+
+        missed = await asyncio.gather(*(_probe(item) for item in items))
+        return [item for item in missed if item is not None]
 
     # -- explore (strategies local, simulations sharded) ----------------------
 
@@ -631,6 +757,9 @@ class ClusterCoordinator:
                        for url, shard in self.shards.items()},
             "ring": {"replicas": self.ring.replicas,
                      "nodes": list(self.ring.nodes)},
+            "peer_cache": {"enabled": self.peer_cache,
+                           "timeout_s": self.peer_timeout_s,
+                           "write_through": self.peer_write_through},
         }
         if self.rate_limiter is not None:
             payload["rate_limiter"] = self.rate_limiter.stats_dict()

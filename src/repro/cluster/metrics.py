@@ -26,12 +26,18 @@ import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_LATENCY_BUCKETS"]
+           "DEFAULT_LATENCY_BUCKETS", "PEER_LATENCY_BUCKETS"]
 
 #: Request-latency buckets (seconds): sub-ms store hits up to minute-long
 #: cold sweeps.
 DEFAULT_LATENCY_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0,
                            120.0)
+
+#: Peer-cache fetch buckets (seconds): a peer lookup is one localhost (or
+#: rack-local) store read, budgeted well under a second -- the interesting
+#: resolution is all sub-second.
+PEER_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                        0.5, 1.0)
 
 
 def _format_value(value: float) -> str:

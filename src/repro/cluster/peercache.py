@@ -1,0 +1,481 @@
+"""Cluster-shared cache tier: ring-routed peer lookups behind a local store.
+
+Cluster shards were shared-nothing through PR 7: each worker's warm
+:class:`~repro.serve.store.SQLiteResultStore` answered only the keys that
+worker had simulated itself, so a failover or ring change that re-routed a
+key to another shard paid for a fresh simulation -- throwing away exactly
+the warm-store amortisation that makes ``serve`` worth running.
+
+:class:`PeerCacheBackend` turns the N private stores into one cluster-wide
+result cache.  It implements the :class:`~repro.sim.jobs.cache.CacheBackend`
+protocol and layers the shard's *local* tier (its SQLite store, or a small
+in-memory LRU when the shard runs storeless) in front of a *peer* tier:
+
+* **load** -- a local miss asks the key's ring-preferred peer (the node a
+  re-routed key would land on) over ``GET /cache/<key>`` before the caller
+  pays for a simulation.  Peer answers are copied into the local tier, so
+  each key crosses the network at most once per shard.
+* **single-flight** -- concurrent misses of one key share one peer fetch;
+  followers wait on the leader's outcome instead of stampeding the peer.
+* **timeout budget** -- every peer lookup has a strict deadline
+  (``timeout_s``); a slow or dead peer degrades gracefully to local
+  compute, and a connection-refused peer is put on a short cooldown so a
+  dead shard does not tax every subsequent miss with a full timeout.
+* **write-through** -- a freshly stored result is replicated (fire and
+  forget) to the key's failover target: the ring owner when this shard is
+  not the owner, or the ring *successor* when it is.  That is precisely
+  the shard the key will be re-routed to if this one dies, which is what
+  keeps re-routed keys warm across failover.
+
+The peer target for both directions is ``ring.node_for(key,
+exclude={self})``: for a non-owner that is the owner; for the owner it is
+the failover successor.  One expression covers lookup and replication.
+
+The backend runs its network I/O on a private asyncio loop in a daemon
+thread (reusing :func:`repro.cluster.aio.fetch`), so it can be driven from
+the synchronous :class:`~repro.sim.jobs.cache.ResultCache` / executor path
+without touching the worker's own event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.cluster.aio import fetch
+from repro.cluster.metrics import MetricsRegistry, PEER_LATENCY_BUCKETS
+from repro.cluster.ring import ConsistentHashRing
+from repro.sim.jobs.cache import CacheBackend
+from repro.sim.results import NetworkResult
+
+__all__ = ["PeerCacheBackend"]
+
+
+class _Flight:
+    """One in-flight peer fetch other misses of the same key can join."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[NetworkResult] = None
+
+
+class _MemoryTier(CacheBackend):
+    """Bounded in-memory local tier for storeless shards.
+
+    A shard started with ``--no-store`` has no SQLite store to hold peer
+    answers and write-through replicas; this small LRU dict stands in so
+    the peer tier still works (replicas must land *somewhere* for failover
+    to find them).
+    """
+
+    name = "memory tier"
+    keeps_spec = False
+
+    def __init__(self, max_entries: int = 512) -> None:
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, NetworkResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def load(self, key: str) -> Optional[NetworkResult]:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
+
+    def store(self, key: str, result: NetworkResult,
+              spec: Optional[dict] = None) -> None:
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class PeerCacheBackend(CacheBackend):
+    """Ring-routed peer tier layered behind a shard's local store.
+
+    Parameters
+    ----------
+    local:
+        The shard's local tier (typically its
+        :class:`~repro.serve.store.SQLiteResultStore`).  ``None`` installs
+        a bounded in-memory tier so storeless shards can still hold peer
+        answers and write-through replicas.
+    ring / self_url:
+        Ring membership and this shard's own URL.  Both may be deferred to
+        :meth:`configure` (the worker learns membership from the
+        coordinator's ``POST /ring``); until configured, the backend
+        behaves exactly like its local tier.
+    timeout_s:
+        Strict budget for one peer lookup, queueing included.  On expiry
+        the lookup is abandoned (counted in ``peer_timeouts``) and the
+        caller computes locally.
+    write_through:
+        Replicate fresh results to the key's failover target so re-routed
+        keys stay warm across shard death.  Fire-and-forget; failures are
+        counted, never raised.
+    dead_peer_cooldown_s:
+        After a connection-level failure, skip asking that peer again for
+        this long (a dead shard should cost one timeout, not one per miss).
+    metrics:
+        Optional :class:`MetricsRegistry` to surface
+        ``loom_peer_cache_{hits,misses,timeouts}_total`` counters and the
+        ``loom_peer_cache_fetch_seconds`` histogram on ``/metrics``.
+    """
+
+    name = "peer cache"
+
+    def __init__(self, local: Optional[CacheBackend] = None,
+                 ring: Optional[ConsistentHashRing] = None,
+                 self_url: str = "",
+                 timeout_s: float = 1.0,
+                 write_through: bool = True,
+                 dead_peer_cooldown_s: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_memory_entries: int = 512) -> None:
+        super().__init__()
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.local = local if local is not None \
+            else _MemoryTier(max_memory_entries)
+        self.keeps_spec = self.local.keeps_spec
+        self.ring = ring
+        self.self_url = self_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.write_through = write_through
+        self.dead_peer_cooldown_s = dead_peer_cooldown_s
+        #: Peer-tier counters (plain ints; /stats + tests read them).
+        self.peer_hits = 0
+        self.peer_misses = 0
+        self.peer_timeouts = 0
+        self.peer_writes = 0
+        self.peer_write_errors = 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
+        self._cooldown_until: Dict[str, float] = {}
+        self._pending_writes: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._hits_metric = self._misses_metric = None
+        self._timeouts_metric = self._fetch_seconds = None
+        if metrics is not None:
+            self._hits_metric = metrics.counter(
+                "loom_peer_cache_hits_total",
+                "Local misses answered by a peer shard's cache.")
+            self._misses_metric = metrics.counter(
+                "loom_peer_cache_misses_total",
+                "Peer lookups the owning shard could not answer.")
+            self._timeouts_metric = metrics.counter(
+                "loom_peer_cache_timeouts_total",
+                "Peer lookups abandoned because the peer was slow or dead.")
+            self._fetch_seconds = metrics.histogram(
+                "loom_peer_cache_fetch_seconds",
+                "Peer cache fetch latency in seconds (hits and misses).",
+                buckets=PEER_LATENCY_BUCKETS)
+
+    # -- membership -----------------------------------------------------------
+
+    def configure(self, nodes: List[str], self_url: Optional[str] = None,
+                  replicas: int = 64) -> None:
+        """(Re)build the ring over ``nodes``; idempotent membership update.
+
+        ``replicas`` must match the coordinator's ring or the two sides
+        would disagree about key ownership.
+        """
+        ring = ConsistentHashRing((url.rstrip("/") for url in nodes),
+                                  replicas=replicas)
+        with self._lock:
+            self.ring = ring
+            if self_url is not None:
+                self.self_url = self_url.rstrip("/")
+            self._cooldown_until.clear()
+
+    def peer_for(self, key: str) -> Optional[str]:
+        """The peer worth asking (and replicating to) for ``key``.
+
+        The first ring node that is not this shard: the key's owner when
+        we are not it, its failover successor when we are.  ``None`` when
+        the ring is unconfigured or holds no other node.
+        """
+        ring = self.ring
+        if ring is None or not self.self_url:
+            return None
+        return ring.node_for(key, exclude={self.self_url})
+
+    # -- CacheBackend protocol ------------------------------------------------
+
+    def load(self, key: str) -> Optional[NetworkResult]:
+        result = self.local.load(key)
+        if result is not None:
+            return result
+        peer = self.peer_for(key)
+        if peer is None:
+            return None
+        deadline = time.monotonic() + self.timeout_s
+        with self._lock:
+            if time.monotonic() < self._cooldown_until.get(peer, 0.0):
+                self.peer_timeouts += 1
+                if self._timeouts_metric is not None:
+                    self._timeouts_metric.inc()
+                return None
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+        if not leader:
+            # Single-flight follower: share the leader's outcome (which may
+            # be a miss) instead of issuing a duplicate peer fetch.
+            flight.event.wait(max(0.0, deadline - time.monotonic()))
+            return flight.result
+        try:
+            result = self._fetch_from_peer(peer, key)
+            if result is not None:
+                self.local.store(key, result, None)
+            flight.result = result
+            return result
+        finally:
+            flight.event.set()
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def store(self, key: str, result: NetworkResult,
+              spec: Optional[dict] = None) -> None:
+        self.local.store(key, result, spec)
+        if not self.write_through:
+            return
+        peer = self.peer_for(key)
+        if peer is not None:
+            self._write_through(peer, key, result)
+
+    def contains(self, key: str) -> bool:
+        """Local tier only: membership probes must not pay network I/O."""
+        return self.local.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def describe(self) -> str:
+        peers = (len(self.ring) - 1) if self.ring is not None else 0
+        return f"{self.name} ({max(peers, 0)} peers over " \
+               f"{self.local.describe()})"
+
+    def close(self) -> None:
+        self.flush_writes(timeout_s=2.0)
+        with self._lock:
+            self._closed = True
+            loop, thread = self._loop, self._loop_thread
+            self._loop = self._loop_thread = None
+        if loop is not None:
+            # Cancel and drain any still-pending fetch before stopping the
+            # loop, so their transports close on a live loop instead of
+            # complaining from the garbage collector.
+            async def _drain() -> None:
+                tasks = [task for task in asyncio.all_tasks()
+                         if task is not asyncio.current_task()]
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    _drain(), loop).result(timeout=5.0)
+            except (concurrent.futures.TimeoutError, RuntimeError):
+                pass  # best effort: the loop stops either way
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=5.0)
+        self.local.close()
+
+    # -- local tier (the worker's /cache endpoints) ---------------------------
+
+    def local_load(self, key: str) -> Optional[NetworkResult]:
+        """Local tier only -- what ``GET /cache/<key>`` serves.  Never
+        recurses into the peer tier, so peer lookups cannot chain."""
+        return self.local.load(key)
+
+    def local_store(self, key: str, result: NetworkResult,
+                    spec: Optional[dict] = None) -> None:
+        """Local tier only -- what ``PUT /cache/<key>`` (a peer's
+        write-through) stores.  Never replicated onward."""
+        self.local.store(key, result, spec)
+
+    # -- peer I/O -------------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("peer cache backend is closed")
+            if self._loop is not None:
+                return self._loop
+            loop = asyncio.new_event_loop()
+            ready = threading.Event()
+
+            def _run() -> None:
+                asyncio.set_event_loop(loop)
+                loop.call_soon(ready.set)
+                loop.run_forever()
+                loop.close()
+
+            thread = threading.Thread(target=_run, daemon=True,
+                                      name="loom-peer-cache-io")
+            thread.start()
+            self._loop = loop
+            self._loop_thread = thread
+        ready.wait(timeout=5.0)
+        return loop
+
+    def _fetch_from_peer(self, peer: str, key: str
+                         ) -> Optional[NetworkResult]:
+        """One ``GET /cache/<key>`` against ``peer`` under the budget.
+
+        Returns the parsed result on a hit, ``None`` on a miss, a timeout
+        or any transport failure -- the caller always has local compute to
+        fall back on, so nothing here may raise.
+        """
+        started = time.monotonic()
+        try:
+            loop = self._ensure_loop()
+            future = asyncio.run_coroutine_threadsafe(
+                fetch(peer, "GET", f"/cache/{key}",
+                      timeout_s=self.timeout_s), loop)
+            try:
+                reply = future.result(
+                    timeout=max(0.0, self.timeout_s
+                                - (time.monotonic() - started)))
+            except (concurrent.futures.TimeoutError, asyncio.TimeoutError,
+                    TimeoutError):
+                # (three spellings: pre-3.11 futures/asyncio timeout classes
+                # are distinct from the builtin)
+                future.cancel()
+                self._note_timeout(peer, started, cooldown=False)
+                return None
+        except (ConnectionError, OSError, RuntimeError):
+            # Connection refused / reset: the peer is dead or restarting.
+            # Cool it down so the next misses skip straight to computing.
+            self._note_timeout(peer, started, cooldown=True)
+            return None
+        elapsed = time.monotonic() - started
+        if self._fetch_seconds is not None:
+            self._fetch_seconds.observe(elapsed)
+        if reply.status == 200:
+            try:
+                result = NetworkResult.from_dict(reply.json()["result"])
+            except (ValueError, KeyError, TypeError):
+                self.invalid_entries += 1
+                self._count_miss()
+                return None
+            self._count_hit()
+            return result
+        self._count_miss()
+        return None
+
+    def _note_timeout(self, peer: str, started: float,
+                      cooldown: bool) -> None:
+        if self._fetch_seconds is not None:
+            self._fetch_seconds.observe(time.monotonic() - started)
+        with self._lock:
+            self.peer_timeouts += 1
+            if cooldown and self.dead_peer_cooldown_s > 0:
+                self._cooldown_until[peer] = (time.monotonic()
+                                              + self.dead_peer_cooldown_s)
+        if self._timeouts_metric is not None:
+            self._timeouts_metric.inc()
+
+    def _count_hit(self) -> None:
+        with self._lock:
+            self.peer_hits += 1
+        if self._hits_metric is not None:
+            self._hits_metric.inc()
+
+    def _count_miss(self) -> None:
+        with self._lock:
+            self.peer_misses += 1
+        if self._misses_metric is not None:
+            self._misses_metric.inc()
+
+    def _write_through(self, peer: str, key: str,
+                       result: NetworkResult) -> None:
+        """Fire-and-forget ``PUT /cache/<key>`` replica to ``peer``."""
+        try:
+            loop = self._ensure_loop()
+        except RuntimeError:  # closed mid-store
+            return
+        payload = {"key": key, "result": result.to_dict()}
+        future = asyncio.run_coroutine_threadsafe(
+            fetch(peer, "PUT", f"/cache/{key}", payload=payload,
+                  timeout_s=self.timeout_s), loop)
+        with self._lock:
+            self._pending_writes.add(future)
+
+        def _done(completed) -> None:
+            with self._lock:
+                self._pending_writes.discard(completed)
+                try:
+                    reply = completed.result()
+                    if 200 <= reply.status < 300:
+                        self.peer_writes += 1
+                    else:
+                        self.peer_write_errors += 1
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        concurrent.futures.TimeoutError, TimeoutError,
+                        asyncio.CancelledError, ValueError):
+                    self.peer_write_errors += 1
+
+        future.add_done_callback(_done)
+
+    def flush_writes(self, timeout_s: float = 5.0) -> bool:
+        """Wait for outstanding write-through replications; True when none
+        remain.  Tests (and close()) use this for determinism -- the hot
+        path never waits on replication."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending_writes:
+                    return True
+            time.sleep(0.005)
+        with self._lock:
+            return not self._pending_writes
+
+    # -- introspection --------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Peer-tier counters plus the local tier's own stats (the /stats
+        ``store`` section on peer-aware shards)."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "backend": "peer cache",
+                "peers": max((len(self.ring) - 1), 0)
+                if self.ring is not None else 0,
+                "timeout_s": self.timeout_s,
+                "write_through": self.write_through,
+                "peer_hits": self.peer_hits,
+                "peer_misses": self.peer_misses,
+                "peer_timeouts": self.peer_timeouts,
+                "peer_writes": self.peer_writes,
+                "peer_write_errors": self.peer_write_errors,
+            }
+        payload["local"] = (self.local.stats_dict()
+                            if hasattr(self.local, "stats_dict")
+                            else {"backend": self.local.describe(),
+                                  "entries": len(self.local)})
+        return payload

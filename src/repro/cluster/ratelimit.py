@@ -89,6 +89,13 @@ class RateLimiter:
     def __init__(self, rate: float = 50.0, burst: int = 100,
                  quota: Optional[int] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
+        # Validate every knob eagerly: buckets are created lazily per
+        # client, so a bad rate/burst would otherwise only explode at the
+        # first request, deep inside the coordinator's request path.
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
         if quota is not None and quota < 1:
             raise ValueError(f"quota must be >= 1 (or None), got {quota}")
         self.rate = rate

@@ -11,6 +11,11 @@ method    path           behaviour
 ========  =============  ====================================================
 POST      /jobs          resolve a point batch (same wire format as serve)
 GET       /jobs/<key>    look a finished result up by content key
+GET       /cache/<key>   **local-tier** cache lookup (the peer-cache wire:
+                         never recurses into the peer tier)
+PUT       /cache/<key>   store a peer's write-through replica locally
+POST      /ring          accept ring membership from the coordinator and
+                         activate the peer cache tier
 GET       /healthz       liveness probe (the coordinator's health checks)
 GET       /stats         core / executor / cache / store counters
 GET       /metrics       Prometheus text format
@@ -30,11 +35,18 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
-from repro.cluster.aio import AsyncHTTPServer, HTTPRequest, HTTPResponder
+from repro.cluster.aio import (
+    AsyncHTTPServer,
+    HTTPRequest,
+    HTTPResponder,
+    RequestError,
+)
 from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.peercache import PeerCacheBackend
 from repro.serve.core import Backpressure, ServiceCore
+from repro.sim.results import NetworkResult
 
 __all__ = ["ClusterWorker"]
 
@@ -56,17 +68,28 @@ class ClusterWorker:
     request_threads:
         Threads servicing blocking core calls.  More threads = more batches
         admitted concurrently (up to the core's ``queue_limit``).
+    peer_timeout_s:
+        Default per-lookup budget for the peer cache tier; the
+        coordinator's ``POST /ring`` payload may override it.
+    peer_write_through:
+        Default write-through setting for the peer tier (same override).
     """
 
     def __init__(self, core: Optional[ServiceCore] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  name: Optional[str] = None,
-                 request_threads: int = 8) -> None:
+                 request_threads: int = 8,
+                 peer_timeout_s: float = 1.0,
+                 peer_write_through: bool = True) -> None:
         if request_threads < 1:
             raise ValueError(
                 f"request_threads must be >= 1, got {request_threads}")
         self.core = core if core is not None else ServiceCore()
         self.name = name
+        self.peer_timeout_s = peer_timeout_s
+        self.peer_write_through = peer_write_through
+        self.peer_cache: Optional[PeerCacheBackend] = None
+        self._peer_lock = threading.Lock()
         self._server = AsyncHTTPServer(self._handle, host=host, port=port,
                                        server_tag="loom-cluster-worker")
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -156,6 +179,85 @@ class ClusterWorker:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -- peer cache tier ------------------------------------------------------
+
+    def configure_peers(self, nodes: Sequence[str],
+                        self_url: Optional[str] = None,
+                        replicas: int = 64,
+                        timeout_s: Optional[float] = None,
+                        write_through: Optional[bool] = None) -> int:
+        """Activate (or re-shape) the peer cache tier over ``nodes``.
+
+        Swaps the core cache's persistent backend for a
+        :class:`PeerCacheBackend` wrapping it, so every local store miss
+        consults the key's ring-preferred peer before the executor
+        simulates.  Idempotent: a second call updates ring membership in
+        place.  Returns the number of peers (nodes excluding this one).
+        The coordinator drives this through ``POST /ring``; embedders may
+        call it directly.
+        """
+        own = (self_url or self.url).rstrip("/")
+        with self._peer_lock:
+            if self.peer_cache is None:
+                cache = self.core.cache
+                if cache is None:
+                    raise RuntimeError(
+                        "this worker's executor has no result cache to "
+                        "layer a peer tier onto")
+                self.peer_cache = PeerCacheBackend(
+                    local=cache.backend,
+                    self_url=own,
+                    timeout_s=(timeout_s if timeout_s is not None
+                               else self.peer_timeout_s),
+                    write_through=(write_through if write_through is not None
+                                   else self.peer_write_through),
+                    metrics=self.metrics)
+                cache.backend = self.peer_cache
+            else:
+                if timeout_s is not None:
+                    self.peer_cache.timeout_s = timeout_s
+                if write_through is not None:
+                    self.peer_cache.write_through = write_through
+            self.peer_cache.configure(list(nodes), self_url=own,
+                                      replicas=replicas)
+            return sum(1 for node in nodes if node.rstrip("/") != own)
+
+    def _cache_lookup(self, key: str) -> Optional[NetworkResult]:
+        """Local-tier-only lookup behind ``GET /cache/<key>``.
+
+        Checks the cache's memory layer, then the local persistent tier --
+        never the peer tier, so a peer's lookup terminates here instead of
+        chaining through the ring.
+        """
+        cache = self.core.cache
+        if cache is None:
+            return None
+        result = cache.peek_memory(key)
+        if result is not None:
+            return result
+        backend = cache.backend
+        if isinstance(backend, PeerCacheBackend):
+            return backend.local_load(key)
+        if backend is not None:
+            return backend.load(key)
+        return None
+
+    def _cache_store(self, key: str, result: NetworkResult) -> bool:
+        """Store a peer's write-through replica in the local tier only."""
+        cache = self.core.cache
+        if cache is None:
+            return False
+        backend = cache.backend
+        if isinstance(backend, PeerCacheBackend):
+            backend.local_store(key, result, None)
+        elif backend is not None:
+            backend.store(key, result, None)
+        else:
+            # Memory-only worker without a peer tier yet: remember the
+            # replica in the memory layer so lookups can still serve it.
+            cache.put(key, result)
+        return True
+
     # -- request handling -----------------------------------------------------
 
     async def _in_thread(self, fn, *args):
@@ -169,7 +271,12 @@ class ClusterWorker:
                       responder: HTTPResponder) -> None:
         started = time.monotonic()
         path = request.path.rstrip("/") or "/"
-        label = "/jobs/<key>" if path.startswith("/jobs/") else path
+        if path.startswith("/jobs/"):
+            label = "/jobs/<key>"
+        elif path.startswith("/cache/"):
+            label = "/cache/<key>"
+        else:
+            label = path
         try:
             await self._route(request, responder, path)
         finally:
@@ -210,6 +317,45 @@ class ClusterWorker:
                 await responder.send_json(404,
                                           {"error": f"no result for key "
                                                     f"{key!r}"})
+        elif method == "GET" and path.startswith("/cache/"):
+            key = path[len("/cache/"):]
+            result = await self._in_thread(self._cache_lookup, key)
+            if result is not None:
+                await responder.send_json(200, {"key": key,
+                                                "result": result.to_dict()})
+            else:
+                await responder.send_json(404,
+                                          {"error": f"no local result for "
+                                                    f"key {key!r}"})
+        elif method == "PUT" and path.startswith("/cache/"):
+            key = path[len("/cache/"):]
+            payload = request.json()
+            try:
+                result = NetworkResult.from_dict(payload["result"])
+            except (ValueError, KeyError, TypeError) as error:
+                raise RequestError(
+                    400, f"bad write-through payload: "
+                         f"{type(error).__name__}: {error}") from None
+            stored = await self._in_thread(self._cache_store, key, result)
+            await responder.send_json(200, {"ok": True, "stored": stored})
+        elif method == "POST" and path == "/ring":
+            payload = request.json()
+            nodes = payload.get("nodes")
+            if not isinstance(nodes, list) or not nodes or \
+                    not all(isinstance(node, str) for node in nodes):
+                raise RequestError(
+                    400, "'nodes' must be a non-empty list of worker URLs")
+            timeout_ms = payload.get("timeout_ms")
+            peers = await self._in_thread(
+                lambda: self.configure_peers(
+                    nodes,
+                    self_url=payload.get("self"),
+                    replicas=int(payload.get("replicas", 64)),
+                    timeout_s=(float(timeout_ms) / 1000.0
+                               if timeout_ms is not None else None),
+                    write_through=payload.get("write_through")))
+            await responder.send_json(200, {"ok": True, "peers": peers,
+                                            "self": self.peer_cache.self_url})
         elif method == "POST" and path == "/jobs":
             await self._handle_jobs(request, responder)
         elif method == "POST" and path == "/shutdown":

@@ -46,10 +46,17 @@ def compute_backoff(attempt: int, retry_after_s: Optional[float] = None,
 
 
 class ServeError(Exception):
-    """An HTTP error response from the service."""
+    """An HTTP error response from the service.
+
+    Also raised (with ``status=503``) for connection-level transport
+    failures -- connection refused while a shard restarts, DNS hiccups --
+    so retry loops built on :class:`ServeError` (the
+    :class:`~repro.serve.remote.RemoteExecutor` backoff path) see them as
+    retryable instead of crashing on a raw ``urllib.error.URLError``.
+    """
 
     def __init__(self, status: int, message: str,
-                 retry_after_s: Optional[int] = None) -> None:
+                 retry_after_s: Optional[float] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
@@ -92,15 +99,27 @@ class ServeClient:
             headers=headers,
             method=method,
         )
-        return urllib.request.urlopen(request, timeout=self.timeout_s)
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError:
+            raise  # HTTP errors carry a response; callers map them.
+        except urllib.error.URLError as error:
+            # Connection-level failure (refused, reset, DNS): surface as a
+            # retryable 503 so ServeError-based backoff loops engage.
+            raise ServeError(
+                503, f"connection to {self.base_url} failed: "
+                     f"{getattr(error, 'reason', error)}") from error
 
     @staticmethod
     def _raise_serve_error(error: urllib.error.HTTPError) -> None:
-        retry_after: Optional[int] = None
+        # float(), not int(): a proxy (or a future sub-second backpressure
+        # hint) may send a fractional Retry-After; truncating it to int --
+        # or dropping it -- makes clients retry sooner than asked.
+        retry_after: Optional[float] = None
         header = error.headers.get("Retry-After")
         if header is not None:
             try:
-                retry_after = int(header)
+                retry_after = float(header)
             except ValueError:
                 retry_after = None
         try:

@@ -33,11 +33,14 @@ __all__ = ["RemoteExecutor"]
 class RemoteExecutor:
     """JobExecutor-shaped facade that submits batches to a serve endpoint.
 
-    429 backpressure responses are retried with capped exponential backoff
-    plus jitter (:func:`~repro.serve.client.compute_backoff`), honouring the
-    server's ``Retry-After`` hint as a floor, up to ``max_retries`` per
-    batch -- so a sweep run against a busy server queues politely instead of
-    failing, and a crowd of refused clients does not retry in lockstep.
+    429 backpressure responses -- and 503 transport failures (connection
+    refused while a shard restarts, surfaced as ``ServeError(503)`` by the
+    client) -- are retried with capped exponential backoff plus jitter
+    (:func:`~repro.serve.client.compute_backoff`), honouring the server's
+    ``Retry-After`` hint as a floor, up to ``max_retries`` per batch -- so
+    a sweep run against a busy (or briefly restarting) server queues
+    politely instead of failing, and a crowd of refused clients does not
+    retry in lockstep.
 
     With ``stream=True`` batches go through
     :meth:`ServeClient.submit_points_stream`, consuming results as the
@@ -60,6 +63,8 @@ class RemoteExecutor:
         self.stats = ExecutorStats()
         #: Times a batch was refused with 429 and retried.
         self.backpressure_retries = 0
+        #: Times a batch hit a 503 transport failure and was retried.
+        self.transport_retries = 0
         #: The executor protocol executors expose; a remote executor holds no
         #: local result cache (the server's store is the cache).
         self.cache = None
@@ -74,9 +79,13 @@ class RemoteExecutor:
             try:
                 return submit(chunk)
             except ServeError as error:
-                if error.status != 429 or attempt == self.max_retries:
+                if error.status not in (429, 503) \
+                        or attempt == self.max_retries:
                     raise
-                self.backpressure_retries += 1
+                if error.status == 429:
+                    self.backpressure_retries += 1
+                else:
+                    self.transport_retries += 1
                 self._sleep(compute_backoff(
                     attempt, retry_after_s=error.retry_after_s,
                     rng=self._rng))

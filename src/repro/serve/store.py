@@ -166,14 +166,20 @@ class SQLiteResultStore(CacheBackend):
                     self._conn.execute(
                         "DELETE FROM results WHERE key = ?", (key,))
                 return None
-            if self.max_entries is not None:
-                # Recency only matters when the LRU bound can evict; an
-                # unbounded store skips the write transaction per read.
-                with self._conn:
+            # The hit counter always moves (it feeds ``lifetime_hits`` in
+            # /stats and inspect(), bound or no bound); the LRU recency
+            # touch only matters when ``max_entries`` can actually evict.
+            with self._conn:
+                if self.max_entries is not None:
                     self._conn.execute(
                         "UPDATE results SET last_used_at = ?, hits = hits + 1 "
                         "WHERE key = ?",
                         (time.time(), key),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE results SET hits = hits + 1 WHERE key = ?",
+                        (key,),
                     )
             return result
 

@@ -243,6 +243,20 @@ class ResultCache:
         """
         return self._lookup(key, count_miss=False)
 
+    def peek_memory(self, key: str) -> Optional[NetworkResult]:
+        """Memory-layer-only :meth:`peek`: never touches the backend.
+
+        For callers that must not trigger backend I/O -- in particular the
+        cluster worker's ``GET /cache/<key>`` peer endpoint, where a
+        backend that is itself peer-aware would otherwise recurse into
+        another network lookup.  Not counted in the statistics.
+        """
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self._memory.move_to_end(key)
+            return result
+
     def _lookup(self, key: str,
                 count_miss: bool) -> Optional[NetworkResult]:
         with self._lock:

@@ -193,6 +193,8 @@ class TestClusterParser:
         assert args.queue_limit == 8
         assert args.rate is None and args.burst == 100 and args.quota is None
         assert args.ready_file is None
+        assert args.peer_cache is True
+        assert args.peer_timeout_ms == 1000.0
 
     def test_cluster_port_zero_is_allowed(self):
         assert build_parser().parse_args(["cluster", "--port", "0"]).port == 0
@@ -201,6 +203,32 @@ class TestClusterParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["cluster", "--store-dir", "/tmp/x", "--no-store"])
+
+    def test_cluster_peer_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cluster", "--no-peer-cache", "--peer-timeout-ms", "250"])
+        assert args.peer_cache is False
+        assert args.peer_timeout_ms == 250.0
+
+    def test_cluster_peer_cache_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--peer-cache", "--no-peer-cache"])
+
+    def test_cluster_rejects_non_positive_rate_at_parse_time(self, capsys):
+        # Regression: `--rate 0` used to pass argparse and only explode at
+        # the first client's request, deep in the coordinator request path.
+        for value in ("0", "-3", "nope"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["cluster", "--rate", value])
+            assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be > 0" in err and "expected a number" in err
+
+    def test_cluster_rejects_non_positive_peer_timeout(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "--peer-timeout-ms", "0"])
 
     def test_cluster_conflicts_with_global_cache_flags(self, capsys):
         for flags in (["--no-cache"], ["--cache-dir", "/tmp/c"]):

@@ -426,8 +426,11 @@ class TestRemoteSweep:
         workers = [store_backed(0), store_backed(1)]
         for worker in workers:
             worker.start()
+        # peer_cache=False keeps the cluster shared-nothing: no ring push,
+        # no write-through replication between the worker stores.
         coordinator = ClusterCoordinator([w.url for w in workers],
-                                         health_interval_s=60.0)
+                                         health_interval_s=60.0,
+                                         peer_cache=False)
         coordinator.start()
         try:
             client = ServeClient(coordinator.url, timeout_s=120.0)

@@ -117,6 +117,17 @@ class TestRateLimiter:
         with pytest.raises(ValueError):
             RateLimiter(quota=0)
 
+    def test_rate_and_burst_are_validated_eagerly(self):
+        # Regression: a bad rate/burst used to pass __init__ and only
+        # explode at the first client's request, when the lazy per-client
+        # TokenBucket was built deep inside the request path.
+        with pytest.raises(ValueError, match="rate"):
+            RateLimiter(rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            RateLimiter(rate=-5.0)
+        with pytest.raises(ValueError, match="burst"):
+            RateLimiter(rate=1.0, burst=0)
+
 
 class TestMetrics:
     def test_counter_renders_labelled_series(self):
@@ -223,17 +234,18 @@ class TestComputeBackoff:
 
 
 class _Refusing:
-    """ServeClient stand-in: refuses with 429 N times, then answers."""
+    """ServeClient stand-in: refuses with ``status`` N times, then answers."""
 
     def __init__(self, refusals: int, retry_after_s=None) -> None:
         self.refusals = refusals
         self.retry_after_s = retry_after_s
+        self.status = 429
         self.calls = 0
 
     def submit_points(self, chunk):
         self.calls += 1
         if self.calls <= self.refusals:
-            raise ServeError(429, "queue full",
+            raise ServeError(self.status, "refused",
                              retry_after_s=self.retry_after_s)
         return []
 
@@ -268,6 +280,29 @@ class TestRemoteExecutorBackoff:
         with pytest.raises(ServeError):
             executor._submit_with_retry([{"network": "alexnet"}])
         assert client.calls == 3
+
+    def test_transport_503_is_retried_with_backoff(self):
+        # Regression: a connection-level failure (now surfaced as
+        # ServeError 503 by the client) used to escape the retry loop raw,
+        # so a shard restart failed the whole sweep instead of backing off.
+        client = _Refusing(2)
+        client.status = 503
+        executor = RemoteExecutor(client)
+        sleeps = []
+        executor._sleep = sleeps.append
+        assert executor._submit_with_retry([{"network": "alexnet"}]) == []
+        assert executor.transport_retries == 2
+        assert executor.backpressure_retries == 0
+        assert len(sleeps) == 2
+
+    def test_non_retryable_statuses_still_raise_immediately(self):
+        client = _Refusing(100)
+        client.status = 400
+        executor = RemoteExecutor(client)
+        executor._sleep = lambda _: None
+        with pytest.raises(ServeError):
+            executor._submit_with_retry([{"network": "alexnet"}])
+        assert client.calls == 1
 
 
 class TestStoreContention:

@@ -62,3 +62,9 @@ class TestExamples:
         assert "served layer results bit-identical to batched engine" in out
         assert "metrics scrape ok" in out
         assert "cluster shut down gracefully" in out
+
+    def test_peercache_failover(self):
+        out = run_example("peercache_failover.py")
+        assert "dead-shard keys from the peer cache, bit-identical" in out
+        assert "peer-cache /metrics series present" in out
+        assert "peer-cache failover OK" in out

@@ -517,6 +517,83 @@ class TestExploreThroughTheService:
             assert len(client.explore(self.SPACE.to_dict())["evaluated"]) == 4
 
 
+class TestClientTransport:
+    """Pins the client bugfix satellites: float Retry-After round-trip and
+    connection-level failures surfacing as retryable ServeError 503."""
+
+    @staticmethod
+    def _http_error(status, headers_dict, body=b'{"error": "refused"}'):
+        import email.message
+        import io
+
+        headers = email.message.Message()
+        for name, value in headers_dict.items():
+            headers[name] = value
+        return urllib.error.HTTPError("http://test", status, "refused",
+                                      headers, io.BytesIO(body))
+
+    def test_fractional_retry_after_round_trips(self):
+        # Regression: Retry-After was parsed with int(), so a fractional
+        # hint (proxies, sub-second backpressure) was silently dropped and
+        # clients retried sooner than asked.
+        error = self._http_error(429, {"Retry-After": "1.5"})
+        with pytest.raises(ServeError) as excinfo:
+            ServeClient._raise_serve_error(error)
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s == pytest.approx(1.5)
+
+    def test_integral_retry_after_still_parses(self):
+        error = self._http_error(429, {"Retry-After": "3"})
+        with pytest.raises(ServeError) as excinfo:
+            ServeClient._raise_serve_error(error)
+        assert excinfo.value.retry_after_s == pytest.approx(3.0)
+
+    def test_unparseable_retry_after_is_dropped_not_fatal(self):
+        error = self._http_error(429, {"Retry-After": "Wed, 21 Oct"})
+        with pytest.raises(ServeError) as excinfo:
+            ServeClient._raise_serve_error(error)
+        assert excinfo.value.retry_after_s is None
+
+    def test_connection_refused_raises_retryable_serve_error(self):
+        # Regression: a raw urllib.error.URLError (connection refused while
+        # a shard restarts) used to escape _request, bypassing every
+        # ServeError-based retry loop.  It must surface as a 503.
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout_s=5.0)
+        with pytest.raises(ServeError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert "connection" in str(excinfo.value)
+
+    def test_remote_executor_retries_through_a_brief_outage(self):
+        # The wrapped 503 engages RemoteExecutor's backoff: one refused
+        # connection then a healthy server completes the batch.
+        with serving() as (service, client):
+            real_submit = client.submit_points
+            calls = {"n": 0}
+
+            def flaky(points):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise ServeError(
+                        503, "connection to http://test failed: refused")
+                return real_submit(points)
+
+            client.submit_points = flaky
+            executor = RemoteExecutor(client)
+            executor._sleep = lambda _: None
+            jobs = [SimJob(network=NetworkSpec("alexnet"),
+                           accelerator=AcceleratorSpec.create("loom"))]
+            results = executor.run(jobs)
+            assert len(results) == 1
+            assert executor.transport_retries == 1
+
+
 class TestShutdown:
     def test_post_shutdown_stops_the_server_gracefully(self):
         service = SimulationService()

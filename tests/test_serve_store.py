@@ -85,6 +85,20 @@ class TestSQLiteStoreBasics:
         with pytest.raises(ValueError, match="max_entries"):
             SQLiteResultStore(tmp_path / "cache.db", max_entries=0)
 
+    def test_unbounded_store_still_counts_lifetime_hits(self, tmp_path):
+        # Regression: `load` only bumped `hits` on the LRU recency-touch
+        # path, so unbounded stores (max_entries=None -- how every cluster
+        # worker runs) reported lifetime_hits == 0 forever.
+        store = SQLiteResultStore(tmp_path / "cache.db")  # no entry bound
+        store.store(KEY, _result())
+        assert store.load(KEY) is not None
+        assert store.stats_dict()["lifetime_hits"] == 1
+        assert store.load(KEY) is not None
+        assert store.stats_dict()["lifetime_hits"] == 2
+        store.close()
+        assert SQLiteResultStore.inspect(
+            tmp_path / "cache.db")["lifetime_hits"] == 2
+
 
 class TestSchemaVersioning:
     def test_incompatible_schema_version_wipes_the_store(self, tmp_path):
