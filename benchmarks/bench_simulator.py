@@ -54,6 +54,15 @@ SPEEDUP_FLOOR = 5.0
 #: regression gate fails (0.20 = "fails on >20% slowdown").
 REGRESSION_TOLERANCE = 0.20
 
+#: Maximum acceptable slowdown from leaving tracing enabled (the repro.obs
+#: spans are per-batch/per-phase, never per-layer, so the executor path must
+#: stay within 5% of the spans-disabled floor).
+TRACING_OVERHEAD_LIMIT = 1.05
+
+#: Absolute-seconds escape hatch for the overhead ratio: on a sub-ms batch a
+#: scheduler hiccup can dwarf 5%, so a tiny absolute delta also passes.
+TRACING_OVERHEAD_EPSILON_S = 0.002
+
 _BENCH_NETWORKS = ("alexnet", "googlenet", "vgg19")
 
 
@@ -148,6 +157,66 @@ def format_fastpath(measured: dict) -> str:
     return "\n".join(lines)
 
 
+def measure_tracing_overhead(repeats: int = 5) -> dict:
+    """Time the traced executor path with spans disabled vs enabled.
+
+    The guard behind "tracing is on by default": the executor opens one
+    span per batch/phase (run, cache lookup, simulate, scatter), never one
+    per layer, so enabling them must cost within
+    ``TRACING_OVERHEAD_LIMIT`` of the disabled floor.
+    """
+    from repro.obs import get_tracer
+    from repro.sim.jobs import (
+        AcceleratorSpec,
+        JobExecutor,
+        NetworkSpec,
+        SimJob,
+    )
+
+    def run_batch():
+        with JobExecutor(cache=None) as executor:
+            executor.run([
+                SimJob(network=NetworkSpec("alexnet"),
+                       accelerator=AcceleratorSpec.create(label))
+                for label in ("dpnn", "loom", "dstripes")
+            ])
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    try:
+        run_batch()  # warm the spec/layer-table memos for both arms
+        tracer.set_enabled(False)
+        disabled_s = _best_of(repeats, run_batch)
+        tracer.set_enabled(True)
+        enabled_s = _best_of(repeats, run_batch)
+    finally:
+        tracer.set_enabled(was_enabled)
+    return {
+        "benchmark": "tracing-overhead",
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_ratio": enabled_s / disabled_s,
+    }
+
+
+def tracing_overhead_ok(measured: dict) -> bool:
+    """The 5%-or-2ms acceptance test for :func:`measure_tracing_overhead`."""
+    return (measured["overhead_ratio"] <= TRACING_OVERHEAD_LIMIT
+            or measured["enabled_s"] - measured["disabled_s"]
+            <= TRACING_OVERHEAD_EPSILON_S)
+
+
+def format_tracing_overhead(measured: dict) -> str:
+    return (
+        "== tracing overhead: executor batch with spans disabled vs "
+        "enabled ==\n"
+        f"disabled {measured['disabled_s'] * 1e3:>8.3f} ms  "
+        f"enabled {measured['enabled_s'] * 1e3:>8.3f} ms  "
+        f"ratio {measured['overhead_ratio']:>5.3f} "
+        f"(limit {TRACING_OVERHEAD_LIMIT:.2f})"
+    )
+
+
 def check_against_baseline(measured: dict, baseline: dict,
                            tolerance: float = REGRESSION_TOLERANCE) -> str:
     """Raise if the measured speedup regressed > ``tolerance`` vs baseline."""
@@ -194,6 +263,17 @@ def test_bench_fastpath_speedup(artefacts):
     assert measured["speedup"] >= SPEEDUP_FLOOR, (
         f"fast-path speedup {measured['speedup']:.2f}x is below the "
         f"{SPEEDUP_FLOOR:.0f}x target"
+    )
+
+
+def test_bench_tracing_overhead(artefacts):
+    measured = measure_tracing_overhead(repeats=3)
+    artefacts["tracing-overhead"] = format_tracing_overhead(measured)
+    assert tracing_overhead_ok(measured), (
+        f"tracing overhead {measured['overhead_ratio']:.3f}x exceeds the "
+        f"{TRACING_OVERHEAD_LIMIT:.2f}x limit "
+        f"(disabled {measured['disabled_s'] * 1e3:.3f} ms, "
+        f"enabled {measured['enabled_s'] * 1e3:.3f} ms)"
     )
 
 
@@ -245,8 +325,21 @@ def main(argv=None) -> int:
                         help="timing repetitions per configuration "
                              "(best-of; default: 5)")
     args = parser.parse_args(argv)
-    measured = measure_fastpath(repeats=args.repeats)
+    from repro.obs import get_tracer
+
+    # The baseline-gated numbers are measured spans-disabled: the gate
+    # tracks the engines, and the separate overhead guard tracks tracing.
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.set_enabled(False)
+    try:
+        measured = measure_fastpath(repeats=args.repeats)
+    finally:
+        tracer.set_enabled(was_enabled)
     print(format_fastpath(measured))
+    overhead = measure_tracing_overhead(repeats=args.repeats)
+    print(format_tracing_overhead(overhead))
+    measured["tracing_overhead"] = overhead
     # Write the measurements before any gate can fail: when the gate trips
     # is exactly when the per-config timings are needed for diagnosis.
     if args.output:
@@ -257,6 +350,11 @@ def main(argv=None) -> int:
     if measured["speedup"] < SPEEDUP_FLOOR:
         print(f"FAIL: speedup {measured['speedup']:.2f}x is below the "
               f"{SPEEDUP_FLOOR:.0f}x floor", file=sys.stderr)
+        return 1
+    if not tracing_overhead_ok(overhead):
+        print(f"FAIL: tracing overhead {overhead['overhead_ratio']:.3f}x "
+              f"exceeds the {TRACING_OVERHEAD_LIMIT:.2f}x limit",
+              file=sys.stderr)
         return 1
     if args.check:
         with open(args.check, "r", encoding="utf-8") as handle:

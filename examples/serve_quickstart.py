@@ -11,7 +11,9 @@ contract the ISSUE promises:
 3. a duplicate submission is answered from the warm store, and concurrent
    duplicates coalesce: the executor's statistics prove the simulation ran
    exactly once;
-4. ``POST /shutdown`` stops the server gracefully.
+4. ``GET /metrics`` serves Prometheus text with the request counters and
+   the executor phase histograms the observability layer promises;
+5. ``POST /shutdown`` stops the server gracefully.
 
 This script is also the CI smoke job for the serve subsystem.
 """
@@ -22,6 +24,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -99,6 +102,21 @@ def main():
                   f"{stats['executor']['executed']} simulation(s) executed, "
                   f"max executions per key = "
                   f"{stats['executor']['max_executions_per_key']}")
+
+            # A stock Prometheus scrape sees the request and executor series.
+            with urllib.request.urlopen(url + "/metrics",
+                                        timeout=10) as response:
+                assert response.status == 200
+                metrics = response.read().decode("utf-8")
+            for series in ("loom_serve_requests_total",
+                           "loom_serve_request_seconds_bucket",
+                           'loom_executor_phase_seconds_count'
+                           '{phase="simulate"}',
+                           "loom_serve_uptime_seconds"):
+                assert series in metrics, f"missing metric series: {series}"
+            print("GET /metrics serves Prometheus text "
+                  f"({len(metrics.splitlines())} lines, request + executor "
+                  f"phase series present)")
 
             client.shutdown()
         finally:

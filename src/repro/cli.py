@@ -26,6 +26,9 @@ Usage::
     loom-repro submit --url http://127.0.0.1:8100 --network alexnet
     loom-repro stats --remote http://127.0.0.1:8100
     loom-repro explore --remote http://127.0.0.1:8100 --axis ...
+    loom-repro explore --remote URL --trace-out sweep-trace.json
+    loom-repro trace dump --remote http://127.0.0.1:8100 --out trace.json
+    loom-repro --log-level debug --log-json serve   # structured JSON logs
 
 Every simulation goes through one shared :class:`~repro.sim.jobs.JobExecutor`
 per invocation, so ``loom-repro all`` simulates each unique
@@ -101,6 +104,16 @@ from repro.explore import (
     sweep_to_csv,
 )
 from repro.nn import available_networks, modern_networks
+from repro.obs import (
+    LEVELS,
+    Span,
+    Tracer,
+    chrome_trace,
+    configure_logging,
+    get_logger,
+    get_tracer,
+    set_tracer,
+)
 from repro.serve.client import ServeError
 from repro.sim.fastpath import ENGINES, use_engine
 from repro.sim.jobs import (
@@ -115,6 +128,8 @@ from repro.sim.report import to_csv
 from repro.sim.results import compare
 
 __all__ = ["main", "build_parser", "build_executor"]
+
+_log = get_logger("cli")
 
 
 def _positive_int(value: str) -> int:
@@ -171,6 +186,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print pipeline statistics (simulations vs cache/dedup hits) "
              "to stderr",
     )
+    parser.add_argument(
+        "--log-level", choices=list(LEVELS), default="info",
+        help="minimum severity for structured log output on stderr "
+             "(default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (one object per line, with "
+             "trace/span correlation ids) instead of the human format",
+    )
     caching = parser.add_mutually_exclusive_group()
     caching.add_argument(
         "--no-cache", action="store_true",
@@ -212,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
              "'fast'); 'batched' runs the whole matrix through one "
              "batched-sweep pass",
     )
+    validate_cmd.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write this invocation's spans as Chrome trace-event JSON to "
+             "FILE (open in chrome://tracing or Perfetto)",
+    )
     summary = sub.add_parser("summary", help="per-layer breakdown for one network")
     summary.add_argument("--network", default="alexnet",
                          choices=available_networks(),
@@ -239,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--heads", type=_positive_int, default=None,
                          help="structural override: attention head count "
                               "(tiny_transformer only)")
+    run_cmd.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write this invocation's spans as Chrome trace-event JSON to "
+             "FILE (open in chrome://tracing or Perfetto)",
+    )
     explore_cmd = sub.add_parser(
         "explore", help="design-space sweep with Pareto-frontier reporting")
     explore_cmd.add_argument(
@@ -316,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --remote: consume results as the server resolves them "
              "(NDJSON against a cluster coordinator; plain servers degrade "
              "to a single response transparently)",
+    )
+    explore_cmd.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write this sweep's spans as Chrome trace-event JSON to FILE; "
+             "with --remote the server's spans are merged in, so the file "
+             "shows the whole cross-process trace",
     )
     serve_cmd = sub.add_parser(
         "serve",
@@ -459,6 +500,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats_source.add_argument(
         "--store", default=None, metavar="PATH",
         help="offline statistics of a SQLite result store",
+    )
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect recorded spans (Chrome trace-event export)")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_dump = trace_sub.add_parser(
+        "dump",
+        help="export recorded spans as Chrome trace-event JSON (open in "
+             "chrome://tracing or Perfetto)",
+    )
+    trace_dump.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="fetch /trace from a running serve or cluster endpoint (a "
+             "coordinator merges every healthy worker's spans) instead of "
+             "dumping this process's recorder",
+    )
+    trace_dump.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the trace document to FILE instead of stdout",
     )
     return parser
 
@@ -639,8 +698,8 @@ def _serve(args: argparse.Namespace) -> str:
     )
     url = service.start()
     store_label = backend.describe() if backend is not None else "memory only"
-    print(f"loom-repro serve: listening on {url} ({store_label}, "
-          f"queue limit {args.queue_limit})", file=sys.stderr, flush=True)
+    _log.info("serve.listening", url=url, store=store_label,
+              queue_limit=args.queue_limit)
     if args.ready_file is not None:
         with open(args.ready_file, "w", encoding="utf-8") as handle:
             handle.write(url + "\n")
@@ -683,7 +742,10 @@ def _cluster(args: argparse.Namespace) -> str:
                       if store_dir is not None else None)
         process = ctx.Process(
             target=worker_process_main,
-            args=(ready, store_path, args.queue_limit),
+            # Positional tail: (max_memory_entries, host, port) defaults,
+            # then the parent's logging flags so spawn children match.
+            args=(ready, store_path, args.queue_limit, 512, "127.0.0.1", 0,
+                  args.log_level, args.log_json),
             name=f"loom-cluster-worker-{index}",
         )
         process.start()
@@ -727,9 +789,8 @@ def _cluster(args: argparse.Namespace) -> str:
                 pass
         _reap()
         raise
-    print(f"loom-repro cluster: coordinator on {url}, "
-          f"{len(worker_urls)} workers "
-          f"({', '.join(worker_urls)})", file=sys.stderr, flush=True)
+    _log.info("cluster.listening", url=url, workers=len(worker_urls),
+              worker_urls=worker_urls)
     if args.ready_file is not None:
         with open(args.ready_file, "w", encoding="utf-8") as handle:
             handle.write(url + "\n")
@@ -803,6 +864,46 @@ def _stats(args: argparse.Namespace) -> str:
         # for service use would.
         payload = SQLiteResultStore.inspect(args.store)
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _collect_spans(remote: Optional[str]) -> List[Span]:
+    """This process's recorded spans, or a remote endpoint's via /trace."""
+    if remote is None:
+        return list(get_tracer().recorder.spans())
+    from repro.serve import ServeClient
+
+    payload = ServeClient(remote).trace()
+    return [Span.from_dict(entry) for entry in payload.get("spans", [])]
+
+
+def _trace_dump(args: argparse.Namespace) -> str:
+    """Export spans as a Chrome trace-event document (stdout or --out)."""
+    spans = _collect_spans(args.remote)
+    document = json.dumps(chrome_trace(spans), indent=2)
+    if args.out is None:
+        return document
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document + "\n")
+    return f"trace: {len(spans)} spans written to {args.out}"
+
+
+def _write_trace_out(args: argparse.Namespace) -> None:
+    """Honour ``--trace-out FILE`` after a traced command finishes.
+
+    For ``explore --remote`` the server's spans are merged in (best effort:
+    an endpoint that already shut down just yields the local half), so the
+    file shows the whole cross-process sweep on one timeline.
+    """
+    spans = _collect_spans(None)
+    remote = getattr(args, "remote", None)
+    if remote is not None:
+        try:
+            spans.extend(_collect_spans(remote))
+        except (ServeError, OSError, ValueError, KeyError, TypeError):
+            _log.warning("trace.remote_fetch_failed", remote=remote)
+    with open(args.trace_out, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(chrome_trace(spans)) + "\n")
+    _log.info("trace.written", path=args.trace_out, spans=len(spans))
 
 
 def _run_designs() -> List[Tuple[str, AcceleratorSpec]]:
@@ -885,13 +986,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
+    configure_logging(level=args.log_level, json_output=args.log_json)
+    # Name this process's spans after its role, so a merged Chrome trace
+    # shows "cli", "serve" and "coordinator" as separate process rows.
+    set_tracer(Tracer(service={"serve": "serve",
+                               "cluster": "coordinator"}.get(command, "cli")))
     if command in ("serve", "cluster") and \
             (args.no_cache or args.cache_dir is not None):
         parser.error(f"{command} keeps its own persistent store; use "
                      f"--store/--no-store instead of --cache-dir/--no-cache")
     # Remote-side commands execute on the server, so the local pipeline
     # flags would be silent no-ops -- reject them rather than mislead.
-    if command in ("submit", "stats") or \
+    if command in ("submit", "stats", "trace") or \
             (command == "explore" and args.remote is not None):
         ignored = [flag for flag, is_set in (
             ("--engine", args.engine != "fast"),
@@ -910,7 +1016,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # explore execute on the server -- none of them should build (or later
     # report statistics for) a local pipeline executor.
     uses_local_executor = args.command not in ("serve", "cluster", "submit",
-                                               "stats") \
+                                               "stats", "trace") \
         and not (args.command == "explore" and args.remote is not None)
     executor = None
     if uses_local_executor:
@@ -921,7 +1027,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # use_engine (not set_default_engine): in-process callers of main() must
     # get the previous engine default back when the invocation finishes.
     with use_engine(args.engine), \
-            (executor if executor is not None else contextlib.nullcontext()):
+            (executor if executor is not None else contextlib.nullcontext()), \
+            get_tracer().span(f"cli.{command}"):
         if command in ("table1", "all"):
             outputs.append(table1.format_table())
         if command in ("table2", "all"):
@@ -990,6 +1097,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 outputs.append(_stats(args))
             except (OSError, ValueError, ServeError) as error:
                 parser.error(str(error))
+        if command == "trace":
+            try:
+                outputs.append(_trace_dump(args))
+            except (OSError, ValueError, KeyError, TypeError,
+                    ServeError) as error:
+                parser.error(str(error))
+    if getattr(args, "trace_out", None) is not None:
+        try:
+            _write_trace_out(args)
+        except OSError as error:
+            parser.error(f"--trace-out: {error}")
     if args.verbose and executor is not None:
         print(executor.stats.summary(cache=executor.cache), file=sys.stderr)
     print("\n\n".join(outputs))

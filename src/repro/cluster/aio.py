@@ -32,6 +32,8 @@ import threading
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 
+from repro.obs.trace import get_tracer
+
 __all__ = ["AsyncHTTPServer", "HTTPReply", "HTTPRequest", "HTTPResponder",
            "RequestError", "fetch", "fetch_json"]
 
@@ -428,6 +430,9 @@ async def fetch(url: str, method: str = "GET", path: str = "/",
         if payload is not None:
             head["Content-Type"] = "application/json"
         head.update(headers or {})
+        # Carry the active trace across the hop (coordinator -> worker,
+        # peer-cache lookups) unless the caller pinned its own header.
+        get_tracer().inject_headers(head)
         lines = [f"{method} {base + path} HTTP/1.1"]
         lines.extend(f"{name}: {value}" for name, value in head.items())
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
@@ -471,10 +476,12 @@ async def fetch(url: str, method: str = "GET", path: str = "/",
 
 async def fetch_json(url: str, method: str = "GET", path: str = "/",
                      payload: Optional[Dict[str, object]] = None,
-                     timeout_s: float = 600.0) -> Dict[str, object]:
+                     timeout_s: float = 600.0,
+                     headers: Optional[Dict[str, str]] = None
+                     ) -> Dict[str, object]:
     """:func:`fetch` + JSON decode; non-2xx raises ``RequestError``."""
     reply = await fetch(url, method=method, path=path, payload=payload,
-                        timeout_s=timeout_s)
+                        timeout_s=timeout_s, headers=headers)
     if not 200 <= reply.status < 300:
         try:
             message = reply.json().get("error", reply.body.decode("utf-8"))

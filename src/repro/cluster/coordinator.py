@@ -41,6 +41,7 @@ POST      /shutdown      graceful stop (in-flight streams get a clean end)
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 import time
@@ -55,14 +56,16 @@ from repro.cluster.aio import (
     fetch,
     fetch_json,
 )
-from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.ratelimit import RateLimiter
 from repro.cluster.ring import ConsistentHashRing
+from repro.obs import MetricsRegistry, Span, get_logger, get_tracer
 from repro.serve.client import compute_backoff
 from repro.sim.jobs import ExecutorStats
 from repro.sim.results import NetworkResult
 
 __all__ = ["ClusterCoordinator", "ShardState"]
+
+_log = get_logger("cluster.coordinator")
 
 
 async def _gather_bools(coroutines) -> List[bool]:
@@ -296,6 +299,8 @@ class ClusterCoordinator:
                                   for shard_url in self.shards),
                     timeout=30.0)
             ).result(timeout=35.0)
+        _log.info("coordinator.started", url=url, shards=len(self.shards),
+                  peer_cache=self.peer_cache)
         return url
 
     def stop(self, drain_timeout_s: float = 15.0) -> None:
@@ -326,6 +331,7 @@ class ClusterCoordinator:
         for thread in list(self._explore_threads):
             thread.join(timeout=drain_timeout_s)
         self._server.stop(drain_timeout_s=drain_timeout_s)
+        _log.info("coordinator.stopped", url=self._server.url)
 
     def request_stop(self) -> None:
         """Trigger a graceful stop without blocking (signal-handler safe)."""
@@ -357,6 +363,13 @@ class ClusterCoordinator:
     def _mark_shard(self, url: str, healthy: bool,
                     error: Optional[str] = None) -> None:
         shard = self.shards[url]
+        if healthy != shard.healthy:
+            # Log transitions only -- the health loop re-probes every couple
+            # of seconds and steady state must not spam the log.
+            if healthy:
+                _log.info("shard.recovered", shard=url)
+            else:
+                _log.warning("shard.down", shard=url, error=error)
         shard.healthy = healthy
         shard.last_check = time.time()
         if healthy:
@@ -691,8 +704,14 @@ class ClusterCoordinator:
         path = request.path.rstrip("/") or "/"
         label = "/jobs/<key>" if path.startswith("/jobs/") else path
         self._bump("requests")
+        tracer = get_tracer()
         try:
-            await self._route(request, responder, path)
+            with tracer.remote_parent(request.headers.get("traceparent")):
+                with tracer.span(f"coordinator.{request.method} {label}",
+                                 path=path) as span:
+                    await self._route(request, responder, path)
+                    if span is not None and responder.status is not None:
+                        span.set_attr("status", responder.status)
         except _RateLimited as limited:
             await responder.send_json(429, {"error": limited.message},
                                       headers=limited.headers)
@@ -725,6 +744,8 @@ class ClusterCoordinator:
             await responder.send_json(200, await self._stats_payload())
         elif method == "GET" and path == "/metrics":
             await responder.send_text(200, self.metrics.render())
+        elif method == "GET" and path == "/trace":
+            await responder.send_json(200, await self._trace_payload())
         elif method == "GET" and path == "/networks":
             from repro.serve.service import _networks_payload
 
@@ -776,6 +797,31 @@ class ClusterCoordinator:
         payload["workers"] = {url: stats for url, stats in gathered
                               if stats is not None}
         return payload
+
+    async def _trace_payload(self) -> Dict[str, object]:
+        """Own recorded spans plus every healthy shard's, one flat list.
+
+        Shard spans round-trip through :class:`~repro.obs.trace.Span` so a
+        malformed entry from a mid-upgrade worker drops that shard's
+        contribution instead of corrupting the merged trace.
+        """
+        tracer = get_tracer()
+        spans = [span.to_dict() for span in tracer.recorder.spans()]
+
+        async def _shard_trace(url: str) -> List[Dict[str, object]]:
+            try:
+                payload = await fetch_json(url, "GET", "/trace",
+                                           timeout_s=5.0)
+                return [Span.from_dict(entry).to_dict()
+                        for entry in payload.get("spans", [])]
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    RequestError, ValueError, KeyError, TypeError):
+                return []
+        gathered = await asyncio.gather(
+            *(_shard_trace(url) for url in self.healthy_shards()))
+        for shard_spans in gathered:
+            spans.extend(shard_spans)
+        return {"service": tracer.service, "spans": spans}
 
     async def _proxy_lookup(self, key: str,
                             responder: HTTPResponder) -> None:
@@ -851,8 +897,11 @@ class ClusterCoordinator:
             request.wants("text/event-stream")
         loop = asyncio.get_running_loop()
         if not stream:
-            result = await loop.run_in_executor(None, self._run_explore,
-                                                payload)
+            # copy_context: run_in_executor loses contextvars, and the
+            # sweep's shard submissions should stay in this request's trace.
+            context = contextvars.copy_context()
+            result = await loop.run_in_executor(
+                None, lambda: context.run(self._run_explore, payload))
             await responder.send_json(200, result)
             return
 
@@ -889,8 +938,9 @@ class ClusterCoordinator:
             "space_points": space.size,
         })
         self._stream_events_total.inc()
-        thread = threading.Thread(target=_explore_thread, daemon=True,
-                                  name="loom-explore-stream")
+        context = contextvars.copy_context()
+        thread = threading.Thread(target=lambda: context.run(_explore_thread),
+                                  daemon=True, name="loom-explore-stream")
         self._explore_threads.add(thread)
         thread.start()
         try:

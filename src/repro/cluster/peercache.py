@@ -47,7 +47,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.cluster.aio import fetch
-from repro.cluster.metrics import MetricsRegistry, PEER_LATENCY_BUCKETS
+from repro.obs.metrics import PEER_LATENCY_BUCKETS, MetricsRegistry
 from repro.cluster.ring import ConsistentHashRing
 from repro.sim.jobs.cache import CacheBackend
 from repro.sim.results import NetworkResult

@@ -32,6 +32,7 @@ bit-identically to the single-box ``loom-repro serve``.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -43,12 +44,14 @@ from repro.cluster.aio import (
     HTTPResponder,
     RequestError,
 )
-from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.peercache import PeerCacheBackend
+from repro.obs import MetricsRegistry, get_logger, get_tracer
 from repro.serve.core import Backpressure, ServiceCore
 from repro.sim.results import NetworkResult
 
 __all__ = ["ClusterWorker"]
+
+_log = get_logger("cluster.worker")
 
 
 class ClusterWorker:
@@ -125,6 +128,14 @@ class ClusterWorker:
             "loom_worker_store_answers_total",
             "Submissions answered straight from the warm store.",
             collect=lambda: self.core.stats.store_answers)
+        phase_histogram = self.metrics.histogram(
+            "loom_executor_phase_seconds",
+            "Executor wall time per phase (cache_lookup, layer_table_build, "
+            "simulate, transport_scatter).",
+            labelnames=("phase",))
+        self.core.executor.phase_observer = (
+            lambda phase, seconds: phase_histogram.observe(seconds,
+                                                           phase=phase))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -148,6 +159,8 @@ class ClusterWorker:
             max_workers=self._request_threads,
             thread_name_prefix=f"{self.name}-exec")
         self.core.started_at = time.time()
+        _log.info("worker.started", name=self.name, url=url,
+                  queue_limit=self.core.queue_limit)
         return url
 
     def stop(self, drain_timeout_s: float = 30.0) -> None:
@@ -161,6 +174,7 @@ class ClusterWorker:
             self._pool.shutdown(wait=True)
             self._pool = None
         self.core.close(drain_timeout_s)
+        _log.info("worker.stopped", name=self.name)
 
     def request_stop(self) -> None:
         """Trigger a graceful stop without blocking (signal-handler safe)."""
@@ -261,11 +275,19 @@ class ClusterWorker:
     # -- request handling -----------------------------------------------------
 
     async def _in_thread(self, fn, *args):
-        """Run a blocking core call on the worker pool."""
+        """Run a blocking core call on the worker pool.
+
+        The call is bound to a snapshot of the current (asyncio-task)
+        context: pool threads do not inherit contextvars, and without the
+        snapshot executor spans opened inside ``fn`` would start fresh
+        traces instead of joining the request's.
+        """
         if self._pool is None:
             raise RuntimeError("worker is not running")
         loop = self._server.loop
-        return await loop.run_in_executor(self._pool, fn, *args)
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._pool, lambda: context.run(fn, *args))
 
     async def _handle(self, request: HTTPRequest,
                       responder: HTTPResponder) -> None:
@@ -277,8 +299,14 @@ class ClusterWorker:
             label = "/cache/<key>"
         else:
             label = path
+        tracer = get_tracer()
         try:
-            await self._route(request, responder, path)
+            with tracer.remote_parent(request.headers.get("traceparent")):
+                with tracer.span(f"worker.{request.method} {label}",
+                                 path=path, worker=self.name or "") as span:
+                    await self._route(request, responder, path)
+                    if span is not None and responder.status is not None:
+                        span.set_attr("status", responder.status)
         finally:
             status = responder.status if responder.status is not None else 500
             self._requests_total.inc(path=label, status=str(status))
@@ -303,6 +331,13 @@ class ClusterWorker:
             await responder.send_json(200, payload)
         elif method == "GET" and path == "/metrics":
             await responder.send_text(200, self.metrics.render())
+        elif method == "GET" and path == "/trace":
+            tracer = get_tracer()
+            await responder.send_json(200, {
+                "service": self.name or tracer.service,
+                "spans": [span.to_dict()
+                          for span in tracer.recorder.spans()],
+            })
         elif method == "GET" and path.startswith("/jobs/"):
             key = path[len("/jobs/"):]
             status, result = await self._in_thread(self.core.lookup, key)
@@ -421,21 +456,27 @@ class ClusterWorker:
 def worker_process_main(ready_queue, store_path: Optional[str] = None,
                         queue_limit: int = 8,
                         max_memory_entries: int = 512,
-                        host: str = "127.0.0.1", port: int = 0) -> None:
+                        host: str = "127.0.0.1", port: int = 0,
+                        log_level: str = "info",
+                        log_json: bool = False) -> None:
     """Entry point for one ``loom-repro cluster`` worker child process.
 
     Builds a :class:`ClusterWorker` around a fresh executor (backed by a
     private SQLite store when ``store_path`` is given), reports the bound
     URL through ``ready_queue``, and serves until a ``POST /shutdown`` or
     SIGTERM/SIGINT stops it.  Module-level so ``multiprocessing`` spawn
-    contexts can import it by reference.
+    contexts can import it by reference.  ``log_level`` / ``log_json``
+    forward the parent CLI's logging flags into the child (spawn contexts
+    start with default logging otherwise).
     """
     import signal
 
+    from repro.obs import Tracer, configure_logging, set_tracer
     from repro.serve.store import SQLiteResultStore
     from repro.sim.jobs import JobExecutor
     from repro.sim.jobs.cache import ResultCache
 
+    configure_logging(level=log_level, json_output=log_json)
     backend = SQLiteResultStore(store_path) if store_path else None
     executor = JobExecutor(
         cache=ResultCache(backend=backend,
@@ -444,6 +485,9 @@ def worker_process_main(ready_queue, store_path: Optional[str] = None,
                                             queue_limit=queue_limit),
                            host=host, port=port)
     url = worker.start()
+    # Name this process's spans after the shard so a merged Chrome trace
+    # shows one row per worker instead of an undifferentiated "loom".
+    set_tracer(Tracer(service=worker.name or "worker"))
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(signum, lambda *_: worker.request_stop())

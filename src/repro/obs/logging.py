@@ -1,0 +1,159 @@
+"""Structured JSON-lines logging with trace correlation (stdlib only).
+
+Every log record is an *event* plus key=value fields, stamped with the
+current trace/span ids from :mod:`repro.obs.trace` -- so a grep for one
+``trace_id`` pulls the coordinator's routing decision, the worker's
+execution and the client's retry out of three different log streams.
+
+Two render modes share one record shape:
+
+* **human** (default): ``HH:MM:SS level logger event key=value ...`` on
+  stderr -- what an operator watches in a terminal;
+* **json** (``--log-json``): one JSON object per line with ``ts`` /
+  ``level`` / ``logger`` / ``event`` / ``trace_id`` / ``span_id`` plus the
+  event fields -- what a collector ingests.
+
+:func:`configure_logging` sets the process-wide level/mode once (the CLI
+calls it from ``--log-level`` / ``--log-json``); :func:`get_logger` hands
+out named loggers that all write through that configuration.  Writes are
+serialised by a lock so interleaved threads never shear a line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, Optional, TextIO
+
+from repro.obs.trace import get_tracer
+
+__all__ = ["LEVELS", "StructuredLogger", "configure_logging", "get_logger"]
+
+#: Severity order; ``configure_logging(level=...)`` filters below the bar.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_INDEX = {name: index for index, name in enumerate(LEVELS)}
+
+
+class _LogConfig:
+    """Process-wide sink configuration shared by every logger."""
+
+    def __init__(self) -> None:
+        self.level_index = _LEVEL_INDEX["info"]
+        self.json_output = False
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at write
+        self.lock = threading.Lock()
+
+
+_config = _LogConfig()
+_loggers: Dict[str, "StructuredLogger"] = {}
+_loggers_lock = threading.Lock()
+
+
+def configure_logging(level: str = "info", json_output: bool = False,
+                      stream: Optional[TextIO] = None) -> None:
+    """Set the process-wide log level, render mode, and sink.
+
+    ``stream=None`` means "whatever ``sys.stderr`` is at write time" --
+    important under pytest's capture, which swaps stderr per test.
+    """
+    if level not in _LEVEL_INDEX:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LEVELS}")
+    _config.level_index = _LEVEL_INDEX[level]
+    _config.json_output = json_output
+    _config.stream = stream
+
+
+def get_logger(name: str) -> "StructuredLogger":
+    """A named logger (one instance per name, process-wide)."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _loggers[name] = logger
+        return logger
+
+
+class StructuredLogger:
+    """Emits level-filtered, trace-correlated records for one component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- level methods --------------------------------------------------------
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log("debug", event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log("info", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log("warning", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log("error", event, fields)
+
+    def is_enabled(self, level: str) -> bool:
+        return _LEVEL_INDEX[level] >= _config.level_index
+
+    # -- record assembly ------------------------------------------------------
+
+    def _log(self, level: str, event: str, fields: Dict[str, object]) -> None:
+        if _LEVEL_INDEX[level] < _config.level_index:
+            return
+        now = time.time()
+        context = get_tracer().current_context()
+        if _config.json_output:
+            record: Dict[str, object] = {
+                "ts": round(now, 6),
+                "level": level,
+                "logger": self.name,
+                "event": event,
+            }
+            if context is not None:
+                record["trace_id"] = context.trace_id
+                record["span_id"] = context.span_id
+            for key, value in fields.items():
+                if key not in record:
+                    record[key] = _jsonable(value)
+            line = json.dumps(record, sort_keys=False,
+                              separators=(",", ":"))
+        else:
+            clock = time.strftime("%H:%M:%S", time.localtime(now))
+            parts = [clock, level.upper().ljust(7), self.name, event]
+            for key, value in fields.items():
+                parts.append(f"{key}={_human(value)}")
+            if context is not None:
+                parts.append(f"trace={context.trace_id[:8]}")
+            line = " ".join(parts)
+        with _config.lock:
+            stream = _config.stream if _config.stream is not None \
+                else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:
+                # The sink was closed under us (interpreter teardown, pytest
+                # capture churn); losing a log line beats crashing the caller.
+                pass
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def _human(value: object) -> str:
+    text = str(value)
+    if " " in text or text == "":
+        return json.dumps(text)
+    return text

@@ -17,6 +17,7 @@ import urllib.request
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.obs.trace import get_tracer
 from repro.sim.results import NetworkResult
 
 __all__ = ["ServeClient", "ServeError", "SubmittedJob", "compute_backoff"]
@@ -92,6 +93,9 @@ class ServeClient:
         headers = {"Content-Type": "application/json"}
         if accept is not None:
             headers["Accept"] = accept
+        # Propagate the caller's trace context so server-side spans link
+        # into the same trace (one sweep -> one cross-process trace).
+        get_tracer().inject_headers(headers)
         request = urllib.request.Request(
             self.base_url + path,
             data=(json.dumps(payload).encode("utf-8")
@@ -155,6 +159,14 @@ class ServeClient:
 
     def networks(self) -> List[dict]:
         return self._request("GET", "/networks")["networks"]
+
+    def trace(self) -> dict:
+        """The server's recorded spans (``{"service": ..., "spans": [...]}``).
+
+        Against a cluster coordinator the payload also merges every healthy
+        worker's spans, so one fetch covers the whole cluster.
+        """
+        return self._request("GET", "/trace")
 
     def submit(self, point: Optional[Mapping[str, object]] = None,
                **params: object) -> SubmittedJob:

@@ -23,6 +23,7 @@ import random
 import time
 from typing import Iterable, List, Optional, Union
 
+from repro.obs.trace import get_tracer
 from repro.serve.client import ServeClient, ServeError, compute_backoff
 from repro.sim.jobs import ExecutorStats
 from repro.sim.results import NetworkResult
@@ -104,14 +105,22 @@ class RemoteExecutor:
         points = [job_to_point(job) for job in jobs]
         self.stats.submitted += len(jobs)
         results: List[NetworkResult] = []
-        for start in range(0, len(points), self.batch_size):
-            chunk = points[start:start + self.batch_size]
-            for entry in self._submit_with_retry(chunk):
-                if entry.status == "executed":
-                    self.stats.record_execution(entry.key)
-                else:  # "cached" or "coalesced": the server reused a result
-                    self.stats.cache_hits += 1
-                results.append(entry.result)
+        tracer = get_tracer()
+        with tracer.span("remote.run", jobs=len(jobs),
+                         endpoint=self.client.base_url):
+            for start in range(0, len(points), self.batch_size):
+                chunk = points[start:start + self.batch_size]
+                # One span per wire batch; the ServeClient forwards this
+                # context as a traceparent header, so the server's request
+                # span becomes this span's child.
+                with tracer.span("remote.submit", points=len(chunk)):
+                    entries = self._submit_with_retry(chunk)
+                for entry in entries:
+                    if entry.status == "executed":
+                        self.stats.record_execution(entry.key)
+                    else:  # "cached"/"coalesced": the server reused a result
+                        self.stats.cache_hits += 1
+                    results.append(entry.result)
         return results
 
     def close(self) -> None:

@@ -35,12 +35,16 @@ namespace as ``loom-repro explore`` axes (``network`` / ``accuracy`` /
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import __version__
+from repro.obs import MetricsRegistry, get_logger, get_tracer
 from repro.serve.core import (  # noqa: F401 - _Inflight/_Submitted re-exported
     Backpressure,
     ServiceCore,
@@ -52,6 +56,8 @@ from repro.sim.jobs import JobExecutor, ResultCache
 from repro.sim.results import NetworkResult
 
 __all__ = ["Backpressure", "ServiceStats", "SimulationService"]
+
+_log = get_logger("serve")
 
 #: Largest request body the service accepts (a sweep spec is tiny; anything
 #: bigger than this is a client bug, not a workload).
@@ -112,6 +118,36 @@ class SimulationService:
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._stop_requested = threading.Event()
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "loom_serve_requests_total",
+            "HTTP requests handled, by path template and status code.",
+            labelnames=("path", "status"))
+        self._request_seconds = self.metrics.histogram(
+            "loom_serve_request_seconds",
+            "End-to-end HTTP request latency by path template.",
+            labelnames=("path",))
+        phase_histogram = self.metrics.histogram(
+            "loom_executor_phase_seconds",
+            "Executor wall time per phase (cache_lookup, layer_table_build, "
+            "simulate, transport_scatter).",
+            labelnames=("phase",))
+        self.core.executor.phase_observer = (
+            lambda phase, seconds: phase_histogram.observe(seconds,
+                                                           phase=phase))
+        self.metrics.gauge(
+            "loom_serve_pending_batches",
+            "Execution batches currently admitted against the queue limit.",
+            collect=lambda: self.core._pending_batches)
+        self.metrics.gauge(
+            "loom_serve_inflight_keys",
+            "Distinct job keys currently executing or being awaited.",
+            collect=lambda: len(self.core._inflight))
+        self.metrics.gauge(
+            "loom_serve_uptime_seconds",
+            "Seconds since the service started serving.",
+            collect=lambda: (time.time() - self.core.started_at
+                             if self.core.started_at is not None else 0.0))
 
     # -- core delegation (the HTTP-independent submission path) ---------------
     #
@@ -193,6 +229,8 @@ class SimulationService:
             daemon=True,
         )
         self._server_thread.start()
+        _log.info("serve.started", url=self.url, engine=self.engine,
+                  queue_limit=self.queue_limit, version=__version__)
         return self.url
 
     def request_stop(self) -> None:
@@ -221,6 +259,7 @@ class SimulationService:
                 self._server_thread.join(timeout=10.0)
             self._server = None
             self._server_thread = None
+            _log.info("serve.stopped", url=self.url)
         self.core.close(drain_timeout_s)
 
     def __enter__(self) -> "SimulationService":
@@ -241,12 +280,27 @@ class _ServiceServer(ThreadingHTTPServer):
         self.service = service
 
 
+def _metric_path(path: str) -> str:
+    """Low-cardinality path label: keys collapse, junk paths collapse."""
+    if path.startswith("/jobs/"):
+        return "/jobs/<key>"
+    if path in ("/", "/healthz", "/stats", "/networks", "/metrics",
+                "/trace", "/jobs", "/explore", "/shutdown"):
+        return path
+    return "<other>"
+
+
 class _Handler(BaseHTTPRequestHandler):
     server: _ServiceServer
     #: Human-readable server tag (no version leak in error pages).
     server_version = "loom-serve"
     sys_version = ""
     protocol_version = "HTTP/1.1"
+    #: Correlation id for the in-flight request (span id when tracing is
+    #: on); echoed as ``X-Request-Id`` on every response and in error
+    #: bodies so a 429/500 can be matched to its trace and log lines.
+    _request_id = ""
+    _status = 0
 
     # -- plumbing -------------------------------------------------------------
 
@@ -255,7 +309,36 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the CLI's --verbose concern, not stderr spam
+        # Per-request lines go through the structured logger at debug, so
+        # they are silent at the default level but available under
+        # --log-level debug (with trace correlation).
+        _log.debug("http.access", client=self.address_string(),
+                   line=format % args, request_id=self._request_id)
+
+    @contextlib.contextmanager
+    def _request_scope(self, method: str):
+        """Per-request span, correlation id and metric accounting."""
+        self.service._bump("requests")
+        path = self.path.rstrip("/") or "/"
+        label = _metric_path(path)
+        tracer = get_tracer()
+        self._status = 0
+        self._request_id = os.urandom(8).hex()
+        started = time.perf_counter()
+        try:
+            with tracer.remote_parent(self.headers.get("traceparent")):
+                with tracer.span(f"serve.{method} {label}", method=method,
+                                 path=path) as span:
+                    if span is not None:
+                        self._request_id = span.span_id
+                    yield path
+                    if span is not None and self._status:
+                        span.set_attr("status", self._status)
+        finally:
+            status = str(self._status or 500)
+            self.service._requests_total.inc(path=label, status=status)
+            self.service._request_seconds.observe(
+                time.perf_counter() - started, path=label)
 
     def _send_json(self, status: int, payload: Dict[str, object],
                    headers: Optional[Dict[str, str]] = None) -> None:
@@ -263,15 +346,35 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
 
     def _send_error(self, status: int, message: str,
                     headers: Optional[Dict[str, str]] = None) -> None:
         self.service._bump("errors")
-        self._send_json(status, {"error": message}, headers=headers)
+        if status >= 500:
+            _log.error("http.error", status=status, path=self.path,
+                       message=message, request_id=self._request_id)
+        payload = {"error": message}
+        if self._request_id:
+            payload["request_id"] = self._request_id
+        self._send_json(status, payload, headers=headers)
 
     def _drain_body(self) -> bytes:
         """Read the request body up front.
@@ -302,67 +405,83 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        self.service._bump("requests")
-        path = self.path.rstrip("/") or "/"
-        try:
-            self._drain_body()  # keep-alive safety for GETs sent with bodies
-            if path == "/healthz":
-                self._send_json(200, {
-                    "ok": True,
-                    "uptime_s": time.time() - (self.service.started_at or
-                                               time.time()),
-                })
-            elif path == "/stats":
-                self._send_json(200, self.service.stats_dict())
-            elif path == "/networks":
-                self._send_json(200, {"networks": _networks_payload()})
-            elif path.startswith("/jobs/"):
-                key = path[len("/jobs/"):]
-                status, result = self.service.lookup(key)
-                if status == "done":
-                    self._send_json(200, {"key": key, "status": "done",
-                                          "result": result.to_dict()})
-                elif status == "pending":
-                    self._send_json(202, {"key": key, "status": "pending"})
+        with self._request_scope("GET") as path:
+            try:
+                # keep-alive safety for GETs sent with bodies
+                self._drain_body()
+                if path == "/healthz":
+                    self._send_json(200, {
+                        "ok": True,
+                        "version": __version__,
+                        "uptime_s": time.time() - (self.service.started_at or
+                                                   time.time()),
+                    })
+                elif path == "/stats":
+                    payload = self.service.stats_dict()
+                    payload["version"] = __version__
+                    self._send_json(200, payload)
+                elif path == "/metrics":
+                    self._send_text(
+                        200, self.service.metrics.render(),
+                        "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/trace":
+                    recorder = get_tracer().recorder
+                    self._send_json(200, {
+                        "service": get_tracer().service,
+                        "spans": [span.to_dict()
+                                  for span in recorder.spans()],
+                    })
+                elif path == "/networks":
+                    self._send_json(200, {"networks": _networks_payload()})
+                elif path.startswith("/jobs/"):
+                    key = path[len("/jobs/"):]
+                    status, result = self.service.lookup(key)
+                    if status == "done":
+                        self._send_json(200, {"key": key, "status": "done",
+                                              "result": result.to_dict()})
+                    elif status == "pending":
+                        self._send_json(202, {"key": key,
+                                              "status": "pending"})
+                    else:
+                        self._send_error(404, f"no result for key {key!r}")
                 else:
-                    self._send_error(404, f"no result for key {key!r}")
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except ValueError as error:
-            self._send_error(400, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_error(500, f"{type(error).__name__}: {error}")
+                    self._send_error(404, f"unknown path {self.path!r}")
+            except ValueError as error:
+                self._send_error(400, str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                self._send_error(500, f"{type(error).__name__}: {error}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        self.service._bump("requests")
-        path = self.path.rstrip("/")
-        try:
-            # Drain before routing so every response -- 404s included --
-            # leaves the persistent connection in a parseable state.
-            raw = self._drain_body()
-            if path == "/jobs":
-                self._handle_jobs(self._parse_body(raw))
-            elif path == "/explore":
-                self._send_json(
-                    200, self.service.run_explore(self._parse_body(raw)))
-            elif path == "/shutdown":
-                self._send_json(200, {"ok": True, "stopping": True})
-                # Stop the serve loop from outside this handler thread: the
-                # owning CLI loop (or .stop() caller) tears the server down.
-                self.service.request_stop()
-                threading.Thread(target=self.server.shutdown,
-                                 daemon=True).start()
-            else:
-                self._send_error(404, f"unknown path {self.path!r}")
-        except Backpressure as bp:
-            self._send_error(429, str(bp),
-                             headers={"Retry-After": str(bp.retry_after_s)})
-        except (ValueError, KeyError, TypeError) as error:
-            self._send_error(400, f"{type(error).__name__}: {error}")
-        except TimeoutError as error:
-            self._send_error(504, str(error))
-        except Exception as error:
-            self._send_error(500, f"{type(error).__name__}: {error}")
+        with self._request_scope("POST") as path:
+            try:
+                # Drain before routing so every response -- 404s included --
+                # leaves the persistent connection in a parseable state.
+                raw = self._drain_body()
+                if path == "/jobs":
+                    self._handle_jobs(self._parse_body(raw))
+                elif path == "/explore":
+                    self._send_json(
+                        200, self.service.run_explore(self._parse_body(raw)))
+                elif path == "/shutdown":
+                    self._send_json(200, {"ok": True, "stopping": True})
+                    # Stop the serve loop from outside this handler thread:
+                    # the owning CLI loop (or .stop() caller) tears the
+                    # server down.
+                    self.service.request_stop()
+                    threading.Thread(target=self.server.shutdown,
+                                     daemon=True).start()
+                else:
+                    self._send_error(404, f"unknown path {self.path!r}")
+            except Backpressure as bp:
+                self._send_error(
+                    429, str(bp),
+                    headers={"Retry-After": str(bp.retry_after_s)})
+            except (ValueError, KeyError, TypeError) as error:
+                self._send_error(400, f"{type(error).__name__}: {error}")
+            except TimeoutError as error:
+                self._send_error(504, str(error))
+            except Exception as error:
+                self._send_error(500, f"{type(error).__name__}: {error}")
 
     def _handle_jobs(self, payload: Dict[str, object]) -> None:
         if "points" in payload:

@@ -17,9 +17,11 @@ figures.
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.trace import get_tracer
 from repro.sim.jobs.cache import ResultCache
 from repro.sim.jobs.spec import SimJob, execute_job, job_key, spec_dict
 from repro.sim.results import NetworkResult
@@ -57,10 +59,20 @@ class ExecutorStats:
     #: memory is a deployment smell worth surfacing on /stats.
     pickle_transports: int = 0
     executed_key_counts: Dict[str, int] = field(default_factory=dict)
+    #: Cumulative wall seconds per execution phase (``cache_lookup``,
+    #: ``layer_table_build``, ``simulate``, ``transport_scatter``) -- the
+    #: "where did this request spend its time" answer, surfaced on /stats
+    #: and as the ``loom_executor_phase_seconds`` histogram.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    phase_counts: Dict[str, int] = field(default_factory=dict)
 
     def record_execution(self, key: str) -> None:
         self.executed += 1
         self.executed_key_counts[key] = self.executed_key_counts.get(key, 0) + 1
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.phase_counts[phase] = self.phase_counts.get(phase, 0) + 1
 
     @property
     def max_executions_per_key(self) -> int:
@@ -68,7 +80,7 @@ class ExecutorStats:
             return 0
         return max(self.executed_key_counts.values())
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, object]:
         """Plain-data form (what ``loom-repro serve`` reports on /stats).
 
         ``layer_table_hits`` / ``layer_table_builds`` surface the process-wide
@@ -91,6 +103,13 @@ class ExecutorStats:
             "layer_table_builds": table_info["builds"],
             "unique_keys_executed": len(self.executed_key_counts),
             "max_executions_per_key": self.max_executions_per_key,
+            "phases": {
+                phase: {
+                    "seconds": round(self.phase_seconds[phase], 6),
+                    "count": self.phase_counts.get(phase, 0),
+                }
+                for phase in sorted(self.phase_seconds)
+            },
         }
 
     def summary(self, cache=None) -> str:
@@ -167,7 +186,26 @@ class JobExecutor:
             resolve_engine(engine)  # fail fast on unknown names
         self.engine = engine
         self.stats = ExecutorStats()
+        #: Optional ``callable(phase, seconds)`` invoked on every phase
+        #: sample -- the serve service and cluster worker point this at a
+        #: ``loom_executor_phase_seconds{phase=...}`` histogram.
+        self.phase_observer: Optional[Callable[[str, float], None]] = None
         self._pool = None
+
+    @contextlib.contextmanager
+    def _phase(self, phase: str, **attrs: object):
+        """Time a named execution phase: stats + observer + a trace span."""
+        started = time.perf_counter()
+        with get_tracer().span(f"executor.{phase}", **attrs):
+            try:
+                yield
+            finally:
+                self._record_phase(phase, time.perf_counter() - started)
+
+    def _record_phase(self, phase: str, seconds: float) -> None:
+        self.stats.record_phase(phase, seconds)
+        if self.phase_observer is not None:
+            self.phase_observer(phase, seconds)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -218,6 +256,12 @@ class JobExecutor:
             from repro.sim.fastpath import resolve_engine
 
             resolve_engine(engine)
+        with get_tracer().span("executor.run", jobs=len(jobs),
+                               engine=engine or "default"):
+            return self._run(jobs, engine)
+
+    def _run(self, jobs: List[SimJob],
+             engine: Optional[str]) -> List[NetworkResult]:
         keys = [job_key(job) for job in jobs]
         total = len(jobs)
         self.stats.submitted += total
@@ -233,26 +277,27 @@ class JobExecutor:
                 self.stats.record_execution(keys[index])
                 emit(jobs[index], keys[index], "executed", index)
 
-            return self._execute(jobs, on_result, engine=engine)
+            return self._execute_timed(jobs, on_result, engine)
 
         resolved: Dict[str, NetworkResult] = {}
         statuses: Dict[str, str] = {}
         first_index: Dict[str, int] = {}
         pending: List[SimJob] = []
         pending_keys: List[str] = []
-        for index, (job, key) in enumerate(zip(jobs, keys)):
-            if key in statuses:
-                continue
-            first_index[key] = index
-            cached = self.cache.get(key)
-            if cached is not None:
-                resolved[key] = cached
-                statuses[key] = "cached"
-                emit(job, key, "cached", index)
-            else:
-                statuses[key] = "executed"
-                pending.append(job)
-                pending_keys.append(key)
+        with self._phase("cache_lookup", jobs=total):
+            for index, (job, key) in enumerate(zip(jobs, keys)):
+                if key in statuses:
+                    continue
+                first_index[key] = index
+                cached = self.cache.get(key)
+                if cached is not None:
+                    resolved[key] = cached
+                    statuses[key] = "cached"
+                    emit(job, key, "cached", index)
+                else:
+                    statuses[key] = "executed"
+                    pending.append(job)
+                    pending_keys.append(key)
 
         if pending:
             if self.log is not None:
@@ -273,7 +318,7 @@ class JobExecutor:
                 resolved[key] = result
                 emit(job, key, "executed", first_index[key])
 
-            self._execute(pending, on_result, engine=engine)
+            self._execute_timed(pending, on_result, engine)
 
         # Account and emit the remaining submissions: repeats of a cached key
         # are further cache hits; repeats of an executed key are dedup hits.
@@ -286,6 +331,25 @@ class JobExecutor:
                 self.stats.dedup_hits += 1
                 emit(job, key, "deduplicated", index)
         return [resolved[key] for key in keys]
+
+    def _execute_timed(self, jobs: Sequence[SimJob], on_result,
+                       engine: Optional[str]) -> List[NetworkResult]:
+        """Run jobs under the ``simulate`` phase, carving out table builds.
+
+        ``layer_table_build`` is attributed from the process-wide memo's
+        build clock: the delta over the batch is the time ``simulate`` spent
+        (re)constructing layer tables in this process.  Builds inside pool
+        workers happen in the child and stay inside ``simulate`` here.
+        """
+        from repro.sim.jobs.spec import layer_table_build_seconds
+
+        build_before = layer_table_build_seconds()
+        with self._phase("simulate", jobs=len(jobs)):
+            results = self._execute(jobs, on_result, engine=engine)
+        build_delta = layer_table_build_seconds() - build_before
+        if build_delta > 0.0:
+            self._record_phase("layer_table_build", build_delta)
+        return results
 
     def _execute(self, jobs: Sequence[SimJob], on_result=None,
                  engine: Optional[str] = None) -> List[NetworkResult]:
@@ -350,7 +414,10 @@ class JobExecutor:
         from repro.sim.jobs.transport import unpack_results
 
         for payload in payloads:
+            started = time.perf_counter()
             results, used_shm = unpack_results(payload)
+            self._record_phase("transport_scatter",
+                               time.perf_counter() - started)
             if used_shm:
                 self.stats.shm_transports += 1
             else:

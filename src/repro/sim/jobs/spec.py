@@ -26,6 +26,8 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import threading
+import time
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
@@ -45,6 +47,7 @@ __all__ = [
     "network_layer_counts",
     "network_kind_counts",
     "layer_table_cache_info",
+    "layer_table_build_seconds",
     "execute_job",
     "ACCELERATOR_KINDS",
 ]
@@ -295,12 +298,50 @@ def _spec_layers(spec: NetworkSpec) -> tuple:
     return tuple(build_spec_network(spec).compute_layers())
 
 
-@functools.lru_cache(maxsize=None)
-def _spec_layer_table(spec: NetworkSpec):
-    """Column-wise layer table for the fast-path engine (shared, read-only)."""
-    from repro.sim.fastpath import build_layer_table
+class _LayerTableMemo:
+    """Timed memo for layer tables: like ``lru_cache`` plus a build clock.
 
-    return build_layer_table(_spec_layers(spec))
+    The executor's phase accounting needs to know how much wall time a batch
+    spent (re)building layer tables, which ``functools.lru_cache`` cannot
+    report -- hence this hand-rolled equivalent.  ``build_seconds`` is
+    cumulative; callers sample it before/after a batch and attribute the
+    delta.  Double-checked locking keeps hits lock-free-ish while ensuring a
+    table is built at most once per process.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[NetworkSpec, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.builds = 0
+        self.build_seconds = 0.0
+
+    def __call__(self, spec: NetworkSpec):
+        table = self._tables.get(spec)
+        if table is not None:
+            self.hits += 1
+            return table
+        from repro.sim.fastpath import build_layer_table
+
+        with self._lock:
+            table = self._tables.get(spec)
+            if table is not None:
+                self.hits += 1
+                return table
+            started = time.perf_counter()
+            table = build_layer_table(_spec_layers(spec))
+            self.build_seconds += time.perf_counter() - started
+            self.builds += 1
+            self._tables[spec] = table
+            return table
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._tables.clear()
+
+
+#: Column-wise layer tables for the fast-path engine (shared, read-only).
+_spec_layer_table = _LayerTableMemo()
 
 
 def layer_table_cache_info() -> Dict[str, int]:
@@ -313,8 +354,13 @@ def layer_table_cache_info() -> Dict[str, int]:
     :meth:`~repro.sim.jobs.executor.ExecutorStats.to_dict` surfaces them so
     sweep services can confirm repeated sweeps skip table reconstruction.
     """
-    info = _spec_layer_table.cache_info()
-    return {"hits": info.hits, "builds": info.misses}
+    return {"hits": _spec_layer_table.hits,
+            "builds": _spec_layer_table.builds}
+
+
+def layer_table_build_seconds() -> float:
+    """Cumulative wall seconds spent building layer tables (this process)."""
+    return _spec_layer_table.build_seconds
 
 
 def network_layer_counts(name: str) -> Tuple[int, int]:

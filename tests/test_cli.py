@@ -575,3 +575,75 @@ class TestExploreCommand:
     def test_unknown_axis_errors_cleanly(self, capsys):
         with pytest.raises(SystemExit):
             main(["explore", "--axis", "warp_drive=1,2"])
+
+
+class TestObservabilityFlags:
+    def test_log_flags_default(self):
+        args = build_parser().parse_args(["all"])
+        assert args.log_level == "info"
+        assert args.log_json is False
+
+    def test_log_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-json", "networks"])
+        assert args.log_level == "debug"
+        assert args.log_json is True
+
+    def test_unknown_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "all"])
+
+    def test_trace_out_parses_on_traced_commands(self):
+        parser = build_parser()
+        for argv in (["run", "--trace-out", "t.json"],
+                     ["explore", "--trace-out", "t.json"],
+                     ["validate", "--trace-out", "t.json"]):
+            assert parser.parse_args(argv).trace_out == "t.json"
+
+    def test_trace_dump_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "dump", "--remote", "http://h:1", "--out", "t.json"])
+        assert args.command == "trace"
+        assert args.trace_command == "dump"
+        assert args.remote == "http://h:1"
+        assert args.out == "t.json"
+
+    def test_trace_dump_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["run", "--network", "alexnet",
+                     "--trace-out", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        events = [event for event in document["traceEvents"]
+                  if event.get("ph") == "X"]
+        names = {event["name"] for event in events}
+        assert "cli.run" in names
+        assert "executor.run" in names
+        # Executor spans nest under the CLI root: one connected trace.
+        root = next(e for e in events if e["name"] == "cli.run")
+        assert all(event["args"]["trace_id"] == root["args"]["trace_id"]
+                   for event in events)
+
+    def test_trace_dump_local_prints_a_document(self, capsys):
+        import json
+
+        assert main(["trace", "dump"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in document
+
+    def test_log_json_mode_emits_parseable_records(self, tmp_path, capsys):
+        import json
+
+        assert main(["--log-json", "run", "--network", "alexnet",
+                     "--trace-out", str(tmp_path / "t.json")]) == 0
+        err = capsys.readouterr().err
+        records = [json.loads(line) for line in err.splitlines()
+                   if line.startswith("{")]
+        assert any(record["event"] == "trace.written"
+                   for record in records)

@@ -16,6 +16,7 @@ in-process servers:
 """
 
 import contextlib
+import json
 import threading
 import time
 import urllib.error
@@ -687,3 +688,135 @@ class TestRemoteExecutorProtocol:
     def test_batch_size_must_be_positive(self):
         with pytest.raises(ValueError, match="batch_size"):
             RemoteExecutor("http://localhost:1", batch_size=0)
+
+
+def _scrape_until(url, needle, timeout_s=5.0):
+    """Poll ``/metrics`` until ``needle`` appears (request-side series are
+    recorded a moment *after* the triggering response flushes)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        with urllib.request.urlopen(url + "/metrics", timeout=10) as response:
+            text = response.read().decode("utf-8")
+        if needle in text or time.monotonic() > deadline:
+            return text
+        time.sleep(0.01)
+
+
+class TestObservability:
+    """The serve half of the repro.obs contract: /metrics, /trace,
+    X-Request-Id correlation, and version/uptime reporting."""
+
+    def test_metrics_renders_prometheus_text(self):
+        with serving() as (service, client):
+            client.submit(POINT)
+            with urllib.request.urlopen(service.url + "/metrics",
+                                        timeout=10) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == \
+                    "text/plain; version=0.0.4; charset=utf-8"
+            text = _scrape_until(
+                service.url,
+                'loom_serve_requests_total{path="/jobs",status="200"} 1')
+        assert "# TYPE loom_serve_requests_total counter" in text
+        assert 'loom_serve_requests_total{path="/jobs",status="200"} 1' in text
+        assert "# TYPE loom_serve_request_seconds histogram" in text
+        assert 'loom_serve_request_seconds_count{path="/jobs"} 1' in text
+        assert "loom_serve_uptime_seconds" in text
+        assert "loom_serve_pending_batches 0" in text
+        assert text.endswith("\n")
+
+    def test_metrics_includes_executor_phase_histograms(self):
+        with serving() as (service, client):
+            client.submit(POINT)
+            text = urllib.request.urlopen(service.url + "/metrics",
+                                          timeout=10).read().decode("utf-8")
+        assert "# TYPE loom_executor_phase_seconds histogram" in text
+        assert 'loom_executor_phase_seconds_count{phase="simulate"} 1' in text
+        assert 'loom_executor_phase_seconds_count{phase="cache_lookup"}' \
+            in text
+
+    def test_metric_path_labels_stay_low_cardinality(self):
+        with serving() as (service, client):
+            done = client.submit(POINT)
+            client.lookup(done.key)
+            client.lookup("0" * 16)  # a second distinct key, 404s
+            with contextlib.suppress(ServeError):
+                client._request("GET", "/made-up-path")
+            text = _scrape_until(service.url,
+                                 'path="<other>",status="404"')
+        # Both key lookups collapse into one series; unknown paths into
+        # another -- a scrape's cardinality never grows with traffic.
+        assert 'loom_serve_requests_total{path="/jobs/<key>",status="200"} 1' \
+            in text
+        assert 'loom_serve_requests_total{path="/jobs/<key>",status="404"} 1' \
+            in text
+        assert 'path="<other>"' in text
+        assert "/made-up-path" not in text
+
+    def test_request_id_header_on_success(self):
+        with serving() as (service, client):
+            with urllib.request.urlopen(service.url + "/healthz",
+                                        timeout=10) as response:
+                request_id = response.headers["X-Request-Id"]
+        assert request_id and len(request_id) == 16
+        int(request_id, 16)  # hex
+
+    def test_error_body_echoes_the_request_id_header(self):
+        with serving() as (service, _):
+            request = urllib.request.Request(service.url + "/nope")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert excinfo.value.headers["X-Request-Id"] == \
+                payload["request_id"]
+
+    def test_healthz_and_stats_report_the_version(self):
+        from repro import __version__
+
+        with serving() as (_, client):
+            assert client.healthz()["version"] == __version__
+            stats = client.stats()
+            assert stats["version"] == __version__
+            assert stats["uptime_s"] >= 0
+
+    def test_stats_reports_executor_phase_timings(self):
+        with serving() as (_, client):
+            client.submit(POINT)
+            phases = client.stats()["executor"]["phases"]
+        assert phases["simulate"]["count"] == 1
+        assert phases["simulate"]["seconds"] > 0
+        assert phases["cache_lookup"]["count"] == 1
+
+    def test_served_request_spans_join_the_callers_trace(self):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        with serving() as (service, client):
+            with tracer.span("test.client") as root:
+                client.submit(POINT)
+                trace_id = root.trace_id
+            # The handler records its span a beat after the response body
+            # is flushed; poll briefly.
+            deadline = time.time() + 5.0
+            names = set()
+            while time.time() < deadline:
+                payload = client.trace()
+                names = {span["name"] for span in payload["spans"]
+                         if span["trace_id"] == trace_id}
+                if "serve.POST /jobs" in names:
+                    break
+                time.sleep(0.05)
+        assert "serve.POST /jobs" in names
+        assert "executor.run" in names
+        assert "executor.simulate" in names
+
+    def test_trace_payload_round_trips_to_chrome_format(self):
+        from repro.obs import Span, chrome_trace
+
+        with serving() as (_, client):
+            client.submit(POINT)
+            payload = client.trace()
+        spans = [Span.from_dict(entry) for entry in payload["spans"]]
+        document = json.loads(json.dumps(chrome_trace(spans)))
+        assert any(event.get("ph") == "X"
+                   for event in document["traceEvents"])
